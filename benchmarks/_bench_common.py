@@ -1,0 +1,111 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite regenerates every table and figure of the paper's
+evaluation at a reduced, configurable scale.  All benches share one
+Study (one world, one seed collection, one memoised run cache), so runs
+common to several artifacts — e.g. the All Active cells used by RQ1.b,
+RQ2 and RQ4 — are computed once.
+
+Environment knobs:
+
+``REPRO_BENCH_BUDGET``   per-run generation budget (default 2500)
+``REPRO_BENCH_SEED``     master seed for the world (default 42)
+``REPRO_BENCH_RQ3_BUDGET`` per-source budget for RQ3 (default budget/3)
+``REPRO_BENCH_FAST``     set to 1 to restrict to ICMP+TCP80 and fewer
+                         sources (quick smoke run)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import SOURCE_ORDER
+from repro.experiments import (
+    Study,
+    run_cross_port,
+    run_rq1a,
+    run_rq1b,
+    run_rq2,
+    run_rq3,
+    run_rq4,
+)
+from repro.internet import ALL_PORTS, InternetConfig, Port
+
+BUDGET = int(os.environ.get("REPRO_BENCH_BUDGET", "2500"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+RQ3_BUDGET = int(os.environ.get("REPRO_BENCH_RQ3_BUDGET", str(max(400, BUDGET // 3))))
+FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
+
+BENCH_PORTS: tuple[Port, ...] = (
+    (Port.ICMP, Port.TCP80) if FAST else ALL_PORTS
+)
+BENCH_SOURCES: tuple[str, ...] = (
+    ("censys", "scamper", "hitlist", "addrminer") if FAST else SOURCE_ORDER
+)
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def study() -> Study:
+    return Study(
+        config=InternetConfig.bench(master_seed=SEED),
+        budget=BUDGET,
+        round_size=max(200, BUDGET // 5),
+    )
+
+
+@pytest.fixture(scope="session")
+def rq1a_result(study):
+    return run_rq1a(study, ports=BENCH_PORTS)
+
+
+@pytest.fixture(scope="session")
+def rq1b_result(study):
+    return run_rq1b(study, ports=BENCH_PORTS)
+
+
+@pytest.fixture(scope="session")
+def rq2_result(study):
+    return run_rq2(study, ports=BENCH_PORTS)
+
+
+@pytest.fixture(scope="session")
+def cross_port_result(study):
+    return run_cross_port(study, ports=BENCH_PORTS)
+
+
+@pytest.fixture(scope="session")
+def rq3_result(study):
+    return run_rq3(
+        study, ports=BENCH_PORTS, sources=BENCH_SOURCES, budget=RQ3_BUDGET
+    )
+
+
+@pytest.fixture(scope="session")
+def rq4_result(study):
+    return run_rq4(study, ports=BENCH_PORTS)
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_artifact(output_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered table/figure next to the benchmark results."""
+    (output_dir / name).write_text(text + "\n", encoding="utf-8")
+
+
+def once(benchmark, func):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Experiment cells are memoised in the shared Study, so repeated
+    timing rounds would only measure cache hits; a single round records
+    the honest cost.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

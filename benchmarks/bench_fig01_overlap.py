@@ -1,0 +1,44 @@
+"""Figure 1: seed source percent overlap by IP and AS (full datasets)."""
+
+from _bench_common import once, write_artifact
+
+from repro.datasets import overlap_by_as, overlap_by_ip
+from repro.reporting import render_table
+
+
+def render_overlap_matrix(matrix, title):
+    headers = ["Source"] + list(matrix.names) + ["Overlap"]
+    rows = []
+    for a in matrix.names:
+        rows.append(
+            [a]
+            + [f"{matrix.cells[a][b]:.0f}" for b in matrix.names]
+            + [f"{matrix.any_other[a]:.1f}"]
+        )
+    return render_table(headers, rows, title=title)
+
+
+def build_figure1(study):
+    ip_matrix = overlap_by_ip(study.collection)
+    as_matrix = overlap_by_as(study.collection, study.internet.registry)
+    text = (
+        render_overlap_matrix(ip_matrix, "Figure 1 (left): % overlap by IP")
+        + "\n\n"
+        + render_overlap_matrix(as_matrix, "Figure 1 (right): % overlap by AS")
+    )
+    return text, ip_matrix, as_matrix
+
+
+def test_fig01_overlap(benchmark, study, output_dir):
+    text, ip_matrix, as_matrix = once(benchmark, lambda: build_figure1(study))
+    write_artifact(output_dir, "fig01_overlap.txt", text)
+
+    # Paper shapes: domain-based sources overlap heavily with each other;
+    # scamper covers almost every AS other sources see (so everyone's AS
+    # overlap *with scamper* is high), while scamper's own IP-level
+    # uniqueness stays the strongest among the big sources.
+    assert ip_matrix.cells["umbrella"]["censys"] > 30.0
+    assert as_matrix.cells["hitlist"]["scamper"] > 75.0
+    big_sources = ("censys", "rapid7", "hitlist", "addrminer", "scamper")
+    most_unique = min(big_sources, key=lambda name: ip_matrix.any_other[name])
+    assert most_unique in ("scamper", "addrminer")

@@ -1,0 +1,48 @@
+"""Figure 3: performance ratio of dealiased vs full seeds
+(hits, ASes and aliases), per TGA per port."""
+
+from _bench_common import BENCH_PORTS, once, write_artifact
+
+from repro.reporting import format_ratio, render_table
+
+
+def build_figure3(rq1a_result):
+    sections = []
+    ratios_by_port = {}
+    for port in BENCH_PORTS:
+        ratios = rq1a_result.figure3(port)
+        ratios_by_port[port] = ratios
+        rows = [
+            [
+                tga,
+                format_ratio(ratios[tga]["hits"]),
+                format_ratio(ratios[tga]["ases"]),
+                format_ratio(ratios[tga]["aliases"]),
+            ]
+            for tga in rq1a_result.tga_names
+        ]
+        sections.append(
+            render_table(
+                ["TGA", "hits", "ASes", "aliases"],
+                rows,
+                title=f"Figure 3 ({port.value}): ratio of dealiased vs full seeds",
+            )
+        )
+    return "\n\n".join(sections), ratios_by_port
+
+
+def test_fig03_dealias_ratio(benchmark, rq1a_result, output_dir):
+    text, ratios_by_port = once(benchmark, lambda: build_figure3(rq1a_result))
+    write_artifact(output_dir, "fig03_dealias_ratio.txt", text)
+
+    # Paper shapes: generated aliases collapse with dealiased seeds and
+    # hits/ASes tend to rise across the generator population (EIP is the
+    # documented exception in both directions).
+    for port, ratios in ratios_by_port.items():
+        core = [tga for tga in ratios if tga != "eip"]
+        alias_drops = [
+            ratios[tga]["aliases"] for tga in core if ratios[tga]["aliases"] != 0
+        ]
+        assert alias_drops and all(r < -0.4 for r in alias_drops), port
+        mean_hit_ratio = sum(ratios[tga]["hits"] for tga in core) / len(core)
+        assert mean_hit_ratio > -0.05, (port, mean_hit_ratio)

@@ -1,0 +1,45 @@
+"""Figure 4: performance ratio of active-only vs dealiased seeds."""
+
+from _bench_common import BENCH_PORTS, once, write_artifact
+
+from repro.reporting import format_ratio, render_table
+
+
+def build_figure4(rq1b_result):
+    sections = []
+    ratios_by_port = {}
+    for port in BENCH_PORTS:
+        ratios = rq1b_result.figure4(port)
+        ratios_by_port[port] = ratios
+        rows = [
+            [
+                tga,
+                format_ratio(ratios[tga]["hits"]),
+                format_ratio(ratios[tga]["ases"]),
+            ]
+            for tga in rq1b_result.tga_names
+        ]
+        sections.append(
+            render_table(
+                ["TGA", "hits", "ASes"],
+                rows,
+                title=f"Figure 4 ({port.value}): ratio of active-only vs dealiased seeds",
+            )
+        )
+    return "\n\n".join(sections), ratios_by_port
+
+
+def test_fig04_active_ratio(benchmark, rq1b_result, output_dir):
+    text, ratios_by_port = once(benchmark, lambda: build_figure4(rq1b_result))
+    write_artifact(output_dir, "fig04_active_ratio.txt", text)
+
+    # Paper shape: with few exceptions, restricting seeds to currently
+    # responsive addresses improves both metrics; AS diversity improves
+    # almost universally.
+    for port, ratios in ratios_by_port.items():
+        core = [tga for tga in ratios if tga != "eip"]
+        as_ratios = [ratios[tga]["ases"] for tga in core]
+        assert sum(as_ratios) / len(as_ratios) > 0.0, (port, as_ratios)
+        hit_ratios = [ratios[tga]["hits"] for tga in core]
+        positive = sum(1 for r in hit_ratios if r >= -0.02)
+        assert positive >= len(core) // 2, (port, hit_ratios)

@@ -1,0 +1,60 @@
+"""Figure 5: performance ratio of port-specific vs All Active seeds."""
+
+from _bench_common import BENCH_PORTS, once, write_artifact
+
+from repro.internet import Port
+from repro.reporting import format_ratio, render_table
+
+
+def build_figure5(rq2_result):
+    sections = []
+    ratios_by_port = {}
+    for port in BENCH_PORTS:
+        ratios = rq2_result.figure5(port)
+        ratios_by_port[port] = ratios
+        rows = [
+            [
+                tga,
+                format_ratio(ratios[tga]["hits"]),
+                format_ratio(ratios[tga]["ases"]),
+            ]
+            for tga in rq2_result.tga_names
+        ]
+        sections.append(
+            render_table(
+                ["TGA", "hits", "ASes"],
+                rows,
+                title=f"Figure 5 ({port.value}): port-specific vs All Active seeds",
+            )
+        )
+    return "\n\n".join(sections), ratios_by_port
+
+
+def test_fig05_port_ratio(benchmark, rq2_result, output_dir):
+    text, ratios_by_port = once(benchmark, lambda: build_figure5(rq2_result))
+    write_artifact(output_dir, "fig05_port_ratio.txt", text)
+
+    core = [tga for tga in rq2_result.tga_names if tga != "eip"]
+
+    def mean(values):
+        return sum(values) / len(values)
+
+    def median(values):
+        ordered = sorted(values)
+        return ordered[len(ordered) // 2]
+
+    # Paper shapes: ICMP barely moves (the All Active dataset is mostly
+    # ICMP-active already); application targets gain hits on average but
+    # typically lose AS diversity (median, to be robust against single
+    # small-population outliers like 6Hit on UDP/53).
+    icmp = ratios_by_port[Port.ICMP]
+    assert abs(mean([icmp[tga]["hits"] for tga in core])) < 0.35
+    for port in BENCH_PORTS:
+        if port is Port.ICMP:
+            continue
+        ratios = ratios_by_port[port]
+        assert mean([ratios[tga]["hits"] for tga in core]) > 0.0, port
+        assert median([ratios[tga]["ases"] for tga in core]) < 0.15, port
+    if Port.UDP53 in ratios_by_port:
+        udp = ratios_by_port[Port.UDP53]
+        assert mean([udp[tga]["hits"] for tga in core]) > 0.8

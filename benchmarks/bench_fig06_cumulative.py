@@ -1,0 +1,57 @@
+"""Figure 6: cumulative unique hit and AS contributions per generator."""
+
+from _bench_common import BENCH_PORTS, once, write_artifact
+
+from repro.internet import Port
+from repro.reporting import render_series
+
+
+def build_figure6(rq4_result):
+    sections = []
+    orderings = {}
+    for port in BENCH_PORTS:
+        hit_steps = rq4_result.figure6_hits(port)
+        as_steps = rq4_result.figure6_ases(port)
+        orderings[port] = (hit_steps, as_steps)
+        sections.append(
+            render_series(
+                [
+                    (f"+{s.name} (+{s.new_items:,})", s.cumulative)
+                    for s in hit_steps
+                ],
+                title=f"Figure 6 ({port.value}, hits): cumulative unique contributions",
+            )
+        )
+        sections.append(
+            render_series(
+                [
+                    (f"+{s.name} (+{s.new_items:,})", s.cumulative)
+                    for s in as_steps
+                ],
+                title=f"Figure 6 ({port.value}, ASes): cumulative unique contributions",
+            )
+        )
+    return "\n\n".join(sections), orderings
+
+
+def test_fig06_cumulative(benchmark, rq4_result, output_dir):
+    text, orderings = once(benchmark, lambda: build_figure6(rq4_result))
+    write_artifact(output_dir, "fig06_cumulative.txt", text)
+
+    for port, (hit_steps, as_steps) in orderings.items():
+        # A handful of generators covers the supermajority of total yield.
+        third = hit_steps[2]
+        assert third.cumulative_fraction > 0.75, (port, third)
+        # The leaders come from the strong cohort; EIP never leads.
+        assert hit_steps[0].name != "eip"
+        assert as_steps[0].name != "eip"
+        # Cumulative counts are monotone.
+        values = [s.cumulative for s in hit_steps]
+        assert values == sorted(values)
+
+    # Paper shape: DET tops unique AS contributions on ICMP, and 6Scan
+    # contributes near-zero hits once its relatives have run.
+    icmp_hits, icmp_ases = orderings[Port.ICMP]
+    assert icmp_ases[0].name in ("det", "6sense")
+    scan_step = next(s for s in icmp_hits if s.name == "6scan")
+    assert scan_step.new_items < icmp_hits[0].new_items * 0.25

@@ -1,0 +1,56 @@
+"""Figure 7 / Appendix D: scanning each target from every port-specific
+input dataset."""
+
+from _bench_common import BENCH_PORTS, once, write_artifact
+
+from repro.internet import Port
+from repro.reporting import render_table
+
+
+def build_figure7(cross_port_result):
+    sections = []
+    matrices = {}
+    for scan_port in BENCH_PORTS:
+        matrix = cross_port_result.matrix(scan_port)
+        matrices[scan_port] = matrix
+        rows = [
+            [input_name]
+            + [f"{matrix[input_name][tga]:,}" for tga in cross_port_result.tga_names]
+            for input_name in cross_port_result.input_names
+        ]
+        sections.append(
+            render_table(
+                ["Input dataset"] + list(cross_port_result.tga_names),
+                rows,
+                title=f"Figure 7: hits when scanning {scan_port.value}",
+            )
+        )
+    return "\n\n".join(sections), matrices
+
+
+def _total(matrix, input_name):
+    return sum(matrix[input_name].values())
+
+
+def test_fig07_crossport(benchmark, cross_port_result, output_dir):
+    text, matrices = once(benchmark, lambda: build_figure7(cross_port_result))
+    write_artifact(output_dir, "fig07_crossport.txt", text)
+
+    # Paper shapes: for ICMP scans the ICMP input and All Active input
+    # perform about the same; for application targets the own-port input
+    # is the best (or near-best) input dataset.
+    icmp = matrices[Port.ICMP]
+    icmp_total = _total(icmp, "port-icmp")
+    all_active_total = _total(icmp, "all-active")
+    assert 0.5 < icmp_total / max(1, all_active_total) < 2.0
+    for scan_port in BENCH_PORTS:
+        if scan_port is Port.ICMP:
+            continue
+        matrix = matrices[scan_port]
+        own = _total(matrix, f"port-{scan_port.value}")
+        best_other = max(
+            _total(matrix, name)
+            for name in matrix
+            if name != f"port-{scan_port.value}"
+        )
+        assert own >= best_other * 0.8, (scan_port, own, best_other)

@@ -1,0 +1,83 @@
+"""Tables 9–12: raw hits and ASes for every RQ1/RQ2 dataset per port.
+
+One table per scan target, rows = datasets (the Table 2 constructions),
+columns = generators — the appendix grids backing Figures 3–5.
+"""
+
+from _bench_common import BENCH_PORTS, once, write_artifact
+
+from repro.dealias import DealiasMode
+from repro.internet import Port
+from repro.reporting import render_table
+
+_TABLE_NUMBER = {
+    Port.ICMP: 9,
+    Port.TCP80: 10,
+    Port.TCP443: 11,
+    Port.UDP53: 12,
+}
+
+_DATASET_ROWS = (
+    ("All", lambda rq1a, rq1b, rq2, tga, port: rq1a.runs[(tga, DealiasMode.NONE, port)]),
+    ("Offline Dealiased", lambda rq1a, rq1b, rq2, tga, port: rq1a.runs[(tga, DealiasMode.OFFLINE, port)]),
+    ("Online Dealiased", lambda rq1a, rq1b, rq2, tga, port: rq1a.runs[(tga, DealiasMode.ONLINE, port)]),
+    ("Joint Dealiased", lambda rq1a, rq1b, rq2, tga, port: rq1a.runs[(tga, DealiasMode.JOINT, port)]),
+    ("All Active", lambda rq1a, rq1b, rq2, tga, port: rq1b.active_runs[(tga, port)]),
+    ("Port-Specific", lambda rq1a, rq1b, rq2, tga, port: rq2.port_specific_runs[(tga, port)]),
+)
+
+
+def build_raw_tables(rq1a, rq1b, rq2):
+    sections = []
+    grids = {}
+    for port in BENCH_PORTS:
+        grid = {}
+        for metric in ("hits", "ases"):
+            rows = []
+            for label, getter in _DATASET_ROWS:
+                cells = [label]
+                for tga in rq1a.tga_names:
+                    run = getter(rq1a, rq1b, rq2, tga, port)
+                    value = run.metrics.metric(metric)
+                    grid[(label, tga, metric)] = value
+                    cells.append(f"{value:,}")
+                rows.append(cells)
+            sections.append(
+                render_table(
+                    ["Dataset"] + list(rq1a.tga_names),
+                    rows,
+                    title=(
+                        f"Table {_TABLE_NUMBER[port]} ({port.value}, {metric}): "
+                        "raw RQ1/RQ2 numbers"
+                    ),
+                )
+            )
+        grids[port] = grid
+    return "\n\n".join(sections), grids
+
+
+def test_tables09_12_raw(benchmark, rq1a_result, rq1b_result, rq2_result, output_dir):
+    text, grids = once(
+        benchmark, lambda: build_raw_tables(rq1a_result, rq1b_result, rq2_result)
+    )
+    write_artifact(output_dir, "tables09_12_raw.txt", text)
+
+    for port, grid in grids.items():
+        # Dealiased rows beat the raw All row on aggregate hits.
+        core = [tga for tga in rq1a_result.tga_names if tga != "eip"]
+        raw = sum(grid[("All", tga, "hits")] for tga in core)
+        joint = sum(grid[("Joint Dealiased", tga, "hits")] for tga in core)
+        assert joint >= raw * 0.9, (port, raw, joint)
+        # Every cell is a sane non-negative count.
+        assert all(value >= 0 for value in grid.values())
+    # ICMP remains the most responsive target overall (paper Table 9 vs 12).
+    if Port.ICMP in grids and Port.UDP53 in grids:
+        icmp_total = sum(
+            value for (label, _, metric), value in grids[Port.ICMP].items()
+            if metric == "hits" and label == "All Active"
+        )
+        udp_total = sum(
+            value for (label, _, metric), value in grids[Port.UDP53].items()
+            if metric == "hits" and label == "All Active"
+        )
+        assert icmp_total > udp_total

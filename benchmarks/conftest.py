@@ -1,0 +1,12 @@
+"""Pytest plumbing: re-export the shared benchmark fixtures."""
+
+from _bench_common import (  # noqa: F401
+    cross_port_result,
+    output_dir,
+    rq1a_result,
+    rq1b_result,
+    rq2_result,
+    rq3_result,
+    rq4_result,
+    study,
+)

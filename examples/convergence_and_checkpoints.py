@@ -1,0 +1,74 @@
+"""Convergence analysis and result checkpointing.
+
+Runs two generators with per-round progress tracking, summarises their
+discovery curves (how fast each approaches its final yield), persists
+the results to a JSON checkpoint, and reloads them — the workflow for
+long-running studies.
+
+Run:  python examples/convergence_and_checkpoints.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Port, Study
+from repro.analysis import efficiency_report, summarize_convergence
+from repro.experiments import dump_results, load_results
+from repro.internet import InternetConfig
+from repro.reporting import render_table
+
+
+def main() -> None:
+    study = Study(config=InternetConfig.tiny(), budget=4_000, round_size=400)
+    seeds = study.constructions.all_active
+
+    results = {
+        name: study.run(name, seeds, Port.ICMP) for name in ("6tree", "det")
+    }
+
+    rows = []
+    for name, result in results.items():
+        convergence = summarize_convergence(result)
+        efficiency = efficiency_report(result, len(seeds))
+        rows.append(
+            [
+                name,
+                f"{result.metrics.hits:,}",
+                f"{convergence.budget_to_half_yield:,}",
+                f"{convergence.budget_to_90pct_yield:,}",
+                f"{convergence.first_round_share:.0%}",
+                "yes" if convergence.is_saturating else "no",
+                f"{efficiency.hits_per_kgenerated:.0f}",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "TGA",
+                "hits",
+                "budget→50%",
+                "budget→90%",
+                "round-1 share",
+                "saturating",
+                "hits/k generated",
+            ],
+            rows,
+            title="Convergence of discovery (All Active, ICMP)",
+        )
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "runs.json"
+        dump_results(checkpoint, results.values())
+        reloaded = load_results(checkpoint)
+        assert {r.tga_name for r in reloaded} == set(results)
+        assert all(
+            loaded.clean_hits == results[loaded.tga_name].clean_hits
+            for loaded in reloaded
+        )
+        size_kb = checkpoint.stat().st_size / 1024
+        print(f"\nCheckpoint round-trip OK ({size_kb:.0f} KiB for 2 runs).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Dealiasing pitfalls (the paper's RQ1.a, Table 4 and Figure 3).
+
+Shows how aliased seeds poison target generation — especially for
+online, feedback-driven generators — and how the joint offline+online
+dealiasing treatment the paper recommends fixes it.
+
+Run:  python examples/dealiasing_pitfalls.py
+"""
+
+from repro import DealiasMode, Port, Study
+from repro.experiments import run_rq1a
+from repro.internet import InternetConfig
+from repro.reporting import render_ratio_bars, render_table
+
+
+def main() -> None:
+    study = Study(
+        config=InternetConfig.tiny(),
+        budget=3_000,
+        round_size=600,
+        tga_names=("6sense", "det", "6tree", "6hit"),
+    )
+    result = run_rq1a(study, ports=(Port.ICMP,))
+
+    # Table 4 analogue: aliases generated under each seed treatment.
+    table = result.table4(Port.ICMP)
+    rows = [
+        [tga] + [f"{table[tga][mode]:,}" for mode in DealiasMode]
+        for tga in study.tga_names
+    ]
+    print(
+        render_table(
+            ["TGA", "no dealiasing", "offline", "online", "joint"],
+            rows,
+            title="Aliased addresses generated on a 3k ICMP budget (Table 4)",
+        )
+    )
+
+    # Figure 3 analogue: performance ratio of joint-dealiased vs full seeds.
+    print("\nPerformance ratio, joint-dealiased vs full seeds (Figure 3):")
+    ratios = result.figure3(Port.ICMP)
+    for metric in ("hits", "ases", "aliases"):
+        print(f"\n  {metric}:")
+        print(
+            render_ratio_bars(
+                {tga: ratios[tga][metric] for tga in study.tga_names}
+            )
+        )
+
+    print(
+        "\nTakeaway (matches the paper): dealiasing seeds slashes generated"
+        "\naliases by orders of magnitude and improves both hits and AS"
+        "\ndiversity; use offline + online dealiasing together."
+    )
+
+
+if __name__ == "__main__":
+    main()

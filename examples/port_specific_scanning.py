@@ -1,0 +1,68 @@
+"""Port-specific seed datasets (the paper's RQ2, Figure 5).
+
+Compares generating from the All Active dataset against seeds
+restricted to the scan target's own responsive population.  Application
+targets (TCP/UDP) gain hits; AS diversity usually shrinks — the
+tradeoff the paper quantifies.
+
+Run:  python examples/port_specific_scanning.py
+"""
+
+from repro import Port, Study
+from repro.experiments import run_rq2
+from repro.internet import InternetConfig
+from repro.metrics import performance_ratio
+from repro.reporting import render_table
+
+
+def main() -> None:
+    study = Study(
+        config=InternetConfig.tiny(),
+        budget=3_000,
+        round_size=600,
+        tga_names=("6sense", "det", "6tree", "6gen"),
+    )
+    ports = (Port.ICMP, Port.TCP443, Port.UDP53)
+    result = run_rq2(study, ports=ports)
+
+    for port in ports:
+        rows = []
+        for tga in study.tga_names:
+            base = result.all_active_runs[(tga, port)].metrics
+            spec = result.port_specific_runs[(tga, port)].metrics
+            rows.append(
+                [
+                    tga,
+                    f"{base.hits:,}",
+                    f"{spec.hits:,}",
+                    f"{performance_ratio(spec.hits, base.hits):+.2f}",
+                    f"{base.ases:,}",
+                    f"{spec.ases:,}",
+                    f"{performance_ratio(spec.ases, base.ases):+.2f}",
+                ]
+            )
+        print(
+            render_table(
+                [
+                    "TGA",
+                    "hits (all-active)",
+                    "hits (port-spec)",
+                    "ratio",
+                    "ASes (all-active)",
+                    "ASes (port-spec)",
+                    "ratio",
+                ],
+                rows,
+                title=f"\nScanning {port.value} (Figure 5 slice)",
+            )
+        )
+
+    print(
+        "\nTakeaway (matches the paper): port-specific seeds raise"
+        "\napplication-layer hits but cost AS diversity; include ICMP-active"
+        "\nseeds when breadth matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

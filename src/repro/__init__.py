@@ -1,0 +1,44 @@
+"""repro — a reproduction of "Seeds of Scanning" (Williams & Pearce, IMC 2024).
+
+The package implements, end to end, the paper's study of Target
+Generation Algorithm (TGA) driven IPv6 scanning:
+
+* a deterministic simulated IPv6 Internet (:mod:`repro.internet`);
+* a Scanv6-style probe engine (:mod:`repro.scanner`);
+* offline/online/joint dealiasing (:mod:`repro.dealias`);
+* the 12 seed data sources (:mod:`repro.datasets`);
+* seed preprocessing constructions (:mod:`repro.preprocess`);
+* the eight TGAs (:mod:`repro.tga`);
+* metrics (:mod:`repro.metrics`) and experiment pipelines for RQ1–RQ4
+  (:mod:`repro.experiments`);
+* reporting helpers (:mod:`repro.reporting`).
+
+Quickstart::
+
+    from repro import Study, Port
+
+    study = Study(budget=5_000)
+    result = study.run("6tree", study.constructions.all_active, Port.ICMP)
+    print(result.metrics)
+"""
+
+from .dealias import DealiasMode
+from .experiments import Study
+from .internet import ALL_PORTS, InternetConfig, Port, SimulatedInternet
+from .scanner import Scanner
+from .tga import ALL_TGA_NAMES, create_tga
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Study",
+    "Port",
+    "ALL_PORTS",
+    "InternetConfig",
+    "SimulatedInternet",
+    "Scanner",
+    "DealiasMode",
+    "ALL_TGA_NAMES",
+    "create_tga",
+]

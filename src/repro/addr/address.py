@@ -1,0 +1,70 @@
+"""IPv6 address primitives.
+
+Addresses are represented as plain Python integers in ``[0, 2**128)``
+throughout the library.  Integers keep the hot paths (hashing, trie walks,
+nybble manipulation, set membership) allocation-free; the string form is
+only materialised at I/O edges via :func:`format_address` and
+:func:`parse_address`.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+ADDRESS_BITS = 128
+ADDRESS_NYBBLES = 32
+MAX_ADDRESS = (1 << ADDRESS_BITS) - 1
+
+__all__ = [
+    "ADDRESS_BITS",
+    "ADDRESS_NYBBLES",
+    "MAX_ADDRESS",
+    "parse_address",
+    "format_address",
+    "format_address_full",
+    "is_valid_address",
+    "interface_identifier",
+    "network_part",
+]
+
+
+def parse_address(text: str) -> int:
+    """Parse an IPv6 address string into its 128-bit integer form.
+
+    Accepts any textual form the standard library accepts (compressed,
+    full, mixed IPv4-embedded).  Raises :class:`ValueError` on garbage.
+    """
+    return int(ipaddress.IPv6Address(text))
+
+
+def format_address(value: int) -> str:
+    """Render a 128-bit integer as the canonical compressed IPv6 string."""
+    if not 0 <= value <= MAX_ADDRESS:
+        raise ValueError(f"address out of range: {value!r}")
+    return str(ipaddress.IPv6Address(value))
+
+
+def format_address_full(value: int) -> str:
+    """Render as the fully expanded (8 × 4 hex digit) form.
+
+    Useful for nybble-aligned debugging output and for TGA papers'
+    "fully exploded" notation.
+    """
+    if not 0 <= value <= MAX_ADDRESS:
+        raise ValueError(f"address out of range: {value!r}")
+    return ipaddress.IPv6Address(value).exploded
+
+
+def is_valid_address(value: int) -> bool:
+    """Whether ``value`` is in the representable 128-bit range."""
+    return isinstance(value, int) and 0 <= value <= MAX_ADDRESS
+
+
+def interface_identifier(value: int) -> int:
+    """The low 64 bits (IID) of an address."""
+    return value & 0xFFFF_FFFF_FFFF_FFFF
+
+
+def network_part(value: int) -> int:
+    """The high 64 bits (network prefix, assuming /64 subnetting)."""
+    return value >> 64

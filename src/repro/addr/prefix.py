@@ -1,0 +1,112 @@
+"""IPv6 prefix (CIDR block) representation.
+
+A :class:`Prefix` is an immutable ``(value, length)`` pair where ``value``
+is the 128-bit network address with host bits zeroed and ``length`` is the
+prefix length in bits (0..128).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+
+from .address import ADDRESS_BITS, MAX_ADDRESS, format_address
+
+__all__ = ["Prefix"]
+
+
+def _host_mask(length: int) -> int:
+    return (1 << (ADDRESS_BITS - length)) - 1
+
+
+@dataclass(frozen=True, slots=True)
+class Prefix:
+    """An IPv6 CIDR prefix such as ``2001:db8::/32``."""
+
+    value: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= ADDRESS_BITS:
+            raise ValueError(f"prefix length out of range: {self.length}")
+        if not 0 <= self.value <= MAX_ADDRESS:
+            raise ValueError(f"prefix value out of range: {self.value}")
+        if self.value & _host_mask(self.length):
+            raise ValueError(
+                f"host bits set in prefix value: {format_address(self.value)}/{self.length}"
+            )
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse CIDR notation, e.g. ``"2001:db8::/32"``."""
+        network = ipaddress.IPv6Network(text, strict=True)
+        return cls(int(network.network_address), network.prefixlen)
+
+    @classmethod
+    def of(cls, address: int, length: int) -> "Prefix":
+        """The length-``length`` prefix containing ``address`` (host bits masked)."""
+        if not 0 <= length <= ADDRESS_BITS:
+            raise ValueError(f"prefix length out of range: {length}")
+        return cls(address & ~_host_mask(length) & MAX_ADDRESS, length)
+
+    # -- queries ---------------------------------------------------------
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` falls inside this prefix."""
+        return (address & ~_host_mask(self.length) & MAX_ADDRESS) == self.value
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """Whether ``other`` is equal to or nested inside this prefix."""
+        return other.length >= self.length and self.contains(other.value)
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses covered (2**(128-length))."""
+        return 1 << (ADDRESS_BITS - self.length)
+
+    @property
+    def first(self) -> int:
+        """Lowest address in the prefix (the network address)."""
+        return self.value
+
+    @property
+    def last(self) -> int:
+        """Highest address in the prefix."""
+        return self.value | _host_mask(self.length)
+
+    def child(self, bit: int) -> "Prefix":
+        """One-bit-longer child prefix; ``bit`` selects the low (0) or high (1) half."""
+        if self.length >= ADDRESS_BITS:
+            raise ValueError("cannot subdivide a /128")
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        length = self.length + 1
+        value = self.value | (bit << (ADDRESS_BITS - length))
+        return Prefix(value, length)
+
+    def supernet(self, length: int) -> "Prefix":
+        """The enclosing prefix of the given (shorter or equal) length."""
+        if length > self.length:
+            raise ValueError(f"supernet length {length} longer than /{self.length}")
+        return Prefix.of(self.value, length)
+
+    def random_address(self, draw: int) -> int:
+        """Map a non-negative integer ``draw`` to an address inside the prefix.
+
+        ``draw`` is reduced modulo the prefix size; callers supply a
+        deterministic random draw (see :mod:`repro.addr.rand`).
+        """
+        return self.value | (draw & _host_mask(self.length))
+
+    # -- dunder ------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return f"{format_address(self.value)}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    def __lt__(self, other: "Prefix") -> bool:
+        return (self.value, self.length) < (other.value, other.length)

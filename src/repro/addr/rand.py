@@ -1,0 +1,137 @@
+"""Deterministic hashing and pseudo-randomness.
+
+Every stochastic decision in the simulated Internet — whether an address
+is responsive, which pattern a region uses, whether a probe is dropped by
+rate limiting — derives from pure functions of ``(seed, salt, inputs)``
+built on the splitmix64 finaliser.  This keeps the whole study perfectly
+reproducible: the same configuration always yields the same Internet,
+seeds, scans and TGA outputs, independent of iteration order.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mix64",
+    "hash64",
+    "hash_address",
+    "uniform",
+    "coin",
+    "choice_index",
+    "DeterministicStream",
+]
+
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+_GOLDEN = 0x9E37_79B9_7F4A_7C15
+_MIX1 = 0xBF58_476D_1CE4_E5B9
+_MIX2 = 0x94D0_49BB_1331_11EB
+
+
+def mix64(x: int) -> int:
+    """splitmix64 finaliser: a fast, well-distributed 64-bit bijection."""
+    x = (x + _GOLDEN) & _MASK64
+    x ^= x >> 30
+    x = (x * _MIX1) & _MASK64
+    x ^= x >> 27
+    x = (x * _MIX2) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def hash64(*parts: int) -> int:
+    """Combine integer parts into a 64-bit hash.
+
+    Parts may be arbitrarily large (e.g. 128-bit addresses); they are
+    folded 64 bits at a time.
+    """
+    state = 0x5DEE_CE66_D1A4_F087
+    for part in parts:
+        if part < 0:
+            raise ValueError("hash64 parts must be non-negative")
+        while True:
+            state = mix64(state ^ (part & _MASK64))
+            part >>= 64
+            if part == 0:
+                break
+    return state
+
+
+def hash_address(seed: int, salt: int, address: int) -> int:
+    """64-bit hash of an address under a (seed, salt) domain."""
+    return hash64(seed, salt, address >> 64, address & _MASK64)
+
+
+def uniform(*parts: int) -> float:
+    """Deterministic uniform float in [0, 1) from integer parts."""
+    return hash64(*parts) / 18446744073709551616.0  # 2**64
+
+
+def coin(probability: float, *parts: int) -> bool:
+    """Deterministic Bernoulli draw with the given probability."""
+    if probability <= 0.0:
+        return False
+    if probability >= 1.0:
+        return True
+    return uniform(*parts) < probability
+
+
+def choice_index(n: int, *parts: int) -> int:
+    """Deterministic choice of an index in [0, n)."""
+    if n <= 0:
+        raise ValueError("cannot choose from an empty range")
+    return hash64(*parts) % n
+
+
+class DeterministicStream:
+    """A sequential deterministic random stream.
+
+    Unlike the pure hash functions above (which are addressed by their
+    inputs), a stream produces a reproducible *sequence* — useful inside
+    TGAs that need many draws whose count depends on data.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, *seed_parts: int) -> None:
+        self._state = hash64(*seed_parts) if seed_parts else 0x853C_49E6_748F_EA9B
+
+    def next64(self) -> int:
+        """Next 64-bit value in the stream."""
+        self._state = (self._state + _GOLDEN) & _MASK64
+        return mix64(self._state)
+
+    def next_uniform(self) -> float:
+        """Next uniform float in [0, 1)."""
+        return self.next64() / 18446744073709551616.0
+
+    def next_below(self, n: int) -> int:
+        """Next integer uniform in [0, n)."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return self.next64() % n
+
+    def next_address_bits(self, bits: int) -> int:
+        """Next integer with the given number of random bits (up to 128)."""
+        if not 0 <= bits <= 128:
+            raise ValueError("bits must be in [0, 128]")
+        if bits == 0:
+            return 0
+        value = self.next64()
+        if bits > 64:
+            value = (value << 64) | self.next64()
+            return value >> (128 - bits)
+        return value >> (64 - bits)
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle driven by the stream."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.next_below(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def sample(self, items: list, k: int) -> list:
+        """Deterministic sample of ``k`` distinct items (k clipped to len)."""
+        k = min(k, len(items))
+        if k == 0:
+            return []
+        pool = list(items)
+        self.shuffle(pool)
+        return pool[:k]

@@ -1,0 +1,115 @@
+"""Binary radix trie for longest-prefix matching over IPv6 prefixes.
+
+Used by the AS registry (prefix → ASN), the ground-truth region index,
+and the alias prefix sets.  Values are arbitrary Python objects.
+
+The implementation is a plain bit-at-a-time binary trie.  Lookups walk at
+most 128 levels; inserts create at most 128 nodes.  For the library's
+scale (tens of thousands of prefixes) this is fast and, unlike sorted
+interval tables, supports overlapping prefixes with correct
+longest-match semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any, Generic, TypeVar
+
+from .address import ADDRESS_BITS
+from .prefix import Prefix
+
+__all__ = ["PrefixTrie"]
+
+V = TypeVar("V")
+
+
+class _Node:
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[_Node | None] = [None, None]
+        self.value: Any = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Maps IPv6 prefixes to values with longest-prefix-match lookup."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert (or replace) the value stored at ``prefix``."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.value >> (ADDRESS_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def longest_match(self, address: int) -> tuple[Prefix, V] | None:
+        """The most specific stored prefix containing ``address``, or None."""
+        node = self._root
+        best: tuple[int, V] | None = (0, node.value) if node.has_value else None
+        for depth in range(ADDRESS_BITS):
+            bit = (address >> (ADDRESS_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (depth + 1, node.value)
+        if best is None:
+            return None
+        length, value = best
+        return Prefix.of(address, length), value
+
+    def lookup(self, address: int) -> V | None:
+        """Value of the longest matching prefix, or None."""
+        match = self.longest_match(address)
+        return None if match is None else match[1]
+
+    def covers(self, address: int) -> bool:
+        """Whether any stored prefix contains ``address``."""
+        return self.longest_match(address) is not None
+
+    def get_exact(self, prefix: Prefix) -> V | None:
+        """Value stored at exactly ``prefix``, or None."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.value >> (ADDRESS_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node.value if node.has_value else None
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """Iterate all (prefix, value) pairs in address order."""
+        stack: list[tuple[_Node, int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, value_bits, depth = stack.pop()
+            if node.has_value:
+                yield Prefix(value_bits << (ADDRESS_BITS - depth) if depth else 0, depth), node.value
+            # Push high bit first so low addresses pop first.
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((child, (value_bits << 1) | bit, depth + 1))
+
+    def prefixes(self) -> list[Prefix]:
+        """All stored prefixes, in address order."""
+        return [prefix for prefix, _ in self.items()]

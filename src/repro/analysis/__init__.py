@@ -1,0 +1,20 @@
+"""Post-hoc analyses: convergence curves, efficiency, population makeup."""
+
+from .convergence import ConvergenceSummary, marginal_yields, summarize_convergence
+from .efficiency import EfficiencyReport, compare_efficiency, efficiency_report
+from .longitudinal import DecayCurve, decay_curve
+from .populations import PopulationBreakdown, population_breakdown, population_shift
+
+__all__ = [
+    "ConvergenceSummary",
+    "summarize_convergence",
+    "marginal_yields",
+    "EfficiencyReport",
+    "efficiency_report",
+    "compare_efficiency",
+    "PopulationBreakdown",
+    "population_breakdown",
+    "population_shift",
+    "DecayCurve",
+    "decay_curve",
+]

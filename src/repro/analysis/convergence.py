@@ -1,0 +1,84 @@
+"""Convergence analysis of generation runs.
+
+The paper chose 50M budgets because they were "sufficiently large to
+capture longer-term trends"; this module makes that judgement
+quantitative for any run by analysing the per-round progress curve the
+runner records: marginal yield per round, the budget needed to reach a
+fraction of the final yield, and a saturation estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..experiments.results import RunResult
+
+__all__ = ["ConvergenceSummary", "summarize_convergence", "marginal_yields"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConvergenceSummary:
+    """Summary statistics of a run's hit-discovery curve."""
+
+    rounds: int
+    final_generated: int
+    final_raw_hits: int
+    budget_to_half_yield: int     # generated count at 50% of final raw hits
+    budget_to_90pct_yield: int    # generated count at 90% of final raw hits
+    first_round_share: float      # fraction of final hits found in round 1
+    tail_efficiency: float        # last-round marginal hitrate
+
+    @property
+    def is_saturating(self) -> bool:
+        """Whether the tail produces hits at under half the overall rate."""
+        overall = (
+            self.final_raw_hits / self.final_generated
+            if self.final_generated
+            else 0.0
+        )
+        return self.tail_efficiency < overall * 0.5
+
+
+def marginal_yields(result: RunResult) -> list[tuple[int, int]]:
+    """Per-round (generated, hits) increments from a run's history."""
+    increments = []
+    prev_generated, prev_hits = 0, 0
+    for generated, hits in result.round_history:
+        increments.append((generated - prev_generated, hits - prev_hits))
+        prev_generated, prev_hits = generated, hits
+    return increments
+
+
+def _budget_at_fraction(history, final_hits: int, fraction: float) -> int:
+    target = final_hits * fraction
+    for generated, hits in history:
+        if hits >= target:
+            return generated
+    return history[-1][0] if history else 0
+
+
+def summarize_convergence(result: RunResult) -> ConvergenceSummary:
+    """Compute the convergence summary of one run."""
+    history = result.round_history
+    if not history:
+        return ConvergenceSummary(
+            rounds=0,
+            final_generated=result.generated,
+            final_raw_hits=0,
+            budget_to_half_yield=0,
+            budget_to_90pct_yield=0,
+            first_round_share=0.0,
+            tail_efficiency=0.0,
+        )
+    final_generated, final_hits = history[-1]
+    increments = marginal_yields(result)
+    last_generated, last_hits = increments[-1]
+    return ConvergenceSummary(
+        rounds=len(history),
+        final_generated=final_generated,
+        final_raw_hits=final_hits,
+        budget_to_half_yield=_budget_at_fraction(history, final_hits, 0.5),
+        budget_to_90pct_yield=_budget_at_fraction(history, final_hits, 0.9),
+        first_round_share=(history[0][1] / final_hits) if final_hits else 0.0,
+        tail_efficiency=(last_hits / last_generated) if last_generated else 0.0,
+    )

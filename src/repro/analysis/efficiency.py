@@ -1,0 +1,73 @@
+"""Seed- and probe-efficiency analyses.
+
+Answers "what did a dataset or run buy per unit of input?": hits per
+seed, hits per probe (including dealiasing overhead), and the packet
+cost breakdown the paper raises when comparing offline vs online
+dealiasing ("online dealiasing requires sending up to 747M packets").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..experiments.results import RunResult
+
+__all__ = ["EfficiencyReport", "efficiency_report", "compare_efficiency"]
+
+
+@dataclass(frozen=True, slots=True)
+class EfficiencyReport:
+    """Normalised efficiency figures for one run."""
+
+    seeds: int
+    generated: int
+    probes_sent: int
+    hits: int
+    hits_per_kseed: float
+    hits_per_kgenerated: float
+    hits_per_kprobe: float
+    dealias_overhead: float  # probes beyond generation, as a fraction
+
+    def as_dict(self) -> dict:
+        return {
+            "seeds": self.seeds,
+            "generated": self.generated,
+            "probes_sent": self.probes_sent,
+            "hits": self.hits,
+            "hits_per_kseed": self.hits_per_kseed,
+            "hits_per_kgenerated": self.hits_per_kgenerated,
+            "hits_per_kprobe": self.hits_per_kprobe,
+            "dealias_overhead": self.dealias_overhead,
+        }
+
+
+def efficiency_report(result: RunResult, seed_count: int) -> EfficiencyReport:
+    """Efficiency figures for one run against its seed dataset size."""
+    hits = result.metrics.hits
+
+    def per_k(denominator: int) -> float:
+        return 1000.0 * hits / denominator if denominator else 0.0
+
+    overhead = 0.0
+    if result.generated:
+        overhead = max(0.0, (result.probes_sent - result.generated) / result.generated)
+    return EfficiencyReport(
+        seeds=seed_count,
+        generated=result.generated,
+        probes_sent=result.probes_sent,
+        hits=hits,
+        hits_per_kseed=per_k(seed_count),
+        hits_per_kgenerated=per_k(result.generated),
+        hits_per_kprobe=per_k(result.probes_sent),
+        dealias_overhead=overhead,
+    )
+
+
+def compare_efficiency(
+    reports: dict[str, EfficiencyReport],
+) -> list[tuple[str, float]]:
+    """Rank labelled reports by hits per generated address, best first."""
+    return sorted(
+        ((label, report.hits_per_kgenerated) for label, report in reports.items()),
+        key=lambda item: -item[1],
+    )

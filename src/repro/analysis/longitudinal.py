@@ -1,0 +1,81 @@
+"""Longitudinal decay of seed datasets.
+
+The paper attributes the IPv6 Hitlist's 84% scan-time responsiveness to
+address churn, citing the "Rusty Clusters" findings that hitlists decay
+over time.  The simulator's compounding per-epoch churn makes that decay
+measurable: this module computes a dataset's responsive fraction across
+scan epochs and fits the implied per-epoch survival rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..datasets import SeedDataset
+from ..internet import ALL_PORTS, SimulatedInternet
+
+__all__ = ["DecayCurve", "decay_curve"]
+
+
+@dataclass(frozen=True, slots=True)
+class DecayCurve:
+    """Responsive fraction of one dataset per scan epoch."""
+
+    source: str
+    total: int
+    #: fractions[e] = share responsive on ≥1 target at epoch e (e ≥ 0).
+    fractions: tuple[float, ...]
+
+    @property
+    def half_life_epochs(self) -> float:
+        """Epochs until responsiveness halves (∞ if it never does)."""
+        if not self.fractions or self.fractions[0] <= 0:
+            return 0.0
+        half = self.fractions[0] / 2
+        for epoch, fraction in enumerate(self.fractions):
+            if fraction <= half:
+                return float(epoch)
+        return math.inf
+
+    @property
+    def mean_survival_rate(self) -> float:
+        """Geometric-mean per-epoch survival of the decaying tail."""
+        rates = []
+        for before, after in zip(self.fractions, self.fractions[1:]):
+            if before > 0:
+                rates.append(after / before)
+        if not rates:
+            return 1.0
+        product = 1.0
+        for rate in rates:
+            product *= max(rate, 1e-12)
+        return product ** (1.0 / len(rates))
+
+
+def _responsive_count(
+    internet: SimulatedInternet, dataset: SeedDataset, epoch: int
+) -> int:
+    count = 0
+    for address in dataset.addresses:
+        region = internet.region_of(address)
+        if region is None or region.aliased:
+            continue
+        iid = address & 0xFFFF_FFFF_FFFF_FFFF
+        if any(iid in region.responsive_iids(port, epoch) for port in ALL_PORTS):
+            count += 1
+    return count
+
+
+def decay_curve(
+    internet: SimulatedInternet, dataset: SeedDataset, epochs: int = 5
+) -> DecayCurve:
+    """Measure a dataset's responsive fraction over epochs 0..epochs."""
+    if epochs < 0:
+        raise ValueError("epochs must be non-negative")
+    total = len(dataset)
+    fractions = tuple(
+        _responsive_count(internet, dataset, epoch) / total if total else 0.0
+        for epoch in range(epochs + 1)
+    )
+    return DecayCurve(source=dataset.name, total=total, fractions=fractions)

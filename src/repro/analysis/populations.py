@@ -1,0 +1,87 @@
+"""Discovered-population breakdowns.
+
+RQ3's Table 6 classifies *which networks* a scan discovered; this module
+goes one level deeper using ground truth: what kinds of devices (region
+roles) and organisations (org types) a run's hits represent, and how two
+runs' populations differ — the analysis behind statements like "domain
+seeds find CDN edges, traceroute seeds find routers and CPE".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..asdb import OrgType
+from ..internet import RegionRole, SimulatedInternet
+
+__all__ = ["PopulationBreakdown", "population_breakdown", "population_shift"]
+
+
+@dataclass(frozen=True)
+class PopulationBreakdown:
+    """Composition of one discovered address population."""
+
+    total: int
+    by_org: dict[OrgType, int]
+    by_role: dict[RegionRole, int]
+
+    def org_share(self, org: OrgType) -> float:
+        return self.by_org.get(org, 0) / self.total if self.total else 0.0
+
+    def role_share(self, role: RegionRole) -> float:
+        return self.by_role.get(role, 0) / self.total if self.total else 0.0
+
+    def dominant_org(self) -> OrgType | None:
+        if not self.by_org:
+            return None
+        return max(self.by_org, key=self.by_org.get)
+
+    def as_rows(self) -> list[dict]:
+        rows = [
+            {"axis": "org", "key": org.value, "count": count,
+             "share": count / self.total if self.total else 0.0}
+            for org, count in sorted(self.by_org.items())
+        ]
+        rows += [
+            {"axis": "role", "key": role.value, "count": count,
+             "share": count / self.total if self.total else 0.0}
+            for role, count in sorted(self.by_role.items())
+        ]
+        return rows
+
+
+def population_breakdown(
+    addresses: Iterable[int], internet: SimulatedInternet
+) -> PopulationBreakdown:
+    """Classify a hit population by organisation type and region role."""
+    by_org: Counter = Counter()
+    by_role: Counter = Counter()
+    total = 0
+    registry = internet.registry
+    for address in addresses:
+        region = internet.region_of(address)
+        if region is None:
+            continue
+        total += 1
+        by_org[registry.info(region.asn).org_type] += 1
+        by_role[region.role] += 1
+    return PopulationBreakdown(total=total, by_org=dict(by_org), by_role=dict(by_role))
+
+
+def population_shift(
+    before: PopulationBreakdown, after: PopulationBreakdown
+) -> dict[str, float]:
+    """Per-category share changes between two populations (after − before).
+
+    Keys are ``org:<value>`` and ``role:<value>``; values are share deltas
+    in [-1, 1].  Useful for quantifying what a seed-construction change
+    did to the *kind* of Internet a scan sees.
+    """
+    shift: dict[str, float] = {}
+    for org in set(before.by_org) | set(after.by_org):
+        shift[f"org:{org.value}"] = after.org_share(org) - before.org_share(org)
+    for role in set(before.by_role) | set(after.by_role):
+        shift[f"role:{role.value}"] = after.role_share(role) - before.role_share(role)
+    return shift

@@ -1,0 +1,6 @@
+"""Autonomous-system database: org taxonomy and prefix→ASN registry."""
+
+from .orgtypes import OrgType
+from .registry import ASInfo, ASRegistry
+
+__all__ = ["OrgType", "ASInfo", "ASRegistry"]

@@ -1,0 +1,36 @@
+"""Organisation-type taxonomy for autonomous systems.
+
+Mirrors the manual classification used in the paper's Table 6 (ISPs /
+mobile carriers, cloud / hosting / CDN providers, and others), which in
+turn echoes PeeringDB categories used by Steger et al.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["OrgType"]
+
+
+class OrgType(str, Enum):
+    """Coarse organisation category of an AS."""
+
+    ISP = "isp"
+    MOBILE = "mobile"
+    CLOUD = "cloud"
+    HOSTING = "hosting"
+    CDN = "cdn"
+    EDUCATION = "education"
+    GOVERNMENT = "government"
+    ENTERPRISE = "enterprise"
+    SECURITY = "security"
+
+    @property
+    def is_eyeball(self) -> bool:
+        """Whether this category mostly serves end users (access networks)."""
+        return self in (OrgType.ISP, OrgType.MOBILE)
+
+    @property
+    def is_datacenter(self) -> bool:
+        """Whether this category mostly hosts servers."""
+        return self in (OrgType.CLOUD, OrgType.HOSTING, OrgType.CDN, OrgType.SECURITY)

@@ -1,0 +1,107 @@
+"""Autonomous-system registry: a BGP-routing-table analogue.
+
+Maps announced IPv6 prefixes to AS numbers via longest-prefix match and
+carries per-AS metadata (organisation name, type, country).  The
+experiment layer uses it for the paper's "active ASes" diversity metric
+and for Table 6's AS characterisation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..addr import Prefix, PrefixTrie
+from .orgtypes import OrgType
+
+__all__ = ["ASInfo", "ASRegistry"]
+
+
+@dataclass(frozen=True, slots=True)
+class ASInfo:
+    """Metadata for one autonomous system."""
+
+    asn: int
+    name: str
+    org_type: OrgType
+    country: str
+    prefixes: tuple[Prefix, ...] = field(default=())
+
+    def __str__(self) -> str:
+        return f"AS{self.asn} ({self.name}, {self.org_type.value}, {self.country})"
+
+
+class ASRegistry:
+    """Prefix → ASN longest-prefix-match table plus AS metadata."""
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie[int] = PrefixTrie()
+        self._info: dict[int, ASInfo] = {}
+
+    # -- population -------------------------------------------------------
+
+    def register(self, info: ASInfo) -> None:
+        """Register an AS and announce all its prefixes."""
+        if info.asn in self._info:
+            raise ValueError(f"AS{info.asn} already registered")
+        self._info[info.asn] = info
+        for prefix in info.prefixes:
+            self._trie.insert(prefix, info.asn)
+
+    def announce(self, prefix: Prefix, asn: int) -> None:
+        """Announce an extra prefix for an already registered AS."""
+        if asn not in self._info:
+            raise KeyError(f"unknown AS{asn}")
+        self._trie.insert(prefix, asn)
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._info)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._info
+
+    def asn_of(self, address: int) -> int | None:
+        """ASN originating ``address``, or None if unrouted."""
+        return self._trie.lookup(address)
+
+    def info(self, asn: int) -> ASInfo:
+        """Metadata for an ASN.  Raises KeyError for unknown ASNs."""
+        return self._info[asn]
+
+    def all_asns(self) -> list[int]:
+        """All registered ASNs, sorted."""
+        return sorted(self._info)
+
+    def ases_of(self, addresses: Iterable[int]) -> set[int]:
+        """Distinct ASNs originating any of the given addresses."""
+        result: set[int] = set()
+        for address in addresses:
+            asn = self._trie.lookup(address)
+            if asn is not None:
+                result.add(asn)
+        return result
+
+    def count_by_as(self, addresses: Iterable[int]) -> Counter:
+        """Counter of how many of the given addresses fall in each AS."""
+        counts: Counter = Counter()
+        for address in addresses:
+            asn = self._trie.lookup(address)
+            if asn is not None:
+                counts[asn] += 1
+        return counts
+
+    def group_by_as(self, addresses: Iterable[int]) -> dict[int, list[int]]:
+        """Group addresses by originating ASN (unrouted addresses dropped)."""
+        groups: dict[int, list[int]] = {}
+        for address in addresses:
+            asn = self._trie.lookup(address)
+            if asn is not None:
+                groups.setdefault(asn, []).append(address)
+        return groups
+
+    def announced_prefixes(self) -> list[tuple[Prefix, int]]:
+        """All (prefix, asn) announcements in address order."""
+        return list(self._trie.items())

@@ -1,0 +1,396 @@
+"""Command-line interface for the reproduction.
+
+``python -m repro <command>`` drives the study from a shell:
+
+* ``describe``   — summarise the simulated world
+* ``sources``    — Table 3: seed source composition
+* ``run``        — one TGA × dataset × port cell
+* ``rq1a`` / ``rq1b`` / ``rq2`` / ``rq3`` / ``rq4`` — experiment pipelines
+* ``overlap``    — Figure 1 heatmap; ``convergence`` — discovery curves
+* ``recommend``  — the RQ5 best-practice ensemble pipeline
+* ``report``     — full markdown study report
+
+Common options: ``--scale {tiny,bench,small}``, ``--seed``, ``--budget``,
+``--port``, ``--export file.csv|file.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .dealias import DealiasMode
+from .analysis import summarize_convergence
+from .experiments import (
+    Study,
+    run_recommended_pipeline,
+    run_rq1a,
+    run_rq1b,
+    run_rq2,
+    run_rq3,
+    run_rq4,
+    table5,
+)
+from .internet import ALL_PORTS, InternetConfig, Port
+from .reporting import format_ratio, render_table, write_rows
+from .tga import ALL_TGA_NAMES
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {
+    "tiny": InternetConfig.tiny,
+    "bench": InternetConfig.bench,
+    "small": InternetConfig.small,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Seeds of Scanning' (IMC 2024).",
+    )
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
+    parser.add_argument("--seed", type=int, default=42, help="world master seed")
+    parser.add_argument("--budget", type=int, default=2_500)
+    parser.add_argument(
+        "--export", default="", help="write result rows to a .csv or .json file"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("describe", help="summarise the simulated world")
+    sub.add_parser("sources", help="seed source composition (Table 3)")
+
+    run_parser = sub.add_parser("run", help="run one TGA cell")
+    run_parser.add_argument("tga", choices=ALL_TGA_NAMES)
+    run_parser.add_argument(
+        "--port", choices=[p.value for p in ALL_PORTS], default="icmp"
+    )
+    run_parser.add_argument(
+        "--dataset",
+        choices=["full", "offline", "online", "joint", "active"],
+        default="active",
+    )
+
+    rq3_parser = sub.add_parser("rq3", help="source-specific seeds (Table 5)")
+    rq3_parser.add_argument(
+        "--sources",
+        default="censys,scamper,hitlist",
+        help="comma-separated source names",
+    )
+
+    overlap_parser = sub.add_parser("overlap", help="source overlap heatmap (Figure 1)")
+    overlap_parser.add_argument("--by", choices=["ip", "as"], default="ip")
+
+    conv_parser = sub.add_parser("convergence", help="discovery-curve summary for one TGA")
+    conv_parser.add_argument("tga", choices=ALL_TGA_NAMES)
+    conv_parser.add_argument(
+        "--port", choices=[p.value for p in ALL_PORTS], default="icmp"
+    )
+
+    for name, help_text in (
+        ("rq1a", "dealiasing treatments (Table 4 / Figure 3)"),
+        ("rq1b", "active-only seeds (Figure 4)"),
+        ("rq2", "port-specific seeds (Figure 5)"),
+        ("rq4", "generator ensemble overlap (Figure 6)"),
+    ):
+        rq_parser = sub.add_parser(name, help=help_text)
+        rq_parser.add_argument(
+            "--port", choices=[p.value for p in ALL_PORTS], default="icmp"
+        )
+
+    rec_parser = sub.add_parser("recommend", help="RQ5 best-practice pipeline")
+    rec_parser.add_argument(
+        "--port", choices=[p.value for p in ALL_PORTS], default="tcp443"
+    )
+
+    report_parser = sub.add_parser("report", help="full markdown study report")
+    report_parser.add_argument("--out", default="", help="write to a file instead of stdout")
+    return parser
+
+
+def _make_study(args: argparse.Namespace) -> Study:
+    config = _SCALES[args.scale](master_seed=args.seed)
+    return Study(config=config, budget=args.budget, round_size=max(200, args.budget // 5))
+
+
+def _dataset_for(study: Study, name: str):
+    if name == "active":
+        return study.constructions.all_active
+    if name == "full":
+        return study.constructions.full
+    return study.constructions.dealias_variant(DealiasMode(name))
+
+
+def _maybe_export(args: argparse.Namespace, rows: list[dict]) -> None:
+    if args.export:
+        write_rows(args.export, rows)
+        print(f"wrote {len(rows)} rows to {args.export}")
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    study = _make_study(args)
+    info = study.internet.describe()
+    print(render_table(["property", "value"], [[k, f"{v:,}"] for k, v in info.items()]))
+    return 0
+
+
+def _cmd_sources(args: argparse.Namespace) -> int:
+    study = _make_study(args)
+    registry = study.internet.registry
+    rows = []
+    export_rows = []
+    for dataset in study.collection:
+        ases = len(dataset.ases(registry))
+        rows.append([dataset.name, dataset.kind.table_tag, f"{len(dataset):,}", f"{ases:,}"])
+        export_rows.append(
+            {"source": dataset.name, "kind": dataset.kind.value, "unique": len(dataset), "ases": ases}
+        )
+    print(render_table(["Source", "Type", "Unique", "ASes"], rows, title="Seed sources"))
+    _maybe_export(args, export_rows)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    study = _make_study(args)
+    port = Port(args.port)
+    dataset = _dataset_for(study, args.dataset)
+    result = study.run(args.tga, dataset, port)
+    row = result.as_dict()
+    print(render_table(["field", "value"], [[k, str(v)] for k, v in row.items()]))
+    _maybe_export(args, [row])
+    return 0
+
+
+def _cmd_rq1a(args: argparse.Namespace) -> int:
+    study = _make_study(args)
+    port = Port(args.port)
+    result = run_rq1a(study, ports=(port,))
+    table = result.table4(port)
+    rows = [
+        [tga] + [f"{table[tga][mode]:,}" for mode in DealiasMode]
+        for tga in study.tga_names
+    ]
+    print(
+        render_table(
+            ["TGA", "all", "offline", "online", "joint"],
+            rows,
+            title=f"Aliases generated per treatment ({port.value})",
+        )
+    )
+    _maybe_export(
+        args,
+        [
+            {"tga": tga, **{mode.value: table[tga][mode] for mode in DealiasMode}}
+            for tga in study.tga_names
+        ],
+    )
+    return 0
+
+
+def _ratio_table(title: str, ratios: dict[str, dict[str, float]], keys: Sequence[str]) -> list[dict]:
+    rows = [[tga] + [format_ratio(ratios[tga][key]) for key in keys] for tga in ratios]
+    print(render_table(["TGA", *keys], rows, title=title))
+    return [{"tga": tga, **ratios[tga]} for tga in ratios]
+
+
+def _cmd_rq1b(args: argparse.Namespace) -> int:
+    study = _make_study(args)
+    port = Port(args.port)
+    result = run_rq1b(study, ports=(port,))
+    rows = _ratio_table(
+        f"Active-only vs dealiased seeds ({port.value})",
+        result.figure4(port),
+        ("hits", "ases"),
+    )
+    _maybe_export(args, rows)
+    return 0
+
+
+def _cmd_rq2(args: argparse.Namespace) -> int:
+    study = _make_study(args)
+    port = Port(args.port)
+    result = run_rq2(study, ports=(port,))
+    rows = _ratio_table(
+        f"Port-specific vs All Active seeds ({port.value})",
+        result.figure5(port),
+        ("hits", "ases"),
+    )
+    _maybe_export(args, rows)
+    return 0
+
+
+def _cmd_rq4(args: argparse.Namespace) -> int:
+    study = _make_study(args)
+    port = Port(args.port)
+    result = run_rq4(study, ports=(port,))
+    steps = result.figure6_hits(port)
+    rows = [
+        [step.name, f"{step.new_items:,}", f"{step.cumulative:,}", f"{step.cumulative_fraction:.0%}"]
+        for step in steps
+    ]
+    print(
+        render_table(
+            ["TGA", "new hits", "cumulative", "share"],
+            rows,
+            title=f"Cumulative unique contributions ({port.value})",
+        )
+    )
+    _maybe_export(
+        args,
+        [
+            {"tga": s.name, "new": s.new_items, "cumulative": s.cumulative}
+            for s in steps
+        ],
+    )
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    study = _make_study(args)
+    port = Port(args.port)
+    result = run_recommended_pipeline(study, port)
+    rows = [
+        [name, f"{run.metrics.hits:,}", f"{run.metrics.ases:,}"]
+        for name, run in result.runs.items()
+    ]
+    rows.append(
+        ["ENSEMBLE", f"{len(result.ensemble_hits):,}", f"{len(result.ensemble_ases):,}"]
+    )
+    print(
+        render_table(
+            ["TGA", "hits", "ASes"],
+            rows,
+            title=f"RQ5 recommended pipeline on {port.value} "
+            f"(seeds: {result.seeds.name}, {len(result.seeds):,} addresses)",
+        )
+    )
+    print(f"ensemble gain over best single: {result.ensemble_gain():.2f}x")
+    _maybe_export(args, [run.as_dict() for run in result.runs.values()])
+    return 0
+
+
+def _cmd_rq3(args: argparse.Namespace) -> int:
+    study = _make_study(args)
+    sources = tuple(name.strip() for name in args.sources.split(",") if name.strip())
+    result = run_rq3(
+        study, ports=(Port.ICMP,), sources=sources, budget=max(200, args.budget // 3)
+    )
+    rows = [
+        [
+            row.tga,
+            f"{row.combined_hits:,}",
+            f"{row.pooled_hits:,}",
+            f"{row.combined_ases:,}",
+            f"{row.pooled_ases:,}",
+        ]
+        for row in table5(result)
+    ]
+    print(
+        render_table(
+            ["TGA", "hits combined", "hits pooled", "ASes combined", "ASes pooled"],
+            rows,
+            title=f"Per-source vs pooled budget (ICMP, sources: {', '.join(sources)})",
+        )
+    )
+    _maybe_export(
+        args,
+        [
+            {
+                "tga": row.tga,
+                "combined_hits": row.combined_hits,
+                "pooled_hits": row.pooled_hits,
+                "combined_ases": row.combined_ases,
+                "pooled_ases": row.pooled_ases,
+            }
+            for row in table5(result)
+        ],
+    )
+    return 0
+
+
+def _cmd_overlap(args: argparse.Namespace) -> int:
+    from .datasets import overlap_by_as, overlap_by_ip
+    from .reporting import render_heatmap
+
+    study = _make_study(args)
+    if args.by == "ip":
+        matrix = overlap_by_ip(study.collection)
+    else:
+        matrix = overlap_by_as(study.collection, study.internet.registry)
+    print(render_heatmap(matrix.cells, title=f"Source overlap by {args.by.upper()} (%)"))
+    _maybe_export(
+        args,
+        [
+            {"source": name, "overlap_with_any_other": matrix.any_other[name]}
+            for name in matrix.names
+        ],
+    )
+    return 0
+
+
+def _cmd_convergence(args: argparse.Namespace) -> int:
+    study = _make_study(args)
+    port = Port(args.port)
+    result = study.run(args.tga, study.constructions.all_active, port)
+    summary = summarize_convergence(result)
+    rows = [
+        ["rounds", f"{summary.rounds:,}"],
+        ["generated", f"{summary.final_generated:,}"],
+        ["raw hits", f"{summary.final_raw_hits:,}"],
+        ["budget to 50% yield", f"{summary.budget_to_half_yield:,}"],
+        ["budget to 90% yield", f"{summary.budget_to_90pct_yield:,}"],
+        ["first-round share", f"{summary.first_round_share:.0%}"],
+        ["tail efficiency", f"{summary.tail_efficiency:.1%}"],
+        ["saturating", "yes" if summary.is_saturating else "no"],
+    ]
+    print(
+        render_table(
+            ["property", "value"],
+            rows,
+            title=f"Convergence: {args.tga} on {port.value}",
+        )
+    )
+    _maybe_export(args, [result.as_dict()])
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .reporting import generate_report
+
+    study = _make_study(args)
+    text = generate_report(study)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote report to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "describe": _cmd_describe,
+    "sources": _cmd_sources,
+    "run": _cmd_run,
+    "rq1a": _cmd_rq1a,
+    "rq1b": _cmd_rq1b,
+    "rq2": _cmd_rq2,
+    "rq3": _cmd_rq3,
+    "rq4": _cmd_rq4,
+    "overlap": _cmd_overlap,
+    "convergence": _cmd_convergence,
+    "recommend": _cmd_recommend,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

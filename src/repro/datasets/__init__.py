@@ -1,0 +1,58 @@
+"""Seed datasets: 12 source collectors, containers, and overlap analysis."""
+
+from .base import DatasetCollection, SeedDataset, SourceKind
+from .collection import collect_all, collect_one
+from .domains import DOMAIN_SOURCES, collect_domain_source, domain_volume_row
+from .hitlists import HITLIST_SOURCES, collect_hitlist_source
+from .io import (
+    load_addresses,
+    load_prefix_list,
+    load_seed_dataset,
+    save_addresses,
+    save_prefix_list,
+)
+from .overlap import OverlapMatrix, overlap_by_as, overlap_by_ip, restrict_to_responsive
+from .routers import ROUTER_SOURCES, collect_router_source
+from .sampling import collect_source
+from .sources import COLLECTION_DATES, SOURCE_ORDER, SOURCE_SPECS, SourceSpec
+from .synthetic import (
+    eui64_cluster,
+    low_iid_run,
+    random_block,
+    synthetic_dataset,
+    wordy_block,
+)
+
+__all__ = [
+    "SeedDataset",
+    "DatasetCollection",
+    "SourceKind",
+    "SourceSpec",
+    "SOURCE_SPECS",
+    "SOURCE_ORDER",
+    "COLLECTION_DATES",
+    "DOMAIN_SOURCES",
+    "ROUTER_SOURCES",
+    "HITLIST_SOURCES",
+    "collect_all",
+    "collect_one",
+    "collect_source",
+    "collect_domain_source",
+    "collect_router_source",
+    "collect_hitlist_source",
+    "domain_volume_row",
+    "OverlapMatrix",
+    "overlap_by_ip",
+    "overlap_by_as",
+    "restrict_to_responsive",
+    "load_addresses",
+    "load_seed_dataset",
+    "save_addresses",
+    "load_prefix_list",
+    "save_prefix_list",
+    "low_iid_run",
+    "wordy_block",
+    "eui64_cluster",
+    "random_block",
+    "synthetic_dataset",
+]

@@ -1,0 +1,104 @@
+"""Seed dataset file I/O.
+
+Real TGA pipelines exchange plain text files of IPv6 addresses (one per
+line) — the format of the IPv6 Hitlist, alias lists, and every tool's
+input.  These helpers let the library ingest real seed files and emit
+its outputs in the same convention, including gzip transparency and
+comment handling.
+"""
+
+from __future__ import annotations
+
+import gzip
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from ..addr import Prefix, format_address, parse_address
+from .base import SeedDataset, SourceKind
+
+__all__ = [
+    "iter_address_lines",
+    "load_addresses",
+    "load_seed_dataset",
+    "save_addresses",
+    "load_prefix_list",
+    "save_prefix_list",
+]
+
+
+def _open_text(path: Path, mode: str = "rt"):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode, encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def iter_address_lines(path: str | Path) -> Iterator[str]:
+    """Yield non-empty, non-comment lines of an address file."""
+    path = Path(path)
+    with _open_text(path) as handle:
+        for line in handle:
+            text = line.split("#", 1)[0].strip()
+            if text:
+                yield text
+
+
+def load_addresses(path: str | Path, strict: bool = True) -> set[int]:
+    """Load a one-address-per-line file (plain or .gz).
+
+    ``strict`` raises on the first malformed line; otherwise malformed
+    lines are skipped.
+    """
+    addresses: set[int] = set()
+    for lineno, text in enumerate(iter_address_lines(path), start=1):
+        try:
+            addresses.add(parse_address(text))
+        except ValueError:
+            if strict:
+                raise ValueError(f"{path}:{lineno}: not an IPv6 address: {text!r}")
+    return addresses
+
+
+def load_seed_dataset(
+    path: str | Path,
+    name: str | None = None,
+    kind: SourceKind = SourceKind.HITLIST,
+    strict: bool = True,
+) -> SeedDataset:
+    """Load a seed file as a :class:`SeedDataset` usable anywhere in the
+    library (TGA input, preprocessing, experiments)."""
+    path = Path(path)
+    return SeedDataset(
+        name=name or path.stem,
+        kind=kind,
+        addresses=frozenset(load_addresses(path, strict=strict)),
+    )
+
+
+def save_addresses(path: str | Path, addresses: Iterable[int]) -> int:
+    """Write addresses one per line (sorted, canonical compressed form).
+
+    Returns the number of addresses written.
+    """
+    path = Path(path)
+    ordered = sorted(set(addresses))
+    with _open_text(path, "wt") as handle:
+        for address in ordered:
+            handle.write(format_address(address))
+            handle.write("\n")
+    return len(ordered)
+
+
+def load_prefix_list(path: str | Path) -> list[Prefix]:
+    """Load a CIDR-per-line prefix file (e.g. a published alias list)."""
+    return [Prefix.parse(text) for text in iter_address_lines(path)]
+
+
+def save_prefix_list(path: str | Path, prefixes: Iterable[Prefix]) -> int:
+    """Write prefixes one CIDR per line, sorted."""
+    path = Path(path)
+    ordered = sorted(set(prefixes))
+    with _open_text(path, "wt") as handle:
+        for prefix in ordered:
+            handle.write(str(prefix))
+            handle.write("\n")
+    return len(ordered)

@@ -1,0 +1,76 @@
+"""Seed-source overlap analysis (the paper's Figures 1 and 2).
+
+Computes, for every ordered pair of sources, the percentage of dataset A
+(by IP, and separately by AS) that also appears in dataset B, plus an
+"overlap" column: the percentage of A present in *any* other source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..asdb import ASRegistry
+from .base import DatasetCollection, SeedDataset
+
+__all__ = ["OverlapMatrix", "overlap_by_ip", "overlap_by_as"]
+
+
+@dataclass(frozen=True)
+class OverlapMatrix:
+    """Pairwise overlap percentages between named datasets.
+
+    ``cells[a][b]`` is the percentage of dataset ``a``'s items found in
+    dataset ``b``; ``any_other[a]`` is the percentage of ``a`` found in
+    the union of all other datasets (the Figures' "Overlap" column).
+    """
+
+    names: tuple[str, ...]
+    cells: dict[str, dict[str, float]]
+    any_other: dict[str, float]
+    sizes: dict[str, int]
+
+    def row(self, name: str) -> dict[str, float]:
+        """One dataset's overlap row."""
+        return self.cells[name]
+
+
+def _matrix_from_items(named_items: dict[str, set]) -> OverlapMatrix:
+    names = tuple(named_items)
+    cells: dict[str, dict[str, float]] = {}
+    any_other: dict[str, float] = {}
+    sizes = {name: len(items) for name, items in named_items.items()}
+    for a in names:
+        items_a = named_items[a]
+        row: dict[str, float] = {}
+        union_other: set = set()
+        for b in names:
+            if a == b:
+                row[b] = 100.0
+                continue
+            items_b = named_items[b]
+            row[b] = 100.0 * len(items_a & items_b) / len(items_a) if items_a else 0.0
+            union_other |= items_b
+        cells[a] = row
+        any_other[a] = (
+            100.0 * len(items_a & union_other) / len(items_a) if items_a else 0.0
+        )
+    return OverlapMatrix(names=names, cells=cells, any_other=any_other, sizes=sizes)
+
+
+def overlap_by_ip(collection: DatasetCollection) -> OverlapMatrix:
+    """IP-level overlap across sources (Figure 1/2 left panel)."""
+    return _matrix_from_items({d.name: set(d.addresses) for d in collection})
+
+
+def overlap_by_as(collection: DatasetCollection, registry: ASRegistry) -> OverlapMatrix:
+    """AS-level overlap across sources (Figure 1/2 right panel)."""
+    return _matrix_from_items({d.name: d.ases(registry) for d in collection})
+
+
+def restrict_to_responsive(
+    collection: DatasetCollection, responsive: set[int]
+) -> DatasetCollection:
+    """Derive the responsive-only collection used for Figure 2."""
+    return DatasetCollection(
+        dataset.restricted_to(responsive, "active") for dataset in collection
+    )

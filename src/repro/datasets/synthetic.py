@@ -1,0 +1,87 @@
+"""Synthetic seed-set factories.
+
+Hand-crafted, fully understood seed sets for unit tests, tutorials and
+algorithm debugging: dense low-IID runs, wordy vocabularies, EUI-64
+clusters, random privacy blocks — the same shapes the simulator
+generates, but at exactly the coordinates you choose, so the "right"
+generalisations are known a priori.
+"""
+
+from __future__ import annotations
+
+from ..addr import parse_address
+from ..addr.rand import DeterministicStream
+from ..internet.patterns import COMMON_OUIS, IID_VOCABULARY
+from .base import SeedDataset, SourceKind
+
+__all__ = [
+    "low_iid_run",
+    "wordy_block",
+    "eui64_cluster",
+    "random_block",
+    "synthetic_dataset",
+]
+
+
+def _net64(prefix: str) -> int:
+    """High 64 bits from a textual /64 prefix like '2001:db8:0:1::'."""
+    return parse_address(prefix) >> 64
+
+
+def low_iid_run(prefix: str, count: int, start: int = 1) -> list[int]:
+    """Sequential low IIDs (::1, ::2, …) under one /64."""
+    base = _net64(prefix) << 64
+    return [base | (start + index) for index in range(count)]
+
+
+def wordy_block(prefix: str, count: int | None = None) -> list[int]:
+    """Vocabulary IIDs (::443, ::cafe, …) under one /64."""
+    base = _net64(prefix) << 64
+    words = IID_VOCABULARY[: count or len(IID_VOCABULARY)]
+    return [base | word for word in words]
+
+
+def eui64_cluster(prefix: str, count: int, oui_index: int = 0, salt: int = 0) -> list[int]:
+    """Modified-EUI-64 IIDs sharing one OUI, clustered NIC bits."""
+    base = _net64(prefix) << 64
+    oui = COMMON_OUIS[oui_index % len(COMMON_OUIS)] ^ 0x020000
+    stream = DeterministicStream(0x5E64, salt)
+    nic_base = stream.next_below(0xF00000)
+    return [
+        base
+        | (oui << 40)
+        | (0xFFFE << 24)
+        | ((nic_base + stream.next_below(0x800)) & 0xFFFFFF)
+        for _ in range(count)
+    ]
+
+
+def random_block(prefix: str, count: int, salt: int = 0) -> list[int]:
+    """Uniformly random privacy IIDs under one /64 (unminable)."""
+    base = _net64(prefix) << 64
+    stream = DeterministicStream(0x9A9D, salt)
+    return [base | stream.next_address_bits(64) for _ in range(count)]
+
+
+def synthetic_dataset(
+    name: str = "synthetic",
+    *parts: list[int],
+    kind: SourceKind = SourceKind.HITLIST,
+) -> SeedDataset:
+    """Bundle factory outputs into a SeedDataset.
+
+    Example::
+
+        seeds = synthetic_dataset(
+            "lab",
+            low_iid_run("2001:db8:0:1::", 24),
+            wordy_block("2001:db8:0:2::"),
+            eui64_cluster("2400:cb00:1::", 16),
+        )
+    """
+    addresses: set[int] = set()
+    for part in parts:
+        addresses.update(part)
+    if not addresses:
+        raise ValueError("synthetic dataset needs at least one address")
+    return SeedDataset(name=name, kind=kind, addresses=frozenset(addresses))

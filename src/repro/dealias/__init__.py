@@ -1,0 +1,15 @@
+"""Dealiasing: offline published-list filtering, online /96 verification, joint."""
+
+from .joint import DealiasMode, JointDealiaser, make_dealiaser
+from .offline import OfflineDealiaser
+from .online import OnlineDealiaser
+from .prefixset import AliasPrefixSet
+
+__all__ = [
+    "AliasPrefixSet",
+    "OfflineDealiaser",
+    "OnlineDealiaser",
+    "JointDealiaser",
+    "DealiasMode",
+    "make_dealiaser",
+]

@@ -1,0 +1,45 @@
+"""Offline dealiasing: filtering against a published alias list.
+
+Mirrors the common practice of removing addresses covered by the IPv6
+Hitlist's published aliased-prefix list.  The published list is
+*incomplete by construction* (it only knows aliases someone has already
+found), which is exactly the limitation the paper's RQ1.a quantifies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..addr import Prefix
+from ..internet import SimulatedInternet
+from .prefixset import AliasPrefixSet
+
+__all__ = ["OfflineDealiaser"]
+
+
+class OfflineDealiaser:
+    """Alias filtering against a static, pre-published prefix list."""
+
+    def __init__(self, published: Iterable[Prefix]) -> None:
+        self.prefix_set = AliasPrefixSet(published)
+
+    @classmethod
+    def from_internet(cls, internet: SimulatedInternet) -> "OfflineDealiaser":
+        """The published list the simulated community has accumulated."""
+        return cls(internet.published_alias_prefixes)
+
+    def is_aliased(self, address: int) -> bool:
+        """Whether the address is covered by the published list."""
+        return self.prefix_set.covers(address)
+
+    def partition(self, addresses: Iterable[int]) -> tuple[set[int], set[int]]:
+        """Split into (clean, aliased-per-published-list)."""
+        return self.prefix_set.partition(addresses)
+
+    def filter(self, addresses: Iterable[int]) -> set[int]:
+        """Addresses not covered by the published list."""
+        clean, _ = self.partition(addresses)
+        return clean
+
+    def __len__(self) -> int:
+        return len(self.prefix_set)

@@ -1,0 +1,99 @@
+"""Online dealiasing: 6Gen's randomised /96 verification.
+
+The principle (Murdock et al., deployed online by 6Sense and adopted by
+the paper): in a large enough prefix, if several *random* addresses all
+respond, essentially every address must respond — the prefix is aliased.
+
+Concretely, for each previously unseen /96 containing an active address
+we probe 3 uniformly random addresses inside the /96 (each probe retried
+up to 3 times); if 2 or more answer, the whole /96 is classified aliased.
+Results are cached per /96, and detected prefixes accumulate into an
+:class:`AliasPrefixSet` so later addresses skip the probes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..addr import Prefix
+from ..addr.rand import hash64
+from ..internet import Port
+from ..scanner import Scanner
+from .prefixset import AliasPrefixSet
+
+__all__ = ["OnlineDealiaser"]
+
+_SALT_PROBE = 0xA1
+
+
+class OnlineDealiaser:
+    """Adaptive alias detection by randomised in-prefix probing."""
+
+    def __init__(
+        self,
+        scanner: Scanner,
+        prefix_bits: int = 96,
+        probes_per_prefix: int = 3,
+        retries: int = 3,
+        threshold: int = 2,
+    ) -> None:
+        if not 0 < prefix_bits < 128:
+            raise ValueError("prefix_bits must be in (0, 128)")
+        if threshold > probes_per_prefix:
+            raise ValueError("threshold cannot exceed probes_per_prefix")
+        self.scanner = scanner
+        self.prefix_bits = prefix_bits
+        self.probes_per_prefix = probes_per_prefix
+        self.retries = retries
+        self.threshold = threshold
+        self.detected = AliasPrefixSet()
+        self._verdicts: dict[int, bool] = {}
+        self.verification_probes = 0
+
+    # -- queries ---------------------------------------------------------
+
+    def is_aliased(self, address: int, port: Port) -> bool:
+        """Check (verifying on first encounter) whether the address's
+        enclosing /96 is aliased on ``port``."""
+        shift = 128 - self.prefix_bits
+        net = address >> shift
+        cached = self._verdicts.get(net)
+        if cached is not None:
+            return cached
+        verdict = self._verify(net, port)
+        self._verdicts[net] = verdict
+        if verdict:
+            self.detected.add(Prefix(net << shift, self.prefix_bits))
+        return verdict
+
+    def partition(self, addresses: Iterable[int], port: Port) -> tuple[set[int], set[int]]:
+        """Split active addresses into (clean, aliased) via online checks."""
+        clean: set[int] = set()
+        aliased: set[int] = set()
+        for address in addresses:
+            if self.is_aliased(address, port):
+                aliased.add(address)
+            else:
+                clean.add(address)
+        return clean, aliased
+
+    # -- internals --------------------------------------------------------
+
+    def _verify(self, net: int, port: Port) -> bool:
+        shift = 128 - self.prefix_bits
+        base = net << shift
+        low_mask = (1 << shift) - 1
+        affirmative = 0
+        for index in range(self.probes_per_prefix):
+            random_low = hash64(_SALT_PROBE, net, index) & low_mask
+            target = base | random_low
+            self.verification_probes += 1
+            if self.scanner.probe_with_retries(target, port, retries=self.retries):
+                affirmative += 1
+                if affirmative >= self.threshold:
+                    return True
+            # Early exit: not enough probes left to reach the threshold.
+            remaining = self.probes_per_prefix - index - 1
+            if affirmative + remaining < self.threshold:
+                return False
+        return affirmative >= self.threshold

@@ -1,0 +1,62 @@
+"""Alias prefix sets: collections of known-aliased prefixes.
+
+Backed by the radix trie so containment honours nesting (an address is
+aliased if *any* stored prefix covers it, regardless of prefix length —
+published lists mix /64s, /96s and odd lengths).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..addr import Prefix, PrefixTrie
+
+__all__ = ["AliasPrefixSet"]
+
+
+class AliasPrefixSet:
+    """A set of aliased prefixes with address-containment queries."""
+
+    def __init__(self, prefixes: Iterable[Prefix] = ()) -> None:
+        self._trie: PrefixTrie[bool] = PrefixTrie()
+        self._count = 0
+        for prefix in prefixes:
+            self.add(prefix)
+
+    def add(self, prefix: Prefix) -> None:
+        """Record a prefix as aliased (idempotent)."""
+        if self._trie.get_exact(prefix) is None:
+            self._count += 1
+        self._trie.insert(prefix, True)
+
+    def covers(self, address: int) -> bool:
+        """Whether the address lies inside any known aliased prefix."""
+        return self._trie.covers(address)
+
+    def __contains__(self, address: int) -> bool:
+        return self.covers(address)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def prefixes(self) -> list[Prefix]:
+        """All stored prefixes in address order."""
+        return self._trie.prefixes()
+
+    def partition(self, addresses: Iterable[int]) -> tuple[set[int], set[int]]:
+        """Split addresses into (clean, aliased) sets."""
+        clean: set[int] = set()
+        aliased: set[int] = set()
+        for address in addresses:
+            if self._trie.covers(address):
+                aliased.add(address)
+            else:
+                clean.add(address)
+        return clean, aliased
+
+    def merged_with(self, other: "AliasPrefixSet") -> "AliasPrefixSet":
+        """A new set containing both sets' prefixes."""
+        merged = AliasPrefixSet(self.prefixes())
+        for prefix in other.prefixes():
+            merged.add(prefix)
+        return merged

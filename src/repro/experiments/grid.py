@@ -1,0 +1,107 @@
+"""Declarative experiment grids.
+
+The RQ pipelines hard-code the paper's specific comparisons; this
+module provides the general form for users running their own studies: a
+:class:`GridSpec` names the datasets, generators, ports and budget, and
+:func:`run_grid` executes every cell through a Study (sharing its run
+cache), reporting progress and returning an indexable result set that
+can be persisted with :mod:`repro.experiments.store`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from ..datasets import SeedDataset
+from ..internet import ALL_PORTS, Port
+from ..tga import ALL_TGA_NAMES
+from .harness import Study
+from .results import RunResult
+
+__all__ = ["GridSpec", "GridResults", "run_grid"]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A TGA × dataset × port experiment grid."""
+
+    datasets: tuple[SeedDataset, ...]
+    tga_names: tuple[str, ...] = ALL_TGA_NAMES
+    ports: tuple[Port, ...] = ALL_PORTS
+    budget: int | None = None  # None = the Study default
+
+    def __post_init__(self) -> None:
+        if not self.datasets:
+            raise ValueError("a grid needs at least one dataset")
+        if not self.tga_names:
+            raise ValueError("a grid needs at least one generator")
+        if not self.ports:
+            raise ValueError("a grid needs at least one port")
+        names = [dataset.name for dataset in self.datasets]
+        if len(names) != len(set(names)):
+            raise ValueError("dataset names must be unique within a grid")
+
+    @property
+    def size(self) -> int:
+        """Number of cells in the grid."""
+        return len(self.datasets) * len(self.tga_names) * len(self.ports)
+
+    def cells(self) -> Iterator[tuple[str, SeedDataset, Port]]:
+        """Iterate (tga, dataset, port) cells in a stable order."""
+        for dataset in self.datasets:
+            for port in self.ports:
+                for tga in self.tga_names:
+                    yield tga, dataset, port
+
+
+@dataclass
+class GridResults:
+    """Results of a grid run, indexable along every axis."""
+
+    spec: GridSpec
+    runs: dict[tuple[str, str, Port], RunResult] = field(default_factory=dict)
+
+    def get(self, tga: str, dataset_name: str, port: Port) -> RunResult:
+        return self.runs[(tga, dataset_name, port)]
+
+    def by_tga(self, tga: str) -> list[RunResult]:
+        return [run for (name, _, _), run in self.runs.items() if name == tga]
+
+    def by_dataset(self, dataset_name: str) -> list[RunResult]:
+        return [
+            run for (_, name, _), run in self.runs.items() if name == dataset_name
+        ]
+
+    def by_port(self, port: Port) -> list[RunResult]:
+        return [run for (_, _, p), run in self.runs.items() if p == port]
+
+    def best(self, metric: str = "hits", port: Port | None = None) -> RunResult:
+        """The single best cell by a metric (optionally on one port)."""
+        candidates = self.by_port(port) if port else list(self.runs.values())
+        if not candidates:
+            raise ValueError("empty grid results")
+        return max(candidates, key=lambda run: run.metrics.metric(metric))
+
+    def to_rows(self) -> list[dict]:
+        """Flat summary rows (for CSV/JSON export)."""
+        return [run.as_dict() for run in self.runs.values()]
+
+
+def run_grid(
+    study: Study,
+    spec: GridSpec,
+    progress: Callable[[int, int, RunResult], None] | None = None,
+) -> GridResults:
+    """Execute every cell of a grid through the study's memoised runner.
+
+    ``progress(done, total, last_result)`` is invoked after each cell.
+    """
+    results = GridResults(spec=spec)
+    total = spec.size
+    for index, (tga, dataset, port) in enumerate(spec.cells(), start=1):
+        run = study.run(tga, dataset, port, budget=spec.budget)
+        results.runs[(tga, dataset.name, port)] = run
+        if progress is not None:
+            progress(index, total, run)
+    return results

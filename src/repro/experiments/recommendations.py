@@ -1,0 +1,119 @@
+"""RQ5: the paper's concrete recommendations, as an executable pipeline.
+
+The paper closes with operational best practices for TGA usage
+(Section 10).  This module encodes them as a single convenience,
+:func:`run_recommended_pipeline`:
+
+1. **Dealias seeds** with the joint offline + online treatment.
+2. **Pre-scan and drop unresponsive seeds.**
+3. **Port-specific seeds for application targets**, but blended with
+   ICMP-active seeds to preserve AS/network breadth.
+4. **Run multiple TGAs** and use the combined output.
+
+The result reports the ensemble yield alongside each member's
+contribution, so callers can see exactly what each recommendation buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets import SeedDataset
+from ..internet import Port
+from ..metrics import ContributionStep, cumulative_contributions
+from .harness import Study
+from .results import RunResult
+
+__all__ = ["EnsembleResult", "recommended_seeds", "run_recommended_pipeline"]
+
+#: The generators the paper's RQ4/RQ5 analysis singles out as covering
+#: most of the achievable hits and ASes when run together.
+RECOMMENDED_ENSEMBLE: tuple[str, ...] = ("6sense", "6tree", "det", "6gen", "6graph")
+
+
+@dataclass(frozen=True)
+class EnsembleResult:
+    """Combined outcome of running several TGAs per the recommendations."""
+
+    port: Port
+    runs: dict[str, RunResult]
+    seeds: SeedDataset
+
+    @property
+    def ensemble_hits(self) -> set[int]:
+        """Union of all members' dealiased hits."""
+        union: set[int] = set()
+        for run in self.runs.values():
+            union |= run.clean_hits
+        return union
+
+    @property
+    def ensemble_ases(self) -> set[int]:
+        """Union of all members' active ASes."""
+        union: set[int] = set()
+        for run in self.runs.values():
+            union |= run.active_ases
+        return union
+
+    def hit_contributions(self) -> list[ContributionStep]:
+        """Greedy marginal-contribution ordering of the members (hits)."""
+        return cumulative_contributions(
+            {name: set(run.clean_hits) for name, run in self.runs.items()}
+        )
+
+    def as_contributions(self) -> list[ContributionStep]:
+        """Greedy marginal-contribution ordering of the members (ASes)."""
+        return cumulative_contributions(
+            {name: set(run.active_ases) for name, run in self.runs.items()}
+        )
+
+    def best_single(self) -> str:
+        """The member with the most hits on its own."""
+        return max(self.runs, key=lambda name: self.runs[name].metrics.hits)
+
+    def ensemble_gain(self) -> float:
+        """Hits of the ensemble relative to the best single member."""
+        best = self.runs[self.best_single()].metrics.hits
+        return len(self.ensemble_hits) / best if best else 0.0
+
+
+def recommended_seeds(study: Study, port: Port, icmp_blend: float = 1.0) -> SeedDataset:
+    """The paper's recommended seed construction for a scan target.
+
+    Joint-dealiased, active-only seeds; for application targets, the
+    port-specific responsive population *plus* the ICMP-active seeds
+    (the paper: "to obtain broader AS and network coverage, we recommend
+    including addresses active on other ports/protocols, especially
+    ICMP").  ``icmp_blend`` scales how much of the ICMP-active set is
+    blended in (1.0 = all of it).
+    """
+    constructions = study.constructions
+    if port is Port.ICMP:
+        return constructions.port_specific(Port.ICMP)
+    port_seeds = constructions.port_specific(port)
+    if icmp_blend <= 0.0:
+        return port_seeds
+    icmp_active = constructions.activity[Port.ICMP]
+    if icmp_blend < 1.0:
+        keep = int(len(icmp_active) * icmp_blend)
+        icmp_active = set(sorted(icmp_active)[:keep])
+    return SeedDataset(
+        name=f"recommended-{port.value}",
+        kind=port_seeds.kind,
+        addresses=frozenset(port_seeds.addresses | icmp_active),
+    )
+
+
+def run_recommended_pipeline(
+    study: Study,
+    port: Port,
+    tga_names: tuple[str, ...] = RECOMMENDED_ENSEMBLE,
+    budget: int | None = None,
+    icmp_blend: float = 1.0,
+) -> EnsembleResult:
+    """Apply every RQ5 recommendation end to end for one scan target."""
+    seeds = recommended_seeds(study, port, icmp_blend=icmp_blend)
+    runs = {
+        name: study.run(name, seeds, port, budget=budget) for name in tga_names
+    }
+    return EnsembleResult(port=port, runs=runs, seeds=seeds)

@@ -1,0 +1,51 @@
+"""Result records for experiment runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..internet import Port
+from ..metrics import MetricSet
+
+__all__ = ["RunResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one (TGA, dataset, port, budget) generation-and-scan run."""
+
+    tga_name: str
+    dataset_name: str
+    port: Port
+    budget: int
+    generated: int
+    clean_hits: frozenset[int] = field(repr=False)
+    aliased_hits: frozenset[int] = field(repr=False)
+    active_ases: frozenset[int] = field(repr=False)
+    metrics: MetricSet
+    probes_sent: int = 0
+    rounds: int = 0
+    #: Per-round progress: (cumulative generated, cumulative raw hits)
+    #: after each scan round — the basis for convergence analysis.
+    round_history: tuple = ()
+
+    @property
+    def hitrate(self) -> float:
+        """Dealiased hits per generated address."""
+        return self.metrics.hits / self.generated if self.generated else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict summary for export (hit sets omitted by design)."""
+        return {
+            "tga": self.tga_name,
+            "dataset": self.dataset_name,
+            "port": self.port.value,
+            "budget": self.budget,
+            "generated": self.generated,
+            "hits": self.metrics.hits,
+            "ases": self.metrics.ases,
+            "aliases": self.metrics.aliases,
+            "hitrate": self.hitrate,
+            "probes_sent": self.probes_sent,
+            "rounds": self.rounds,
+        }

@@ -1,0 +1,117 @@
+"""The generation-and-scan run loop.
+
+One *run* reproduces the paper's per-cell methodology: a TGA generates a
+budget of fresh addresses from a seed dataset, each round is scanned on
+the target port (feeding online generators their adaptation signal), and
+the final output is dealiased (offline published list + online /96
+verification) before computing hits, active ASes and aliases — with
+AS12322-analogue filtering on ICMP.
+"""
+
+from __future__ import annotations
+
+from ..addr.rand import hash64
+from ..datasets import SeedDataset
+from ..dealias import OfflineDealiaser, OnlineDealiaser
+from ..internet import Port, SimulatedInternet
+from ..metrics import evaluate_metrics, filter_mega_isp
+from ..scanner import Scanner
+from ..tga import create_tga
+from .results import RunResult
+
+__all__ = ["run_generation"]
+
+#: Break the loop when the generator fails to add fresh addresses for
+#: this many consecutive rounds (pattern space exhausted).
+_MAX_STALLED_ROUNDS = 3
+
+
+def run_generation(
+    internet: SimulatedInternet,
+    tga_name: str,
+    seeds: SeedDataset,
+    port: Port,
+    budget: int,
+    round_size: int = 2_000,
+    scanner: Scanner | None = None,
+    dealias_outputs: bool = True,
+    tga_factory=None,
+    known_addresses: frozenset[int] | None = None,
+) -> RunResult:
+    """Run one TGA over one seed dataset on one scan target.
+
+    ``tga_factory``, when given, is called as ``tga_factory(salt)`` and
+    must return a prepared-able generator — the hook ablation studies use
+    to run non-default generator parameterisations.
+
+    ``known_addresses`` is the study-wide pool of already known seeds:
+    re-"discovering" an address that some other dataset already contained
+    is not a new device, so such addresses never count as hits.  (At the
+    paper's 50M scale this correction is negligible; at library scale it
+    keeps cross-dataset comparisons honest.)
+    """
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    scanner = scanner or Scanner(internet)
+    salt = hash64(internet.config.master_seed, len(seeds), port.index)
+    tga = tga_factory(salt) if tga_factory is not None else create_tga(tga_name, salt=salt)
+    seed_set = set(seeds.addresses)
+    tga.prepare(sorted(seed_set))
+
+    generated: set[int] = set()
+    raw_hits: set[int] = set()
+    stalled = 0
+    rounds = 0
+    round_history: list[tuple[int, int]] = []
+    while len(generated) < budget and stalled < _MAX_STALLED_ROUNDS:
+        want = min(round_size, budget - len(generated))
+        batch = tga.propose(want)
+        if not batch:
+            break
+        fresh = [
+            address
+            for address in batch
+            if address not in generated and address not in seed_set
+        ]
+        rounds += 1
+        if not fresh:
+            stalled += 1
+            continue
+        stalled = 0
+        generated.update(fresh)
+        result = scanner.scan(fresh, port)
+        raw_hits |= result.hits
+        round_history.append((len(generated), len(raw_hits)))
+        tga.observe({address: address in result.hits for address in fresh})
+
+    if dealias_outputs:
+        offline = OfflineDealiaser.from_internet(internet)
+        clean, aliased = offline.partition(raw_hits)
+        online = OnlineDealiaser(scanner)
+        clean, online_aliased = online.partition(clean, port)
+        aliased |= online_aliased
+    else:
+        clean, aliased = set(raw_hits), set()
+
+    if known_addresses:
+        clean -= known_addresses
+
+    registry = internet.registry
+    metrics = evaluate_metrics(
+        clean, aliased, registry, port, mega_asn=internet.mega_isp_asn
+    )
+    counted = filter_mega_isp(clean, registry, internet.mega_isp_asn, port)
+    return RunResult(
+        tga_name=tga_name,
+        dataset_name=seeds.name,
+        port=port,
+        budget=budget,
+        generated=len(generated),
+        clean_hits=frozenset(counted),
+        aliased_hits=frozenset(aliased),
+        active_ases=frozenset(registry.ases_of(counted)),
+        metrics=metrics,
+        probes_sent=scanner.rate_limiter.packets_sent,
+        rounds=rounds,
+        round_history=tuple(round_history),
+    )

@@ -1,0 +1,89 @@
+"""Persistence of experiment results.
+
+Long experiment grids are expensive; this module serialises
+:class:`RunResult` objects (including hit sets) to JSON so studies can
+be checkpointed, shared and re-analysed without recomputation.
+
+Addresses are stored as hex strings to keep files compact and
+diff-friendly; everything round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from ..internet import Port
+from ..metrics import MetricSet
+from .results import RunResult
+
+__all__ = ["dump_results", "load_results", "result_to_dict", "result_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_addresses(addresses: Iterable[int]) -> list[str]:
+    return [format(address, "x") for address in sorted(addresses)]
+
+
+def _decode_addresses(encoded: Iterable[str]) -> frozenset[int]:
+    return frozenset(int(text, 16) for text in encoded)
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """Full (lossless) dict form of a RunResult."""
+    return {
+        "tga": result.tga_name,
+        "dataset": result.dataset_name,
+        "port": result.port.value,
+        "budget": result.budget,
+        "generated": result.generated,
+        "clean_hits": _encode_addresses(result.clean_hits),
+        "aliased_hits": _encode_addresses(result.aliased_hits),
+        "active_ases": sorted(result.active_ases),
+        "metrics": result.metrics.as_dict(),
+        "probes_sent": result.probes_sent,
+        "rounds": result.rounds,
+        "round_history": [list(pair) for pair in result.round_history],
+    }
+
+
+def result_from_dict(data: dict) -> RunResult:
+    """Inverse of :func:`result_to_dict`."""
+    metrics = data["metrics"]
+    return RunResult(
+        tga_name=data["tga"],
+        dataset_name=data["dataset"],
+        port=Port(data["port"]),
+        budget=data["budget"],
+        generated=data["generated"],
+        clean_hits=_decode_addresses(data["clean_hits"]),
+        aliased_hits=_decode_addresses(data["aliased_hits"]),
+        active_ases=frozenset(data["active_ases"]),
+        metrics=MetricSet(
+            hits=metrics["hits"], ases=metrics["ases"], aliases=metrics["aliases"]
+        ),
+        probes_sent=data["probes_sent"],
+        rounds=data["rounds"],
+        round_history=tuple(
+            (generated, hits) for generated, hits in data.get("round_history", [])
+        ),
+    )
+
+
+def dump_results(path: str | Path, results: Iterable[RunResult]) -> int:
+    """Write results to a JSON checkpoint; returns the count written."""
+    records = [result_to_dict(result) for result in results]
+    payload = {"format": _FORMAT_VERSION, "results": records}
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+    return len(records)
+
+
+def load_results(path: str | Path) -> list[RunResult]:
+    """Load a JSON checkpoint written by :func:`dump_results`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("format")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported results format: {version!r}")
+    return [result_from_dict(record) for record in payload["results"]]

@@ -1,0 +1,30 @@
+"""Simulated IPv6 Internet: ground-truth topology, regions, patterns, ports."""
+
+from .config import InternetConfig
+from .model import SimulatedInternet
+from .patterns import COMMON_OUIS, IID_VOCABULARY, PatternKind, generate_iids
+from .ports import ALL_PORTS, Port, PortProfile
+from .regions import COLLECTION_EPOCH, SCAN_EPOCH, Region, RegionRole
+from .stats import WorldStats, compute_world_stats, discoverable_upper_bound
+from .topology import Topology, build_topology
+
+__all__ = [
+    "InternetConfig",
+    "SimulatedInternet",
+    "PatternKind",
+    "generate_iids",
+    "IID_VOCABULARY",
+    "COMMON_OUIS",
+    "Port",
+    "PortProfile",
+    "ALL_PORTS",
+    "Region",
+    "RegionRole",
+    "COLLECTION_EPOCH",
+    "SCAN_EPOCH",
+    "Topology",
+    "build_topology",
+    "WorldStats",
+    "compute_world_stats",
+    "discoverable_upper_bound",
+]

@@ -1,0 +1,190 @@
+"""The simulated Internet facade.
+
+:class:`SimulatedInternet` bundles the generated topology with fast query
+paths used by the scanner, the dataset collectors and the experiment
+harness:
+
+* O(1) probing (`region dict` keyed on the /64 network, then an IID set
+  membership test);
+* ground-truth alias knowledge and the *published* (incomplete) alias
+  list that stands in for the IPv6 Hitlist's;
+* AS attribution for responsive addresses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from functools import cached_property
+
+from ..addr import Prefix
+from ..addr.rand import coin, hash64
+from ..asdb import ASRegistry, OrgType
+from .config import InternetConfig
+from .ports import ALL_PORTS, Port
+from .regions import COLLECTION_EPOCH, SCAN_EPOCH, Region, RegionRole
+from .topology import Topology, build_topology
+
+__all__ = ["SimulatedInternet"]
+
+_SALT_PUBLISHED = 0x55
+
+
+class SimulatedInternet:
+    """Deterministic ground-truth model of an IPv6 Internet."""
+
+    def __init__(self, config: InternetConfig | None = None) -> None:
+        self.config = config or InternetConfig()
+        self.topology: Topology = build_topology(self.config)
+        self._regions_by_net64: dict[int, Region] = {
+            region.net64: region for region in self.topology.regions
+        }
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def registry(self) -> ASRegistry:
+        """The AS registry (prefix → ASN, AS metadata)."""
+        return self.topology.registry
+
+    @property
+    def regions(self) -> list[Region]:
+        """All ground-truth regions."""
+        return self.topology.regions
+
+    def region_of(self, address: int) -> Region | None:
+        """The region containing ``address``, or None for unallocated space."""
+        return self._regions_by_net64.get(address >> 64)
+
+    def asn_of(self, address: int) -> int | None:
+        """Originating ASN for ``address`` (region-fast path, registry fallback)."""
+        region = self._regions_by_net64.get(address >> 64)
+        if region is not None:
+            return region.asn
+        return self.registry.asn_of(address)
+
+    def regions_with_role(self, role: RegionRole) -> list[Region]:
+        """All regions of the given functional role."""
+        return [region for region in self.regions if region.role is role]
+
+    def regions_of_org(self, *org_types: OrgType) -> list[Region]:
+        """All regions owned by ASes of the given organisation types."""
+        wanted = set(org_types)
+        return [
+            region
+            for region in self.regions
+            if self.registry.info(region.asn).org_type in wanted
+        ]
+
+    # -- probing -------------------------------------------------------------
+
+    def probe(self, address: int, port: Port, epoch: int = SCAN_EPOCH, attempt: int = 0) -> bool:
+        """Ground-truth: does ``address`` answer affirmatively on ``port``?"""
+        region = self._regions_by_net64.get(address >> 64)
+        if region is None:
+            return False
+        return region.responds(address, port, epoch, attempt)
+
+    def target_exists(self, address: int) -> bool:
+        """Whether ``address`` falls in allocated (region-backed) space."""
+        return (address >> 64) in self._regions_by_net64
+
+    # -- aliases --------------------------------------------------------------
+
+    @cached_property
+    def true_alias_prefixes(self) -> tuple[Prefix, ...]:
+        """Every genuinely aliased /64 (complete ground truth)."""
+        return tuple(
+            region.prefix for region in self.regions if region.aliased
+        )
+
+    @cached_property
+    def published_alias_prefixes(self) -> tuple[Prefix, ...]:
+        """The *published* alias list: an intentionally incomplete subset.
+
+        Mirrors the IPv6 Hitlist alias list, which misses aliases the
+        community has not yet stumbled on.  Coverage is controlled by
+        ``config.published_alias_coverage``.
+        """
+        coverage = self.config.published_alias_coverage
+        seed = hash64(self.config.master_seed, _SALT_PUBLISHED)
+        return tuple(
+            prefix
+            for prefix in self.true_alias_prefixes
+            if coin(coverage, seed, prefix.value >> 64)
+        )
+
+    def is_aliased_truth(self, address: int) -> bool:
+        """Ground truth: is ``address`` inside an aliased region?"""
+        region = self._regions_by_net64.get(address >> 64)
+        return region is not None and region.aliased
+
+    # -- ground-truth enumeration (calibration, tests, collectors) -----------
+
+    def iter_responsive(
+        self, port: Port, epoch: int = SCAN_EPOCH, include_aliased: bool = False
+    ) -> Iterator[int]:
+        """All non-aliased responsive addresses on ``port`` at ``epoch``.
+
+        With ``include_aliased`` True, aliased regions contribute their
+        observable sample rather than their (infinite) membership.
+        """
+        for region in self.regions:
+            if region.aliased:
+                if include_aliased and region.profile.probability(port) > 0:
+                    yield from region.observable_addresses()
+                continue
+            for iid in region.responsive_iids(port, epoch):
+                yield region.address_of(iid)
+
+    def count_responsive(self, port: Port, epoch: int = SCAN_EPOCH) -> int:
+        """Count of non-aliased responsive addresses on ``port`` at ``epoch``."""
+        return sum(
+            len(region.responsive_iids(port, epoch))
+            for region in self.regions
+            if not region.aliased
+        )
+
+    def responsive_ases(self, port: Port, epoch: int = SCAN_EPOCH) -> set[int]:
+        """ASNs with at least one responsive address on ``port`` at ``epoch``."""
+        result: set[int] = set()
+        for region in self.regions:
+            if region.asn in result:
+                continue
+            if region.aliased:
+                if region.profile.probability(port) > 0:
+                    result.add(region.asn)
+                continue
+            if region.responsive_iids(port, epoch):
+                result.add(region.asn)
+        return result
+
+    def iter_ever_responsive(self, epoch: int = COLLECTION_EPOCH) -> Iterator[int]:
+        """Addresses responsive on at least one target at ``epoch``."""
+        for region in self.regions:
+            if region.aliased:
+                continue
+            seen: set[int] = set()
+            for port in ALL_PORTS:
+                seen.update(region.responsive_iids(port, epoch))
+            for iid in seen:
+                yield region.address_of(iid)
+
+    # -- metadata -----------------------------------------------------------
+
+    @property
+    def mega_isp_asn(self) -> int:
+        """ASN of the AS12322 analogue (filtered from ICMP metrics)."""
+        return self.config.mega_isp_asn
+
+    def describe(self) -> dict[str, int]:
+        """Summary statistics of the world (for docs and sanity checks)."""
+        return {
+            "ases": len(self.registry),
+            "regions": len(self.regions),
+            "aliased_regions": sum(1 for region in self.regions if region.aliased),
+            "firewalled_regions": sum(1 for region in self.regions if region.firewalled),
+            "retired_regions": sum(1 for region in self.regions if region.retired),
+            "pattern_active_addresses": sum(
+                region.density for region in self.regions if not region.aliased
+            ),
+        }

@@ -1,0 +1,87 @@
+"""Scan targets (ports/protocols) and per-region service profiles.
+
+The paper scans four targets: ICMPv6 Echo, TCP/80, TCP/443 and UDP/53.
+Every ground-truth region carries a :class:`PortProfile` giving the
+probability that a pattern-active address in the region responds on each
+target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Port", "PortProfile", "ALL_PORTS"]
+
+
+class Port(str, Enum):
+    """A scan target: protocol plus (for TCP/UDP) destination port."""
+
+    ICMP = "icmp"
+    TCP80 = "tcp80"
+    TCP443 = "tcp443"
+    UDP53 = "udp53"
+
+    @property
+    def index(self) -> int:
+        """Stable small integer for hashing salts."""
+        return _PORT_INDEX[self]
+
+    @property
+    def is_tcp(self) -> bool:
+        return self in (Port.TCP80, Port.TCP443)
+
+    @property
+    def is_application(self) -> bool:
+        """Whether this is an application-layer target (TCP/UDP, not ICMP)."""
+        return self is not Port.ICMP
+
+
+ALL_PORTS: tuple[Port, ...] = (Port.ICMP, Port.TCP80, Port.TCP443, Port.UDP53)
+
+_PORT_INDEX = {port: i for i, port in enumerate(ALL_PORTS)}
+
+
+@dataclass(frozen=True, slots=True)
+class PortProfile:
+    """Per-port response probabilities for pattern-active addresses."""
+
+    icmp: float = 0.9
+    tcp80: float = 0.0
+    tcp443: float = 0.0
+    udp53: float = 0.0
+
+    def probability(self, port: Port) -> float:
+        """Response probability on the given target."""
+        if port is Port.ICMP:
+            return self.icmp
+        if port is Port.TCP80:
+            return self.tcp80
+        if port is Port.TCP443:
+            return self.tcp443
+        return self.udp53
+
+    def scaled(self, factor: float) -> "PortProfile":
+        """A copy with all probabilities multiplied by ``factor`` (clamped)."""
+        clamp = lambda p: min(1.0, max(0.0, p * factor))  # noqa: E731
+        return PortProfile(
+            icmp=clamp(self.icmp),
+            tcp80=clamp(self.tcp80),
+            tcp443=clamp(self.tcp443),
+            udp53=clamp(self.udp53),
+        )
+
+
+# Canonical service mixes used by the topology generator.  Values chosen so
+# that, like the paper's Table 3, ICMP responsiveness dominates and web
+# ports cluster in datacenter networks while UDP/53 is rare outside DNS
+# infrastructure.
+WEB_SERVER = PortProfile(icmp=0.92, tcp80=0.88, tcp443=0.9, udp53=0.02)
+INFRA_SERVER = PortProfile(icmp=0.9, tcp80=0.04, tcp443=0.05, udp53=0.01)
+DNS_SERVER = PortProfile(icmp=0.9, tcp80=0.1, tcp443=0.12, udp53=0.9)
+CDN_EDGE = PortProfile(icmp=0.95, tcp80=0.85, tcp443=0.9, udp53=0.1)
+ROUTER = PortProfile(icmp=0.85, tcp80=0.015, tcp443=0.01, udp53=0.01)
+GATEWAY = PortProfile(icmp=0.8, tcp80=0.012, tcp443=0.012, udp53=0.004)
+SUBSCRIBER = PortProfile(icmp=0.75, tcp80=0.03, tcp443=0.04, udp53=0.01)
+ENTERPRISE_HOST = PortProfile(icmp=0.82, tcp80=0.75, tcp443=0.85, udp53=0.04)
+ENTERPRISE_INTERNAL = PortProfile(icmp=0.8, tcp80=0.03, tcp443=0.04, udp53=0.01)

@@ -1,0 +1,119 @@
+"""Ground-truth statistics and audits.
+
+Summarises a simulated world the way a measurement paper would describe
+its vantage: composition by organisation type and region role, the
+responsive population per port, alias/churn shares — the numbers behind
+DESIGN.md's calibration claims and a sanity baseline for experiments
+(no TGA can discover more than the ground truth holds).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..asdb import OrgType
+from .model import SimulatedInternet
+from .ports import ALL_PORTS, Port
+from .regions import SCAN_EPOCH, RegionRole
+
+__all__ = ["WorldStats", "compute_world_stats", "discoverable_upper_bound"]
+
+
+@dataclass(frozen=True)
+class WorldStats:
+    """Aggregate description of one simulated world."""
+
+    ases_by_org: dict[OrgType, int]
+    regions_by_role: dict[RegionRole, int]
+    responsive_by_port: dict[Port, int]
+    responsive_ases_by_port: dict[Port, int]
+    aliased_regions: int
+    firewalled_regions: int
+    retired_regions: int
+    renumbered_regions: int
+    pattern_active_total: int
+
+    def as_rows(self) -> list[dict]:
+        """Flat rows for table rendering / export."""
+        rows = [
+            {"category": "org", "key": org.value, "value": count}
+            for org, count in sorted(self.ases_by_org.items())
+        ]
+        rows += [
+            {"category": "role", "key": role.value, "value": count}
+            for role, count in sorted(self.regions_by_role.items())
+        ]
+        rows += [
+            {"category": "responsive", "key": port.value, "value": count}
+            for port, count in self.responsive_by_port.items()
+        ]
+        rows += [
+            {"category": "structural", "key": key, "value": value}
+            for key, value in (
+                ("aliased_regions", self.aliased_regions),
+                ("firewalled_regions", self.firewalled_regions),
+                ("retired_regions", self.retired_regions),
+                ("renumbered_regions", self.renumbered_regions),
+                ("pattern_active_total", self.pattern_active_total),
+            )
+        ]
+        return rows
+
+
+def compute_world_stats(
+    internet: SimulatedInternet, renumbered_churn_threshold: float = 0.9
+) -> WorldStats:
+    """Compute the full statistics of a world (one pass over regions)."""
+    ases_by_org: Counter = Counter()
+    for asn in internet.registry.all_asns():
+        ases_by_org[internet.registry.info(asn).org_type] += 1
+    regions_by_role: Counter = Counter()
+    aliased = firewalled = retired = renumbered = 0
+    pattern_active = 0
+    for region in internet.regions:
+        regions_by_role[region.role] += 1
+        if region.aliased:
+            aliased += 1
+            continue
+        if region.firewalled:
+            firewalled += 1
+        if region.retired:
+            retired += 1
+        if region.churn_rate >= renumbered_churn_threshold:
+            renumbered += 1
+        pattern_active += region.density
+    return WorldStats(
+        ases_by_org=dict(ases_by_org),
+        regions_by_role=dict(regions_by_role),
+        responsive_by_port={
+            port: internet.count_responsive(port) for port in ALL_PORTS
+        },
+        responsive_ases_by_port={
+            port: len(internet.responsive_ases(port)) for port in ALL_PORTS
+        },
+        aliased_regions=aliased,
+        firewalled_regions=firewalled,
+        retired_regions=retired,
+        renumbered_regions=renumbered,
+        pattern_active_total=pattern_active,
+    )
+
+
+def discoverable_upper_bound(
+    internet: SimulatedInternet, port: Port, exclude_mega: bool = True
+) -> int:
+    """The most non-aliased hits any scan of ``port`` could ever find.
+
+    A hard ceiling for experiment sanity checks: a TGA reporting more
+    dealiased hits than this indicates an accounting bug.
+    """
+    total = 0
+    mega = internet.mega_isp_asn
+    for region in internet.regions:
+        if region.aliased:
+            continue
+        if exclude_mega and port is Port.ICMP and region.asn == mega:
+            continue
+        total += len(region.responsive_iids(port, SCAN_EPOCH))
+    return total

@@ -1,0 +1,391 @@
+"""Topology generator: ASes, prefix allocations and ground-truth regions.
+
+Builds the simulated Internet deterministically from an
+:class:`~repro.internet.config.InternetConfig`:
+
+* each AS gets an organisation type, country, name and one /32;
+* sites are /48s at structured subnet indices inside the /32;
+* regions are /64s at structured indices inside their site, with roles,
+  IID patterns and service profiles drawn per organisation type;
+* a configurable share of datacenter regions are fully aliased (some of
+  them rate limited);
+* one mega-ISP (the AS12322 analogue) contributes a large, trivially
+  discoverable ``::1``-per-/64 ICMP pattern.
+
+The structured subnet numbering is deliberate: it is the regularity that
+real allocation policies exhibit and that TGAs exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..addr import Prefix
+from ..addr.rand import DeterministicStream, hash64
+from ..asdb import ASInfo, ASRegistry, OrgType
+from .config import InternetConfig
+from .patterns import PatternKind
+from .ports import (
+    CDN_EDGE,
+    DNS_SERVER,
+    ENTERPRISE_HOST,
+    ENTERPRISE_INTERNAL,
+    GATEWAY,
+    INFRA_SERVER,
+    ROUTER,
+    SUBSCRIBER,
+    WEB_SERVER,
+    PortProfile,
+)
+from .regions import Region, RegionRole
+
+__all__ = ["Topology", "build_topology"]
+
+# RIR-style /16 blocks from which /32s are carved.
+_TOP16_BLOCKS = (0x2001, 0x2400, 0x2600, 0x2610, 0x2800, 0x2A00, 0x2A02, 0x2C00)
+
+_NAME_STEMS = (
+    "Nimbus", "Vertex", "Borealis", "Quanta", "Helios", "Zephyr", "Atlas",
+    "Meridian", "Cobalt", "Lumen", "Aurora", "Solstice", "Pinnacle", "Delta",
+    "Horizon", "Catalyst", "Apex", "Summit", "Polaris", "Equinox", "Vector",
+    "Onyx", "Crystal", "Falcon", "Condor", "Sierra", "Tundra", "Savanna",
+)
+
+_TYPE_SUFFIX = {
+    OrgType.ISP: "Telecom",
+    OrgType.MOBILE: "Mobile",
+    OrgType.CLOUD: "Cloud",
+    OrgType.HOSTING: "Hosting",
+    OrgType.CDN: "CDN",
+    OrgType.EDUCATION: "University",
+    OrgType.GOVERNMENT: "Gov",
+    OrgType.ENTERPRISE: "Systems",
+    OrgType.SECURITY: "Shield",
+}
+
+_COUNTRIES = (
+    "US", "DE", "FR", "NL", "GB", "BR", "MX", "JP", "CN", "IN", "NP", "ID",
+    "AU", "ZA", "SE", "PL", "ES", "IT", "CA", "KR", "AR", "CL", "EG", "TR",
+)
+
+_SALT_TOPOLOGY = 0x70
+
+
+@dataclass(frozen=True)
+class Topology:
+    """The generated world: AS registry plus all ground-truth regions."""
+
+    registry: ASRegistry
+    regions: list[Region]
+    config: InternetConfig
+
+    @property
+    def regions_by_net64(self) -> dict[int, Region]:
+        """O(1) region lookup keyed by the high 64 bits (built lazily)."""
+        cache = getattr(self, "_net64_cache", None)
+        if cache is None:
+            cache = {region.net64: region for region in self.regions}
+            object.__setattr__(self, "_net64_cache", cache)
+        return cache
+
+
+def _pick_org_type(stream: DeterministicStream, weights: dict[str, float]) -> OrgType:
+    draw = stream.next_uniform()
+    cumulative = 0.0
+    for key, weight in weights.items():
+        cumulative += weight
+        if draw < cumulative:
+            return OrgType(key)
+    return OrgType.ENTERPRISE
+
+
+def _site_subnet16(stream: DeterministicStream, site_index: int) -> int:
+    """Structured /48 index within the /32 for a site."""
+    style = stream.next_below(10)
+    if style < 6:
+        return site_index  # sequential: 0, 1, 2, ...
+    if style < 9:
+        return site_index * 0x10  # strided: 0, 0x10, 0x20, ...
+    return stream.next_below(0x1000)  # occasional scattered allocation
+
+
+def _region_subnet16(stream: DeterministicStream, region_index: int) -> int:
+    """Structured /64 index within the /48 for a region."""
+    style = stream.next_below(10)
+    if style < 6:
+        return region_index + 1  # ::1:, ::2:, ...
+    if style < 9:
+        return (region_index + 1) * 0x100
+    return stream.next_below(0x10000)
+
+
+def _role_plan(org: OrgType, stream: DeterministicStream) -> list[tuple[RegionRole, int]]:
+    """(role, count) plan for one AS of the given organisation type."""
+
+    def between(lo: int, hi: int) -> int:
+        return lo + stream.next_below(hi - lo + 1)
+
+    if org in (OrgType.ISP, OrgType.MOBILE):
+        plan = [
+            (RegionRole.ROUTER, between(2, 4)),
+            (RegionRole.SUBSCRIBER, between(4, 14) if org is OrgType.ISP else between(8, 18)),
+            # CPE gateways: dense sequential ::1-per-/64 runs that answer
+            # ping but nothing else — the ICMP-only population that makes
+            # port-specific seed datasets worthwhile (paper RQ2).
+            (RegionRole.GATEWAY, between(10, 26)),
+        ]
+        if stream.next_uniform() < 0.5:
+            plan.append((RegionRole.SERVER, between(1, 2)))
+        return plan
+    if org is OrgType.CLOUD:
+        return [
+            (RegionRole.ROUTER, between(1, 2)),
+            (RegionRole.SERVER, between(8, 24)),
+            (RegionRole.DNS, between(1, 2)),
+        ]
+    if org is OrgType.HOSTING:
+        return [
+            (RegionRole.ROUTER, between(1, 2)),
+            (RegionRole.SERVER, between(6, 18)),
+            (RegionRole.DNS, between(0, 1)),
+        ]
+    if org is OrgType.CDN:
+        return [
+            (RegionRole.ROUTER, between(1, 2)),
+            (RegionRole.SERVER, between(14, 34)),
+        ]
+    if org is OrgType.SECURITY:
+        return [
+            (RegionRole.ROUTER, between(1, 2)),
+            (RegionRole.DNS, between(4, 10)),
+            (RegionRole.SERVER, between(2, 6)),
+        ]
+    # Education / government / enterprise.
+    return [
+        (RegionRole.ROUTER, between(1, 3)),
+        (RegionRole.ENTERPRISE, between(3, 10)),
+    ]
+
+
+def _pattern_for(role: RegionRole, org: OrgType, stream: DeterministicStream) -> PatternKind:
+    draw = stream.next_uniform()
+    if role in (RegionRole.ROUTER, RegionRole.GATEWAY):
+        return PatternKind.LOW
+    if role is RegionRole.SUBSCRIBER:
+        return PatternKind.RANDOM
+    if role is RegionRole.DNS:
+        return PatternKind.LOW if draw < 0.7 else PatternKind.WORDY
+    if role is RegionRole.ENTERPRISE:
+        if draw < 0.55:
+            return PatternKind.EUI64
+        return PatternKind.LOW if draw < 0.8 else PatternKind.WORDY
+    # Servers.
+    if org is OrgType.CDN:
+        return PatternKind.LOW if draw < 0.85 else PatternKind.WORDY
+    if draw < 0.5:
+        return PatternKind.LOW
+    if draw < 0.75:
+        return PatternKind.WORDY
+    return PatternKind.EUI64
+
+
+def _profile_for(
+    role: RegionRole, org: OrgType, stream: DeterministicStream
+) -> PortProfile:
+    """Service profile for a region.
+
+    Port activity is *region-correlated*: a /64 is either provisioned as
+    a web rack, a DNS farm, internal infrastructure, etc.  This is what
+    makes port-specific seed datasets informative (paper RQ2): knowing an
+    address answers TCP/443 says a lot about its whole region.
+    """
+    if role is RegionRole.ROUTER:
+        return ROUTER
+    if role is RegionRole.GATEWAY:
+        return GATEWAY
+    if role is RegionRole.SUBSCRIBER:
+        return SUBSCRIBER
+    if role is RegionRole.DNS:
+        return DNS_SERVER
+    if role is RegionRole.ENTERPRISE:
+        return ENTERPRISE_HOST if stream.next_uniform() < 0.22 else ENTERPRISE_INTERNAL
+    if org is OrgType.CDN:
+        return CDN_EDGE
+    return WEB_SERVER if stream.next_uniform() < 0.38 else INFRA_SERVER
+
+
+def _density_for(
+    role: RegionRole, org: OrgType, config: InternetConfig, stream: DeterministicStream
+) -> int:
+    def between(lo: int, hi: int) -> int:
+        return lo + stream.next_below(max(1, hi - lo + 1))
+
+    if role is RegionRole.ROUTER:
+        return between(config.router_density_min, config.router_density_max)
+    if role is RegionRole.GATEWAY:
+        return between(1, 3)
+    if role is RegionRole.SUBSCRIBER:
+        return between(config.subscriber_density_min, config.subscriber_density_max)
+    if role is RegionRole.ENTERPRISE:
+        return between(config.enterprise_density_min, config.enterprise_density_max)
+    if org is OrgType.CDN:
+        return between(config.cdn_density_min, config.cdn_density_max)
+    return between(config.server_density_min, config.server_density_max)
+
+
+def build_topology(config: InternetConfig) -> Topology:
+    """Construct the full deterministic world for the given configuration."""
+    stream = DeterministicStream(config.master_seed, _SALT_TOPOLOGY)
+    registry = ASRegistry()
+    regions: list[Region] = []
+    used_slash32: set[int] = set()
+    used_asns: set[int] = {config.mega_isp_asn}
+    org_weights = config.org_weights
+
+    def allocate_slash32() -> int:
+        while True:
+            top16 = _TOP16_BLOCKS[stream.next_below(len(_TOP16_BLOCKS))]
+            mid16 = stream.next_below(0x10000)
+            value = (top16 << 112) | (mid16 << 96)
+            if value not in used_slash32:
+                used_slash32.add(value)
+                return value
+
+    def allocate_asn() -> int:
+        while True:
+            asn = 1000 + stream.next_below(400_000)
+            if asn not in used_asns:
+                used_asns.add(asn)
+                return asn
+
+    def make_regions_for_as(asn: int, org: OrgType, slash32: int) -> None:
+        num_sites = config.min_sites_per_as + stream.next_below(
+            config.max_sites_per_as - config.min_sites_per_as + 1
+        )
+        plan = _role_plan(org, stream)
+        flat_roles = [role for role, count in plan for _ in range(count)]
+        used_net64: set[int] = set()
+        site_nets = []
+        for site_index in range(num_sites):
+            site16 = _site_subnet16(stream, site_index)
+            site_nets.append((slash32 >> 64) | (site16 << 16))
+        for region_index, role in enumerate(flat_roles):
+            site_net48 = site_nets[region_index % num_sites]
+            for _ in range(8):  # retry on subnet collisions
+                subnet16 = _region_subnet16(stream, region_index)
+                net64 = site_net48 | subnet16
+                if net64 not in used_net64:
+                    break
+            else:
+                continue
+            used_net64.add(net64)
+            churn = config.churn_rate_min + stream.next_uniform() * (
+                config.churn_rate_max - config.churn_rate_min
+            )
+            if role is RegionRole.SUBSCRIBER:
+                churn = min(0.9, churn * config.subscriber_churn_boost)
+            if (
+                role in (RegionRole.SERVER, RegionRole.DNS, RegionRole.ENTERPRISE)
+                and stream.next_uniform() < config.renumbered_region_fraction
+            ):
+                churn = config.renumbered_churn
+            firewalled = (
+                role is RegionRole.ROUTER
+                and stream.next_uniform() < config.firewalled_router_fraction
+            )
+            retired = stream.next_uniform() < config.retired_region_fraction
+            aliased = (
+                org.is_datacenter
+                and role in (RegionRole.SERVER, RegionRole.DNS)
+                and stream.next_uniform() < config.alias_region_fraction * 6
+            )
+            if aliased:
+                # Aliased infrastructure persists; retirement churn applies
+                # to genuinely assigned regions only.
+                retired = False
+            alias_response = 1.0
+            if aliased and stream.next_uniform() < config.rate_limited_alias_fraction:
+                alias_response = config.rate_limited_alias_response
+            regions.append(
+                Region(
+                    net64=net64,
+                    asn=asn,
+                    role=role,
+                    pattern=_pattern_for(role, org, stream),
+                    density=_density_for(role, org, config, stream),
+                    profile=_profile_for(role, org, stream),
+                    churn_rate=churn,
+                    retired=retired,
+                    firewalled=firewalled,
+                    aliased=aliased,
+                    alias_response_prob=alias_response,
+                    salt=hash64(config.master_seed, net64),
+                )
+            )
+
+    for as_index in range(config.num_ases):
+        org = _pick_org_type(stream, org_weights)
+        asn = allocate_asn()
+        slash32 = allocate_slash32()
+        stem = _NAME_STEMS[stream.next_below(len(_NAME_STEMS))]
+        country = _COUNTRIES[stream.next_below(len(_COUNTRIES))]
+        name = f"{stem} {_TYPE_SUFFIX[org]} {as_index}"
+        registry.register(
+            ASInfo(
+                asn=asn,
+                name=name,
+                org_type=org,
+                country=country,
+                prefixes=(Prefix(slash32, 32),),
+            )
+        )
+        make_regions_for_as(asn, org, slash32)
+
+    _add_mega_isp(config, stream, registry, regions)
+    return Topology(registry=registry, regions=regions, config=config)
+
+
+def _add_mega_isp(
+    config: InternetConfig,
+    stream: DeterministicStream,
+    registry: ASRegistry,
+    regions: list[Region],
+) -> None:
+    """The AS12322 analogue: a huge, saturated ``::1`` ICMP pattern.
+
+    Every /64 in a long sequential run of subnets answers ICMP on its
+    ``::1`` address with the configured probability; the pattern is so
+    regular that any TGA finds it, which is why (like the paper) ICMP
+    metrics filter this ASN out.
+    """
+    slash32 = (0x2A01 << 112) | (0x0E00 << 96)
+    registry.register(
+        ASInfo(
+            asn=config.mega_isp_asn,
+            name="Libre Telecom (AS12322 analogue)",
+            org_type=OrgType.ISP,
+            country="FR",
+            prefixes=(Prefix(slash32, 32),),
+        )
+    )
+    profile = PortProfile(
+        icmp=config.mega_isp_icmp_response, tcp80=0.004, tcp443=0.004, udp53=0.001
+    )
+    for index in range(config.mega_isp_regions):
+        # Sequential sites, sequential subnets: variation confined to a
+        # narrow nybble band, exactly like the pattern Steger et al. found.
+        site16 = index // 0x100
+        subnet16 = index % 0x100
+        net64 = (slash32 >> 64) | (site16 << 16) | subnet16
+        regions.append(
+            Region(
+                net64=net64,
+                asn=config.mega_isp_asn,
+                role=RegionRole.SUBSCRIBER,
+                pattern=PatternKind.LOW,
+                density=1,
+                profile=profile,
+                churn_rate=0.02,
+                salt=hash64(config.master_seed, net64),
+            )
+        )

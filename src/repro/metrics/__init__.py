@@ -1,0 +1,29 @@
+"""Metrics: hits/ASes/aliases, performance ratios, overlap, AS characterisation."""
+
+from .characterize import ASCharacterization, TopAS, characterize_ases
+from .extended import DiversityReport, as_entropy, diversity_report, prefix_diversity
+from .core import MetricSet, evaluate_metrics, filter_mega_isp
+from .overlap import ContributionStep, cumulative_contributions, pairwise_jaccard
+from .ratio import metric_ratios, performance_ratio
+from .staleness import StalenessReport, collection_staleness, staleness_report
+
+__all__ = [
+    "MetricSet",
+    "evaluate_metrics",
+    "filter_mega_isp",
+    "performance_ratio",
+    "metric_ratios",
+    "ContributionStep",
+    "cumulative_contributions",
+    "pairwise_jaccard",
+    "TopAS",
+    "ASCharacterization",
+    "characterize_ases",
+    "DiversityReport",
+    "as_entropy",
+    "prefix_diversity",
+    "diversity_report",
+    "StalenessReport",
+    "staleness_report",
+    "collection_staleness",
+]

@@ -1,0 +1,71 @@
+"""AS characterisation of discovered populations (the paper's Table 6).
+
+For a set of discovered active addresses: which ASes hold them, which
+organisations those ASes are, and how concentrated the discovery is —
+the paper reports the top-3 ASes (with manual org classification, which
+our registry provides natively) and the total AS count per seed source
+per port.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..asdb import ASRegistry, OrgType
+
+__all__ = ["TopAS", "ASCharacterization", "characterize_ases"]
+
+
+@dataclass(frozen=True, slots=True)
+class TopAS:
+    """One of the top ASes in a discovered population."""
+
+    asn: int
+    name: str
+    org_type: OrgType
+    country: str
+    share: float  # fraction of discovered addresses in this AS
+
+
+@dataclass(frozen=True, slots=True)
+class ASCharacterization:
+    """Top ASes and summary statistics of one discovered population."""
+
+    top: tuple[TopAS, ...]
+    total_ases: int
+    total_addresses: int
+
+    def org_type_shares(self) -> dict[OrgType, float]:
+        """Share of the top ASes' addresses by organisation type."""
+        shares: dict[OrgType, float] = {}
+        for entry in self.top:
+            shares[entry.org_type] = shares.get(entry.org_type, 0.0) + entry.share
+        return shares
+
+
+def characterize_ases(
+    addresses: Iterable[int],
+    registry: ASRegistry,
+    top_n: int = 3,
+) -> ASCharacterization:
+    """Compute the Table 6 row for one discovered population."""
+    counts = registry.count_by_as(addresses)
+    total_addresses = sum(counts.values())
+    top_entries = []
+    for asn, count in counts.most_common(top_n):
+        info = registry.info(asn)
+        top_entries.append(
+            TopAS(
+                asn=asn,
+                name=info.name,
+                org_type=info.org_type,
+                country=info.country,
+                share=count / total_addresses if total_addresses else 0.0,
+            )
+        )
+    return ASCharacterization(
+        top=tuple(top_entries),
+        total_ases=len(counts),
+        total_addresses=total_addresses,
+    )

@@ -1,0 +1,74 @@
+"""Core TGA success metrics.
+
+The paper evaluates every experiment on two headline metrics — **hits**
+(dealiased responsive addresses discovered) and **active ASes** (network
+diversity) — plus, for the dealiasing analysis, discovered **aliases**.
+ICMP evaluations filter the AS12322 analogue, whose saturated pattern
+would otherwise dominate (Section 4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..asdb import ASRegistry
+from ..internet import Port
+
+__all__ = ["MetricSet", "evaluate_metrics", "filter_mega_isp"]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSet:
+    """The triple of headline metrics for one TGA run."""
+
+    hits: int
+    ases: int
+    aliases: int = 0
+
+    def metric(self, name: str) -> int:
+        """Access a metric by name ("hits" / "ases" / "aliases")."""
+        if name not in ("hits", "ases", "aliases"):
+            raise KeyError(f"unknown metric: {name}")
+        return getattr(self, name)
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "ases": self.ases, "aliases": self.aliases}
+
+
+def filter_mega_isp(
+    addresses: Iterable[int],
+    registry: ASRegistry,
+    mega_asn: int,
+    port: Port,
+) -> set[int]:
+    """Drop AS12322-analogue addresses from ICMP results (paper §4.1).
+
+    On non-ICMP ports the filter is a no-op: the bias only manifests on
+    ICMP, where the pattern is saturated.
+    """
+    addresses = set(addresses)
+    if port is not Port.ICMP:
+        return addresses
+    return {
+        address for address in addresses if registry.asn_of(address) != mega_asn
+    }
+
+
+def evaluate_metrics(
+    clean_hits: Iterable[int],
+    aliased_hits: Iterable[int],
+    registry: ASRegistry,
+    port: Port,
+    mega_asn: int | None = None,
+) -> MetricSet:
+    """Compute the MetricSet for one run's dealiased output."""
+    clean = set(clean_hits)
+    aliased = set(aliased_hits)
+    if mega_asn is not None:
+        clean = filter_mega_isp(clean, registry, mega_asn, port)
+    return MetricSet(
+        hits=len(clean),
+        ases=len(registry.ases_of(clean)),
+        aliases=len(aliased),
+    )

@@ -1,0 +1,107 @@
+"""Extended diversity metrics.
+
+The paper closes by noting that "defining and evaluating detailed
+metrics for large-scale Internet scanning is still an open problem
+requiring future work".  This module implements the natural candidates
+beyond raw hit and AS counts:
+
+* **AS entropy** — Shannon entropy of the per-AS hit distribution; high
+  when discovery is spread evenly, low when one network dominates (the
+  AS12322 failure mode).
+* **Prefix diversity** — distinct /32s, /48s and /64s touched, measuring
+  topological spread below the AS level.
+* **Org-type diversity** — how many organisation categories the
+  discovered population spans, with a normalised Simpson index.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..asdb import ASRegistry, OrgType
+
+__all__ = ["DiversityReport", "as_entropy", "prefix_diversity", "diversity_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class DiversityReport:
+    """Extended diversity metrics for one discovered population."""
+
+    addresses: int
+    ases: int
+    as_entropy_bits: float
+    distinct_slash32: int
+    distinct_slash48: int
+    distinct_slash64: int
+    org_types: int
+    org_simpson: float  # 0 = one category, →1 = evenly spread
+
+    def as_dict(self) -> dict:
+        return {
+            "addresses": self.addresses,
+            "ases": self.ases,
+            "as_entropy_bits": self.as_entropy_bits,
+            "distinct_slash32": self.distinct_slash32,
+            "distinct_slash48": self.distinct_slash48,
+            "distinct_slash64": self.distinct_slash64,
+            "org_types": self.org_types,
+            "org_simpson": self.org_simpson,
+        }
+
+
+def as_entropy(addresses: Iterable[int], registry: ASRegistry) -> float:
+    """Shannon entropy (bits) of the per-AS distribution of addresses."""
+    counts = registry.count_by_as(addresses)
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def prefix_diversity(addresses: Iterable[int]) -> tuple[int, int, int]:
+    """Distinct (/32, /48, /64) prefixes represented by the addresses."""
+    slash32: set[int] = set()
+    slash48: set[int] = set()
+    slash64: set[int] = set()
+    for address in addresses:
+        slash32.add(address >> 96)
+        slash48.add(address >> 80)
+        slash64.add(address >> 64)
+    return len(slash32), len(slash48), len(slash64)
+
+
+def _org_simpson(counts: dict[OrgType, int]) -> float:
+    """Normalised Simpson diversity: 1 - sum(p_i^2), scaled to [0, 1]."""
+    total = sum(counts.values())
+    if total == 0 or len(counts) <= 1:
+        return 0.0
+    simpson = 1.0 - sum((count / total) ** 2 for count in counts.values())
+    maximum = 1.0 - 1.0 / len(OrgType)
+    return min(1.0, simpson / maximum)
+
+
+def diversity_report(addresses: Iterable[int], registry: ASRegistry) -> DiversityReport:
+    """Compute all extended diversity metrics for a population."""
+    addresses = list(addresses)
+    org_counts: dict[OrgType, int] = {}
+    as_counts = registry.count_by_as(addresses)
+    for asn, count in as_counts.items():
+        org = registry.info(asn).org_type
+        org_counts[org] = org_counts.get(org, 0) + count
+    s32, s48, s64 = prefix_diversity(addresses)
+    return DiversityReport(
+        addresses=len(addresses),
+        ases=len(as_counts),
+        as_entropy_bits=as_entropy(addresses, registry),
+        distinct_slash32=s32,
+        distinct_slash48=s48,
+        distinct_slash64=s64,
+        org_types=len(org_counts),
+        org_simpson=_org_simpson(org_counts),
+    )

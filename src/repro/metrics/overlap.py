@@ -1,0 +1,71 @@
+"""Generator-output overlap analysis (the paper's RQ4 / Figure 6).
+
+Given each generator's discovered hit set (or active-AS set), computes
+the greedy *cumulative unique contribution* ordering: the first
+generator is the one with the most items, each subsequent generator is
+the one adding the most items not yet covered.  This is exactly how the
+paper's Figure 6 is constructed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ContributionStep", "cumulative_contributions", "pairwise_jaccard"]
+
+
+@dataclass(frozen=True, slots=True)
+class ContributionStep:
+    """One bar of the Figure 6 analogue."""
+
+    name: str
+    new_items: int
+    cumulative: int
+    cumulative_fraction: float
+
+
+def cumulative_contributions(
+    named_sets: dict[str, set[int]],
+) -> list[ContributionStep]:
+    """Greedy ordering by marginal unique contribution.
+
+    Ties break by name for determinism.  The total is the union of all
+    sets; ``cumulative_fraction`` is cumulative / total.
+    """
+    remaining = {name: set(items) for name, items in named_sets.items()}
+    total_union: set[int] = set()
+    for items in remaining.values():
+        total_union |= items
+    total = len(total_union)
+    covered: set[int] = set()
+    steps: list[ContributionStep] = []
+    while remaining:
+        best_name = min(
+            remaining,
+            key=lambda name: (-len(remaining[name] - covered), name),
+        )
+        new_items = len(remaining[best_name] - covered)
+        covered |= remaining.pop(best_name)
+        steps.append(
+            ContributionStep(
+                name=best_name,
+                new_items=new_items,
+                cumulative=len(covered),
+                cumulative_fraction=len(covered) / total if total else 0.0,
+            )
+        )
+    return steps
+
+
+def pairwise_jaccard(named_sets: dict[str, set[int]]) -> dict[tuple[str, str], float]:
+    """Jaccard similarity for every generator pair (overlap diagnostics)."""
+    names = sorted(named_sets)
+    result: dict[tuple[str, str], float] = {}
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            union = named_sets[a] | named_sets[b]
+            if not union:
+                result[(a, b)] = 0.0
+                continue
+            result[(a, b)] = len(named_sets[a] & named_sets[b]) / len(union)
+    return result

@@ -1,0 +1,41 @@
+"""The paper's Performance Ratio.
+
+Defined (Section 4.1) for a metric measured on an *original* and a
+*changed* dataset as::
+
+    (metric_changed - metric_original) / metric_original
+
+so 0 means no change, 1.0 means the change doubled the metric and -1.0
+means it zeroed it (the prose calibrates "halves performance" as -1.0 in
+the large-metric limit it discusses; algebraically halving gives -0.5 —
+we follow the formula).  The published formula carries a stray "3 ×"
+that contradicts the paper's own calibration; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .core import MetricSet
+
+__all__ = ["performance_ratio", "metric_ratios"]
+
+
+def performance_ratio(changed: float, original: float) -> float:
+    """The paper's performance ratio of a changed vs. original metric.
+
+    When the original is zero: 0 if the changed value is also zero
+    (no change), +inf otherwise (any improvement over nothing).
+    """
+    if original == 0:
+        return 0.0 if changed == 0 else math.inf
+    return (changed - original) / original
+
+
+def metric_ratios(changed: MetricSet, original: MetricSet) -> dict[str, float]:
+    """Performance ratios for all three metrics of a run pair."""
+    return {
+        "hits": performance_ratio(changed.hits, original.hits),
+        "ases": performance_ratio(changed.ases, original.ases),
+        "aliases": performance_ratio(changed.aliases, original.aliases),
+    }

@@ -1,0 +1,101 @@
+"""Seed staleness measurement.
+
+The paper observes that only 84% of the IPv6 Hitlist still responded at
+scan time and attributes the rest to address churn (citing the "Rusty
+Clusters" findings).  This module measures exactly that for any seed
+collection: per-source, the fraction of (dealiased) seeds still
+responsive on at least one target, and the breakdown of why the rest
+are dead (churned member, retired region, renumbered region,
+firewalled, aliased).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets import DatasetCollection, SeedDataset
+from ..internet import ALL_PORTS, SCAN_EPOCH, SimulatedInternet
+
+__all__ = ["StalenessReport", "staleness_report", "collection_staleness"]
+
+
+@dataclass(frozen=True, slots=True)
+class StalenessReport:
+    """Why a seed dataset's addresses do (not) respond at scan time."""
+
+    source: str
+    total: int
+    responsive: int
+    aliased: int
+    firewalled: int
+    region_retired: int
+    region_renumbered: int
+    churned_or_filtered: int
+    unrouted: int
+
+    @property
+    def responsive_fraction(self) -> float:
+        return self.responsive / self.total if self.total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "total": self.total,
+            "responsive": self.responsive,
+            "responsive_fraction": self.responsive_fraction,
+            "aliased": self.aliased,
+            "firewalled": self.firewalled,
+            "region_retired": self.region_retired,
+            "region_renumbered": self.region_renumbered,
+            "churned_or_filtered": self.churned_or_filtered,
+            "unrouted": self.unrouted,
+        }
+
+
+def staleness_report(
+    internet: SimulatedInternet,
+    dataset: SeedDataset,
+    renumbered_churn_threshold: float = 0.9,
+) -> StalenessReport:
+    """Classify every seed of one dataset at the scan epoch."""
+    responsive = aliased = firewalled = retired = renumbered = 0
+    churned = unrouted = 0
+    for address in dataset.addresses:
+        region = internet.region_of(address)
+        if region is None:
+            unrouted += 1
+            continue
+        if region.aliased:
+            aliased += 1
+            continue
+        iid = address & 0xFFFF_FFFF_FFFF_FFFF
+        if any(
+            iid in region.responsive_iids(port, SCAN_EPOCH) for port in ALL_PORTS
+        ):
+            responsive += 1
+        elif region.firewalled:
+            firewalled += 1
+        elif region.retired:
+            retired += 1
+        elif region.churn_rate >= renumbered_churn_threshold:
+            renumbered += 1
+        else:
+            churned += 1
+    return StalenessReport(
+        source=dataset.name,
+        total=len(dataset),
+        responsive=responsive,
+        aliased=aliased,
+        firewalled=firewalled,
+        region_retired=retired,
+        region_renumbered=renumbered,
+        churned_or_filtered=churned,
+        unrouted=unrouted,
+    )
+
+
+def collection_staleness(
+    internet: SimulatedInternet, collection: DatasetCollection
+) -> list[StalenessReport]:
+    """Staleness reports for every source, in collection order."""
+    return [staleness_report(internet, dataset) for dataset in collection]

@@ -1,0 +1,6 @@
+"""Seed preprocessing: dealiasing, activity restriction, named constructions."""
+
+from .constructions import DatasetConstructions
+from .pipeline import SeedPreprocessor
+
+__all__ = ["SeedPreprocessor", "DatasetConstructions"]

@@ -1,0 +1,128 @@
+"""The named dataset constructions of the study (the paper's Table 2).
+
+================  =========================================================
+RQ1.a             Full / Offline-dealiased / Online-dealiased / Joint
+RQ1.b             All Active = Joint-dealiased minus unresponsive seeds
+RQ2               Port-specific = All Active restricted per port
+RQ3               Source-specific = each source's seeds ∩ All Active
+RQ4               All Active, comparing generators
+================  =========================================================
+
+Everything is computed lazily and cached: the expensive steps (online
+seed dealiasing, the four-port activity pre-scan) run at most once.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from ..datasets import DatasetCollection, SeedDataset
+from ..dealias import DealiasMode
+from ..internet import Port, SimulatedInternet
+from ..scanner import Scanner
+from .pipeline import SeedPreprocessor
+
+__all__ = ["DatasetConstructions"]
+
+
+class DatasetConstructions:
+    """Lazy factory for every dataset construction the experiments need."""
+
+    def __init__(
+        self,
+        internet: SimulatedInternet,
+        collection: DatasetCollection,
+        scanner: Scanner | None = None,
+    ) -> None:
+        self.internet = internet
+        self.collection = collection
+        self.preprocessor = SeedPreprocessor(internet, scanner)
+
+    # -- RQ1.a: dealiasing treatments -------------------------------------
+
+    @cached_property
+    def full(self) -> SeedDataset:
+        """The combined, un-preprocessed 12-source seed set."""
+        return self.collection.combined(name="full")
+
+    @cached_property
+    def offline_dealiased(self) -> SeedDataset:
+        """Full set minus published-alias-list coverage."""
+        return self.preprocessor.dealias(self.full, DealiasMode.OFFLINE)
+
+    @cached_property
+    def online_dealiased(self) -> SeedDataset:
+        """Full set minus online-verified /96 aliases."""
+        return self.preprocessor.dealias(self.full, DealiasMode.ONLINE)
+
+    @cached_property
+    def joint_dealiased(self) -> SeedDataset:
+        """Full set dealiased by both methods (the RQ1.a winner)."""
+        return self.preprocessor.dealias(self.full, DealiasMode.JOINT)
+
+    def dealias_variant(self, mode: DealiasMode) -> SeedDataset:
+        """The RQ1.a dataset for one dealias treatment."""
+        if mode is DealiasMode.NONE:
+            return self.full
+        if mode is DealiasMode.OFFLINE:
+            return self.offline_dealiased
+        if mode is DealiasMode.ONLINE:
+            return self.online_dealiased
+        return self.joint_dealiased
+
+    # -- RQ1.b: activity ------------------------------------------------------
+
+    @cached_property
+    def activity(self) -> dict[Port, set[int]]:
+        """Per-port responsive subsets of the joint-dealiased seeds."""
+        return self.preprocessor.scan_activity(self.joint_dealiased)
+
+    @cached_property
+    def all_active(self) -> SeedDataset:
+        """Joint-dealiased seeds responsive on at least one target."""
+        dataset = self.preprocessor.restrict_active(self.joint_dealiased, self.activity)
+        return SeedDataset(
+            name="all-active",
+            kind=dataset.kind,
+            addresses=dataset.addresses,
+        )
+
+    # -- RQ2: port-specific -----------------------------------------------------
+
+    def port_specific(self, port: Port) -> SeedDataset:
+        """Joint-dealiased seeds responsive on exactly this target."""
+        dataset = self.preprocessor.restrict_port(
+            self.joint_dealiased, port, self.activity
+        )
+        return SeedDataset(
+            name=f"port-{port.value}",
+            kind=dataset.kind,
+            addresses=dataset.addresses,
+        )
+
+    # -- RQ3: source-specific ------------------------------------------------
+
+    def source_specific(self, source_name: str) -> SeedDataset:
+        """One source's seeds, restricted to the responsive population."""
+        source = self.collection[source_name]
+        return SeedDataset(
+            name=f"source-{source_name}",
+            kind=source.kind,
+            addresses=frozenset(source.addresses & self.all_active.addresses),
+        )
+
+    # -- summary --------------------------------------------------------------
+
+    def sizes(self) -> dict[str, int]:
+        """Sizes of the principal constructions (diagnostics, docs)."""
+        return {
+            "full": len(self.full),
+            "offline_dealiased": len(self.offline_dealiased),
+            "online_dealiased": len(self.online_dealiased),
+            "joint_dealiased": len(self.joint_dealiased),
+            "all_active": len(self.all_active),
+            **{
+                f"port_{port.value}": len(self.activity[port])
+                for port in self.activity
+            },
+        }

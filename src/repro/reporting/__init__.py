@@ -1,0 +1,22 @@
+"""Reporting: ASCII tables, text figures, CSV/JSON export."""
+
+from .export import rows_to_csv, rows_to_json, write_rows
+from .figures import render_bars, render_ratio_bars, render_series
+from .markdown import markdown_table, render_heatmap
+from .report import generate_report
+from .tables import format_count, format_ratio, render_table
+
+__all__ = [
+    "render_table",
+    "format_count",
+    "format_ratio",
+    "render_bars",
+    "render_ratio_bars",
+    "render_series",
+    "rows_to_csv",
+    "rows_to_json",
+    "write_rows",
+    "markdown_table",
+    "render_heatmap",
+    "generate_report",
+]

@@ -1,0 +1,41 @@
+"""CSV/JSON export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Iterable, Mapping
+
+__all__ = ["rows_to_csv", "rows_to_json", "write_rows"]
+
+
+def rows_to_csv(rows: Iterable[Mapping[str, object]]) -> str:
+    """Serialise homogeneous dict rows to CSV text."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: Iterable[Mapping[str, object]], indent: int = 2) -> str:
+    """Serialise dict rows to a JSON array."""
+    return json.dumps(list(rows), indent=indent, default=str)
+
+
+def write_rows(path: str, rows: Iterable[Mapping[str, object]]) -> None:
+    """Write rows to ``path`` as CSV or JSON based on the extension."""
+    rows = list(rows)
+    if path.endswith(".json"):
+        text = rows_to_json(rows)
+    elif path.endswith(".csv"):
+        text = rows_to_csv(rows)
+    else:
+        raise ValueError(f"unsupported export extension: {path}")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,70 @@
+"""Text renderings of the paper's figures.
+
+The benchmark harness regenerates each figure as data series; these
+helpers render them as labelled horizontal bar charts so the "figure"
+can be read directly from the bench output.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = ["render_bars", "render_ratio_bars", "render_series"]
+
+
+def render_bars(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of non-negative values."""
+    if not values:
+        return title
+    peak = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:,.0f}{unit}")
+    return "\n".join(lines)
+
+
+def render_ratio_bars(
+    ratios: Mapping[str, float],
+    title: str = "",
+    width: int = 24,
+) -> str:
+    """Centered bar chart for performance ratios (negative bars go left)."""
+    if not ratios:
+        return title
+    finite = [abs(v) for v in ratios.values() if math.isfinite(v)]
+    peak = max(finite) if finite else 1.0
+    peak = peak or 1.0
+    label_width = max(len(label) for label in ratios)
+    lines = [title] if title else []
+    for label, value in ratios.items():
+        if not math.isfinite(value):
+            rendered = " " * width + "|" + ">" * width
+            text = "+inf"
+        else:
+            magnitude = min(width, int(round(width * abs(value) / peak)))
+            if value >= 0:
+                rendered = " " * width + "|" + "#" * magnitude
+            else:
+                rendered = " " * (width - magnitude) + "#" * magnitude + "|"
+            text = f"{value:+.2f}"
+        lines.append(f"{label.ljust(label_width)} {rendered.ljust(2 * width + 1)} {text}")
+    return "\n".join(lines)
+
+
+def render_series(
+    points: Sequence[tuple[str, float]],
+    title: str = "",
+) -> str:
+    """A labelled cumulative series (for Figure 6 style step plots)."""
+    lines = [title] if title else []
+    for label, value in points:
+        lines.append(f"  {label}: {value:,.0f}")
+    return "\n".join(lines)

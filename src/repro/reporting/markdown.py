@@ -1,0 +1,67 @@
+"""Markdown rendering of experiment artifacts.
+
+Complements the ASCII renderers for outputs destined for READMEs, issue
+trackers or papers: GitHub-flavoured tables and a text heatmap for the
+overlap matrices of Figures 1/2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["markdown_table", "render_heatmap"]
+
+# Five-step shading ramp for text heatmaps (low → high).
+_SHADES = (" ", "░", "▒", "▓", "█")
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    align_right: Sequence[int] = (),
+) -> str:
+    """Render a GitHub-flavoured markdown table.
+
+    ``align_right`` lists column indices to right-align (numeric columns).
+    """
+    right = set(align_right)
+    header_line = "| " + " | ".join(str(h) for h in headers) + " |"
+    separators = []
+    for index in range(len(headers)):
+        separators.append("---:" if index in right else "---")
+    separator_line = "| " + " | ".join(separators) + " |"
+    body = [
+        "| " + " | ".join(str(cell) for cell in row) + " |" for row in rows
+    ]
+    return "\n".join([header_line, separator_line, *body])
+
+
+def render_heatmap(
+    matrix: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    max_value: float = 100.0,
+) -> str:
+    """Text heatmap of a name×name matrix of values in [0, max_value].
+
+    Each cell becomes one shading character — the compact form of the
+    paper's Figure 1/2 overlap heatmaps.
+    """
+    names = list(matrix)
+    label_width = max((len(name) for name in names), default=0)
+    lines = [title] if title else []
+    # Column key: first letter positions.
+    header = " " * (label_width + 1) + "".join(name[0] for name in names)
+    lines.append(header)
+    for row_name in names:
+        cells = []
+        for col_name in names:
+            value = matrix[row_name].get(col_name, 0.0)
+            fraction = min(1.0, max(0.0, value / max_value)) if max_value else 0.0
+            cells.append(_SHADES[min(len(_SHADES) - 1, int(fraction * len(_SHADES)))])
+        lines.append(f"{row_name.ljust(label_width)} {''.join(cells)}")
+    legend = "legend: " + " ".join(
+        f"{shade}≥{int(index * max_value / len(_SHADES))}"
+        for index, shade in enumerate(_SHADES)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

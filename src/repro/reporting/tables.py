@@ -1,0 +1,62 @@
+"""ASCII table rendering for experiment artifacts."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_count", "format_ratio"]
+
+
+def format_count(value: int | float) -> str:
+    """Thousands-separated integer formatting."""
+    return f"{int(value):,}"
+
+
+def format_ratio(value: float) -> str:
+    """Signed two-decimal ratio, with infinities rendered readably."""
+    if value == float("inf"):
+        return "+inf"
+    if value == float("-inf"):
+        return "-inf"
+    return f"{value:+.2f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Numeric cells are right-aligned; everything else left-aligned.
+    """
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+
+    def is_numeric(text: str) -> bool:
+        stripped = text.replace(",", "").replace("+", "").replace("-", "")
+        stripped = stripped.replace(".", "").replace("%", "").replace("inf", "0")
+        return stripped.isdigit() if stripped else False
+
+    def format_row(row: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(row):
+            width = widths[index] if index < len(widths) else len(cell)
+            parts.append(cell.rjust(width) if is_numeric(cell) else cell.ljust(width))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(format_row(list(headers)))
+    lines.append(separator)
+    for row in cells:
+        lines.append(format_row(row))
+    lines.append(separator)
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Probe engine (Scanv6 analogue): responses, blocklist, rate limiting, stats."""
+
+from .backends import CachingBackend, ProbeBackend, SimulatedBackend
+from .blocklist import Blocklist
+from .engine import Scanner, ScanResult
+from .ratelimit import RateLimiter
+from .responses import ResponseType, affirmative_response, negative_response
+from .stats import ScanStats
+
+__all__ = [
+    "Scanner",
+    "ScanResult",
+    "Blocklist",
+    "RateLimiter",
+    "ResponseType",
+    "affirmative_response",
+    "negative_response",
+    "ScanStats",
+    "ProbeBackend",
+    "SimulatedBackend",
+    "CachingBackend",
+]

@@ -1,0 +1,101 @@
+"""Probe backends: the seam between this library and a real scanner.
+
+Everything above the scanner (TGAs, preprocessing, dealiasing policy,
+metrics, experiment pipelines) only needs one operation: *probe these
+addresses on this target and tell me which answered*.  The
+:class:`ProbeBackend` protocol names that seam; adapters for real
+probers (Scanv6, ZMapv6, yarrp) implement it with subprocess or socket
+plumbing, while :class:`SimulatedBackend` binds it to the built-in
+ground truth and :class:`CachingBackend` wraps any backend with a probe
+cache so repeated experiments never re-send identical probes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Protocol, runtime_checkable
+
+from ..internet import Port
+from .engine import Scanner
+
+__all__ = ["ProbeBackend", "SimulatedBackend", "CachingBackend"]
+
+
+@runtime_checkable
+class ProbeBackend(Protocol):
+    """The minimal scanning surface the experiment layer depends on."""
+
+    def probe_batch(self, addresses: Iterable[int], port: Port) -> set[int]:
+        """Probe every address once on ``port``; return the responders."""
+        ...
+
+    def verify(self, address: int, port: Port, retries: int = 3) -> bool:
+        """Retry-probe one address (alias verification semantics)."""
+        ...
+
+
+class SimulatedBackend:
+    """ProbeBackend over the built-in simulated Internet."""
+
+    def __init__(self, scanner: Scanner) -> None:
+        self.scanner = scanner
+
+    def probe_batch(self, addresses: Iterable[int], port: Port) -> set[int]:
+        return set(self.scanner.scan(addresses, port).hits)
+
+    def verify(self, address: int, port: Port, retries: int = 3) -> bool:
+        return self.scanner.probe_with_retries(address, port, retries=retries)
+
+    @property
+    def packets_sent(self) -> int:
+        """Total probes issued through this backend."""
+        return self.scanner.rate_limiter.packets_sent
+
+
+class CachingBackend:
+    """Wrap any backend with a per-(address, port) result cache.
+
+    Real scans are expensive and repeated probing of the same target is
+    both wasteful and impolite; the cache guarantees each (address,
+    port) pair costs at most one batch probe.  Verification probes are
+    cached separately (they involve retries and different semantics).
+    """
+
+    def __init__(self, inner: ProbeBackend) -> None:
+        self.inner = inner
+        self._cache: dict[tuple[int, int], bool] = {}
+        self._verify_cache: dict[tuple[int, int], bool] = {}
+        self.cache_hits = 0
+
+    def probe_batch(self, addresses: Iterable[int], port: Port) -> set[int]:
+        port_index = port.index
+        pending: list[int] = []
+        responders: set[int] = set()
+        for address in addresses:
+            cached = self._cache.get((address, port_index))
+            if cached is None:
+                pending.append(address)
+            else:
+                self.cache_hits += 1
+                if cached:
+                    responders.add(address)
+        if pending:
+            fresh = self.inner.probe_batch(pending, port)
+            for address in pending:
+                self._cache[(address, port_index)] = address in fresh
+            responders |= fresh
+        return responders
+
+    def verify(self, address: int, port: Port, retries: int = 3) -> bool:
+        key = (address, port.index)
+        cached = self._verify_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        result = self.inner.verify(address, port, retries=retries)
+        self._verify_cache[key] = result
+        return result
+
+    def __len__(self) -> int:
+        """Number of cached probe results."""
+        return len(self._cache) + len(self._verify_cache)

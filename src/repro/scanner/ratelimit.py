@@ -1,0 +1,43 @@
+"""Rate limiting against a simulated clock.
+
+The paper's scans were rate limited to ten thousand packets per second.
+Probing a simulated Internet costs no real wall-clock time, so the
+limiter tracks *virtual* time instead: it answers "when would this probe
+go out?" and the scan statistics report the virtual duration a real scan
+at the configured rate would have taken.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RateLimiter"]
+
+
+class RateLimiter:
+    """Token-bucket pacing over a virtual clock."""
+
+    def __init__(self, packets_per_second: float = 10_000.0) -> None:
+        if packets_per_second <= 0:
+            raise ValueError("packets_per_second must be positive")
+        self.packets_per_second = packets_per_second
+        self._packets_sent = 0
+
+    def account(self, packets: int = 1) -> float:
+        """Record ``packets`` sends; returns the virtual send timestamp."""
+        if packets < 0:
+            raise ValueError("packets must be non-negative")
+        self._packets_sent += packets
+        return self.virtual_time
+
+    @property
+    def packets_sent(self) -> int:
+        """Total packets accounted so far."""
+        return self._packets_sent
+
+    @property
+    def virtual_time(self) -> float:
+        """Seconds a real scanner at this rate would have spent so far."""
+        return self._packets_sent / self.packets_per_second
+
+    def reset(self) -> None:
+        """Zero the virtual clock."""
+        self._packets_sent = 0

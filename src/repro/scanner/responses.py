@@ -1,0 +1,56 @@
+"""Probe response taxonomy.
+
+The paper is explicit that response *type* matters: ICMP Destination
+Unreachable answers to Echo requests and TCP RSTs are **not** hits
+(they do not indicate an open service), and counting them inconsistently
+was one of the methodological problems in prior work.  We model the full
+taxonomy so the scanner can make the same distinction.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..internet.ports import Port
+
+__all__ = ["ResponseType", "affirmative_response", "negative_response"]
+
+
+class ResponseType(str, Enum):
+    """Outcome of a single probe."""
+
+    ECHO_REPLY = "echo_reply"          # ICMPv6 Echo Reply — a hit
+    SYN_ACK = "syn_ack"                # TCP SYN-ACK — a hit
+    UDP_REPLY = "udp_reply"            # DNS answer on UDP/53 — a hit
+    RST = "rst"                        # TCP RST — host alive, port closed: NOT a hit
+    DEST_UNREACH = "dest_unreach"      # ICMPv6 Destination Unreachable: NOT a hit
+    PORT_UNREACH = "port_unreach"      # ICMPv6 Port Unreachable (UDP): NOT a hit
+    TIMEOUT = "timeout"                # nothing came back
+    BLOCKED = "blocked"                # target on the blocklist; never sent
+
+    @property
+    def is_hit(self) -> bool:
+        """Whether this response counts as a hit under the paper's rules."""
+        return self in (
+            ResponseType.ECHO_REPLY,
+            ResponseType.SYN_ACK,
+            ResponseType.UDP_REPLY,
+        )
+
+
+def affirmative_response(port: Port) -> ResponseType:
+    """The hit-type response for a given scan target."""
+    if port is Port.ICMP:
+        return ResponseType.ECHO_REPLY
+    if port.is_tcp:
+        return ResponseType.SYN_ACK
+    return ResponseType.UDP_REPLY
+
+
+def negative_response(port: Port) -> ResponseType:
+    """The alive-but-closed response type for a given scan target."""
+    if port is Port.ICMP:
+        return ResponseType.DEST_UNREACH
+    if port.is_tcp:
+        return ResponseType.RST
+    return ResponseType.PORT_UNREACH

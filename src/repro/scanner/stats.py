@@ -1,0 +1,62 @@
+"""Scan statistics accumulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .responses import ResponseType
+
+__all__ = ["ScanStats"]
+
+
+@dataclass(slots=True)
+class ScanStats:
+    """Counters for one scan (or one scanner lifetime)."""
+
+    probes_sent: int = 0
+    targets_blocked: int = 0
+    responses: dict = field(default_factory=dict)
+    virtual_duration: float = 0.0
+
+    def record(self, response: ResponseType) -> None:
+        """Record one probe outcome."""
+        if response is ResponseType.BLOCKED:
+            self.targets_blocked += 1
+        else:
+            self.probes_sent += 1
+        self.responses[response] = self.responses.get(response, 0) + 1
+
+    def count(self, response: ResponseType) -> int:
+        """How many probes got the given response type."""
+        return self.responses.get(response, 0)
+
+    @property
+    def hits(self) -> int:
+        """Total affirmative responses."""
+        return sum(
+            count for response, count in self.responses.items() if response.is_hit
+        )
+
+    @property
+    def hitrate(self) -> float:
+        """Hits per probe sent (0 when nothing was sent)."""
+        return self.hits / self.probes_sent if self.probes_sent else 0.0
+
+    def merge(self, other: "ScanStats") -> None:
+        """Fold another stats object into this one."""
+        self.probes_sent += other.probes_sent
+        self.targets_blocked += other.targets_blocked
+        self.virtual_duration += other.virtual_duration
+        for response, count in other.responses.items():
+            self.responses[response] = self.responses.get(response, 0) + count
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for reporting/export."""
+        return {
+            "probes_sent": self.probes_sent,
+            "targets_blocked": self.targets_blocked,
+            "virtual_duration": self.virtual_duration,
+            "hits": self.hits,
+            "hitrate": self.hitrate,
+            **{f"response_{r.value}": c for r, c in sorted(self.responses.items())},
+        }

@@ -1,0 +1,46 @@
+"""The eight Target Generation Algorithms and shared machinery."""
+
+from .base import (
+    ALL_TGA_NAMES,
+    TGA_TABLE1,
+    Table1Row,
+    TargetGenerator,
+    create_tga,
+    register_tga,
+    tga_class,
+)
+from .addrminer import AddrMiner
+from .det import DET
+from .entropy_ip import EntropyIP
+from .leafpool import LeafPool
+from .sixgen import SixGen
+from .sixgraph import SixGraph
+from .sixhit import SixHit
+from .sixscan import SixScan
+from .sixsense import SixSense
+from .sixtree import SixTree
+from .spacetree import SpaceTree, SpaceTreeLeaf, expanded_values, leaf_candidates
+
+__all__ = [
+    "TargetGenerator",
+    "create_tga",
+    "tga_class",
+    "register_tga",
+    "ALL_TGA_NAMES",
+    "Table1Row",
+    "TGA_TABLE1",
+    "SpaceTree",
+    "SpaceTreeLeaf",
+    "LeafPool",
+    "expanded_values",
+    "leaf_candidates",
+    "SixTree",
+    "SixScan",
+    "SixHit",
+    "SixGen",
+    "SixGraph",
+    "SixSense",
+    "DET",
+    "EntropyIP",
+    "AddrMiner",
+]

@@ -1,0 +1,150 @@
+"""Entropy/IP (Foremski, Plonka & Berger, IMC 2016).
+
+The first automated TGA: segment the 32 nybble positions by entropy,
+learn the frequent values of each segment, and generate addresses by
+sampling a Bayesian chain over segment values.
+
+Entropy/IP's character in the paper — orders of magnitude fewer hits
+than every other generator, and a tendency to fall into whatever single
+lucky (sometimes aliased) prefix its samples concentrate on — is a
+direct consequence of its design: segments are sampled with only
+adjacent-segment conditioning, so the joint combinations it emits rarely
+correspond to real co-occurring structure.  We reproduce the design
+faithfully rather than improving it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from ..addr import ADDRESS_NYBBLES
+from ..addr.nybbles import get_nybble
+from ..addr.rand import DeterministicStream
+from .base import TargetGenerator, register_tga
+
+__all__ = ["EntropyIP"]
+
+_ENTROPY_STEP = 0.30  # segment boundary when entropy jumps by this much
+_TOP_VALUES = 24       # values kept per segment
+_MAX_ATTEMPT_FACTOR = 24
+
+
+def _nybble_entropy(seeds: list[int], dim: int) -> float:
+    counts = Counter(get_nybble(seed, dim) for seed in seeds)
+    total = len(seeds)
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def segment_boundaries(entropies: list[float], step: float = _ENTROPY_STEP) -> list[int]:
+    """Segment start indices from the per-nybble entropy profile."""
+    boundaries = [0]
+    for dim in range(1, len(entropies)):
+        if abs(entropies[dim] - entropies[dim - 1]) > step:
+            boundaries.append(dim)
+    return boundaries
+
+
+@register_tga
+class EntropyIP(TargetGenerator):
+    """Entropy/IP: entropy segmentation + Bayesian-chain sampling."""
+
+    name = "eip"
+    online = False
+
+    def __init__(self, salt: int = 0) -> None:
+        super().__init__(salt=salt)
+        self._segments: list[tuple[int, int]] = []  # (start_dim, length)
+        self._marginals: list[list[tuple[int, int]]] = []  # per segment: (value, count)
+        self._transitions: list[dict[int, list[tuple[int, int]]]] = []
+        self._seeds: set[int] = set()
+        self._stream: DeterministicStream | None = None
+
+    # -- model -----------------------------------------------------------
+
+    def _segment_value(self, seed: int, start: int, length: int) -> int:
+        value = 0
+        for dim in range(start, start + length):
+            value = (value << 4) | get_nybble(seed, dim)
+        return value
+
+    def _ingest(self, seeds: list[int]) -> None:
+        self._seeds = set(seeds)
+        entropies = [_nybble_entropy(seeds, dim) for dim in range(ADDRESS_NYBBLES)]
+        starts = segment_boundaries(entropies)
+        self._segments = []
+        for i, start in enumerate(starts):
+            end = starts[i + 1] if i + 1 < len(starts) else ADDRESS_NYBBLES
+            self._segments.append((start, end - start))
+
+        # Per-segment marginals and adjacent-segment transition counts.
+        self._marginals = []
+        self._transitions = []
+        previous_values: list[int] | None = None
+        for start, length in self._segments:
+            values = [self._segment_value(seed, start, length) for seed in seeds]
+            counts = Counter(values)
+            self._marginals.append(counts.most_common(_TOP_VALUES))
+            transitions: dict[int, list[tuple[int, int]]] = {}
+            if previous_values is not None:
+                pair_counts: dict[int, Counter] = {}
+                for prev, cur in zip(previous_values, values):
+                    pair_counts.setdefault(prev, Counter())[cur] += 1
+                transitions = {
+                    prev: counter.most_common(_TOP_VALUES)
+                    for prev, counter in pair_counts.items()
+                }
+            self._transitions.append(transitions)
+            previous_values = values
+        self._stream = DeterministicStream(0xE1B, self.salt)
+        self._emitted: set[int] = set()
+
+    # -- generation --------------------------------------------------------
+
+    def _sample_from(self, weighted: list[tuple[int, int]]) -> int:
+        assert self._stream is not None
+        total = sum(count for _, count in weighted)
+        draw = self._stream.next_below(total)
+        cumulative = 0
+        for value, count in weighted:
+            cumulative += count
+            if draw < cumulative:
+                return value
+        return weighted[-1][0]
+
+    def _sample_address(self) -> int:
+        address = 0
+        previous = None
+        for index, (start, length) in enumerate(self._segments):
+            options = None
+            if previous is not None:
+                options = self._transitions[index].get(previous)
+            if not options:
+                options = self._marginals[index]
+            value = self._sample_from(options)
+            address = (address << (4 * length)) | value
+            previous = value
+        return address
+
+    def propose(self, count: int) -> list[int]:
+        self._require_prepared()
+        result: list[int] = []
+        attempts = 0
+        max_attempts = count * _MAX_ATTEMPT_FACTOR
+        while len(result) < count and attempts < max_attempts:
+            attempts += 1
+            address = self._sample_address()
+            if address in self._seeds or address in self._emitted:
+                continue
+            self._emitted.add(address)
+            result.append(address)
+        return result
+
+    @property
+    def segments(self) -> list[tuple[int, int]]:
+        """The learned (start, length) entropy segments."""
+        return list(self._segments)

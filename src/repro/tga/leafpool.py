@@ -1,0 +1,125 @@
+"""Weighted candidate pools over space-tree leaves.
+
+All four tree-family TGAs (6Tree, 6Scan, DET, 6Hit) and the clustering
+generators (6Gen, 6Graph) boil down to the same mechanic: keep a set of
+*regions*, each with a lazy candidate stream, and split the generation
+budget across regions according to some (possibly adaptive) weight.
+:class:`LeafPool` implements that mechanic once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .spacetree import SpaceTreeLeaf, leaf_candidates
+
+__all__ = ["LeafPool"]
+
+
+class LeafPool:
+    """Budget-weighted round-robin over per-leaf candidate iterators."""
+
+    def __init__(
+        self,
+        leaves: list[SpaceTreeLeaf],
+        weights: list[float] | None = None,
+        max_level: int = 3,
+        exclude: set[int] | None = None,
+    ) -> None:
+        if weights is not None and len(weights) != len(leaves):
+            raise ValueError("weights must match leaves")
+        self.leaves = leaves
+        self._iterators: list[Iterator[int] | None] = [
+            leaf_candidates(leaf, max_level) for leaf in leaves
+        ]
+        if weights is not None:
+            self.weights: list[float] = list(weights)
+        else:
+            self.weights = [max(leaf.density, 1e-9) for leaf in leaves]
+        self._exclude = exclude if exclude is not None else set()
+        self._emitted: set[int] = set()
+        #: probes/hits bookkeeping for adaptive callers.
+        self.probes = [0] * len(leaves)
+        self.hits = [0] * len(leaves)
+
+    # -- state ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def alive(self) -> bool:
+        """Whether any leaf can still produce candidates."""
+        return any(iterator is not None for iterator in self._iterators)
+
+    def set_weight(self, index: int, weight: float) -> None:
+        """Set one leaf's budget weight (non-negative)."""
+        self.weights[index] = max(0.0, weight)
+
+    def record(self, index: int, hit: bool) -> None:
+        """Record scan feedback for an address proposed by leaf ``index``."""
+        self.probes[index] += 1
+        if hit:
+            self.hits[index] += 1
+
+    def hitrate(self, index: int) -> float:
+        """Observed hitrate of one leaf (0 before any feedback)."""
+        probes = self.probes[index]
+        return self.hits[index] / probes if probes else 0.0
+
+    # -- drawing -----------------------------------------------------------
+
+    def _pull(self, index: int) -> int | None:
+        iterator = self._iterators[index]
+        if iterator is None:
+            return None
+        for address in iterator:
+            if address in self._emitted or address in self._exclude:
+                continue
+            self._emitted.add(address)
+            return address
+        self._iterators[index] = None
+        return None
+
+    def draw(self, count: int) -> list[tuple[int, int]]:
+        """Draw up to ``count`` fresh (address, leaf_index) pairs.
+
+        The budget is split across live leaves proportionally to their
+        weights each pass; leaves that exhaust drop out and their share
+        is redistributed on the next pass.
+        """
+        result: list[tuple[int, int]] = []
+        if count <= 0:
+            return result
+        while len(result) < count:
+            live = [
+                i
+                for i, iterator in enumerate(self._iterators)
+                if iterator is not None and self.weights[i] > 0.0
+            ]
+            if not live:
+                # Fall back to zero-weight leaves rather than underfilling.
+                live = [
+                    i for i, it in enumerate(self._iterators) if it is not None
+                ]
+                if not live:
+                    break
+                for i in live:
+                    self.weights[i] = 1e-9
+            total = sum(self.weights[i] for i in live)
+            live.sort(key=lambda i: -self.weights[i])
+            remaining = count - len(result)
+            progressed = False
+            for i in live:
+                share = max(1, int(remaining * self.weights[i] / total))
+                for _ in range(min(share, count - len(result))):
+                    address = self._pull(i)
+                    if address is None:
+                        break
+                    result.append((address, i))
+                    progressed = True
+                if len(result) >= count:
+                    break
+            if not progressed:
+                break
+        return result

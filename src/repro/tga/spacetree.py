@@ -1,0 +1,268 @@
+"""Hierarchical address-space trees — the shared core of 6Tree, DET,
+6Scan and 6Hit.
+
+A space tree recursively partitions the seed set on nybble positions.
+Each leaf is a *region*: a set of seeds agreeing on every nybble except a
+few "variable dimensions".  Generation expands a leaf by re-assigning
+variable dimensions to values near (or interpolating/extrapolating) the
+observed ones — exactly the dynamic-expansion step the tree-based TGA
+papers describe.
+
+Two split strategies are provided:
+
+``leftmost``
+    6Tree's original heuristic — split on the most significant nybble
+    that still varies.
+``entropy``
+    DET's refinement (shared by 6Graph) — split on the variable nybble
+    with the *lowest* Shannon entropy, peeling the most structured
+    dimension first.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from ..addr import ADDRESS_NYBBLES
+from ..addr.nybbles import differing_positions, get_nybble, set_nybble
+
+__all__ = ["SpaceTreeLeaf", "SpaceTree", "expanded_values", "leaf_candidates"]
+
+
+def expanded_values(observed: set[int]) -> list[int]:
+    """Candidate nybble values for a variable dimension.
+
+    Observed values first (they co-occur with known-active addresses),
+    then gap-fill between min and max, then a short extrapolation above
+    and below — the "expand the pattern" move every tree TGA makes.
+    """
+    ordered = sorted(observed)
+    seen = set(ordered)
+    result = list(ordered)
+    lo, hi = ordered[0], ordered[-1]
+    for value in range(lo, hi + 1):  # gap fill
+        if value not in seen:
+            seen.add(value)
+            result.append(value)
+    for value in (hi + 1, hi + 2, lo - 1):  # extrapolate
+        if 0 <= value <= 0xF and value not in seen:
+            seen.add(value)
+            result.append(value)
+    return result
+
+
+def _default_expansion_dims(seeds: list[int]) -> list[int]:
+    """Dimensions to vary when a leaf's seeds are all identical.
+
+    Expanding the least significant IID nybbles mirrors what tree TGAs
+    do with degenerate regions: probe the immediate numeric
+    neighbourhood of the known address.
+    """
+    return [ADDRESS_NYBBLES - 1, ADDRESS_NYBBLES - 2]
+
+
+@dataclass
+class SpaceTreeLeaf:
+    """One region of a space tree.
+
+    Ordinary leaves hold the seeds at the bottom of the partition;
+    *internal* regions (``is_internal``) correspond to split nodes and
+    carry wider wildcard patterns — they model the tree TGAs' behaviour
+    of expanding back up the hierarchy once a dense leaf is exhausted
+    (e.g. discovering sibling subnets never seen in the seeds).
+    """
+
+    seeds: list[int]
+    variable_dims: list[int]
+    depth: int = 0
+    index: int = 0  # position within the tree's leaf list
+    is_internal: bool = False
+
+    _value_sets: dict[int, list[int]] | None = field(default=None, repr=False)
+
+    @property
+    def effective_dims(self) -> list[int]:
+        """Variable dims, or fallback expansion dims for degenerate leaves."""
+        return self.variable_dims or _default_expansion_dims(self.seeds)
+
+    def value_sets(self) -> dict[int, list[int]]:
+        """Expanded candidate values per effective dimension (cached)."""
+        if self._value_sets is None:
+            sets: dict[int, list[int]] = {}
+            for dim in self.effective_dims:
+                observed = {get_nybble(seed, dim) for seed in self.seeds}
+                sets[dim] = expanded_values(observed)
+            self._value_sets = sets
+        return self._value_sets
+
+    @property
+    def density(self) -> float:
+        """Seeds per unit of (log) pattern-space size — the ranking signal.
+
+        Denser regions (many seeds, small wildcard space) are likelier to
+        contain further active addresses, so they are expanded first.
+        """
+        space_log = sum(
+            math.log2(max(2, len(values))) for values in self.value_sets().values()
+        )
+        return len(self.seeds) / (1.0 + space_log)
+
+    def span_score(self) -> float:
+        """How much *new space* this leaf opens (higher = more exploratory)."""
+        return sum(len(values) for values in self.value_sets().values())
+
+
+def leaf_candidates(leaf: SpaceTreeLeaf, max_level: int = 3) -> Iterator[int]:
+    """Deterministic candidate stream for one leaf.
+
+    Level ``k`` re-assigns ``k`` variable dimensions at a time, starting
+    from each seed.  Lower levels come first: they are the smallest
+    generalisations of observed structure and empirically the likeliest
+    to be active.  Seeds themselves are never emitted.
+    """
+    # Vary least-significant dimensions first: changing a low IID nybble
+    # is the smallest step away from a known-active address, while
+    # changing a site/subnet nybble jumps to a different network.
+    dims = sorted(leaf.effective_dims, reverse=True)
+    value_sets = leaf.value_sets()
+    emitted: set[int] = set(leaf.seeds)
+    max_level = min(max_level, len(dims))
+
+    for level in range(1, max_level + 1):
+        for combo in _combinations(dims, level):
+            combo_values = [value_sets[dim] for dim in combo]
+            for base in leaf.seeds:
+                for assignment in _product(combo_values):
+                    address = base
+                    for dim, value in zip(combo, assignment):
+                        address = set_nybble(address, dim, value)
+                    if address not in emitted:
+                        emitted.add(address)
+                        yield address
+
+
+def _combinations(items: list[int], k: int) -> Iterator[tuple[int, ...]]:
+    """itertools.combinations, re-exported for patchability in tests."""
+    import itertools
+
+    return itertools.combinations(items, k)
+
+
+def _product(value_lists: list[list[int]]) -> Iterator[tuple[int, ...]]:
+    import itertools
+
+    return itertools.product(*value_lists)
+
+
+class SpaceTree:
+    """A space tree over a seed set with pluggable split strategy."""
+
+    def __init__(
+        self,
+        seeds: list[int],
+        strategy: str = "leftmost",
+        max_leaf_seeds: int = 12,
+        max_depth: int = ADDRESS_NYBBLES,
+        internal_regions: bool = True,
+        max_internal_seeds: int = 384,
+        max_internal_dims: int = 8,
+    ) -> None:
+        if strategy not in ("leftmost", "entropy"):
+            raise ValueError(f"unknown split strategy: {strategy!r}")
+        if not seeds:
+            raise ValueError("cannot build a space tree from no seeds")
+        self.strategy = strategy
+        self.max_leaf_seeds = max_leaf_seeds
+        self.max_depth = max_depth
+        self.internal_regions = internal_regions
+        self.max_internal_seeds = max_internal_seeds
+        self.max_internal_dims = max_internal_dims
+        self.leaves: list[SpaceTreeLeaf] = []
+        unique = sorted(set(seeds))
+        self._build(unique, depth=0)
+        for index, leaf in enumerate(self.leaves):
+            leaf.index = index
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self, seeds: list[int], depth: int) -> None:
+        variable = differing_positions(seeds)
+        if (
+            len(seeds) <= self.max_leaf_seeds
+            or len(variable) <= 2  # already a compact pattern
+            or depth >= self.max_depth
+        ):
+            self.leaves.append(
+                SpaceTreeLeaf(seeds=seeds, variable_dims=variable, depth=depth)
+            )
+            return
+        if (
+            self.internal_regions
+            and len(seeds) <= self.max_internal_seeds
+            and len(variable) <= self.max_internal_dims
+        ):
+            # Generalisation region for this split node: lets the pool
+            # expand back up the hierarchy (e.g. into sibling subnets)
+            # after the dense leaves below are exhausted.
+            self.leaves.append(
+                SpaceTreeLeaf(
+                    seeds=seeds,
+                    variable_dims=variable,
+                    depth=depth,
+                    is_internal=True,
+                )
+            )
+        dim = self._choose_dim(seeds, variable)
+        buckets: dict[int, list[int]] = {}
+        for seed in seeds:
+            buckets.setdefault(get_nybble(seed, dim), []).append(seed)
+        if len(buckets) <= 1:  # defensive: cannot actually split here
+            self.leaves.append(
+                SpaceTreeLeaf(seeds=seeds, variable_dims=variable, depth=depth)
+            )
+            return
+        for value in sorted(buckets):
+            self._build(buckets[value], depth + 1)
+
+    # Entropy estimation on huge nodes samples a deterministic stride of
+    # seeds: the split choice is a ranking, and a few thousand samples
+    # rank 16-bin histograms reliably.
+    _ENTROPY_SAMPLE = 2048
+
+    def _choose_dim(self, seeds: list[int], variable: list[int]) -> int:
+        if self.strategy == "leftmost":
+            return variable[0]
+        # Entropy strategy: lowest-entropy variable dimension first.
+        if len(seeds) > self._ENTROPY_SAMPLE:
+            stride = len(seeds) // self._ENTROPY_SAMPLE
+            sample = seeds[::stride]
+        else:
+            sample = seeds
+        best_dim = variable[0]
+        best_entropy = float("inf")
+        total = len(sample)
+        for dim in variable:
+            shift = (ADDRESS_NYBBLES - 1 - dim) * 4
+            counts: dict[int, int] = {}
+            for seed in sample:
+                value = (seed >> shift) & 0xF
+                counts[value] = counts.get(value, 0) + 1
+            entropy = 0.0
+            for count in counts.values():
+                p = count / total
+                entropy -= p * math.log2(p)
+            if 0.0 < entropy < best_entropy:
+                best_entropy = entropy
+                best_dim = dim
+        return best_dim
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.leaves)
+
+    def leaves_by_density(self) -> list[SpaceTreeLeaf]:
+        """Leaves ranked densest first (ties broken by tree order)."""
+        return sorted(self.leaves, key=lambda leaf: (-leaf.density, leaf.index))

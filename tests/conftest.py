@@ -1,0 +1,40 @@
+"""Shared fixtures: one tiny deterministic world per test session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import collect_all
+from repro.experiments import Study
+from repro.internet import InternetConfig, SimulatedInternet
+from repro.scanner import Scanner
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> InternetConfig:
+    return InternetConfig.tiny()
+
+
+@pytest.fixture(scope="session")
+def internet(tiny_config) -> SimulatedInternet:
+    return SimulatedInternet(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def collection(internet):
+    return collect_all(internet)
+
+
+@pytest.fixture(scope="session")
+def study(internet) -> Study:
+    return Study(internet=internet, budget=1_500, round_size=400)
+
+
+@pytest.fixture()
+def scanner(internet) -> Scanner:
+    return Scanner(internet)
+
+
+@pytest.fixture(scope="session")
+def seeds(collection) -> list[int]:
+    return sorted(collection.combined().addresses)

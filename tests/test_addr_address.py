@@ -1,0 +1,110 @@
+"""Tests for repro.addr.address."""
+
+import pytest
+
+from repro.addr import (
+    ADDRESS_BITS,
+    ADDRESS_NYBBLES,
+    MAX_ADDRESS,
+    format_address,
+    format_address_full,
+    interface_identifier,
+    is_valid_address,
+    network_part,
+    parse_address,
+)
+
+
+class TestConstants:
+    def test_address_bits(self):
+        assert ADDRESS_BITS == 128
+
+    def test_address_nybbles(self):
+        assert ADDRESS_NYBBLES == 32
+
+    def test_max_address(self):
+        assert MAX_ADDRESS == 2**128 - 1
+
+
+class TestParse:
+    def test_loopback(self):
+        assert parse_address("::1") == 1
+
+    def test_all_zeros(self):
+        assert parse_address("::") == 0
+
+    def test_documentation_prefix(self):
+        assert parse_address("2001:db8::") == 0x20010DB8 << 96
+
+    def test_full_form(self):
+        text = "2001:0db8:0000:0000:0000:0000:0000:0001"
+        assert parse_address(text) == (0x20010DB8 << 96) | 1
+
+    def test_max(self):
+        assert parse_address("ffff:" * 7 + "ffff") == MAX_ADDRESS
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_address("not-an-address")
+
+    def test_ipv4_literal_raises(self):
+        with pytest.raises(ValueError):
+            parse_address("192.0.2.1")
+
+
+class TestFormat:
+    def test_loopback(self):
+        assert format_address(1) == "::1"
+
+    def test_roundtrip_sample(self):
+        for text in ("2001:db8::1", "fe80::1", "2400:cb00:2048:1::6810:1234"):
+            assert format_address(parse_address(text)) == text
+
+    def test_full_form_expanded(self):
+        assert (
+            format_address_full(1)
+            == "0000:0000:0000:0000:0000:0000:0000:0001"
+        )
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            format_address(2**128)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_address(-1)
+
+    def test_full_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            format_address_full(2**129)
+
+
+class TestValidity:
+    def test_zero_valid(self):
+        assert is_valid_address(0)
+
+    def test_max_valid(self):
+        assert is_valid_address(MAX_ADDRESS)
+
+    def test_too_large_invalid(self):
+        assert not is_valid_address(MAX_ADDRESS + 1)
+
+    def test_negative_invalid(self):
+        assert not is_valid_address(-5)
+
+    def test_non_int_invalid(self):
+        assert not is_valid_address("::1")
+
+
+class TestParts:
+    def test_interface_identifier(self):
+        address = parse_address("2001:db8::dead:beef")
+        assert interface_identifier(address) == 0xDEADBEEF
+
+    def test_network_part(self):
+        address = parse_address("2001:db8:1:2::42")
+        assert network_part(address) == 0x2001_0DB8_0001_0002
+
+    def test_parts_recombine(self):
+        address = parse_address("2a00:1450:4001:80b::200e")
+        assert (network_part(address) << 64) | interface_identifier(address) == address

@@ -1,0 +1,130 @@
+"""Tests for repro.addr.nybbles."""
+
+import pytest
+
+from repro.addr import (
+    common_prefix_len,
+    differing_positions,
+    from_nybbles,
+    get_nybble,
+    nybble_counts,
+    parse_address,
+    set_nybble,
+    to_nybbles,
+)
+
+
+class TestGetNybble:
+    def test_most_significant(self):
+        assert get_nybble(parse_address("2001:db8::"), 0) == 0x2
+
+    def test_least_significant(self):
+        assert get_nybble(parse_address("::f"), 31) == 0xF
+
+    def test_middle(self):
+        assert get_nybble(parse_address("2001:db8::"), 3) == 0x1
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            get_nybble(0, 32)
+        with pytest.raises(IndexError):
+            get_nybble(0, -1)
+
+
+class TestSetNybble:
+    def test_set_and_get(self):
+        value = set_nybble(0, 5, 0xA)
+        assert get_nybble(value, 5) == 0xA
+
+    def test_overwrite(self):
+        address = parse_address("2001:db8::1")
+        changed = set_nybble(address, 31, 0x2)
+        assert changed == parse_address("2001:db8::2")
+
+    def test_other_nybbles_untouched(self):
+        address = parse_address("2001:db8::1234")
+        changed = set_nybble(address, 0, 0x3)
+        for index in range(1, 32):
+            assert get_nybble(changed, index) == get_nybble(address, index)
+
+    def test_bad_value(self):
+        with pytest.raises(ValueError):
+            set_nybble(0, 0, 16)
+
+    def test_bad_index(self):
+        with pytest.raises(IndexError):
+            set_nybble(0, 99, 1)
+
+
+class TestRoundtrip:
+    def test_to_from_nybbles(self):
+        address = parse_address("2a03:2880:f101:83:face:b00c::25de")
+        assert from_nybbles(to_nybbles(address)) == address
+
+    def test_to_nybbles_length(self):
+        assert len(to_nybbles(0)) == 32
+
+    def test_from_nybbles_wrong_length(self):
+        with pytest.raises(ValueError):
+            from_nybbles([0] * 31)
+
+    def test_from_nybbles_bad_value(self):
+        with pytest.raises(ValueError):
+            from_nybbles([0] * 31 + [16])
+
+
+class TestCommonPrefixLen:
+    def test_identical(self):
+        address = parse_address("2001:db8::1")
+        assert common_prefix_len(address, address) == 32
+
+    def test_differ_in_first(self):
+        assert common_prefix_len(0, 1 << 127) == 0
+
+    def test_differ_in_last(self):
+        assert common_prefix_len(0, 1) == 31
+
+    def test_share_half(self):
+        a = parse_address("2001:db8:1111::")
+        b = parse_address("2001:db8:2222::")
+        assert common_prefix_len(a, b) == 8
+
+
+class TestDifferingPositions:
+    def test_empty_input(self):
+        assert differing_positions([]) == []
+
+    def test_single_input(self):
+        assert differing_positions([42]) == []
+
+    def test_identical_addresses(self):
+        assert differing_positions([7, 7, 7]) == []
+
+    def test_last_nybble_varies(self):
+        addresses = [parse_address("2001:db8::1"), parse_address("2001:db8::5")]
+        assert differing_positions(addresses) == [31]
+
+    def test_multiple_positions(self):
+        addresses = [
+            parse_address("2001:db8:0:1::1"),
+            parse_address("2001:db8:0:2::9"),
+        ]
+        assert differing_positions(addresses) == [15, 31]
+
+
+class TestNybbleCounts:
+    def test_uniform_value(self):
+        counts = nybble_counts([0xF, 0xF, 0xF], 31)
+        assert counts[0xF] == 3
+        assert sum(counts) == 3
+
+    def test_distribution(self):
+        addresses = [0x1, 0x2, 0x2, 0x3]
+        counts = nybble_counts(addresses, 31)
+        assert counts[1] == 1
+        assert counts[2] == 2
+        assert counts[3] == 1
+
+    def test_bad_index(self):
+        with pytest.raises(IndexError):
+            nybble_counts([1], 40)

@@ -1,0 +1,114 @@
+"""Tests for repro.addr.prefix."""
+
+import pytest
+
+from repro.addr import Prefix, parse_address
+
+
+class TestConstruction:
+    def test_parse(self):
+        prefix = Prefix.parse("2001:db8::/32")
+        assert prefix.value == 0x20010DB8 << 96
+        assert prefix.length == 32
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("2001:db8::1/32")
+
+    def test_of_masks_host_bits(self):
+        address = parse_address("2001:db8::dead")
+        prefix = Prefix.of(address, 64)
+        assert prefix == Prefix.parse("2001:db8::/64")
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 129)
+        with pytest.raises(ValueError):
+            Prefix(0, -1)
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(1, 64)
+
+    def test_full_length_allowed(self):
+        prefix = Prefix(parse_address("2001:db8::1"), 128)
+        assert prefix.num_addresses == 1
+
+
+class TestContainment:
+    def test_contains_member(self):
+        prefix = Prefix.parse("2001:db8::/32")
+        assert prefix.contains(parse_address("2001:db8:ffff::1"))
+
+    def test_excludes_outside(self):
+        prefix = Prefix.parse("2001:db8::/32")
+        assert not prefix.contains(parse_address("2001:db9::1"))
+
+    def test_zero_length_contains_everything(self):
+        prefix = Prefix(0, 0)
+        assert prefix.contains(0)
+        assert prefix.contains(2**128 - 1)
+
+    def test_contains_prefix_nested(self):
+        outer = Prefix.parse("2001:db8::/32")
+        inner = Prefix.parse("2001:db8:1::/48")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+
+    def test_contains_prefix_self(self):
+        prefix = Prefix.parse("2001:db8::/32")
+        assert prefix.contains_prefix(prefix)
+
+
+class TestGeometry:
+    def test_num_addresses(self):
+        assert Prefix.parse("2001:db8::/96").num_addresses == 2**32
+
+    def test_first_last(self):
+        prefix = Prefix.parse("2001:db8::/64")
+        assert prefix.first == prefix.value
+        assert prefix.last == prefix.value + 2**64 - 1
+
+    def test_child_low_high(self):
+        prefix = Prefix.parse("2001:db8::/32")
+        low, high = prefix.child(0), prefix.child(1)
+        assert low.length == high.length == 33
+        assert low.value == prefix.value
+        assert high.value == prefix.value | (1 << 95)
+
+    def test_child_of_full_length_raises(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 128).child(0)
+
+    def test_child_bad_bit(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 0).child(2)
+
+    def test_supernet(self):
+        prefix = Prefix.parse("2001:db8:1:2::/64")
+        assert prefix.supernet(32) == Prefix.parse("2001:db8::/32")
+
+    def test_supernet_longer_raises(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("2001:db8::/32").supernet(48)
+
+    def test_random_address_inside(self):
+        prefix = Prefix.parse("2001:db8::/64")
+        for draw in (0, 1, 2**64 - 1, 123456789):
+            assert prefix.contains(prefix.random_address(draw))
+
+
+class TestDunder:
+    def test_str(self):
+        assert str(Prefix.parse("2001:db8::/32")) == "2001:db8::/32"
+
+    def test_repr_roundtrip_info(self):
+        assert "2001:db8::/32" in repr(Prefix.parse("2001:db8::/32"))
+
+    def test_ordering(self):
+        a = Prefix.parse("2001:db8::/32")
+        b = Prefix.parse("2001:db9::/32")
+        assert a < b
+
+    def test_hashable(self):
+        assert len({Prefix.parse("::/0"), Prefix.parse("::/0")}) == 1

@@ -1,0 +1,131 @@
+"""Tests for repro.addr.rand (determinism is the whole point)."""
+
+import pytest
+
+from repro.addr import DeterministicStream, choice_index, coin, hash64, mix64, uniform
+from repro.addr.rand import hash_address
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(42) == mix64(42)
+
+    def test_different_inputs_differ(self):
+        assert mix64(1) != mix64(2)
+
+    def test_range(self):
+        for value in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= mix64(value) < 2**64
+
+
+class TestHash64:
+    def test_deterministic(self):
+        assert hash64(1, 2, 3) == hash64(1, 2, 3)
+
+    def test_order_sensitive(self):
+        assert hash64(1, 2) != hash64(2, 1)
+
+    def test_arity_sensitive(self):
+        assert hash64(1) != hash64(1, 0)
+
+    def test_large_parts(self):
+        big = 2**127 - 1
+        assert 0 <= hash64(big) < 2**64
+        assert hash64(big) != hash64(big >> 64)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            hash64(-1)
+
+    def test_hash_address_domain_separation(self):
+        address = 0x2001_0DB8 << 96
+        assert hash_address(1, 1, address) != hash_address(1, 2, address)
+        assert hash_address(1, 1, address) != hash_address(2, 1, address)
+
+
+class TestUniformCoin:
+    def test_uniform_in_range(self):
+        for salt in range(50):
+            value = uniform(7, salt)
+            assert 0.0 <= value < 1.0
+
+    def test_coin_extremes(self):
+        assert coin(1.0, 1, 2)
+        assert not coin(0.0, 1, 2)
+        assert coin(1.5, 1, 2)
+        assert not coin(-0.5, 1, 2)
+
+    def test_coin_rate_roughly_respected(self):
+        hits = sum(coin(0.3, 99, index) for index in range(4000))
+        assert 0.25 < hits / 4000 < 0.35
+
+    def test_choice_index_range(self):
+        for salt in range(100):
+            assert 0 <= choice_index(7, salt) < 7
+
+    def test_choice_index_empty_raises(self):
+        with pytest.raises(ValueError):
+            choice_index(0, 1)
+
+
+class TestDeterministicStream:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicStream(1, 2)
+        b = DeterministicStream(1, 2)
+        assert [a.next64() for _ in range(10)] == [b.next64() for _ in range(10)]
+
+    def test_different_seed_differs(self):
+        a = DeterministicStream(1)
+        b = DeterministicStream(2)
+        assert [a.next64() for _ in range(4)] != [b.next64() for _ in range(4)]
+
+    def test_next_below(self):
+        stream = DeterministicStream(3)
+        for _ in range(200):
+            assert 0 <= stream.next_below(13) < 13
+
+    def test_next_below_invalid(self):
+        with pytest.raises(ValueError):
+            DeterministicStream(1).next_below(0)
+
+    def test_next_uniform_range(self):
+        stream = DeterministicStream(5)
+        for _ in range(100):
+            assert 0.0 <= stream.next_uniform() < 1.0
+
+    def test_address_bits_bounds(self):
+        stream = DeterministicStream(7)
+        for bits in (0, 1, 63, 64, 65, 127, 128):
+            value = stream.next_address_bits(bits)
+            assert 0 <= value < (1 << bits) if bits else value == 0
+
+    def test_address_bits_invalid(self):
+        with pytest.raises(ValueError):
+            DeterministicStream(1).next_address_bits(129)
+
+    def test_shuffle_is_permutation(self):
+        stream = DeterministicStream(11)
+        items = list(range(50))
+        shuffled = list(items)
+        stream.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity
+
+    def test_shuffle_deterministic(self):
+        a, b = list(range(20)), list(range(20))
+        DeterministicStream(13).shuffle(a)
+        DeterministicStream(13).shuffle(b)
+        assert a == b
+
+    def test_sample_distinct(self):
+        stream = DeterministicStream(17)
+        sample = stream.sample(list(range(100)), 10)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_sample_clips(self):
+        stream = DeterministicStream(19)
+        assert sorted(stream.sample([1, 2, 3], 10)) == [1, 2, 3]
+
+    def test_sample_empty(self):
+        assert DeterministicStream(23).sample([], 5) == []

@@ -1,0 +1,130 @@
+"""Tests for repro.addr.trie."""
+
+from repro.addr import Prefix, PrefixTrie, parse_address
+
+
+def P(text: str) -> Prefix:
+    return Prefix.parse(text)
+
+
+class TestBasics:
+    def test_empty(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0
+        assert not trie
+        assert trie.lookup(0) is None
+        assert not trie.covers(0)
+
+    def test_insert_and_lookup(self):
+        trie = PrefixTrie()
+        trie.insert(P("2001:db8::/32"), "a")
+        assert trie.lookup(parse_address("2001:db8::1")) == "a"
+        assert trie.lookup(parse_address("2001:db9::1")) is None
+        assert len(trie) == 1
+
+    def test_replace_value(self):
+        trie = PrefixTrie()
+        trie.insert(P("2001:db8::/32"), 1)
+        trie.insert(P("2001:db8::/32"), 2)
+        assert trie.lookup(parse_address("2001:db8::1")) == 2
+        assert len(trie) == 1
+
+    def test_root_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(P("::/0"), "default")
+        assert trie.lookup(parse_address("ffff::1")) == "default"
+
+
+class TestLongestMatch:
+    def test_more_specific_wins(self):
+        trie = PrefixTrie()
+        trie.insert(P("2001:db8::/32"), "short")
+        trie.insert(P("2001:db8:1::/48"), "long")
+        assert trie.lookup(parse_address("2001:db8:1::1")) == "long"
+        assert trie.lookup(parse_address("2001:db8:2::1")) == "short"
+
+    def test_longest_match_returns_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(P("2001:db8::/32"), "x")
+        match = trie.longest_match(parse_address("2001:db8::42"))
+        assert match is not None
+        prefix, value = match
+        assert prefix == P("2001:db8::/32")
+        assert value == "x"
+
+    def test_host_route(self):
+        trie = PrefixTrie()
+        host = parse_address("2001:db8::1")
+        trie.insert(Prefix(host, 128), "host")
+        trie.insert(P("2001:db8::/32"), "net")
+        assert trie.lookup(host) == "host"
+        assert trie.lookup(host + 1) == "net"
+
+
+class TestExact:
+    def test_get_exact_present(self):
+        trie = PrefixTrie()
+        trie.insert(P("2001:db8::/32"), 9)
+        assert trie.get_exact(P("2001:db8::/32")) == 9
+
+    def test_get_exact_absent_shorter(self):
+        trie = PrefixTrie()
+        trie.insert(P("2001:db8::/32"), 9)
+        assert trie.get_exact(P("2001:db8::/48")) is None
+        assert trie.get_exact(P("2001::/16")) is None
+
+
+class TestEnumeration:
+    def test_items_in_address_order(self):
+        trie = PrefixTrie()
+        prefixes = [P("2001:db9::/32"), P("2001:db8::/32"), P("2001:db8:1::/48")]
+        for index, prefix in enumerate(prefixes):
+            trie.insert(prefix, index)
+        listed = trie.prefixes()
+        assert listed == sorted(prefixes)
+
+    def test_items_values_match(self):
+        trie = PrefixTrie()
+        trie.insert(P("2400::/16"), "apnic")
+        trie.insert(P("2600::/16"), "arin")
+        assert dict((str(p), v) for p, v in trie.items()) == {
+            "2400::/16": "apnic",
+            "2600::/16": "arin",
+        }
+
+
+class TestAgainstNaive:
+    def test_matches_naive_lpm(self):
+        """The trie must agree with a brute-force longest-prefix match."""
+        from repro.addr.rand import DeterministicStream
+
+        stream = DeterministicStream(0xBEEF)
+        prefixes = []
+        trie = PrefixTrie()
+        for index in range(60):
+            length = 16 + stream.next_below(80)
+            value = stream.next_address_bits(128)
+            prefix = Prefix.of(value, length)
+            prefixes.append(prefix)
+            trie.insert(prefix, index)
+
+        def naive(address: int):
+            best = None
+            for index, prefix in enumerate(prefixes):
+                if prefix.contains(address):
+                    if best is None or prefix.length > prefixes[best].length:
+                        best = index
+            return best
+
+        for _ in range(300):
+            address = stream.next_address_bits(128)
+            expected = naive(address)
+            actual = trie.lookup(address)
+            if expected is None:
+                assert actual is None
+            else:
+                # Several inserted prefixes may be identical (value, length);
+                # match on the prefix geometry, not insertion index.
+                assert actual is not None
+                assert prefixes[actual].contains(address)
+                assert prefixes[actual].length == prefixes[expected].length

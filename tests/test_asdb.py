@@ -1,0 +1,135 @@
+"""Tests for repro.asdb."""
+
+import pytest
+
+from repro.addr import Prefix, parse_address
+from repro.asdb import ASInfo, ASRegistry, OrgType
+
+
+def make_registry() -> ASRegistry:
+    registry = ASRegistry()
+    registry.register(
+        ASInfo(
+            asn=64500,
+            name="Example Cloud",
+            org_type=OrgType.CLOUD,
+            country="US",
+            prefixes=(Prefix.parse("2001:db8::/32"),),
+        )
+    )
+    registry.register(
+        ASInfo(
+            asn=64501,
+            name="Example ISP",
+            org_type=OrgType.ISP,
+            country="DE",
+            prefixes=(Prefix.parse("2400:1000::/32"), Prefix.parse("2400:2000::/32")),
+        )
+    )
+    return registry
+
+
+class TestOrgType:
+    def test_eyeball(self):
+        assert OrgType.ISP.is_eyeball
+        assert OrgType.MOBILE.is_eyeball
+        assert not OrgType.CLOUD.is_eyeball
+
+    def test_datacenter(self):
+        assert OrgType.CLOUD.is_datacenter
+        assert OrgType.CDN.is_datacenter
+        assert OrgType.SECURITY.is_datacenter
+        assert not OrgType.GOVERNMENT.is_datacenter
+
+    def test_string_value(self):
+        assert OrgType("isp") is OrgType.ISP
+
+
+class TestRegistration:
+    def test_register_and_len(self):
+        registry = make_registry()
+        assert len(registry) == 2
+        assert 64500 in registry
+        assert 99999 not in registry
+
+    def test_duplicate_rejected(self):
+        registry = make_registry()
+        with pytest.raises(ValueError):
+            registry.register(
+                ASInfo(asn=64500, name="dup", org_type=OrgType.ISP, country="US")
+            )
+
+    def test_announce_extra_prefix(self):
+        registry = make_registry()
+        registry.announce(Prefix.parse("2600::/32"), 64500)
+        assert registry.asn_of(parse_address("2600::1")) == 64500
+
+    def test_announce_unknown_as(self):
+        registry = make_registry()
+        with pytest.raises(KeyError):
+            registry.announce(Prefix.parse("2600::/32"), 12345)
+
+
+class TestLookups:
+    def test_asn_of(self):
+        registry = make_registry()
+        assert registry.asn_of(parse_address("2001:db8::1")) == 64500
+        assert registry.asn_of(parse_address("2400:2000::9")) == 64501
+        assert registry.asn_of(parse_address("3000::1")) is None
+
+    def test_info(self):
+        registry = make_registry()
+        info = registry.info(64501)
+        assert info.name == "Example ISP"
+        assert info.org_type is OrgType.ISP
+        with pytest.raises(KeyError):
+            registry.info(1)
+
+    def test_info_str(self):
+        assert "AS64500" in str(make_registry().info(64500))
+
+    def test_all_asns_sorted(self):
+        assert make_registry().all_asns() == [64500, 64501]
+
+
+class TestAggregation:
+    def test_ases_of(self):
+        registry = make_registry()
+        addresses = [
+            parse_address("2001:db8::1"),
+            parse_address("2001:db8::2"),
+            parse_address("2400:1000::1"),
+            parse_address("3000::1"),  # unrouted
+        ]
+        assert registry.ases_of(addresses) == {64500, 64501}
+
+    def test_count_by_as(self):
+        registry = make_registry()
+        addresses = [parse_address("2001:db8::1"), parse_address("2001:db8::2")]
+        counts = registry.count_by_as(addresses)
+        assert counts[64500] == 2
+        assert 64501 not in counts
+
+    def test_group_by_as(self):
+        registry = make_registry()
+        a = parse_address("2001:db8::1")
+        b = parse_address("2400:1000::1")
+        groups = registry.group_by_as([a, b, parse_address("3000::1")])
+        assert groups == {64500: [a], 64501: [b]}
+
+    def test_announced_prefixes(self):
+        registry = make_registry()
+        announced = registry.announced_prefixes()
+        assert (Prefix.parse("2001:db8::/32"), 64500) in announced
+        assert len(announced) == 3
+
+
+class TestOnGeneratedWorld:
+    def test_every_region_asn_registered(self, internet):
+        for region in internet.regions[:200]:
+            assert region.asn in internet.registry
+
+    def test_region_address_routes_to_region_asn(self, internet):
+        for region in internet.regions[:100]:
+            address = region.address_of(1)
+            assert internet.registry.asn_of(address) == region.asn

@@ -1,0 +1,111 @@
+"""Tests for probe backends and the staleness metrics."""
+
+import itertools
+
+import pytest
+
+from repro.internet import Port
+from repro.metrics import collection_staleness, staleness_report
+from repro.scanner import CachingBackend, ProbeBackend, Scanner, SimulatedBackend
+
+
+class TestSimulatedBackend:
+    def test_satisfies_protocol(self, internet):
+        backend = SimulatedBackend(Scanner(internet))
+        assert isinstance(backend, ProbeBackend)
+
+    def test_probe_batch_matches_scanner(self, internet):
+        targets = list(itertools.islice(internet.iter_responsive(Port.ICMP), 100))
+        backend = SimulatedBackend(Scanner(internet))
+        assert backend.probe_batch(targets, Port.ICMP) == set(targets)
+
+    def test_verify(self, internet):
+        backend = SimulatedBackend(Scanner(internet))
+        live = next(internet.iter_responsive(Port.ICMP))
+        assert backend.verify(live, Port.ICMP)
+        assert not backend.verify(0x3FFF << 112, Port.ICMP)
+
+    def test_packets_counted(self, internet):
+        backend = SimulatedBackend(Scanner(internet))
+        backend.probe_batch([1, 2, 3], Port.ICMP)
+        assert backend.packets_sent == 3
+
+
+class TestCachingBackend:
+    def test_results_identical_to_inner(self, internet):
+        targets = list(itertools.islice(internet.iter_responsive(Port.ICMP), 80))
+        targets += [0x3FFF << 112]
+        plain = SimulatedBackend(Scanner(internet))
+        cached = CachingBackend(SimulatedBackend(Scanner(internet)))
+        assert cached.probe_batch(targets, Port.ICMP) == plain.probe_batch(
+            targets, Port.ICMP
+        )
+
+    def test_repeat_probes_hit_cache(self, internet):
+        inner = SimulatedBackend(Scanner(internet))
+        cached = CachingBackend(inner)
+        targets = list(itertools.islice(internet.iter_responsive(Port.ICMP), 50))
+        cached.probe_batch(targets, Port.ICMP)
+        sent_after_first = inner.packets_sent
+        cached.probe_batch(targets, Port.ICMP)
+        assert inner.packets_sent == sent_after_first  # no new packets
+        assert cached.cache_hits == 50
+
+    def test_ports_cached_separately(self, internet):
+        cached = CachingBackend(SimulatedBackend(Scanner(internet)))
+        target = next(internet.iter_responsive(Port.ICMP))
+        cached.probe_batch([target], Port.ICMP)
+        cached.probe_batch([target], Port.UDP53)
+        assert len(cached) == 2
+
+    def test_verify_cached(self, internet):
+        inner = SimulatedBackend(Scanner(internet))
+        cached = CachingBackend(inner)
+        live = next(internet.iter_responsive(Port.ICMP))
+        assert cached.verify(live, Port.ICMP)
+        sent = inner.packets_sent
+        assert cached.verify(live, Port.ICMP)
+        assert inner.packets_sent == sent
+
+    def test_satisfies_protocol(self, internet):
+        assert isinstance(
+            CachingBackend(SimulatedBackend(Scanner(internet))), ProbeBackend
+        )
+
+
+class TestStaleness:
+    def test_classification_partitions(self, internet, collection):
+        report = staleness_report(internet, collection["hitlist"])
+        total = (
+            report.responsive
+            + report.aliased
+            + report.firewalled
+            + report.region_retired
+            + report.region_renumbered
+            + report.churned_or_filtered
+            + report.unrouted
+        )
+        assert total == report.total == len(collection["hitlist"])
+
+    def test_responsive_fraction_bounds(self, internet, collection):
+        for dataset in collection:
+            report = staleness_report(internet, dataset)
+            assert 0.0 <= report.responsive_fraction <= 1.0
+
+    def test_archival_source_staler(self, internet, collection):
+        """Rapid7 (archival 2021) must be staler than Censys (fresh)."""
+        rapid7 = staleness_report(internet, collection["rapid7"])
+        censys = staleness_report(internet, collection["censys"])
+        assert rapid7.responsive_fraction < censys.responsive_fraction
+
+    def test_scamper_has_firewalled_mass(self, internet, collection):
+        report = staleness_report(internet, collection["scamper"])
+        assert report.firewalled > 0
+
+    def test_collection_staleness_order(self, internet, collection):
+        reports = collection_staleness(internet, collection)
+        assert [r.source for r in reports] == collection.names
+
+    def test_as_dict(self, internet, collection):
+        info = staleness_report(internet, collection["censys"]).as_dict()
+        assert {"source", "responsive_fraction", "region_renumbered"} <= set(info)

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["describe"])
+        assert args.scale == "tiny"
+        assert args.seed == 42
+        assert args.budget == 2500
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "6tree", "--port", "tcp80", "--dataset", "joint"]
+        )
+        assert args.tga == "6tree"
+        assert args.port == "tcp80"
+        assert args.dataset == "joint"
+
+    def test_invalid_tga_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "7tree"])
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "planetary", "describe"])
+
+
+class TestCommands:
+    def test_describe(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "regions" in out
+        assert "ases" in out
+
+    def test_sources_with_export(self, capsys, tmp_path):
+        export = tmp_path / "sources.json"
+        assert main(["--export", str(export), "sources"]) == 0
+        rows = json.loads(export.read_text())
+        assert len(rows) == 12
+        assert {"source", "kind", "unique", "ases"} <= set(rows[0])
+
+    def test_run_cell(self, capsys):
+        assert main(["--budget", "400", "run", "6gen", "--port", "icmp"]) == 0
+        out = capsys.readouterr().out
+        assert "hits" in out
+        assert "6gen" in out
+
+    def test_run_export_csv(self, tmp_path, capsys):
+        export = tmp_path / "run.csv"
+        assert (
+            main(["--budget", "400", "--export", str(export), "run", "6tree"]) == 0
+        )
+        header = export.read_text().splitlines()[0]
+        assert "tga" in header and "hits" in header
+
+    def test_rq4(self, capsys):
+        assert main(["--budget", "400", "rq4", "--port", "icmp"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out.lower()
+
+    def test_recommend(self, capsys):
+        assert main(["--budget", "400", "recommend", "--port", "udp53"]) == 0
+        out = capsys.readouterr().out
+        assert "ENSEMBLE" in out
+
+
+class TestNewCommands:
+    def test_rq3(self, capsys):
+        assert (
+            main(["--budget", "400", "rq3", "--sources", "censys,scamper"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "pooled" in out
+
+    def test_overlap_heatmap(self, capsys):
+        assert main(["overlap", "--by", "ip"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_convergence(self, capsys):
+        assert main(["--budget", "400", "convergence", "6gen"]) == 0
+        out = capsys.readouterr().out
+        assert "budget to 50% yield" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["--budget", "300", "report", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("# Seeds of Scanning")
+        assert "RQ1.a" in text and "RQ5" in text

@@ -1,0 +1,112 @@
+"""Tests for repro.datasets.base."""
+
+import pytest
+
+from repro.datasets import DatasetCollection, SeedDataset, SourceKind
+
+
+def make_dataset(name="test", addresses=(1, 2, 3), kind=SourceKind.DOMAIN):
+    return SeedDataset(name=name, kind=kind, addresses=frozenset(addresses))
+
+
+class TestSourceKind:
+    def test_table_tags(self):
+        assert SourceKind.DOMAIN.table_tag == "D"
+        assert SourceKind.ROUTER.table_tag == "R"
+        assert SourceKind.HITLIST.table_tag == "Both"
+
+
+class TestSeedDataset:
+    def test_len_iter_contains(self):
+        dataset = make_dataset()
+        assert len(dataset) == 3
+        assert set(dataset) == {1, 2, 3}
+        assert 2 in dataset
+        assert 9 not in dataset
+
+    def test_coerces_to_frozenset(self):
+        dataset = SeedDataset(name="x", kind=SourceKind.DOMAIN, addresses={1, 2})
+        assert isinstance(dataset.addresses, frozenset)
+
+    def test_restricted_to(self):
+        dataset = make_dataset()
+        restricted = dataset.restricted_to({2, 3, 4}, "sub")
+        assert restricted.addresses == frozenset({2, 3})
+        assert restricted.name == "test:sub"
+        assert restricted.kind is dataset.kind
+
+    def test_without(self):
+        dataset = make_dataset()
+        trimmed = dataset.without({1}, "minus")
+        assert trimmed.addresses == frozenset({2, 3})
+        assert trimmed.name == "test:minus"
+
+    def test_union_with(self):
+        a = make_dataset("a", (1, 2))
+        b = make_dataset("b", (2, 3))
+        union = a.union_with(b, "ab")
+        assert union.addresses == frozenset({1, 2, 3})
+        assert union.name == "ab"
+
+    def test_union_mixed_kind(self):
+        a = make_dataset("a", (1,), SourceKind.DOMAIN)
+        b = make_dataset("b", (2,), SourceKind.ROUTER)
+        assert a.union_with(b, "ab").kind is SourceKind.HITLIST
+
+    def test_overlap_fraction(self):
+        a = make_dataset("a", (1, 2, 3, 4))
+        b = make_dataset("b", (3, 4, 5))
+        assert a.overlap_fraction(b) == pytest.approx(0.5)
+        assert b.overlap_fraction(a) == pytest.approx(2 / 3)
+
+    def test_overlap_fraction_empty(self):
+        empty = make_dataset("e", ())
+        assert empty.overlap_fraction(make_dataset()) == 0.0
+
+    def test_ases(self, internet):
+        region = internet.regions[0]
+        dataset = make_dataset(addresses=(region.address_of(1),))
+        assert dataset.ases(internet.registry) == {region.asn}
+
+
+class TestDatasetCollection:
+    def test_lookup(self):
+        collection = DatasetCollection([make_dataset("a"), make_dataset("b", (9,))])
+        assert collection["a"].name == "a"
+        assert "b" in collection
+        assert "c" not in collection
+        assert len(collection) == 2
+        assert collection.names == ["a", "b"]
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetCollection([make_dataset("a"), make_dataset("a")])
+
+    def test_combined(self):
+        collection = DatasetCollection(
+            [make_dataset("a", (1, 2)), make_dataset("b", (2, 3))]
+        )
+        combined = collection.combined("all")
+        assert combined.addresses == frozenset({1, 2, 3})
+        assert combined.name == "all"
+
+    def test_of_kind(self):
+        collection = DatasetCollection(
+            [
+                make_dataset("d", (1,), SourceKind.DOMAIN),
+                make_dataset("r", (2,), SourceKind.ROUTER),
+            ]
+        )
+        assert [d.name for d in collection.of_kind(SourceKind.ROUTER)] == ["r"]
+
+    def test_combined_of_kind(self):
+        collection = DatasetCollection(
+            [
+                make_dataset("d1", (1, 2), SourceKind.DOMAIN),
+                make_dataset("d2", (3,), SourceKind.DOMAIN),
+                make_dataset("r", (9,), SourceKind.ROUTER),
+            ]
+        )
+        domains = collection.combined_of_kind(SourceKind.DOMAIN, "all-domains")
+        assert domains.addresses == frozenset({1, 2, 3})
+        assert domains.kind is SourceKind.DOMAIN

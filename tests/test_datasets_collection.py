@@ -1,0 +1,124 @@
+"""Tests for the 12-source collection pipeline."""
+
+import pytest
+
+from repro.datasets import (
+    COLLECTION_DATES,
+    DOMAIN_SOURCES,
+    HITLIST_SOURCES,
+    ROUTER_SOURCES,
+    SOURCE_ORDER,
+    SOURCE_SPECS,
+    collect_all,
+    collect_one,
+    domain_volume_row,
+)
+from repro.datasets.base import SourceKind
+
+
+class TestCatalogue:
+    def test_twelve_sources(self):
+        assert len(SOURCE_ORDER) == 12
+        assert set(SOURCE_ORDER) == set(SOURCE_SPECS)
+
+    def test_source_families_partition(self):
+        families = set(DOMAIN_SOURCES) | set(ROUTER_SOURCES) | set(HITLIST_SOURCES)
+        assert families == set(SOURCE_ORDER)
+        assert not set(DOMAIN_SOURCES) & set(ROUTER_SOURCES)
+
+    def test_collection_dates_complete(self):
+        assert set(COLLECTION_DATES) == set(SOURCE_ORDER)
+        # Rapid7 is the archival outlier (2021).
+        assert COLLECTION_DATES["rapid7"].startswith("2021")
+
+    def test_spec_kinds(self):
+        assert SOURCE_SPECS["censys"].kind is SourceKind.DOMAIN
+        assert SOURCE_SPECS["scamper"].kind is SourceKind.ROUTER
+        assert SOURCE_SPECS["addrminer"].kind is SourceKind.HITLIST
+
+
+class TestCollectAll:
+    def test_all_sources_collected(self, collection):
+        assert len(collection) == 12
+        assert collection.names == list(SOURCE_ORDER)
+
+    def test_every_source_nonempty(self, collection):
+        for dataset in collection:
+            assert len(dataset) > 0, dataset.name
+
+    def test_deterministic(self, internet, collection):
+        again = collect_all(internet)
+        for dataset in collection:
+            assert again[dataset.name].addresses == dataset.addresses
+
+    def test_collect_one_matches(self, internet, collection):
+        censys = collect_one(internet, "censys")
+        assert censys.addresses == collection["censys"].addresses
+
+    def test_collect_one_unknown(self, internet):
+        with pytest.raises(KeyError):
+            collect_one(internet, "bogus")
+
+
+class TestCompositionShape:
+    """Relative composition must mirror the paper's Table 3 / Figure 1."""
+
+    def test_traceroute_sources_lead_as_coverage(self, internet, collection):
+        registry = internet.registry
+        as_counts = {d.name: len(d.ases(registry)) for d in collection}
+        top_two = sorted(as_counts, key=as_counts.get, reverse=True)[:2]
+        assert set(top_two) == {"scamper", "ripe_atlas"}
+
+    def test_addrminer_is_largest(self, collection):
+        sizes = {d.name: len(d) for d in collection}
+        assert max(sizes, key=sizes.get) == "addrminer"
+
+    def test_toplists_are_small(self, collection):
+        censys = len(collection["censys"])
+        for name in ("umbrella", "majestic", "tranco", "secrank", "radar"):
+            assert len(collection[name]) < censys / 5
+
+    def test_domain_sources_overlap_each_other(self, collection):
+        """Domain-derived sources resolve the same popular services."""
+        umbrella = collection["umbrella"]
+        censys = collection["censys"]
+        assert umbrella.overlap_fraction(censys) > 0.3
+
+    def test_secrank_china_heavy(self, internet, collection):
+        registry = internet.registry
+        countries = [
+            registry.info(asn).country
+            for asn in collection["secrank"].ases(registry)
+        ]
+        if len(countries) < 5:
+            pytest.skip("tiny world has too few eligible CN ASes to exercise the bias")
+        assert countries.count("CN") / len(countries) > 0.4
+
+    def test_addrminer_alias_rich(self, internet, collection):
+        """AddrMiner carries far more aliased content than the Hitlist."""
+        def alias_count(dataset):
+            return sum(
+                1 for a in dataset.addresses if internet.is_aliased_truth(a)
+            )
+
+        assert alias_count(collection["addrminer"]) > 3 * alias_count(
+            collection["hitlist"]
+        )
+
+    def test_hitlist_respects_published_aliases(self, internet, collection):
+        from repro.dealias import AliasPrefixSet
+
+        published = AliasPrefixSet(internet.published_alias_prefixes)
+        leaked = [a for a in collection["hitlist"].addresses if published.covers(a)]
+        assert not leaked
+
+
+class TestDomainVolumes:
+    def test_metadata_present(self, collection):
+        for name in DOMAIN_SOURCES:
+            row = domain_volume_row(collection[name])
+            assert row["domains"] > row["unique_ips"] > 0
+
+    def test_censys_ratios(self, collection):
+        row = domain_volume_row(collection["censys"])
+        assert row["domains"] / row["unique_ips"] == pytest.approx(129.5, rel=0.01)

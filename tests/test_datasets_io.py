@@ -1,0 +1,104 @@
+"""Tests for repro.datasets.io (seed file I/O)."""
+
+import gzip
+
+import pytest
+
+from repro.addr import Prefix, parse_address
+from repro.datasets import (
+    SourceKind,
+    load_addresses,
+    load_prefix_list,
+    load_seed_dataset,
+    save_addresses,
+    save_prefix_list,
+)
+
+
+class TestLoadAddresses:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "seeds.txt"
+        addresses = {parse_address("2001:db8::1"), parse_address("2400::1")}
+        assert save_addresses(path, addresses) == 2
+        assert load_addresses(path) == addresses
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "seeds.txt"
+        path.write_text("# hitlist\n\n2001:db8::1  # web server\n\n")
+        assert load_addresses(path) == {parse_address("2001:db8::1")}
+
+    def test_gzip_transparency(self, tmp_path):
+        path = tmp_path / "seeds.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("2001:db8::1\n2001:db8::2\n")
+        assert len(load_addresses(path)) == 2
+
+    def test_save_gzip(self, tmp_path):
+        path = tmp_path / "out.txt.gz"
+        save_addresses(path, [1, 2, 3])
+        assert load_addresses(path) == {1, 2, 3}
+
+    def test_strict_raises_on_garbage(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("2001:db8::1\nnot-an-address\n")
+        with pytest.raises(ValueError, match="bad.txt:2"):
+            load_addresses(path)
+
+    def test_lenient_skips_garbage(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("2001:db8::1\nnot-an-address\n2001:db8::2\n")
+        assert len(load_addresses(path, strict=False)) == 2
+
+    def test_save_deduplicates_and_sorts(self, tmp_path):
+        path = tmp_path / "out.txt"
+        assert save_addresses(path, [5, 1, 5, 3]) == 3
+        lines = path.read_text().splitlines()
+        assert lines == ["::1", "::3", "::5"]
+
+
+class TestSeedDataset:
+    def test_load_as_dataset(self, tmp_path):
+        path = tmp_path / "myhitlist.txt"
+        path.write_text("2001:db8::1\n")
+        dataset = load_seed_dataset(path)
+        assert dataset.name == "myhitlist"
+        assert dataset.kind is SourceKind.HITLIST
+        assert parse_address("2001:db8::1") in dataset
+
+    def test_custom_name_and_kind(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("::1\n")
+        dataset = load_seed_dataset(path, name="custom", kind=SourceKind.ROUTER)
+        assert dataset.name == "custom"
+        assert dataset.kind is SourceKind.ROUTER
+
+    def test_dataset_usable_by_tga(self, tmp_path):
+        from repro.tga import create_tga
+
+        path = tmp_path / "seeds.txt"
+        save_addresses(path, [parse_address(f"2001:db8::{i}") for i in range(1, 20)])
+        dataset = load_seed_dataset(path)
+        tga = create_tga("6tree")
+        tga.prepare(sorted(dataset.addresses))
+        assert tga.propose(10)
+
+
+class TestPrefixList:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "aliases.txt"
+        prefixes = [Prefix.parse("2001:db8::/64"), Prefix.parse("2600:9000::/48")]
+        assert save_prefix_list(path, prefixes) == 2
+        assert load_prefix_list(path) == sorted(prefixes)
+
+    def test_comments(self, tmp_path):
+        path = tmp_path / "aliases.txt"
+        path.write_text("# published alias list\n2001:db8::/64\n")
+        assert load_prefix_list(path) == [Prefix.parse("2001:db8::/64")]
+
+    def test_usable_as_offline_dealiaser(self, tmp_path):
+        from repro.dealias import OfflineDealiaser
+
+        path = tmp_path / "aliases.txt"
+        save_prefix_list(path, [Prefix.parse("2001:db8::/64")])
+        dealiaser = OfflineDealiaser(load_prefix_list(path))
+        assert dealiaser.is_aliased(parse_address("2001:db8::42"))

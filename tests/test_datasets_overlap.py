@@ -1,0 +1,73 @@
+"""Tests for repro.datasets.overlap (Figures 1 and 2)."""
+
+import pytest
+
+from repro.datasets import (
+    DatasetCollection,
+    SeedDataset,
+    SourceKind,
+    overlap_by_as,
+    overlap_by_ip,
+    restrict_to_responsive,
+)
+
+
+def make_collection():
+    return DatasetCollection(
+        [
+            SeedDataset(name="a", kind=SourceKind.DOMAIN, addresses=frozenset({1, 2, 3, 4})),
+            SeedDataset(name="b", kind=SourceKind.DOMAIN, addresses=frozenset({3, 4})),
+            SeedDataset(name="c", kind=SourceKind.ROUTER, addresses=frozenset({5})),
+        ]
+    )
+
+
+class TestOverlapByIP:
+    def test_diagonal_is_100(self):
+        matrix = overlap_by_ip(make_collection())
+        for name in matrix.names:
+            assert matrix.cells[name][name] == 100.0
+
+    def test_pairwise_values(self):
+        matrix = overlap_by_ip(make_collection())
+        assert matrix.cells["a"]["b"] == pytest.approx(50.0)
+        assert matrix.cells["b"]["a"] == pytest.approx(100.0)
+        assert matrix.cells["a"]["c"] == 0.0
+
+    def test_any_other_column(self):
+        matrix = overlap_by_ip(make_collection())
+        assert matrix.any_other["a"] == pytest.approx(50.0)
+        assert matrix.any_other["b"] == pytest.approx(100.0)
+        assert matrix.any_other["c"] == 0.0
+
+    def test_sizes(self):
+        matrix = overlap_by_ip(make_collection())
+        assert matrix.sizes == {"a": 4, "b": 2, "c": 1}
+
+    def test_row_accessor(self):
+        matrix = overlap_by_ip(make_collection())
+        assert matrix.row("a") == matrix.cells["a"]
+
+
+class TestOverlapByAS(object):
+    def test_on_generated_world(self, internet, collection):
+        matrix = overlap_by_as(collection, internet.registry)
+        assert set(matrix.names) == set(collection.names)
+        # Scamper covers nearly all ASes, so other sources overlap it highly.
+        assert matrix.cells["hitlist"]["scamper"] > 80.0
+
+
+class TestRestrictToResponsive:
+    def test_filters_and_renames(self):
+        restricted = restrict_to_responsive(make_collection(), {1, 3, 5})
+        assert restricted["a:active"].addresses == frozenset({1, 3})
+        assert restricted["c:active"].addresses == frozenset({5})
+
+    def test_full_study_figure2(self, internet, collection, study):
+        """Figure 2's responsive-only overlap is computable end to end."""
+        responsive: set[int] = set()
+        for hits in study.constructions.activity.values():
+            responsive |= hits
+        restricted = restrict_to_responsive(collection, responsive)
+        matrix = overlap_by_ip(restricted)
+        assert len(matrix.names) == 12

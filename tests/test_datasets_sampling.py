@@ -1,0 +1,113 @@
+"""Tests for repro.datasets.sampling."""
+
+from repro.asdb import OrgType
+from repro.datasets import SourceSpec, collect_source
+from repro.datasets.base import SourceKind
+from repro.internet import RegionRole
+
+
+def make_spec(**overrides) -> SourceSpec:
+    defaults = dict(
+        name="synthetic",
+        kind=SourceKind.DOMAIN,
+        roles=(RegionRole.SERVER, RegionRole.DNS),
+        org_types=(OrgType.CLOUD, OrgType.HOSTING, OrgType.CDN, OrgType.SECURITY),
+        as_coverage=1.0,
+        region_coverage=1.0,
+        address_fraction=1.0,
+        salt=0x1234,
+    )
+    defaults.update(overrides)
+    return SourceSpec(**defaults)
+
+
+class TestCollectSource:
+    def test_full_coverage_collects_all_server_observables(self, internet):
+        dataset = collect_source(internet, make_spec())
+        # Every non-aliased datacenter server observable must be present.
+        expected = set()
+        for region in internet.regions:
+            if region.aliased or region.role not in (
+                RegionRole.SERVER,
+                RegionRole.DNS,
+            ):
+                continue
+            org = internet.registry.info(region.asn).org_type
+            if org.is_datacenter:
+                expected.update(region.observable_addresses())
+        assert expected <= set(dataset.addresses)
+
+    def test_zero_alias_inclusion_excludes_aliases(self, internet):
+        dataset = collect_source(internet, make_spec(alias_inclusion=0.0))
+        assert not any(internet.is_aliased_truth(a) for a in dataset.addresses)
+
+    def test_full_alias_inclusion_includes_aliases(self, internet):
+        dataset = collect_source(internet, make_spec(alias_inclusion=1.0))
+        assert any(internet.is_aliased_truth(a) for a in dataset.addresses)
+
+    def test_address_fraction_scales_size(self, internet):
+        full = collect_source(internet, make_spec())
+        half = collect_source(internet, make_spec(address_fraction=0.5))
+        assert len(half) < len(full)
+        assert len(half) > len(full) * 0.3
+
+    def test_as_coverage_scales_ases(self, internet):
+        full = collect_source(internet, make_spec())
+        sparse = collect_source(internet, make_spec(as_coverage=0.3))
+        full_ases = full.ases(internet.registry)
+        sparse_ases = sparse.ases(internet.registry)
+        assert len(sparse_ases) < len(full_ases)
+        assert sparse_ases <= full_ases
+
+    def test_deterministic(self, internet):
+        spec = make_spec(address_fraction=0.4)
+        a = collect_source(internet, spec)
+        b = collect_source(internet, spec)
+        assert a.addresses == b.addresses
+
+    def test_salt_changes_sample(self, internet):
+        a = collect_source(internet, make_spec(address_fraction=0.4, salt=1))
+        b = collect_source(internet, make_spec(address_fraction=0.4, salt=2))
+        assert a.addresses != b.addresses
+
+    def test_extra_roles_sampled_thinly(self, internet):
+        with_extra = collect_source(
+            internet,
+            make_spec(
+                extra_roles=(RegionRole.ROUTER,),
+                extra_role_fraction=1.0,
+            ),
+        )
+        without = collect_source(internet, make_spec())
+        assert len(with_extra) > len(without)
+
+    def test_role_filter_respected(self, internet):
+        dataset = collect_source(
+            internet, make_spec(roles=(RegionRole.ROUTER,), org_types=tuple(OrgType))
+        )
+        for address in list(dataset.addresses)[:200]:
+            region = internet.region_of(address)
+            assert region.role is RegionRole.ROUTER
+
+    def test_metadata_counters(self, internet):
+        dataset = collect_source(internet, make_spec(alias_inclusion=1.0))
+        assert dataset.metadata["regions_sampled"] > 0
+        assert dataset.metadata["alias_regions_sampled"] > 0
+
+    def test_stale_boost_prefers_churny_regions(self, internet):
+        """An archival source (stale_boost > 1) picks up more retired or
+        high-churn regions than a fresh one at the same coverage."""
+        fresh = collect_source(internet, make_spec(region_coverage=0.25, salt=7))
+        stale = collect_source(
+            internet, make_spec(region_coverage=0.25, stale_boost=4.0, salt=7)
+        )
+
+        def stale_fraction(dataset):
+            count = 0
+            for address in dataset.addresses:
+                region = internet.region_of(address)
+                if region.retired or region.churn_rate >= 0.15:
+                    count += 1
+            return count / len(dataset)
+
+        assert stale_fraction(stale) > stale_fraction(fresh)

@@ -1,0 +1,62 @@
+"""Tests for repro.dealias.prefixset."""
+
+from repro.addr import Prefix, parse_address
+from repro.dealias import AliasPrefixSet
+
+
+class TestAliasPrefixSet:
+    def test_empty(self):
+        aliases = AliasPrefixSet()
+        assert len(aliases) == 0
+        assert not aliases.covers(parse_address("2001:db8::1"))
+
+    def test_covers(self):
+        aliases = AliasPrefixSet([Prefix.parse("2001:db8::/64")])
+        assert aliases.covers(parse_address("2001:db8::1234"))
+        assert not aliases.covers(parse_address("2001:db8:0:1::1"))
+
+    def test_contains_operator(self):
+        aliases = AliasPrefixSet([Prefix.parse("2001:db8::/64")])
+        assert parse_address("2001:db8::1") in aliases
+
+    def test_mixed_lengths(self):
+        aliases = AliasPrefixSet(
+            [Prefix.parse("2001:db8::/64"), Prefix.parse("2600:9000::/48")]
+        )
+        assert aliases.covers(parse_address("2600:9000:0:ffff::1"))
+        assert not aliases.covers(parse_address("2600:9001::1"))
+
+    def test_idempotent_add(self):
+        aliases = AliasPrefixSet()
+        aliases.add(Prefix.parse("2001:db8::/96"))
+        aliases.add(Prefix.parse("2001:db8::/96"))
+        assert len(aliases) == 1
+
+    def test_partition(self):
+        aliases = AliasPrefixSet([Prefix.parse("2001:db8::/64")])
+        inside = parse_address("2001:db8::42")
+        outside = parse_address("2400::1")
+        clean, aliased = aliases.partition([inside, outside])
+        assert clean == {outside}
+        assert aliased == {inside}
+
+    def test_partition_empty(self):
+        clean, aliased = AliasPrefixSet().partition([])
+        assert clean == set() and aliased == set()
+
+    def test_merged_with(self):
+        a = AliasPrefixSet([Prefix.parse("2001:db8::/64")])
+        b = AliasPrefixSet([Prefix.parse("2400::/64")])
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+        assert merged.covers(parse_address("2001:db8::1"))
+        assert merged.covers(parse_address("2400::1"))
+        # Originals untouched.
+        assert len(a) == 1 and len(b) == 1
+
+    def test_prefixes_sorted(self):
+        aliases = AliasPrefixSet(
+            [Prefix.parse("2400::/64"), Prefix.parse("2001:db8::/64")]
+        )
+        listed = aliases.prefixes()
+        assert listed == sorted(listed)

@@ -1,0 +1,161 @@
+"""Tests for the RQ1–RQ4 experiment pipelines (tiny scale)."""
+
+import math
+
+import pytest
+
+from repro.dealias import DealiasMode
+from repro.experiments import (
+    run_cross_port,
+    run_rq1a,
+    run_rq1b,
+    run_rq2,
+    run_rq3,
+    run_rq4,
+    table5,
+    table6,
+)
+from repro.internet import Port
+
+TGAS_FAST = ("6tree", "6gen")
+
+
+@pytest.fixture(scope="module")
+def fast_study(internet):
+    from repro.experiments import Study
+
+    return Study(internet=internet, budget=800, round_size=200, tga_names=TGAS_FAST)
+
+
+class TestRQ1a:
+    @pytest.fixture(scope="class")
+    def result(self, fast_study):
+        return run_rq1a(fast_study, ports=(Port.ICMP,))
+
+    def test_grid_complete(self, result):
+        assert len(result.runs) == len(TGAS_FAST) * 4  # 4 dealias modes
+
+    def test_table4_shape(self, result):
+        table = result.table4(Port.ICMP)
+        assert set(table) == set(TGAS_FAST)
+        for row in table.values():
+            assert set(row) == set(DealiasMode)
+
+    def test_joint_fewest_aliases(self, result):
+        """Joint dealiasing must not generate more aliases than none."""
+        table = result.table4(Port.ICMP)
+        for tga, row in table.items():
+            assert row[DealiasMode.JOINT] <= row[DealiasMode.NONE], tga
+
+    def test_figure3_ratios_finite_or_inf(self, result):
+        ratios = result.figure3(Port.ICMP)
+        for tga, row in ratios.items():
+            assert set(row) == {"hits", "ases", "aliases"}
+            for value in row.values():
+                assert isinstance(value, float)
+                assert not math.isnan(value)
+
+
+class TestRQ1b:
+    @pytest.fixture(scope="class")
+    def result(self, fast_study):
+        return run_rq1b(fast_study, ports=(Port.ICMP,))
+
+    def test_runs_present(self, result):
+        for tga in TGAS_FAST:
+            assert (tga, Port.ICMP) in result.dealiased_runs
+            assert (tga, Port.ICMP) in result.active_runs
+
+    def test_figure4_keys(self, result):
+        ratios = result.figure4(Port.ICMP)
+        assert set(ratios) == set(TGAS_FAST)
+
+
+class TestRQ2:
+    @pytest.fixture(scope="class")
+    def result(self, fast_study):
+        return run_rq2(fast_study, ports=(Port.ICMP, Port.TCP80))
+
+    def test_grid(self, result):
+        assert len(result.all_active_runs) == len(TGAS_FAST) * 2
+        assert len(result.port_specific_runs) == len(TGAS_FAST) * 2
+
+    def test_figure5(self, result):
+        ratios = result.figure5(Port.TCP80)
+        assert set(ratios) == set(TGAS_FAST)
+
+    def test_port_specific_dataset_names(self, result):
+        run = result.port_specific_runs[("6tree", Port.TCP80)]
+        assert run.dataset_name == "port-tcp80"
+
+
+class TestCrossPort:
+    def test_matrix_shape(self, fast_study):
+        result = run_cross_port(fast_study, ports=(Port.ICMP, Port.UDP53))
+        matrix = result.matrix(Port.ICMP)
+        assert set(matrix) == {"port-icmp", "port-udp53", "all-active"}
+        for row in matrix.values():
+            assert set(row) == set(TGAS_FAST)
+
+
+class TestRQ3:
+    @pytest.fixture(scope="class")
+    def result(self, fast_study):
+        return run_rq3(
+            fast_study,
+            ports=(Port.ICMP,),
+            sources=("censys", "scamper", "hitlist"),
+            budget=400,
+        )
+
+    def test_source_runs_present(self, result):
+        assert ("6tree", "censys", Port.ICMP) in result.source_runs
+
+    def test_pooled_budget(self, result):
+        pooled = result.pooled_runs[("6tree", Port.ICMP)]
+        assert pooled.budget == 400 * 3
+
+    def test_combined_hits_union_excludes_seed_pool(self, result):
+        combined = result.combined_hits("6tree", Port.ICMP)
+        assert not combined & result.seed_pool
+        for source in result.source_names:
+            run_hits = set(result.source_runs[("6tree", source, Port.ICMP)].clean_hits)
+            assert run_hits - result.seed_pool <= combined
+
+    def test_table5_rows(self, result):
+        rows = table5(result)
+        assert [row.tga for row in rows] == list(TGAS_FAST)
+        for row in rows:
+            assert row.combined_hits >= 0
+            assert row.pooled_hits >= 0
+
+    def test_table6_characterizations(self, result, fast_study):
+        chars = table6(result, fast_study)
+        assert ("censys", Port.ICMP) in chars
+        entry = chars[("censys", Port.ICMP)]
+        assert entry.total_ases >= 0
+
+
+class TestRQ4:
+    @pytest.fixture(scope="class")
+    def result(self, fast_study):
+        return run_rq4(fast_study, ports=(Port.ICMP,))
+
+    def test_figure6_hits_cover_union(self, result):
+        steps = result.figure6_hits(Port.ICMP)
+        assert [s.name for s in steps]
+        assert steps[-1].cumulative == result.ensemble_hits(Port.ICMP)
+
+    def test_figure6_ases(self, result):
+        steps = result.figure6_ases(Port.ICMP)
+        assert len(steps) == len(TGAS_FAST)
+
+    def test_ensemble_at_least_best_single(self, result):
+        best_single = max(
+            result.runs[(tga, Port.ICMP)].metrics.hits for tga in TGAS_FAST
+        )
+        assert result.ensemble_hits(Port.ICMP) >= best_single
+
+    def test_hit_overlap_keys(self, result):
+        overlap = result.hit_overlap(Port.ICMP)
+        assert len(overlap) == len(TGAS_FAST) * (len(TGAS_FAST) - 1) // 2

@@ -1,0 +1,159 @@
+"""Tests for repro.experiments.runner and harness."""
+
+import pytest
+
+from repro.experiments import Study, run_generation
+from repro.internet import Port
+
+
+class TestRunGeneration:
+    def test_basic_run(self, internet, study):
+        dataset = study.constructions.all_active
+        result = run_generation(
+            internet, "6tree", dataset, Port.ICMP, budget=800, round_size=200
+        )
+        assert result.tga_name == "6tree"
+        assert result.dataset_name == dataset.name
+        assert 0 < result.generated <= 800
+        assert result.metrics.hits == len(result.clean_hits)
+        assert result.metrics.ases == len(result.active_ases)
+        assert result.rounds >= 1
+
+    def test_hits_disjoint_from_seeds(self, internet, study):
+        dataset = study.constructions.all_active
+        result = run_generation(
+            internet, "6gen", dataset, Port.ICMP, budget=600, round_size=200
+        )
+        assert not set(result.clean_hits) & set(dataset.addresses)
+
+    def test_hits_actually_respond(self, internet, study):
+        dataset = study.constructions.all_active
+        result = run_generation(
+            internet, "6tree", dataset, Port.TCP80, budget=600, round_size=200
+        )
+        for address in list(result.clean_hits)[:50]:
+            assert internet.probe(address, Port.TCP80)
+
+    def test_clean_hits_not_aliased(self, internet, study):
+        dataset = study.constructions.full
+        result = run_generation(
+            internet, "6hit", dataset, Port.ICMP, budget=600, round_size=200
+        )
+        # Clean hits never fall inside *published* alias prefixes.
+        from repro.dealias import OfflineDealiaser
+
+        offline = OfflineDealiaser.from_internet(internet)
+        assert not any(offline.is_aliased(a) for a in result.clean_hits)
+
+    def test_aliased_and_clean_disjoint(self, internet, study):
+        dataset = study.constructions.full
+        result = run_generation(
+            internet, "det", dataset, Port.ICMP, budget=600, round_size=200
+        )
+        assert not set(result.clean_hits) & set(result.aliased_hits)
+
+    def test_no_dealias_outputs(self, internet, study):
+        dataset = study.constructions.full
+        result = run_generation(
+            internet,
+            "6tree",
+            dataset,
+            Port.ICMP,
+            budget=400,
+            round_size=200,
+            dealias_outputs=False,
+        )
+        assert result.metrics.aliases == 0
+
+    def test_mega_isp_filtered_from_icmp(self, internet, study):
+        dataset = study.constructions.all_active
+        result = run_generation(
+            internet, "6tree", dataset, Port.ICMP, budget=800, round_size=200
+        )
+        mega = internet.mega_isp_asn
+        assert all(internet.asn_of(a) != mega for a in result.clean_hits)
+
+    def test_invalid_budget(self, internet, study):
+        with pytest.raises(ValueError):
+            run_generation(
+                internet, "6tree", study.constructions.all_active, Port.ICMP, budget=0
+            )
+
+    def test_deterministic(self, internet, study):
+        dataset = study.constructions.all_active
+        a = run_generation(internet, "6graph", dataset, Port.ICMP, budget=400)
+        b = run_generation(internet, "6graph", dataset, Port.ICMP, budget=400)
+        assert a.clean_hits == b.clean_hits
+        assert a.metrics == b.metrics
+
+    def test_as_dict(self, internet, study):
+        result = run_generation(
+            internet, "6tree", study.constructions.all_active, Port.ICMP, budget=400
+        )
+        info = result.as_dict()
+        assert info["tga"] == "6tree"
+        assert info["hits"] == result.metrics.hits
+        assert 0.0 <= info["hitrate"] <= 1.0
+
+
+class TestStudy:
+    def test_run_cached(self, study):
+        dataset = study.constructions.all_active
+        first = study.run("6tree", dataset, Port.ICMP)
+        cached_count = study.cached_runs
+        second = study.run("6tree", dataset, Port.ICMP)
+        assert first is second
+        assert study.cached_runs == cached_count
+
+    def test_budget_key_in_cache(self, study):
+        dataset = study.constructions.all_active
+        small = study.run("6gen", dataset, Port.ICMP, budget=300)
+        large = study.run("6gen", dataset, Port.ICMP, budget=600)
+        assert small is not large
+        assert small.budget == 300 and large.budget == 600
+
+    def test_run_matrix(self, study):
+        datasets = [study.constructions.all_active]
+        results = study.run_matrix(
+            datasets, ports=(Port.ICMP,), tga_names=("6tree", "6gen"), budget=300
+        )
+        assert len(results) == 2
+        assert ("6tree", "all-active", Port.ICMP) in results
+
+    def test_config_and_internet_exclusive(self, internet):
+        from repro.internet import InternetConfig
+
+        with pytest.raises(ValueError):
+            Study(config=InternetConfig.tiny(), internet=internet)
+
+    def test_new_scanner_fresh(self, study):
+        a, b = study.new_scanner(), study.new_scanner()
+        assert a is not b
+        assert a.internet is b.internet
+
+
+class TestStudyEthicsControls:
+    def test_blocklist_honoured_everywhere(self, internet):
+        from repro.addr import Prefix
+        from repro.experiments import Study
+        from repro.internet import Port
+        from repro.scanner import Blocklist
+
+        # Block one region that would otherwise be discovered.
+        region = next(
+            r for r in internet.regions
+            if not r.aliased and not r.firewalled and not r.retired
+            and r.density > 20
+        )
+        blocklist = Blocklist([region.prefix])
+        study = Study(
+            internet=internet, budget=600, round_size=200, blocklist=blocklist
+        )
+        run = study.run("6tree", study.constructions.all_active, Port.ICMP)
+        assert not any(region.contains(a) for a in run.clean_hits)
+
+    def test_rate_setting_propagates(self, internet):
+        from repro.experiments import Study
+
+        study = Study(internet=internet, packets_per_second=1234.0)
+        assert study.new_scanner().rate_limiter.packets_per_second == 1234.0

@@ -1,0 +1,166 @@
+"""Tests for experiment grids and synthetic seed factories."""
+
+import pytest
+
+from repro.addr import parse_address
+from repro.datasets import (
+    SeedDataset,
+    SourceKind,
+    eui64_cluster,
+    low_iid_run,
+    random_block,
+    synthetic_dataset,
+    wordy_block,
+)
+from repro.experiments import GridSpec, run_grid
+from repro.internet import Port
+
+
+class TestSyntheticFactories:
+    def test_low_iid_run(self):
+        seeds = low_iid_run("2001:db8:0:1::", 5)
+        assert seeds == [parse_address(f"2001:db8:0:1::{i}") for i in range(1, 6)]
+
+    def test_low_iid_custom_start(self):
+        seeds = low_iid_run("2001:db8::", 3, start=0x10)
+        assert seeds[0] == parse_address("2001:db8::10")
+
+    def test_wordy_block_in_prefix(self):
+        seeds = wordy_block("2001:db8:0:2::", count=8)
+        assert len(seeds) == 8
+        for seed in seeds:
+            assert seed >> 64 == parse_address("2001:db8:0:2::") >> 64
+
+    def test_eui64_cluster_structure(self):
+        seeds = eui64_cluster("2400:cb00:1::", 10)
+        ouis = {(seed >> 40) & 0xFFFFFF for seed in seeds}
+        assert len(ouis) == 1
+        for seed in seeds:
+            assert (seed >> 24) & 0xFFFF == 0xFFFE
+
+    def test_random_block_spread(self):
+        seeds = random_block("2600:9000::", 40)
+        assert len({seed & 0xFFFF_FFFF_FFFF_FFFF for seed in seeds}) == 40
+
+    def test_factories_deterministic(self):
+        assert eui64_cluster("2400::", 5, salt=1) == eui64_cluster("2400::", 5, salt=1)
+        assert random_block("2400::", 5, salt=2) == random_block("2400::", 5, salt=2)
+
+    def test_synthetic_dataset_bundle(self):
+        dataset = synthetic_dataset(
+            "lab",
+            low_iid_run("2001:db8:0:1::", 10),
+            wordy_block("2001:db8:0:2::", 5),
+        )
+        assert dataset.name == "lab"
+        assert dataset.kind is SourceKind.HITLIST
+        assert len(dataset) == 15
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_dataset("empty")
+
+    def test_tga_learns_synthetic_structure(self):
+        from repro.tga import create_tga
+
+        dataset = synthetic_dataset("lab", low_iid_run("2001:db8:0:1::", 20))
+        tga = create_tga("6tree")
+        tga.prepare(sorted(dataset.addresses))
+        proposals = set(tga.propose(40))
+        assert parse_address("2001:db8:0:1::15") in proposals  # 21 decimal
+
+
+class TestGridSpec:
+    def make_datasets(self):
+        return (
+            synthetic_dataset("a", low_iid_run("2001:db8:0:1::", 10)),
+            synthetic_dataset("b", wordy_block("2400:cb00:1::", 8)),
+        )
+
+    def test_size(self):
+        spec = GridSpec(
+            datasets=self.make_datasets(),
+            tga_names=("6tree", "6gen"),
+            ports=(Port.ICMP,),
+        )
+        assert spec.size == 4
+
+    def test_cells_stable_order(self):
+        spec = GridSpec(
+            datasets=self.make_datasets(),
+            tga_names=("6tree",),
+            ports=(Port.ICMP, Port.TCP80),
+        )
+        cells = list(spec.cells())
+        assert cells == list(spec.cells())
+        assert len(cells) == spec.size
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridSpec(datasets=())
+        with pytest.raises(ValueError):
+            GridSpec(datasets=self.make_datasets(), tga_names=())
+        with pytest.raises(ValueError):
+            GridSpec(datasets=self.make_datasets(), ports=())
+
+    def test_duplicate_dataset_names_rejected(self):
+        dataset = synthetic_dataset("dup", low_iid_run("2001:db8::", 5))
+        with pytest.raises(ValueError):
+            GridSpec(datasets=(dataset, dataset))
+
+
+class TestRunGrid:
+    def test_runs_all_cells(self, study):
+        spec = GridSpec(
+            datasets=(study.constructions.all_active,),
+            tga_names=("6tree", "6gen"),
+            ports=(Port.ICMP,),
+            budget=300,
+        )
+        results = run_grid(study, spec)
+        assert len(results.runs) == 2
+        assert results.get("6tree", "all-active", Port.ICMP).budget == 300
+
+    def test_progress_callback(self, study):
+        spec = GridSpec(
+            datasets=(study.constructions.all_active,),
+            tga_names=("6gen",),
+            ports=(Port.ICMP, Port.UDP53),
+            budget=300,
+        )
+        seen = []
+        run_grid(study, spec, progress=lambda done, total, run: seen.append((done, total)))
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_axis_accessors(self, study):
+        spec = GridSpec(
+            datasets=(study.constructions.all_active,),
+            tga_names=("6tree", "6gen"),
+            ports=(Port.ICMP, Port.UDP53),
+            budget=300,
+        )
+        results = run_grid(study, spec)
+        assert len(results.by_tga("6tree")) == 2
+        assert len(results.by_port(Port.ICMP)) == 2
+        assert len(results.by_dataset("all-active")) == 4
+
+    def test_best(self, study):
+        spec = GridSpec(
+            datasets=(study.constructions.all_active,),
+            tga_names=("6tree", "eip"),
+            ports=(Port.ICMP,),
+            budget=300,
+        )
+        results = run_grid(study, spec)
+        assert results.best("hits").tga_name == "6tree"
+
+    def test_to_rows(self, study):
+        spec = GridSpec(
+            datasets=(study.constructions.all_active,),
+            tga_names=("6gen",),
+            ports=(Port.ICMP,),
+            budget=300,
+        )
+        rows = run_grid(study, spec).to_rows()
+        assert len(rows) == 1
+        assert rows[0]["tga"] == "6gen"

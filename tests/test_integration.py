@@ -1,0 +1,131 @@
+"""End-to-end integration tests exercising the paper's headline shapes.
+
+These run on the tiny world with small budgets, so they assert *robust*
+directional properties (the same shapes EXPERIMENTS.md validates at
+benchmark scale), not precise magnitudes.
+"""
+
+import pytest
+
+from repro.dealias import DealiasMode
+from repro.experiments import run_rq1a, run_rq4
+from repro.internet import ALL_PORTS, Port
+from repro.tga import ALL_TGA_NAMES
+
+
+@pytest.fixture(scope="module")
+def full_study(internet):
+    from repro.experiments import Study
+
+    return Study(internet=internet, budget=1_200, round_size=300)
+
+
+class TestDealiasingShape:
+    """RQ1.a: aliases in seeds poison generation; joint dealiasing fixes it."""
+
+    @pytest.fixture(scope="class")
+    def rq1a(self, full_study):
+        return run_rq1a(
+            full_study,
+            ports=(Port.ICMP,),
+            modes=(DealiasMode.NONE, DealiasMode.JOINT),
+        )
+
+    def test_joint_crushes_aliases_overall(self, rq1a):
+        table = rq1a.table4(Port.ICMP)
+        total_none = sum(row[DealiasMode.NONE] for row in table.values())
+        total_joint = sum(row[DealiasMode.JOINT] for row in table.values())
+        assert total_joint < total_none / 3
+
+    def test_dealiasing_helps_hits_overall(self, rq1a):
+        runs = rq1a.runs
+        total_none = sum(
+            runs[(tga, DealiasMode.NONE, Port.ICMP)].metrics.hits
+            for tga in ALL_TGA_NAMES
+        )
+        total_joint = sum(
+            runs[(tga, DealiasMode.JOINT, Port.ICMP)].metrics.hits
+            for tga in ALL_TGA_NAMES
+        )
+        assert total_joint > total_none
+
+    def test_6sense_least_alias_prone(self, rq1a):
+        """6Sense's built-in dealiasing caps its alias discovery near the
+        bottom of the table even on fully aliased seeds."""
+        table = rq1a.table4(Port.ICMP)
+        six_sense = table["6sense"][DealiasMode.NONE]
+        worst = max(row[DealiasMode.NONE] for row in table.values())
+        assert six_sense < worst
+
+
+class TestGeneratorProfiles:
+    """RQ4-adjacent: relative generator character on the All Active data."""
+
+    @pytest.fixture(scope="class")
+    def rq4(self, full_study):
+        return run_rq4(full_study, ports=(Port.ICMP,))
+
+    def test_every_generator_finds_something(self, rq4):
+        for tga in ALL_TGA_NAMES:
+            if tga == "eip":
+                continue  # EIP legitimately finds ~nothing at tiny scale
+            assert rq4.runs[(tga, Port.ICMP)].metrics.hits > 0, tga
+
+    def test_eip_is_weakest(self, rq4):
+        hits = {tga: rq4.runs[(tga, Port.ICMP)].metrics.hits for tga in ALL_TGA_NAMES}
+        assert hits["eip"] == min(hits.values())
+
+    def test_ensemble_beats_best_single(self, rq4):
+        best = max(
+            rq4.runs[(tga, Port.ICMP)].metrics.hits for tga in ALL_TGA_NAMES
+        )
+        assert rq4.ensemble_hits(Port.ICMP) > best
+
+    def test_6scan_6tree_high_overlap(self, rq4):
+        """6Scan shares 6Tree's partitioning; their outputs must overlap
+        more than an average generator pair."""
+        overlap = rq4.hit_overlap(Port.ICMP)
+        pair = overlap[tuple(sorted(("6scan", "6tree")))]
+        others = [
+            value
+            for key, value in overlap.items()
+            if set(key) != {"6scan", "6tree"}
+        ]
+        assert pair > sum(others) / len(others)
+
+    def test_figure6_first_contributor_dominates(self, rq4):
+        steps = rq4.figure6_hits(Port.ICMP)
+        assert steps[0].cumulative_fraction > 0.3
+
+
+class TestFullMatrixSmoke:
+    def test_all_ports_runnable(self, full_study):
+        """Every port produces a valid run for a representative generator."""
+        dataset = full_study.constructions.all_active
+        for port in ALL_PORTS:
+            result = full_study.run("6tree", dataset, port, budget=400)
+            assert result.generated > 0
+
+    def test_icmp_yields_most_hits(self, full_study):
+        dataset = full_study.constructions.all_active
+        hits = {
+            port: full_study.run("6tree", dataset, port, budget=400).metrics.hits
+            for port in ALL_PORTS
+        }
+        assert hits[Port.ICMP] == max(hits.values())
+        assert hits[Port.UDP53] == min(hits.values())
+
+
+class TestReproducibility:
+    def test_identical_studies_identical_results(self, tiny_config):
+        from repro.experiments import Study
+
+        a = Study(config=tiny_config, budget=400, round_size=200)
+        b = Study(config=tiny_config, budget=400, round_size=200)
+        dataset_a = a.constructions.all_active
+        dataset_b = b.constructions.all_active
+        assert dataset_a.addresses == dataset_b.addresses
+        run_a = a.run("det", dataset_a, Port.ICMP)
+        run_b = b.run("det", dataset_b, Port.ICMP)
+        assert run_a.clean_hits == run_b.clean_hits
+        assert run_a.metrics == run_b.metrics

@@ -1,0 +1,78 @@
+"""Tests for repro.internet.config."""
+
+import pytest
+
+from repro.internet import InternetConfig
+
+
+class TestPresets:
+    def test_tiny_smaller_than_small(self):
+        assert InternetConfig.tiny().num_ases < InternetConfig.small().num_ases
+
+    def test_medium_larger_than_small(self):
+        assert InternetConfig.medium().num_ases > InternetConfig.small().num_ases
+
+    def test_with_seed(self):
+        config = InternetConfig.tiny().with_seed(99)
+        assert config.master_seed == 99
+        assert config.num_ases == InternetConfig.tiny().num_ases
+
+
+class TestValidation:
+    def test_num_ases_minimum(self):
+        with pytest.raises(ValueError):
+            InternetConfig(num_ases=1)
+
+    def test_alias_fraction_range(self):
+        with pytest.raises(ValueError):
+            InternetConfig(alias_region_fraction=1.5)
+
+    def test_published_coverage_range(self):
+        with pytest.raises(ValueError):
+            InternetConfig(published_alias_coverage=-0.1)
+
+    def test_sites_range(self):
+        with pytest.raises(ValueError):
+            InternetConfig(min_sites_per_as=3, max_sites_per_as=2)
+        with pytest.raises(ValueError):
+            InternetConfig(min_sites_per_as=0)
+
+
+class TestOrgWeights:
+    def test_normalised(self):
+        weights = InternetConfig().org_weights
+        assert abs(sum(weights.values()) - 1.0) < 1e-9
+
+    def test_all_types_present(self):
+        weights = InternetConfig().org_weights
+        assert set(weights) == {
+            "isp",
+            "mobile",
+            "cloud",
+            "hosting",
+            "cdn",
+            "education",
+            "government",
+            "enterprise",
+            "security",
+        }
+
+    def test_zero_total_rejected(self):
+        config = InternetConfig(
+            weight_isp=0,
+            weight_mobile=0,
+            weight_cloud=0,
+            weight_hosting=0,
+            weight_cdn=0,
+            weight_education=0,
+            weight_government=0,
+            weight_enterprise=0,
+            weight_security=0,
+        )
+        with pytest.raises(ValueError):
+            _ = config.org_weights
+
+    def test_frozen(self):
+        config = InternetConfig()
+        with pytest.raises(AttributeError):
+            config.num_ases = 10

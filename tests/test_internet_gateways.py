@@ -1,0 +1,66 @@
+"""Tests for the CPE-gateway population (the RQ2 ICMP-only trap)."""
+
+from repro.asdb import OrgType
+from repro.internet import PatternKind, Port, RegionRole
+
+
+class TestGatewayRegions:
+    def test_gateways_exist(self, internet):
+        gateways = internet.regions_with_role(RegionRole.GATEWAY)
+        assert gateways
+
+    def test_only_in_eyeball_ases(self, internet):
+        for region in internet.regions_with_role(RegionRole.GATEWAY):
+            org = internet.registry.info(region.asn).org_type
+            assert org in (OrgType.ISP, OrgType.MOBILE)
+
+    def test_low_pattern_low_density(self, internet):
+        for region in internet.regions_with_role(RegionRole.GATEWAY)[:50]:
+            assert region.pattern is PatternKind.LOW
+            assert region.density <= 3
+
+    def test_icmp_only_profile(self, internet):
+        for region in internet.regions_with_role(RegionRole.GATEWAY)[:50]:
+            assert region.profile.icmp > 0.5
+            assert region.profile.tcp80 < 0.05
+            assert region.profile.tcp443 < 0.05
+
+    def test_icmp_responsive_but_not_tcp(self, internet):
+        """The population answers ping in volume but almost nothing on
+        web ports — the dilution that makes port-specific seeds pay off."""
+        icmp = 0
+        tcp = 0
+        for region in internet.regions_with_role(RegionRole.GATEWAY):
+            icmp += len(region.responsive_iids(Port.ICMP, 1))
+            tcp += len(region.responsive_iids(Port.TCP443, 1))
+        assert icmp > 20 * max(1, tcp)
+
+    def test_collected_by_traceroute_sources(self, internet, collection):
+        gateway_nets = {
+            r.net64 for r in internet.regions_with_role(RegionRole.GATEWAY)
+        }
+        ripe_gateway = sum(
+            1 for a in collection["ripe_atlas"].addresses if (a >> 64) in gateway_nets
+        )
+        assert ripe_gateway > 0
+
+    def test_not_collected_by_domain_toplists(self, internet, collection):
+        gateway_nets = {
+            r.net64 for r in internet.regions_with_role(RegionRole.GATEWAY)
+        }
+        umbrella_gateway = sum(
+            1 for a in collection["umbrella"].addresses if (a >> 64) in gateway_nets
+        )
+        assert umbrella_gateway == 0
+
+
+class TestMegaPattern:
+    def test_mega_is_large_icmp_only_population(self, internet):
+        mega = [r for r in internet.regions if r.asn == internet.mega_isp_asn]
+        assert len(mega) == internet.config.mega_isp_regions
+        icmp_active = sum(len(r.responsive_iids(Port.ICMP, 1)) for r in mega)
+        tcp_active = sum(len(r.responsive_iids(Port.TCP80, 1)) for r in mega)
+        # Roughly the configured response probability of the pattern…
+        assert icmp_active > len(mega) * internet.config.mega_isp_icmp_response * 0.4
+        # …and essentially nothing on TCP.
+        assert tcp_active <= icmp_active / 10

@@ -1,0 +1,84 @@
+"""Tests for repro.internet.patterns."""
+
+import pytest
+
+from repro.internet import COMMON_OUIS, IID_VOCABULARY, PatternKind, generate_iids
+
+
+class TestGenerateIIDsGeneric:
+    def test_empty_for_zero_count(self):
+        for kind in PatternKind:
+            assert generate_iids(kind, 0, 1) == frozenset()
+
+    def test_deterministic(self):
+        for kind in PatternKind:
+            a = generate_iids(kind, 20, 1234)
+            b = generate_iids(kind, 20, 1234)
+            assert a == b
+
+    def test_salt_changes_structured_sets(self):
+        a = generate_iids(PatternKind.RANDOM, 20, 1)
+        b = generate_iids(PatternKind.RANDOM, 20, 2)
+        assert a != b
+
+    def test_all_iids_64bit(self):
+        for kind in PatternKind:
+            for iid in generate_iids(kind, 30, 77):
+                assert 0 <= iid < 2**64
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            generate_iids("bogus", 10, 1)  # type: ignore[arg-type]
+
+
+class TestLowPattern:
+    def test_sequential(self):
+        iids = sorted(generate_iids(PatternKind.LOW, 10, 42))
+        assert len(iids) == 10
+        # Sequential run: max - min spans exactly the count.
+        assert iids[-1] - iids[0] == 9
+
+    def test_small_values(self):
+        iids = generate_iids(PatternKind.LOW, 50, 9)
+        assert max(iids) <= 0x100 + 50
+
+
+class TestWordyPattern:
+    def test_subset_of_vocabulary(self):
+        iids = generate_iids(PatternKind.WORDY, 10, 5)
+        assert iids <= set(IID_VOCABULARY)
+
+    def test_count_bounded_by_vocabulary(self):
+        iids = generate_iids(PatternKind.WORDY, 1000, 5)
+        assert len(iids) <= len(IID_VOCABULARY)
+
+
+class TestEUI64Pattern:
+    def test_fffe_marker_present(self):
+        for iid in generate_iids(PatternKind.EUI64, 20, 3):
+            assert (iid >> 24) & 0xFFFF == 0xFFFE
+
+    def test_oui_from_common_set(self):
+        flipped_ouis = {oui ^ 0x020000 for oui in COMMON_OUIS}
+        for iid in generate_iids(PatternKind.EUI64, 20, 3):
+            assert (iid >> 40) in flipped_ouis
+
+    def test_single_oui_per_region(self):
+        iids = generate_iids(PatternKind.EUI64, 30, 3)
+        assert len({iid >> 40 for iid in iids}) == 1
+
+    def test_nic_parts_clustered(self):
+        iids = sorted(generate_iids(PatternKind.EUI64, 30, 3))
+        nics = [iid & 0xFFFFFF for iid in iids]
+        assert max(nics) - min(nics) < 0x2000  # narrow provisioning band
+
+
+class TestRandomPattern:
+    def test_spread_over_64_bits(self):
+        iids = generate_iids(PatternKind.RANDOM, 50, 7)
+        # With 50 uniform draws, the top byte should take many values.
+        top_bytes = {iid >> 56 for iid in iids}
+        assert len(top_bytes) > 10
+
+    def test_count_respected(self):
+        assert len(generate_iids(PatternKind.RANDOM, 64, 11)) == 64

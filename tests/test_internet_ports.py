@@ -1,0 +1,51 @@
+"""Tests for repro.internet.ports."""
+
+from repro.internet import ALL_PORTS, Port, PortProfile
+from repro.internet.ports import CDN_EDGE, ROUTER, WEB_SERVER
+
+
+class TestPort:
+    def test_all_ports_count(self):
+        assert len(ALL_PORTS) == 4
+
+    def test_indices_distinct(self):
+        assert len({port.index for port in ALL_PORTS}) == 4
+
+    def test_is_tcp(self):
+        assert Port.TCP80.is_tcp
+        assert Port.TCP443.is_tcp
+        assert not Port.ICMP.is_tcp
+        assert not Port.UDP53.is_tcp
+
+    def test_is_application(self):
+        assert not Port.ICMP.is_application
+        assert all(port.is_application for port in ALL_PORTS if port is not Port.ICMP)
+
+    def test_string_identity(self):
+        assert Port("tcp80") is Port.TCP80
+
+
+class TestPortProfile:
+    def test_probability_mapping(self):
+        profile = PortProfile(icmp=0.9, tcp80=0.1, tcp443=0.2, udp53=0.3)
+        assert profile.probability(Port.ICMP) == 0.9
+        assert profile.probability(Port.TCP80) == 0.1
+        assert profile.probability(Port.TCP443) == 0.2
+        assert profile.probability(Port.UDP53) == 0.3
+
+    def test_scaled_clamps(self):
+        profile = PortProfile(icmp=0.9, tcp80=0.6)
+        scaled = profile.scaled(2.0)
+        assert scaled.icmp == 1.0
+        assert scaled.tcp80 == 1.0
+
+    def test_scaled_down(self):
+        profile = PortProfile(icmp=0.8)
+        assert abs(profile.scaled(0.5).icmp - 0.4) < 1e-9
+
+    def test_canonical_profiles_shape(self):
+        # Web servers answer web ports; routers barely do.
+        assert WEB_SERVER.tcp443 > 0.5
+        assert ROUTER.tcp443 < 0.05
+        assert ROUTER.icmp > 0.5
+        assert CDN_EDGE.tcp80 >= 0.8 and WEB_SERVER.tcp80 >= 0.8

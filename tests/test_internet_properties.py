@@ -1,0 +1,104 @@
+"""Property-based tests of the ground-truth model's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.internet import (
+    ALL_PORTS,
+    COLLECTION_EPOCH,
+    SCAN_EPOCH,
+    PatternKind,
+    Port,
+    PortProfile,
+    Region,
+    RegionRole,
+)
+
+region_salts = st.integers(min_value=0, max_value=2**32)
+densities = st.integers(min_value=1, max_value=60)
+patterns = st.sampled_from(list(PatternKind))
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+
+
+def make_region(salt, density, pattern, icmp=0.9, tcp80=0.3, churn=0.1, **kw):
+    return Region(
+        net64=0x2001_0DB8_0000_0001,
+        asn=64500,
+        role=RegionRole.SERVER,
+        pattern=pattern,
+        density=density,
+        profile=PortProfile(icmp=icmp, tcp80=tcp80, tcp443=0.3, udp53=0.05),
+        churn_rate=churn,
+        salt=salt,
+        **kw,
+    )
+
+
+class TestRegionInvariants:
+    @given(salt=region_salts, density=densities, pattern=patterns)
+    @settings(max_examples=40, deadline=None)
+    def test_responsive_subset_of_active(self, salt, density, pattern):
+        region = make_region(salt, density, pattern)
+        active = region.active_iids()
+        for port in ALL_PORTS:
+            for epoch in (COLLECTION_EPOCH, SCAN_EPOCH):
+                assert region.responsive_iids(port, epoch) <= active
+
+    @given(salt=region_salts, density=densities, pattern=patterns)
+    @settings(max_examples=40, deadline=None)
+    def test_scan_epoch_subset_of_collection(self, salt, density, pattern):
+        """Churn only removes addresses, never adds them."""
+        region = make_region(salt, density, pattern, churn=0.4)
+        for port in ALL_PORTS:
+            assert region.responsive_iids(port, SCAN_EPOCH) <= region.responsive_iids(
+                port, COLLECTION_EPOCH
+            )
+
+    @given(salt=region_salts, density=densities)
+    @settings(max_examples=30, deadline=None)
+    def test_responds_agrees_with_responsive_iids(self, salt, density):
+        region = make_region(salt, density, PatternKind.LOW)
+        for iid in list(region.active_iids())[:10]:
+            expected = iid in region.responsive_iids(Port.TCP80, SCAN_EPOCH)
+            assert region.responds(region.address_of(iid), Port.TCP80, SCAN_EPOCH) == expected
+
+    @given(salt=region_salts, density=densities, pattern=patterns)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_probability_port_never_responds(self, salt, density, pattern):
+        region = make_region(salt, density, pattern, icmp=0.0, tcp80=0.0)
+        region = Region(
+            net64=region.net64,
+            asn=region.asn,
+            role=region.role,
+            pattern=pattern,
+            density=density,
+            profile=PortProfile(icmp=0.0, tcp80=0.0, tcp443=0.0, udp53=0.0),
+            salt=salt,
+        )
+        for iid in list(region.active_iids())[:5]:
+            for port in ALL_PORTS:
+                assert not region.responds(region.address_of(iid), port, SCAN_EPOCH)
+
+    @given(salt=region_salts, density=densities, pattern=patterns)
+    @settings(max_examples=30, deadline=None)
+    def test_observables_inside_region(self, salt, density, pattern):
+        region = make_region(salt, density, pattern)
+        for address in region.observable_addresses():
+            assert region.contains(address)
+
+    @given(salt=region_salts, density=densities)
+    @settings(max_examples=30, deadline=None)
+    def test_aliased_region_responds_everywhere(self, salt, density):
+        region = make_region(salt, density, PatternKind.LOW, aliased=True)
+        for iid in (0, 1, salt, 2**63 | salt):
+            assert region.responds(region.address_of(iid), Port.ICMP, SCAN_EPOCH)
+
+    @given(salt=region_salts, density=densities, pattern=patterns)
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, salt, density, pattern):
+        a = make_region(salt, density, pattern)
+        b = make_region(salt, density, pattern)
+        assert a.active_iids() == b.active_iids()
+        assert a.responsive_iids(Port.ICMP, SCAN_EPOCH) == b.responsive_iids(
+            Port.ICMP, SCAN_EPOCH
+        )

@@ -1,0 +1,74 @@
+"""Tests for multi-epoch churn and dataset decay curves."""
+
+import math
+
+from repro.analysis import decay_curve
+from repro.internet import Port
+
+
+class TestMultiEpochChurn:
+    def test_epoch_zero_and_one_unchanged(self, internet):
+        """The compounding extension must not disturb epochs 0 and 1."""
+        region = next(
+            r for r in internet.regions
+            if not r.aliased and not r.retired and 0 < r.churn_rate < 0.5
+            and r.density > 20
+        )
+        e0 = region.responsive_iids(Port.ICMP, 0)
+        e1 = region.responsive_iids(Port.ICMP, 1)
+        assert e1 <= e0
+
+    def test_monotone_decay(self, internet):
+        region = next(
+            r for r in internet.regions
+            if not r.aliased and not r.retired and r.churn_rate > 0.05
+            and r.density > 30
+        )
+        sets = [region.responsive_iids(Port.ICMP, epoch) for epoch in range(6)]
+        for before, after in zip(sets, sets[1:]):
+            assert after <= before
+
+    def test_high_churn_decays_fast(self, internet):
+        renumbered = next(
+            r for r in internet.regions
+            if not r.aliased and r.churn_rate > 0.9 and r.density > 10
+        )
+        assert len(renumbered.responsive_iids(Port.ICMP, 3)) <= max(
+            1, len(renumbered.responsive_iids(Port.ICMP, 0)) // 10
+        )
+
+    def test_probe_respects_later_epochs(self, internet):
+        from repro.scanner import Scanner
+
+        early = Scanner(internet, epoch=1)
+        late = Scanner(internet, epoch=5)
+        targets = sorted(internet.iter_responsive(Port.ICMP, 1))[:2000]
+        early_hits = early.scan(targets, Port.ICMP).num_hits
+        late_hits = late.scan(targets, Port.ICMP).num_hits
+        assert late_hits < early_hits == len(targets)
+
+
+class TestDecayCurve:
+    def test_curve_monotone_nonincreasing(self, internet, collection):
+        curve = decay_curve(internet, collection["hitlist"], epochs=4)
+        assert len(curve.fractions) == 5
+        for before, after in zip(curve.fractions, curve.fractions[1:]):
+            assert after <= before + 1e-12
+
+    def test_fractions_bounded(self, internet, collection):
+        curve = decay_curve(internet, collection["censys"], epochs=3)
+        assert all(0.0 <= f <= 1.0 for f in curve.fractions)
+
+    def test_survival_rate_bounds(self, internet, collection):
+        curve = decay_curve(internet, collection["ripe_atlas"], epochs=3)
+        assert 0.0 < curve.mean_survival_rate <= 1.0
+
+    def test_half_life(self, internet, collection):
+        curve = decay_curve(internet, collection["hitlist"], epochs=2)
+        assert curve.half_life_epochs > 0
+
+    def test_negative_epochs_rejected(self, internet, collection):
+        import pytest
+
+        with pytest.raises(ValueError):
+            decay_curve(internet, collection["hitlist"], epochs=-1)

@@ -1,0 +1,53 @@
+"""Tests for repro.metrics.characterize (Table 6 machinery)."""
+
+import pytest
+
+from repro.metrics import characterize_ases
+
+
+class TestCharacterizeASes:
+    def test_top_shares(self, internet):
+        regions = [r for r in internet.regions[:3]]
+        addresses = (
+            [regions[0].address_of(i) for i in range(6)]
+            + [regions[1].address_of(i) for i in range(3)]
+            + [regions[2].address_of(i) for i in range(1)]
+        )
+        # Regions may share an AS; compute expectations from the registry.
+        result = characterize_ases(addresses, internet.registry, top_n=3)
+        assert result.total_addresses == 10
+        assert result.top[0].share >= result.top[-1].share
+        assert sum(entry.share for entry in result.top) <= 1.0 + 1e-9
+
+    def test_top_n_limit(self, internet):
+        addresses = [r.address_of(1) for r in internet.regions[:20]]
+        result = characterize_ases(addresses, internet.registry, top_n=2)
+        assert len(result.top) <= 2
+
+    def test_total_ases(self, internet):
+        addresses = [r.address_of(1) for r in internet.regions[:30]]
+        expected = len(internet.registry.ases_of(addresses))
+        result = characterize_ases(addresses, internet.registry)
+        assert result.total_ases == expected
+
+    def test_empty_population(self, internet):
+        result = characterize_ases([], internet.registry)
+        assert result.top == ()
+        assert result.total_ases == 0
+        assert result.total_addresses == 0
+
+    def test_org_metadata_attached(self, internet):
+        region = internet.regions[0]
+        result = characterize_ases([region.address_of(1)], internet.registry)
+        entry = result.top[0]
+        info = internet.registry.info(region.asn)
+        assert entry.name == info.name
+        assert entry.org_type == info.org_type
+        assert entry.country == info.country
+        assert entry.share == pytest.approx(1.0)
+
+    def test_org_type_shares(self, internet):
+        addresses = [r.address_of(1) for r in internet.regions[:10]]
+        result = characterize_ases(addresses, internet.registry)
+        shares = result.org_type_shares()
+        assert all(0 <= value <= 1 for value in shares.values())

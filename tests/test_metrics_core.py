@@ -1,0 +1,84 @@
+"""Tests for repro.metrics.core."""
+
+import pytest
+
+from repro.internet import Port
+from repro.metrics import MetricSet, evaluate_metrics, filter_mega_isp
+
+
+class TestMetricSet:
+    def test_metric_by_name(self):
+        metrics = MetricSet(hits=10, ases=3, aliases=2)
+        assert metrics.metric("hits") == 10
+        assert metrics.metric("ases") == 3
+        assert metrics.metric("aliases") == 2
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            MetricSet(1, 1).metric("latency")
+
+    def test_as_dict(self):
+        assert MetricSet(5, 4, 3).as_dict() == {"hits": 5, "ases": 4, "aliases": 3}
+
+    def test_frozen(self):
+        metrics = MetricSet(1, 1)
+        with pytest.raises(AttributeError):
+            metrics.hits = 2
+
+
+class TestMegaFilter:
+    def test_filters_on_icmp(self, internet):
+        mega = next(
+            r for r in internet.regions if r.asn == internet.mega_isp_asn
+        )
+        normal = next(
+            r for r in internet.regions if r.asn != internet.mega_isp_asn
+        )
+        addresses = {mega.address_of(1), normal.address_of(1)}
+        kept = filter_mega_isp(
+            addresses, internet.registry, internet.mega_isp_asn, Port.ICMP
+        )
+        assert kept == {normal.address_of(1)}
+
+    def test_noop_on_tcp(self, internet):
+        mega = next(
+            r for r in internet.regions if r.asn == internet.mega_isp_asn
+        )
+        addresses = {mega.address_of(1)}
+        kept = filter_mega_isp(
+            addresses, internet.registry, internet.mega_isp_asn, Port.TCP80
+        )
+        assert kept == addresses
+
+
+class TestEvaluateMetrics:
+    def test_counts(self, internet):
+        regions = [r for r in internet.regions if r.asn != internet.mega_isp_asn]
+        a, b = regions[0], regions[1]
+        clean = {a.address_of(1), a.address_of(2), b.address_of(1)}
+        aliased = {b.address_of(99)}
+        metrics = evaluate_metrics(
+            clean, aliased, internet.registry, Port.ICMP, internet.mega_isp_asn
+        )
+        assert metrics.hits == 3
+        assert metrics.ases == len({a.asn, b.asn})
+        assert metrics.aliases == 1
+
+    def test_mega_excluded_from_icmp_hits_and_ases(self, internet):
+        mega = next(r for r in internet.regions if r.asn == internet.mega_isp_asn)
+        metrics = evaluate_metrics(
+            {mega.address_of(1)},
+            set(),
+            internet.registry,
+            Port.ICMP,
+            internet.mega_isp_asn,
+        )
+        assert metrics.hits == 0
+        assert metrics.ases == 0
+
+    def test_no_mega_filter_when_none(self, internet):
+        mega = next(r for r in internet.regions if r.asn == internet.mega_isp_asn)
+        metrics = evaluate_metrics(
+            {mega.address_of(1)}, set(), internet.registry, Port.ICMP, None
+        )
+        assert metrics.hits == 1

@@ -1,0 +1,102 @@
+"""Tests for repro.metrics.extended (the future-work diversity metrics)."""
+
+import math
+
+import pytest
+
+from repro.metrics import as_entropy, diversity_report, prefix_diversity
+
+
+class TestASEntropy:
+    def test_empty(self, internet):
+        assert as_entropy([], internet.registry) == 0.0
+
+    def test_single_as_zero_entropy(self, internet):
+        region = internet.regions[0]
+        addresses = [region.address_of(i) for i in range(10)]
+        assert as_entropy(addresses, internet.registry) == pytest.approx(0.0)
+
+    def test_uniform_two_ases_one_bit(self, internet):
+        regions = []
+        seen = set()
+        for region in internet.regions:
+            if region.asn not in seen:
+                seen.add(region.asn)
+                regions.append(region)
+            if len(regions) == 2:
+                break
+        addresses = [regions[0].address_of(i) for i in range(5)]
+        addresses += [regions[1].address_of(i) for i in range(5)]
+        assert as_entropy(addresses, internet.registry) == pytest.approx(1.0)
+
+    def test_skew_lowers_entropy(self, internet):
+        regions = []
+        seen = set()
+        for region in internet.regions:
+            if region.asn not in seen:
+                seen.add(region.asn)
+                regions.append(region)
+            if len(regions) == 2:
+                break
+        balanced = [regions[0].address_of(i) for i in range(5)] + [
+            regions[1].address_of(i) for i in range(5)
+        ]
+        skewed = [regions[0].address_of(i) for i in range(9)] + [
+            regions[1].address_of(0)
+        ]
+        assert as_entropy(skewed, internet.registry) < as_entropy(
+            balanced, internet.registry
+        )
+
+
+class TestPrefixDiversity:
+    def test_empty(self):
+        assert prefix_diversity([]) == (0, 0, 0)
+
+    def test_single_slash64(self):
+        base = 0x2001_0DB8_0000_0001 << 64
+        addresses = [base | i for i in range(10)]
+        assert prefix_diversity(addresses) == (1, 1, 1)
+
+    def test_hierarchy_counts(self):
+        a = 0x2001_0DB8_0001_0001 << 64  # 2001:db8:1:1::/64
+        b = 0x2001_0DB8_0001_0002 << 64  # same /48, other /64
+        c = 0x2001_0DB8_0002_0001 << 64  # same /32, other /48
+        d = 0x2400_0001_0000_0001 << 64  # other /32
+        s32, s48, s64 = prefix_diversity([a, b, c, d])
+        assert (s32, s48, s64) == (2, 3, 4)
+
+    def test_monotone(self):
+        addresses = [(0x2001_0DB8_0000_0000 + i) << 64 for i in range(20)]
+        s32, s48, s64 = prefix_diversity(addresses)
+        assert s32 <= s48 <= s64
+
+
+class TestDiversityReport:
+    def test_report_fields(self, internet):
+        addresses = [r.address_of(1) for r in internet.regions[:50]]
+        report = diversity_report(addresses, internet.registry)
+        assert report.addresses == 50
+        assert report.ases == len(internet.registry.ases_of(addresses))
+        assert report.distinct_slash64 == len({a >> 64 for a in addresses})
+        assert 0.0 <= report.org_simpson <= 1.0
+        assert report.org_types >= 1
+        assert not math.isnan(report.as_entropy_bits)
+
+    def test_empty_report(self, internet):
+        report = diversity_report([], internet.registry)
+        assert report.addresses == 0
+        assert report.org_simpson == 0.0
+
+    def test_single_org_zero_simpson(self, internet):
+        region = internet.regions[0]
+        report = diversity_report(
+            [region.address_of(i) for i in range(5)], internet.registry
+        )
+        assert report.org_simpson == 0.0
+
+    def test_as_dict_roundtrip(self, internet):
+        addresses = [r.address_of(1) for r in internet.regions[:10]]
+        info = diversity_report(addresses, internet.registry).as_dict()
+        assert info["addresses"] == 10
+        assert set(info) >= {"ases", "as_entropy_bits", "org_simpson"}

@@ -1,0 +1,67 @@
+"""Tests for repro.metrics.overlap (Figure 6 machinery)."""
+
+import pytest
+
+from repro.metrics import cumulative_contributions, pairwise_jaccard
+
+
+class TestCumulativeContributions:
+    def test_greedy_ordering(self):
+        sets = {
+            "big": set(range(100)),
+            "half_new": set(range(80, 140)),
+            "subset": set(range(50)),
+        }
+        steps = cumulative_contributions(sets)
+        assert [s.name for s in steps] == ["big", "half_new", "subset"]
+
+    def test_new_items_accounting(self):
+        sets = {"a": {1, 2, 3}, "b": {3, 4}, "c": {1}}
+        steps = cumulative_contributions(sets)
+        assert steps[0].new_items == 3
+        assert steps[1].new_items == 1
+        assert steps[2].new_items == 0
+
+    def test_cumulative_monotone(self):
+        sets = {"a": {1, 2}, "b": {2, 3}, "c": {4}}
+        steps = cumulative_contributions(sets)
+        values = [s.cumulative for s in steps]
+        assert values == sorted(values)
+        assert values[-1] == len({1, 2, 3, 4})
+
+    def test_fractions_end_at_one(self):
+        sets = {"a": {1}, "b": {2}}
+        steps = cumulative_contributions(sets)
+        assert steps[-1].cumulative_fraction == pytest.approx(1.0)
+
+    def test_empty_sets(self):
+        steps = cumulative_contributions({"a": set(), "b": set()})
+        assert all(s.cumulative_fraction == 0.0 for s in steps)
+
+    def test_tie_breaks_by_name(self):
+        sets = {"zeta": {1}, "alpha": {2}}
+        steps = cumulative_contributions(sets)
+        assert steps[0].name == "alpha"
+
+    def test_all_names_present_once(self):
+        sets = {"a": {1}, "b": {1}, "c": {1}}
+        steps = cumulative_contributions(sets)
+        assert sorted(s.name for s in steps) == ["a", "b", "c"]
+
+
+class TestPairwiseJaccard:
+    def test_values(self):
+        sets = {"a": {1, 2}, "b": {2, 3}, "c": set()}
+        jaccard = pairwise_jaccard(sets)
+        assert jaccard[("a", "b")] == pytest.approx(1 / 3)
+        assert jaccard[("a", "c")] == 0.0
+
+    def test_symmetric_keys_once(self):
+        sets = {"a": {1}, "b": {1}}
+        jaccard = pairwise_jaccard(sets)
+        assert ("a", "b") in jaccard
+        assert ("b", "a") not in jaccard
+
+    def test_identical_sets(self):
+        sets = {"a": {1, 2}, "b": {1, 2}}
+        assert pairwise_jaccard(sets)[("a", "b")] == 1.0

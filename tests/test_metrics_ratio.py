@@ -1,0 +1,45 @@
+"""Tests for repro.metrics.ratio (the paper's Performance Ratio)."""
+
+import math
+
+import pytest
+
+from repro.metrics import MetricSet, metric_ratios, performance_ratio
+
+
+class TestPerformanceRatio:
+    def test_no_change_is_zero(self):
+        assert performance_ratio(100, 100) == 0.0
+
+    def test_doubling_is_one(self):
+        """The paper's calibration: doubling performance gives 1.0."""
+        assert performance_ratio(200, 100) == pytest.approx(1.0)
+
+    def test_halving(self):
+        assert performance_ratio(50, 100) == pytest.approx(-0.5)
+
+    def test_zeroing_is_minus_one(self):
+        assert performance_ratio(0, 100) == pytest.approx(-1.0)
+
+    def test_zero_original_zero_changed(self):
+        assert performance_ratio(0, 0) == 0.0
+
+    def test_zero_original_positive_changed(self):
+        assert performance_ratio(5, 0) == math.inf
+
+    def test_tenfold(self):
+        assert performance_ratio(1000, 100) == pytest.approx(9.0)
+
+
+class TestMetricRatios:
+    def test_all_three(self):
+        original = MetricSet(hits=100, ases=10, aliases=50)
+        changed = MetricSet(hits=170, ases=13, aliases=5)
+        ratios = metric_ratios(changed, original)
+        assert ratios["hits"] == pytest.approx(0.7)
+        assert ratios["ases"] == pytest.approx(0.3)
+        assert ratios["aliases"] == pytest.approx(-0.9)
+
+    def test_keys(self):
+        ratios = metric_ratios(MetricSet(1, 1, 1), MetricSet(1, 1, 1))
+        assert set(ratios) == {"hits", "ases", "aliases"}

@@ -1,0 +1,72 @@
+"""Tests for repro.analysis.populations."""
+
+import pytest
+
+from repro.analysis import population_breakdown, population_shift
+from repro.asdb import OrgType
+from repro.internet import Port, RegionRole
+
+
+class TestBreakdown:
+    def test_counts_sum(self, internet):
+        addresses = [r.address_of(1) for r in internet.regions[:60]]
+        breakdown = population_breakdown(addresses, internet)
+        assert breakdown.total == 60
+        assert sum(breakdown.by_org.values()) == 60
+        assert sum(breakdown.by_role.values()) == 60
+
+    def test_unrouted_excluded(self, internet):
+        breakdown = population_breakdown([0x3FFF << 112], internet)
+        assert breakdown.total == 0
+
+    def test_shares(self, internet):
+        region = internet.regions[0]
+        breakdown = population_breakdown(
+            [region.address_of(i) for i in range(4)], internet
+        )
+        assert breakdown.role_share(region.role) == pytest.approx(1.0)
+        org = internet.registry.info(region.asn).org_type
+        assert breakdown.org_share(org) == pytest.approx(1.0)
+        assert breakdown.dominant_org() is org
+
+    def test_empty(self, internet):
+        breakdown = population_breakdown([], internet)
+        assert breakdown.total == 0
+        assert breakdown.dominant_org() is None
+        assert breakdown.org_share(OrgType.CLOUD) == 0.0
+
+    def test_as_rows(self, internet):
+        addresses = [r.address_of(1) for r in internet.regions[:20]]
+        rows = population_breakdown(addresses, internet).as_rows()
+        assert all(0 <= row["share"] <= 1 for row in rows)
+        assert {row["axis"] for row in rows} == {"org", "role"}
+
+
+class TestShift:
+    def test_shift_between_runs(self, study, internet):
+        """Targeted datacenter seeds shift the discovered population
+        toward server roles compared to the All Active baseline."""
+        from repro.experiments import targeted_seeds
+
+        baseline = study.run("6tree", study.constructions.all_active, Port.ICMP)
+        dc_seeds = targeted_seeds(
+            study, (OrgType.CLOUD, OrgType.HOSTING, OrgType.CDN)
+        )
+        targeted = study.run("6tree", dc_seeds, Port.ICMP, budget=600)
+        shift = population_shift(
+            population_breakdown(baseline.clean_hits, internet),
+            population_breakdown(targeted.clean_hits, internet),
+        )
+        assert shift.get(f"role:{RegionRole.SERVER.value}", 0.0) >= 0.0
+
+    def test_zero_shift_for_identical(self, internet):
+        addresses = [r.address_of(1) for r in internet.regions[:30]]
+        breakdown = population_breakdown(addresses, internet)
+        shift = population_shift(breakdown, breakdown)
+        assert all(abs(value) < 1e-12 for value in shift.values())
+
+    def test_shift_bounds(self, internet):
+        a = population_breakdown([internet.regions[0].address_of(1)], internet)
+        b = population_breakdown([internet.regions[-1].address_of(1)], internet)
+        for value in population_shift(a, b).values():
+            assert -1.0 <= value <= 1.0

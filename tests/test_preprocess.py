@@ -1,0 +1,106 @@
+"""Tests for repro.preprocess (pipeline and Table 2 constructions)."""
+
+from repro.dealias import DealiasMode
+from repro.internet import ALL_PORTS, Port
+from repro.preprocess import DatasetConstructions, SeedPreprocessor
+
+
+class TestSeedPreprocessor:
+    def test_dealias_none_identity(self, internet, collection):
+        pre = SeedPreprocessor(internet)
+        full = collection.combined("full")
+        assert pre.dealias(full, DealiasMode.NONE) is full
+
+    def test_dealias_removes_aliases(self, internet, collection):
+        pre = SeedPreprocessor(internet)
+        full = collection.combined("full")
+        joint = pre.dealias(full, DealiasMode.JOINT)
+        assert len(joint) < len(full)
+        assert joint.addresses < full.addresses
+
+    def test_dealias_names(self, internet, collection):
+        pre = SeedPreprocessor(internet)
+        full = collection.combined("full")
+        assert pre.dealias(full, DealiasMode.OFFLINE).name == "full:dealias-offline"
+
+    def test_scan_activity_ports(self, internet, collection):
+        pre = SeedPreprocessor(internet)
+        activity = pre.scan_activity(collection["ripe_atlas"])
+        assert set(activity) == set(ALL_PORTS)
+        assert len(activity[Port.ICMP]) >= len(activity[Port.UDP53])
+
+    def test_restrict_active_subset(self, internet, collection):
+        pre = SeedPreprocessor(internet)
+        dataset = collection["hitlist"]
+        active = pre.restrict_active(dataset)
+        assert active.addresses < dataset.addresses
+        assert len(active) > 0
+
+    def test_restrict_port_subset_of_active(self, internet, collection):
+        pre = SeedPreprocessor(internet)
+        dataset = collection["hitlist"]
+        activity = pre.scan_activity(dataset)
+        active = pre.restrict_active(dataset, activity)
+        tcp = pre.restrict_port(dataset, Port.TCP80, activity)
+        assert tcp.addresses <= active.addresses
+
+
+class TestConstructions(object):
+    def test_table2_ordering(self, study):
+        """Sizes must shrink monotonically along the Table 2 refinements."""
+        c = study.constructions
+        assert len(c.full) > len(c.offline_dealiased) >= len(c.joint_dealiased)
+        assert len(c.full) > len(c.online_dealiased) >= len(c.joint_dealiased)
+        assert len(c.joint_dealiased) > len(c.all_active)
+        for port in ALL_PORTS:
+            assert len(c.port_specific(port)) <= len(c.all_active)
+
+    def test_dealias_variant_dispatch(self, study):
+        c = study.constructions
+        assert c.dealias_variant(DealiasMode.NONE) is c.full
+        assert c.dealias_variant(DealiasMode.OFFLINE) is c.offline_dealiased
+        assert c.dealias_variant(DealiasMode.ONLINE) is c.online_dealiased
+        assert c.dealias_variant(DealiasMode.JOINT) is c.joint_dealiased
+
+    def test_all_active_actually_responds(self, study, internet):
+        c = study.constructions
+        from repro.scanner import Scanner
+
+        scanner = Scanner(internet)
+        sample = list(c.all_active.addresses)[:300]
+        for address in sample:
+            assert any(
+                scanner.probe(address, port).is_hit for port in ALL_PORTS
+            )
+
+    def test_port_specific_responds_on_port(self, study, internet):
+        from repro.scanner import Scanner
+
+        scanner = Scanner(internet)
+        tcp80 = study.constructions.port_specific(Port.TCP80)
+        for address in list(tcp80.addresses)[:200]:
+            assert scanner.probe(address, Port.TCP80).is_hit
+
+    def test_icmp_dominates_activity(self, study):
+        """Most responsive seeds answer ICMP (paper Table 3 shape)."""
+        activity = study.constructions.activity
+        icmp = len(activity[Port.ICMP])
+        for port in (Port.TCP80, Port.TCP443, Port.UDP53):
+            assert icmp > len(activity[port])
+
+    def test_source_specific_subset(self, study):
+        c = study.constructions
+        censys_active = c.source_specific("censys")
+        assert censys_active.addresses <= c.all_active.addresses
+        assert censys_active.addresses <= c.collection["censys"].addresses
+        assert censys_active.name == "source-censys"
+
+    def test_sizes_summary(self, study):
+        sizes = study.constructions.sizes()
+        assert sizes["full"] >= sizes["joint_dealiased"] >= sizes["all_active"]
+        assert "port_icmp" in sizes
+
+    def test_constructions_cached(self, study):
+        c = study.constructions
+        assert c.all_active is c.all_active
+        assert c.activity is c.activity

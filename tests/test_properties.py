@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.addr import (
+    MAX_ADDRESS,
+    Prefix,
+    PrefixTrie,
+    common_prefix_len,
+    format_address,
+    from_nybbles,
+    get_nybble,
+    parse_address,
+    set_nybble,
+    to_nybbles,
+)
+from repro.dealias import AliasPrefixSet
+from repro.metrics import cumulative_contributions, performance_ratio
+from repro.tga import expanded_values
+
+addresses = st.integers(min_value=0, max_value=MAX_ADDRESS)
+prefix_lengths = st.integers(min_value=0, max_value=128)
+nybble_indices = st.integers(min_value=0, max_value=31)
+nybble_values = st.integers(min_value=0, max_value=15)
+
+
+class TestAddressProperties:
+    @given(addresses)
+    def test_format_parse_roundtrip(self, value):
+        assert parse_address(format_address(value)) == value
+
+    @given(addresses)
+    def test_nybble_roundtrip(self, value):
+        assert from_nybbles(to_nybbles(value)) == value
+
+    @given(addresses, nybble_indices, nybble_values)
+    def test_set_then_get(self, value, index, nybble):
+        assert get_nybble(set_nybble(value, index, nybble), index) == nybble
+
+    @given(addresses, nybble_indices)
+    def test_set_same_value_identity(self, value, index):
+        assert set_nybble(value, index, get_nybble(value, index)) == value
+
+    @given(addresses, addresses)
+    def test_common_prefix_symmetry(self, a, b):
+        assert common_prefix_len(a, b) == common_prefix_len(b, a)
+
+    @given(addresses, addresses)
+    def test_common_prefix_agrees_with_nybbles(self, a, b):
+        length = common_prefix_len(a, b)
+        assert to_nybbles(a)[:length] == to_nybbles(b)[:length]
+        if length < 32:
+            assert get_nybble(a, length) != get_nybble(b, length)
+
+
+class TestPrefixProperties:
+    @given(addresses, prefix_lengths)
+    def test_of_contains_source(self, address, length):
+        assert Prefix.of(address, length).contains(address)
+
+    @given(addresses, prefix_lengths)
+    def test_first_last_bracket(self, address, length):
+        prefix = Prefix.of(address, length)
+        assert prefix.first <= address <= prefix.last
+
+    @given(addresses, st.integers(min_value=1, max_value=128))
+    def test_children_partition(self, address, length):
+        prefix = Prefix.of(address, length - 1)
+        low, high = prefix.child(0), prefix.child(1)
+        assert low.contains(address) != high.contains(address) or prefix.length >= 128
+
+    @given(addresses, prefix_lengths, st.integers(min_value=0))
+    def test_random_address_inside(self, address, length, draw):
+        prefix = Prefix.of(address, length)
+        assert prefix.contains(prefix.random_address(draw))
+
+
+class TestTrieProperties:
+    @given(
+        st.lists(
+            st.tuples(addresses, st.integers(min_value=8, max_value=128)),
+            min_size=1,
+            max_size=25,
+        ),
+        addresses,
+    )
+    @settings(max_examples=60)
+    def test_trie_matches_linear_scan(self, entries, probe):
+        trie = PrefixTrie()
+        prefixes = []
+        for value, length in entries:
+            prefix = Prefix.of(value, length)
+            trie.insert(prefix, str(prefix))
+            prefixes.append(prefix)
+        match = trie.longest_match(probe)
+        containing = [p for p in prefixes if p.contains(probe)]
+        if not containing:
+            assert match is None
+        else:
+            best = max(p.length for p in containing)
+            assert match is not None
+            assert match[0].length == best
+
+    @given(
+        st.lists(
+            st.tuples(addresses, st.integers(min_value=8, max_value=120)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40)
+    def test_alias_partition_is_a_partition(self, entries):
+        aliases = AliasPrefixSet(Prefix.of(v, l) for v, l in entries)
+        probes = [v ^ 0xABCDEF for v, _ in entries] + [v for v, _ in entries]
+        clean, aliased = aliases.partition(probes)
+        assert clean | aliased == set(probes)
+        assert not clean & aliased
+        for address in aliased:
+            assert aliases.covers(address)
+        for address in clean:
+            assert not aliases.covers(address)
+
+
+class TestMetricProperties:
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**9))
+    def test_ratio_sign_matches_direction(self, changed, original):
+        ratio = performance_ratio(changed, original)
+        if changed > original:
+            assert ratio > 0
+        elif changed < original:
+            assert ratio < 0
+        else:
+            assert ratio == 0
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=6),
+            st.sets(st.integers(min_value=0, max_value=200), max_size=30),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_cumulative_contribution_invariants(self, named_sets):
+        steps = cumulative_contributions(named_sets)
+        union = set().union(*named_sets.values()) if named_sets else set()
+        assert steps[-1].cumulative == len(union)
+        assert sum(step.new_items for step in steps) == len(union)
+        # Greedy property: first step takes the largest single set.
+        assert steps[0].new_items == max(len(s) for s in named_sets.values())
+
+
+class TestExpandedValuesProperties:
+    @given(st.sets(nybble_values, min_size=1, max_size=16))
+    def test_contains_observed_and_bounded(self, observed):
+        values = expanded_values(set(observed))
+        assert set(observed) <= set(values)
+        assert all(0 <= value <= 15 for value in values)
+        assert len(values) == len(set(values))
+
+    @given(st.sets(nybble_values, min_size=1, max_size=16))
+    def test_gap_free_between_min_and_max(self, observed):
+        values = set(expanded_values(set(observed)))
+        for value in range(min(observed), max(observed) + 1):
+            assert value in values

@@ -1,0 +1,65 @@
+"""Tests for the RQ5 recommended pipeline."""
+
+import pytest
+
+from repro.experiments import (
+    RECOMMENDED_ENSEMBLE,
+    recommended_seeds,
+    run_recommended_pipeline,
+)
+from repro.internet import Port
+
+
+class TestRecommendedSeeds:
+    def test_icmp_uses_port_specific(self, study):
+        seeds = recommended_seeds(study, Port.ICMP)
+        assert seeds.addresses == study.constructions.port_specific(Port.ICMP).addresses
+
+    def test_application_blends_icmp(self, study):
+        seeds = recommended_seeds(study, Port.TCP443)
+        tcp = study.constructions.port_specific(Port.TCP443).addresses
+        icmp = study.constructions.activity[Port.ICMP]
+        assert seeds.addresses == tcp | icmp
+
+    def test_no_blend(self, study):
+        seeds = recommended_seeds(study, Port.TCP443, icmp_blend=0.0)
+        assert seeds.addresses == study.constructions.port_specific(Port.TCP443).addresses
+
+    def test_partial_blend_between(self, study):
+        none = recommended_seeds(study, Port.TCP443, icmp_blend=0.0)
+        half = recommended_seeds(study, Port.TCP443, icmp_blend=0.5)
+        full = recommended_seeds(study, Port.TCP443, icmp_blend=1.0)
+        assert len(none) <= len(half) <= len(full)
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def result(self, study):
+        return run_recommended_pipeline(
+            study, Port.TCP443, tga_names=("6tree", "6gen"), budget=600
+        )
+
+    def test_runs_all_members(self, result):
+        assert set(result.runs) == {"6tree", "6gen"}
+
+    def test_ensemble_superset(self, result):
+        for run in result.runs.values():
+            assert set(run.clean_hits) <= result.ensemble_hits
+            assert set(run.active_ases) <= result.ensemble_ases
+
+    def test_ensemble_gain_at_least_one(self, result):
+        assert result.ensemble_gain() >= 1.0
+
+    def test_best_single_valid(self, result):
+        assert result.best_single() in result.runs
+
+    def test_contributions_cover_union(self, result):
+        steps = result.hit_contributions()
+        assert steps[-1].cumulative == len(result.ensemble_hits)
+        as_steps = result.as_contributions()
+        assert as_steps[-1].cumulative == len(result.ensemble_ases)
+
+    def test_default_ensemble_sane(self):
+        assert "6sense" in RECOMMENDED_ENSEMBLE
+        assert "eip" not in RECOMMENDED_ENSEMBLE
+        assert "6scan" not in RECOMMENDED_ENSEMBLE  # redundant with 6tree

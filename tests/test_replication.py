@@ -1,0 +1,69 @@
+"""Tests for multi-world replication (repro.experiments.replication)."""
+
+import math
+
+import pytest
+
+from repro.experiments import ReplicatedRatio, replicate_ratio
+from repro.internet import InternetConfig, Port
+
+
+class TestReplicatedRatio:
+    def test_statistics(self):
+        ratio = ReplicatedRatio(label="x", values=(0.5, 1.0, -0.25))
+        assert ratio.mean == pytest.approx((0.5 + 1.0 - 0.25) / 3)
+        assert ratio.minimum == -0.25
+        assert ratio.maximum == 1.0
+        assert ratio.sign_consistency == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        ratio = ReplicatedRatio(label="x", values=())
+        assert ratio.mean == 0.0
+        assert ratio.sign_consistency == 0.0
+
+    def test_infinite_values_skipped_in_mean(self):
+        ratio = ReplicatedRatio(label="x", values=(math.inf, 1.0))
+        assert ratio.mean == 1.0
+
+    def test_all_same_sign(self):
+        assert ReplicatedRatio("x", (0.1, 0.2, 0.3)).sign_consistency == 1.0
+
+
+class TestReplicateRatio:
+    @pytest.fixture(scope="class")
+    def dealias_effect(self):
+        return replicate_ratio(
+            label="joint-dealias vs full (hits)",
+            changed_dataset=lambda s: s.constructions.joint_dealiased,
+            original_dataset=lambda s: s.constructions.full,
+            tga_name="6tree",
+            port=Port.ICMP,
+            metric="hits",
+            worlds=2,
+            base_config=InternetConfig.tiny(),
+            budget=800,
+        )
+
+    def test_one_value_per_world(self, dealias_effect):
+        assert len(dealias_effect.values) == 2
+
+    def test_values_finite_or_inf(self, dealias_effect):
+        for value in dealias_effect.values:
+            assert not math.isnan(value)
+
+    def test_different_worlds_give_different_values(self, dealias_effect):
+        # Two independent worlds almost surely differ in the exact ratio.
+        assert len(set(dealias_effect.values)) > 1
+
+    def test_deterministic_given_seeds(self):
+        kwargs = dict(
+            label="x",
+            changed_dataset=lambda s: s.constructions.all_active,
+            original_dataset=lambda s: s.constructions.joint_dealiased,
+            worlds=1,
+            budget=500,
+            base_config=InternetConfig.tiny(),
+        )
+        a = replicate_ratio(**kwargs)
+        b = replicate_ratio(**kwargs)
+        assert a.values == b.values

@@ -1,0 +1,56 @@
+"""Tests for the one-shot markdown study report."""
+
+import pytest
+
+from repro.experiments import Study
+from repro.reporting import generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text(internet):
+    study = Study(internet=internet, budget=500, round_size=200)
+    return generate_report(study)
+
+
+class TestGenerateReport:
+    def test_title_and_sections(self, report_text):
+        assert report_text.startswith("# Seeds of Scanning")
+        for heading in (
+            "## Simulated world",
+            "## Seed sources",
+            "## RQ1.a",
+            "## RQ1.b",
+            "## RQ2",
+            "## RQ4",
+            "## RQ5",
+        ):
+            assert heading in report_text, heading
+
+    def test_markdown_tables_present(self, report_text):
+        # Every section renders at least one GitHub-flavoured table.
+        assert report_text.count("| --- |") >= 5
+
+    def test_all_sources_listed(self, report_text):
+        from repro.datasets import SOURCE_ORDER
+
+        for source in SOURCE_ORDER:
+            assert source in report_text
+
+    def test_all_tgas_listed(self, report_text):
+        from repro.tga import ALL_TGA_NAMES
+
+        for tga in ALL_TGA_NAMES:
+            assert tga in report_text
+
+    def test_ensemble_gain_mentioned(self, report_text):
+        assert "Ensemble gain" in report_text
+
+    def test_custom_title(self, internet):
+        study = Study(internet=internet, budget=400, round_size=200)
+        text = generate_report(study, title="My custom study")
+        assert text.startswith("# My custom study")
+
+    def test_deterministic(self, internet):
+        study_a = Study(internet=internet, budget=400, round_size=200)
+        study_b = Study(internet=internet, budget=400, round_size=200)
+        assert generate_report(study_a) == generate_report(study_b)

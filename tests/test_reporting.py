@@ -1,0 +1,102 @@
+"""Tests for repro.reporting."""
+
+import json
+
+import pytest
+
+from repro.reporting import (
+    format_count,
+    format_ratio,
+    render_bars,
+    render_ratio_bars,
+    render_series,
+    render_table,
+    rows_to_csv,
+    rows_to_json,
+    write_rows,
+)
+
+
+class TestFormatting:
+    def test_format_count(self):
+        assert format_count(1234567) == "1,234,567"
+        assert format_count(3.9) == "3"
+
+    def test_format_ratio(self):
+        assert format_ratio(0.5) == "+0.50"
+        assert format_ratio(-1.0) == "-1.00"
+        assert format_ratio(float("inf")) == "+inf"
+        assert format_ratio(float("-inf")) == "-inf"
+
+
+class TestRenderTable:
+    def test_basic_table(self):
+        text = render_table(
+            ["name", "hits"], [["6tree", "1,234"], ["eip", "5"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "| name " in lines[2]
+        assert any("6tree" in line for line in lines)
+
+    def test_numeric_right_aligned(self):
+        text = render_table(["a", "value"], [["x", "5"], ["y", "12345"]])
+        rows = [line for line in text.splitlines() if "| x" in line or "| y" in line]
+        assert rows[0].endswith("    5 |")
+
+    def test_column_width_expands(self):
+        text = render_table(["h"], [["very-long-cell-content"]])
+        assert "very-long-cell-content" in text
+
+
+class TestRenderFigures:
+    def test_render_bars(self):
+        text = render_bars({"a": 10, "b": 5}, title="bars")
+        assert text.startswith("bars")
+        assert text.count("#") > 0
+
+    def test_render_bars_empty(self):
+        assert render_bars({}, title="t") == "t"
+
+    def test_render_ratio_bars_signs(self):
+        text = render_ratio_bars({"up": 1.0, "down": -1.0})
+        lines = text.splitlines()
+        assert "+1.00" in lines[0]
+        assert "-1.00" in lines[1]
+
+    def test_render_ratio_bars_infinity(self):
+        text = render_ratio_bars({"x": float("inf")})
+        assert "+inf" in text
+
+    def test_render_series(self):
+        text = render_series([("6sense", 100.0), ("det", 140.0)], title="cum")
+        assert "6sense: 100" in text
+
+
+class TestExport:
+    def test_rows_to_csv(self):
+        csv_text = rows_to_csv([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+
+    def test_rows_to_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_rows_to_json(self):
+        data = json.loads(rows_to_json([{"a": 1}]))
+        assert data == [{"a": 1}]
+
+    def test_write_rows_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_rows(str(path), [{"a": 1}])
+        assert path.read_text().startswith("a")
+
+    def test_write_rows_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_rows(str(path), [{"a": 1}])
+        assert json.loads(path.read_text()) == [{"a": 1}]
+
+    def test_write_rows_bad_extension(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_rows(str(tmp_path / "out.txt"), [{"a": 1}])

@@ -1,0 +1,54 @@
+"""Tests for repro.reporting.markdown."""
+
+from repro.reporting import markdown_table, render_heatmap
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| 1 | 2 |"
+        assert len(lines) == 4
+
+    def test_right_alignment(self):
+        text = markdown_table(["name", "count"], [["x", 5]], align_right=[1])
+        assert text.splitlines()[1] == "| --- | ---: |"
+
+    def test_empty_rows(self):
+        text = markdown_table(["a"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestHeatmap:
+    def test_shading_monotone(self):
+        matrix = {
+            "low": {"low": 0.0, "high": 10.0},
+            "high": {"low": 90.0, "high": 100.0},
+        }
+        text = render_heatmap(matrix)
+        lines = text.splitlines()
+        low_row = next(line for line in lines if line.startswith("low "))
+        high_row = next(line for line in lines if line.startswith("high"))
+        # The 100% cell must use the darkest shade; the 0% cell a space.
+        assert "█" in high_row
+        assert "█" not in low_row
+
+    def test_title_and_legend(self):
+        matrix = {"a": {"a": 100.0}}
+        text = render_heatmap(matrix, title="overlap")
+        assert text.startswith("overlap")
+        assert "legend:" in text
+
+    def test_works_on_real_overlap_matrix(self, collection, internet):
+        from repro.datasets import overlap_by_ip
+
+        matrix = overlap_by_ip(collection)
+        text = render_heatmap(matrix.cells, title="Figure 1")
+        assert len(text.splitlines()) == len(matrix.names) + 3
+
+    def test_values_clamped(self):
+        matrix = {"a": {"a": 250.0, "b": -5.0}, "b": {"a": 0.0, "b": 0.0}}
+        text = render_heatmap(matrix)  # must not raise
+        assert "█" in text

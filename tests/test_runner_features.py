@@ -1,0 +1,109 @@
+"""Tests for runner extensions: known-address exclusion, custom factories,
+negative-response classification toggles."""
+
+import itertools
+
+from repro.experiments import run_generation
+from repro.internet import Port
+from repro.scanner import Scanner
+from repro.tga.sixtree import SixTree
+
+
+class TestKnownAddressExclusion:
+    def test_known_addresses_removed_from_hits(self, internet, study):
+        dataset = study.constructions.source_specific("censys")
+        baseline = run_generation(
+            internet, "6tree", dataset, Port.ICMP, budget=600, round_size=200
+        )
+        excluded = run_generation(
+            internet,
+            "6tree",
+            dataset,
+            Port.ICMP,
+            budget=600,
+            round_size=200,
+            known_addresses=baseline.clean_hits,
+        )
+        assert not set(excluded.clean_hits) & set(baseline.clean_hits)
+        assert excluded.metrics.hits <= baseline.metrics.hits
+
+    def test_study_runs_never_rediscover_any_source_seed(self, study):
+        dataset = study.constructions.source_specific("censys")
+        run = study.run("6tree", dataset, Port.ICMP, budget=600)
+        full = study.constructions.full.addresses
+        assert not set(run.clean_hits) & full
+
+    def test_empty_known_is_noop(self, internet, study):
+        dataset = study.constructions.all_active
+        a = run_generation(
+            internet, "6gen", dataset, Port.ICMP, budget=400, round_size=200
+        )
+        b = run_generation(
+            internet,
+            "6gen",
+            dataset,
+            Port.ICMP,
+            budget=400,
+            round_size=200,
+            known_addresses=frozenset(),
+        )
+        assert a.clean_hits == b.clean_hits
+
+
+class TestTGAFactory:
+    def test_factory_used(self, internet, study):
+        dataset = study.constructions.all_active
+        captured = {}
+
+        def factory(salt):
+            tga = SixTree(salt=salt, max_level=1)
+            captured["tga"] = tga
+            return tga
+
+        result = run_generation(
+            internet,
+            "6tree",
+            dataset,
+            Port.ICMP,
+            budget=400,
+            round_size=200,
+            tga_factory=factory,
+        )
+        assert captured["tga"].max_level == 1
+        assert result.tga_name == "6tree"
+
+    def test_factory_changes_output(self, internet, study):
+        dataset = study.constructions.all_active
+        coarse = run_generation(
+            internet,
+            "6tree",
+            dataset,
+            Port.ICMP,
+            budget=600,
+            round_size=200,
+            tga_factory=lambda salt: SixTree(salt=salt, max_leaf_seeds=150),
+        )
+        default = run_generation(
+            internet, "6tree", dataset, Port.ICMP, budget=600, round_size=200
+        )
+        assert coarse.clean_hits != default.clean_hits
+
+
+class TestScannerToggles:
+    def test_classify_negative_off_means_timeouts(self, internet):
+        from repro.scanner import ResponseType
+
+        region = next(
+            r for r in internet.regions if not r.aliased and not r.firewalled
+        )
+        targets = [region.address_of(0xFFFF_0000 + i) for i in range(200)]
+        quiet = Scanner(internet, classify_negative=False)
+        result = quiet.scan(targets, Port.TCP80)
+        assert result.stats.count(ResponseType.RST) == 0
+        assert result.stats.count(ResponseType.TIMEOUT) >= 190
+
+    def test_hits_identical_either_way(self, internet):
+        targets = list(itertools.islice(internet.iter_responsive(Port.ICMP), 300))
+        noisy = Scanner(internet, classify_negative=True).scan(targets, Port.ICMP)
+        quiet = Scanner(internet, classify_negative=False).scan(targets, Port.ICMP)
+        assert noisy.hits == quiet.hits

@@ -1,0 +1,57 @@
+"""Tests for repro.scanner.blocklist."""
+
+from repro.addr import Prefix, parse_address
+from repro.scanner import Blocklist
+
+
+class TestBlocklist:
+    def test_empty_blocks_nothing(self):
+        blocklist = Blocklist()
+        assert len(blocklist) == 0
+        assert not blocklist.is_blocked(parse_address("2001:db8::1"))
+
+    def test_blocked_prefix(self):
+        blocklist = Blocklist([Prefix.parse("2001:db8::/32")])
+        assert blocklist.is_blocked(parse_address("2001:db8:ffff::1"))
+        assert not blocklist.is_blocked(parse_address("2001:db9::1"))
+
+    def test_add_text(self):
+        blocklist = Blocklist()
+        blocklist.add_text("2400::/16")
+        assert blocklist.is_blocked(parse_address("2400:abcd::1"))
+
+    def test_contains_operator(self):
+        blocklist = Blocklist([Prefix.parse("2001:db8::/32")])
+        assert parse_address("2001:db8::5") in blocklist
+
+    def test_idempotent_add(self):
+        blocklist = Blocklist()
+        blocklist.add_text("2001:db8::/32")
+        blocklist.add_text("2001:db8::/32")
+        assert len(blocklist) == 1
+
+    def test_prefixes_listing(self):
+        blocklist = Blocklist([Prefix.parse("2001:db8::/32"), Prefix.parse("2400::/16")])
+        assert set(map(str, blocklist.prefixes())) == {"2001:db8::/32", "2400::/16"}
+
+    def test_nested_prefixes(self):
+        blocklist = Blocklist([Prefix.parse("2001:db8::/32"), Prefix.parse("2001:db8:1::/48")])
+        assert blocklist.is_blocked(parse_address("2001:db8:1::1"))
+        assert blocklist.is_blocked(parse_address("2001:db8:2::1"))
+
+
+class TestFromLines:
+    def test_parses_and_skips_comments(self):
+        lines = [
+            "# test blocklist",
+            "2001:db8::/32  # docs range",
+            "",
+            "2400::/16",
+        ]
+        blocklist = Blocklist.from_lines(lines)
+        assert len(blocklist) == 2
+        assert blocklist.is_blocked(parse_address("2001:db8::1"))
+        assert blocklist.is_blocked(parse_address("2400::1"))
+
+    def test_blank_only(self):
+        assert len(Blocklist.from_lines(["", "# nothing"])) == 0

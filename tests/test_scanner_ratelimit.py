@@ -1,0 +1,42 @@
+"""Tests for repro.scanner.ratelimit."""
+
+import pytest
+
+from repro.scanner import RateLimiter
+
+
+class TestRateLimiter:
+    def test_virtual_time_advances(self):
+        limiter = RateLimiter(packets_per_second=1000)
+        limiter.account(500)
+        assert limiter.virtual_time == pytest.approx(0.5)
+
+    def test_account_returns_timestamp(self):
+        limiter = RateLimiter(packets_per_second=100)
+        assert limiter.account(100) == pytest.approx(1.0)
+        assert limiter.account(100) == pytest.approx(2.0)
+
+    def test_packets_sent(self):
+        limiter = RateLimiter()
+        limiter.account(3)
+        limiter.account()
+        assert limiter.packets_sent == 4
+
+    def test_reset(self):
+        limiter = RateLimiter()
+        limiter.account(100)
+        limiter.reset()
+        assert limiter.packets_sent == 0
+        assert limiter.virtual_time == 0.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            RateLimiter(packets_per_second=0)
+
+    def test_negative_packets(self):
+        with pytest.raises(ValueError):
+            RateLimiter().account(-1)
+
+    def test_paper_rate_default(self):
+        """The paper rate-limits to 10 kpps; that is our default."""
+        assert RateLimiter().packets_per_second == 10_000.0

@@ -1,0 +1,46 @@
+"""Tests for repro.scanner.responses."""
+
+from repro.internet import ALL_PORTS, Port
+from repro.scanner import ResponseType, affirmative_response, negative_response
+
+
+class TestHitSemantics:
+    def test_affirmative_are_hits(self):
+        assert ResponseType.ECHO_REPLY.is_hit
+        assert ResponseType.SYN_ACK.is_hit
+        assert ResponseType.UDP_REPLY.is_hit
+
+    def test_rst_is_not_a_hit(self):
+        """The paper explicitly excludes TCP RSTs from hit counts."""
+        assert not ResponseType.RST.is_hit
+
+    def test_unreachables_are_not_hits(self):
+        """Destination/port unreachable answers are not hits either."""
+        assert not ResponseType.DEST_UNREACH.is_hit
+        assert not ResponseType.PORT_UNREACH.is_hit
+
+    def test_timeout_blocked_not_hits(self):
+        assert not ResponseType.TIMEOUT.is_hit
+        assert not ResponseType.BLOCKED.is_hit
+
+
+class TestPortMapping:
+    def test_affirmative_per_port(self):
+        assert affirmative_response(Port.ICMP) is ResponseType.ECHO_REPLY
+        assert affirmative_response(Port.TCP80) is ResponseType.SYN_ACK
+        assert affirmative_response(Port.TCP443) is ResponseType.SYN_ACK
+        assert affirmative_response(Port.UDP53) is ResponseType.UDP_REPLY
+
+    def test_negative_per_port(self):
+        assert negative_response(Port.ICMP) is ResponseType.DEST_UNREACH
+        assert negative_response(Port.TCP80) is ResponseType.RST
+        assert negative_response(Port.TCP443) is ResponseType.RST
+        assert negative_response(Port.UDP53) is ResponseType.PORT_UNREACH
+
+    def test_affirmative_always_hit(self):
+        for port in ALL_PORTS:
+            assert affirmative_response(port).is_hit
+
+    def test_negative_never_hit(self):
+        for port in ALL_PORTS:
+            assert not negative_response(port).is_hit

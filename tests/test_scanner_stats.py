@@ -1,0 +1,54 @@
+"""Tests for repro.scanner.stats."""
+
+from repro.scanner import ResponseType, ScanStats
+
+
+class TestScanStats:
+    def test_record_counts(self):
+        stats = ScanStats()
+        stats.record(ResponseType.ECHO_REPLY)
+        stats.record(ResponseType.ECHO_REPLY)
+        stats.record(ResponseType.TIMEOUT)
+        assert stats.count(ResponseType.ECHO_REPLY) == 2
+        assert stats.count(ResponseType.TIMEOUT) == 1
+        assert stats.probes_sent == 3
+
+    def test_blocked_not_counted_as_sent(self):
+        stats = ScanStats()
+        stats.record(ResponseType.BLOCKED)
+        assert stats.probes_sent == 0
+        assert stats.targets_blocked == 1
+
+    def test_hits_only_affirmative(self):
+        stats = ScanStats()
+        stats.record(ResponseType.SYN_ACK)
+        stats.record(ResponseType.RST)
+        stats.record(ResponseType.UDP_REPLY)
+        stats.record(ResponseType.DEST_UNREACH)
+        assert stats.hits == 2
+
+    def test_hitrate(self):
+        stats = ScanStats()
+        assert stats.hitrate == 0.0
+        stats.record(ResponseType.ECHO_REPLY)
+        stats.record(ResponseType.TIMEOUT)
+        assert stats.hitrate == 0.5
+
+    def test_merge(self):
+        a, b = ScanStats(), ScanStats()
+        a.record(ResponseType.ECHO_REPLY)
+        b.record(ResponseType.ECHO_REPLY)
+        b.record(ResponseType.BLOCKED)
+        b.virtual_duration = 1.5
+        a.merge(b)
+        assert a.count(ResponseType.ECHO_REPLY) == 2
+        assert a.targets_blocked == 1
+        assert a.virtual_duration == 1.5
+
+    def test_as_dict(self):
+        stats = ScanStats()
+        stats.record(ResponseType.ECHO_REPLY)
+        info = stats.as_dict()
+        assert info["probes_sent"] == 1
+        assert info["hits"] == 1
+        assert info["response_echo_reply"] == 1

@@ -1,0 +1,114 @@
+"""Tests for result persistence (experiments.store) and analysis."""
+
+import pytest
+
+from repro.analysis import (
+    compare_efficiency,
+    efficiency_report,
+    marginal_yields,
+    summarize_convergence,
+)
+from repro.experiments import dump_results, load_results, run_generation
+from repro.experiments.store import result_from_dict, result_to_dict
+from repro.internet import Port
+
+
+@pytest.fixture(scope="module")
+def sample_run(internet, study):
+    return run_generation(
+        internet,
+        "6tree",
+        study.constructions.all_active,
+        Port.ICMP,
+        budget=1_000,
+        round_size=200,
+    )
+
+
+class TestStore:
+    def test_dict_roundtrip(self, sample_run):
+        restored = result_from_dict(result_to_dict(sample_run))
+        assert restored == sample_run
+
+    def test_file_roundtrip(self, sample_run, tmp_path):
+        path = tmp_path / "results.json"
+        assert dump_results(path, [sample_run]) == 1
+        loaded = load_results(path)
+        assert loaded == [sample_run]
+
+    def test_multiple_results(self, sample_run, tmp_path):
+        path = tmp_path / "results.json"
+        dump_results(path, [sample_run, sample_run])
+        assert len(load_results(path)) == 2
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "results.json"
+        path.write_text('{"format": 99, "results": []}')
+        with pytest.raises(ValueError):
+            load_results(path)
+
+    def test_addresses_hex_encoded(self, sample_run):
+        data = result_to_dict(sample_run)
+        for text in data["clean_hits"][:5]:
+            int(text, 16)  # must parse as hex
+
+
+class TestConvergence:
+    def test_history_recorded(self, sample_run):
+        assert sample_run.round_history
+        generated = [g for g, _ in sample_run.round_history]
+        assert generated == sorted(generated)
+
+    def test_summary_fields(self, sample_run):
+        summary = summarize_convergence(sample_run)
+        assert summary.rounds == len(sample_run.round_history)
+        assert summary.final_generated == sample_run.round_history[-1][0]
+        assert 0 <= summary.first_round_share <= 1.0
+        assert summary.budget_to_half_yield <= summary.budget_to_90pct_yield
+
+    def test_marginal_yields_sum(self, sample_run):
+        increments = marginal_yields(sample_run)
+        assert sum(g for g, _ in increments) == sample_run.round_history[-1][0]
+        assert sum(h for _, h in increments) == sample_run.round_history[-1][1]
+
+    def test_empty_history(self):
+        from repro.experiments.results import RunResult
+        from repro.metrics import MetricSet
+
+        empty = RunResult(
+            tga_name="x",
+            dataset_name="y",
+            port=Port.ICMP,
+            budget=10,
+            generated=0,
+            clean_hits=frozenset(),
+            aliased_hits=frozenset(),
+            active_ases=frozenset(),
+            metrics=MetricSet(0, 0, 0),
+        )
+        summary = summarize_convergence(empty)
+        assert summary.rounds == 0
+        assert not summary.is_saturating
+
+
+class TestEfficiency:
+    def test_report_math(self, sample_run, study):
+        seeds = len(study.constructions.all_active)
+        report = efficiency_report(sample_run, seeds)
+        assert report.hits == sample_run.metrics.hits
+        assert report.hits_per_kgenerated == pytest.approx(
+            1000 * sample_run.metrics.hits / sample_run.generated
+        )
+        assert report.dealias_overhead >= 0.0
+
+    def test_compare_ranks_best_first(self, sample_run, study):
+        seeds = len(study.constructions.all_active)
+        a = efficiency_report(sample_run, seeds)
+        ranking = compare_efficiency({"a": a, "zero": efficiency_report(
+            sample_run, seeds
+        )})
+        assert ranking[0][1] >= ranking[-1][1]
+
+    def test_as_dict(self, sample_run, study):
+        info = efficiency_report(sample_run, 100).as_dict()
+        assert {"seeds", "hits", "hits_per_kprobe"} <= set(info)

@@ -1,0 +1,68 @@
+"""Tests for population-targeted seeding (repro.experiments.targeting)."""
+
+import pytest
+
+from repro.asdb import OrgType
+from repro.experiments import run_targeted, targeted_seeds
+from repro.internet import Port
+
+DATACENTER = (OrgType.CLOUD, OrgType.HOSTING, OrgType.CDN)
+
+
+class TestTargetedSeeds:
+    def test_subset_of_all_active(self, study):
+        seeds = targeted_seeds(study, DATACENTER)
+        assert seeds.addresses <= study.constructions.all_active.addresses
+
+    def test_only_targeted_orgs(self, study):
+        seeds = targeted_seeds(study, DATACENTER)
+        registry = study.internet.registry
+        for address in list(seeds.addresses)[:200]:
+            asn = study.internet.asn_of(address)
+            assert registry.info(asn).org_type in DATACENTER
+
+    def test_name_stable(self, study):
+        seeds = targeted_seeds(study, (OrgType.ISP,))
+        assert seeds.name == "targeted-isp"
+
+    def test_custom_name(self, study):
+        seeds = targeted_seeds(study, DATACENTER, name="dc")
+        assert seeds.name == "targeted-dc"
+
+    def test_disjoint_targets_disjoint_seeds(self, study):
+        dc = targeted_seeds(study, DATACENTER)
+        eyeball = targeted_seeds(study, (OrgType.ISP, OrgType.MOBILE))
+        assert not dc.addresses & eyeball.addresses
+
+
+class TestRunTargeted:
+    @pytest.fixture(scope="class")
+    def result(self, study):
+        return run_targeted(study, DATACENTER, tga_name="6tree", budget=600)
+
+    def test_purity_bounds(self, result):
+        assert 0.0 <= result.purity <= 1.0
+        assert 0.0 <= result.baseline_purity <= 1.0
+
+    def test_targeting_improves_purity(self, result):
+        """Seeding only datacenter networks concentrates discovery there."""
+        assert result.purity >= result.baseline_purity
+
+    def test_purity_gain(self, result):
+        if result.baseline_purity > 0:
+            assert result.purity_gain == pytest.approx(
+                result.purity / result.baseline_purity
+            )
+
+    def test_empty_population_raises(self, study):
+        from repro.datasets import SeedDataset
+
+        # Construct a study-like call with an impossible target set by
+        # monkeypatching is unnecessary: government+security may exist, so
+        # instead verify the ValueError path with a synthetic empty check.
+        seeds = targeted_seeds(study, (OrgType.GOVERNMENT,))
+        if not seeds.addresses:
+            with pytest.raises(ValueError):
+                run_targeted(study, (OrgType.GOVERNMENT,), budget=100)
+        else:
+            assert isinstance(seeds, SeedDataset)

@@ -1,0 +1,95 @@
+"""Tests for the bonus AddrMiner generator."""
+
+import pytest
+
+from repro.addr import Prefix, parse_address
+from repro.tga import ALL_TGA_NAMES, create_tga
+from repro.tga.addrminer import AddrMiner
+
+
+def A(text: str) -> int:
+    return parse_address(text)
+
+
+def seeds():
+    dense = [A(f"2001:db8:0:1::{i:x}") for i in range(1, 30)]
+    sparse = [A("2400:cb00:7::1"), A("2600:9000:3::1")]
+    return dense + sparse
+
+
+class TestRegistration:
+    def test_registered_but_not_in_paper_eight(self):
+        tga = create_tga("addrminer")
+        assert isinstance(tga, AddrMiner)
+        assert "addrminer" not in ALL_TGA_NAMES
+        assert len(ALL_TGA_NAMES) == 8
+
+    def test_online(self):
+        assert create_tga("addrminer").online
+
+
+class TestGeneration:
+    def test_proposes_fresh(self):
+        tga = create_tga("addrminer")
+        tga.prepare(seeds())
+        batch = tga.propose(200)
+        assert batch
+        assert not set(batch) & set(seeds())
+        assert len(batch) == len(set(batch))
+
+    def test_transfer_reaches_sparse_regions(self):
+        """Conventional IIDs are replayed into few-seed /48s."""
+        tga = AddrMiner(transfer_fraction=0.5)
+        tga.prepare(seeds())
+        batch = set()
+        for _ in range(10):
+            got = tga.propose(200)
+            if not got:
+                break
+            batch |= set(got)
+        sparse_net48s = {A("2400:cb00:7::") >> 80, A("2600:9000:3::") >> 80}
+        touched = {address >> 80 for address in batch}
+        assert touched & sparse_net48s
+
+    def test_seedless_requires_prefixes(self):
+        tga = AddrMiner(seedless_fraction=0.5)
+        assert tga.seedless_fraction == 0.0  # disabled without BGP data
+
+    def test_seedless_probes_virgin_space(self):
+        announced = (Prefix.parse("2a00:1450::/32"),)
+        tga = AddrMiner(seedless_fraction=0.4, announced_prefixes=announced)
+        tga.prepare(seeds())
+        batch = set()
+        for _ in range(5):
+            batch |= set(tga.propose(200))
+        virgin_hits = [a for a in batch if announced[0].contains(a)]
+        assert virgin_hits  # it probed the unseeded announced prefix
+
+    def test_observe_reweights(self):
+        tga = create_tga("addrminer")
+        tga.prepare(seeds())
+        batch = tga.propose(100)
+        tga.observe({address: True for address in batch})
+        assert tga.propose(50)  # keeps generating after feedback
+
+    def test_deterministic(self):
+        a = AddrMiner(salt=7)
+        b = AddrMiner(salt=7)
+        a.prepare(seeds())
+        b.prepare(seeds())
+        assert a.propose(150) == b.propose(150)
+
+    def test_runs_in_harness(self, internet, study):
+        from repro.experiments import run_generation
+        from repro.internet import Port
+
+        result = run_generation(
+            internet,
+            "addrminer",
+            study.constructions.all_active,
+            Port.ICMP,
+            budget=500,
+            round_size=250,
+        )
+        assert result.generated > 0
+        assert result.metrics.hits >= 0

@@ -1,0 +1,97 @@
+"""Tests for repro.tga.base."""
+
+import pytest
+
+from repro.tga import (
+    ALL_TGA_NAMES,
+    TGA_TABLE1,
+    TargetGenerator,
+    create_tga,
+    register_tga,
+    tga_class,
+)
+
+
+class TestRegistry:
+    def test_all_eight_registered(self):
+        for name in ALL_TGA_NAMES:
+            assert tga_class(name).name == name
+
+    def test_create_tga(self):
+        tga = create_tga("6tree")
+        assert tga.name == "6tree"
+        assert not tga.online
+
+    def test_online_flags(self):
+        online = {name for name in ALL_TGA_NAMES if create_tga(name).online}
+        assert online == {"6sense", "det", "6scan", "6hit"}
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            tga_class("7tree")
+
+    def test_duplicate_registration_rejected(self):
+        class Fake(TargetGenerator):
+            name = "6tree"
+
+            def _ingest(self, seeds):
+                pass
+
+            def propose(self, count):
+                return []
+
+        with pytest.raises(ValueError):
+            register_tga(Fake)
+
+    def test_unnamed_registration_rejected(self):
+        class Nameless(TargetGenerator):
+            def _ingest(self, seeds):
+                pass
+
+            def propose(self, count):
+                return []
+
+        with pytest.raises(ValueError):
+            register_tga(Nameless)
+
+
+class TestLifecycle:
+    def test_propose_before_prepare_raises(self):
+        tga = create_tga("6tree")
+        with pytest.raises(RuntimeError):
+            tga.propose(10)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            create_tga("6tree").prepare([])
+
+    def test_repr_mentions_mode(self):
+        assert "offline" in repr(create_tga("6gen"))
+        assert "online" in repr(create_tga("det"))
+
+    def test_observe_default_noop(self):
+        tga = create_tga("6tree")
+        tga.prepare([1, 2, 3])
+        tga.observe({1: True})  # must not raise
+
+
+class TestTable1:
+    def test_eight_rows(self):
+        assert len(TGA_TABLE1) == 8
+        assert {row.name for row in TGA_TABLE1} == set(ALL_TGA_NAMES)
+
+    def test_6sense_only_online_dealiasing(self):
+        """Table 1: only 6Sense historically used online dealiasing."""
+        for row in TGA_TABLE1:
+            assert row.online_dealiasing == (row.name == "6sense")
+
+    def test_6gen_eip_use_raw_data(self):
+        for row in TGA_TABLE1:
+            if row.name in ("6gen", "eip"):
+                assert row.uses_all and row.no_dealiasing and row.include_inactive
+            else:
+                assert row.offline_dealiasing
+
+    def test_only_6scan_port_specific(self):
+        for row in TGA_TABLE1:
+            assert row.port_specific == (row.name == "6scan")

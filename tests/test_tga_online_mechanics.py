@@ -1,0 +1,94 @@
+"""Focused tests of the online generators' internal mechanics."""
+
+from repro.addr import parse_address
+from repro.tga.det import DET
+from repro.tga.sixhit import SixHit
+from repro.tga.sixsense import SixSense
+
+
+def A(text: str) -> int:
+    return parse_address(text)
+
+
+def seeds():
+    out = [A(f"2001:db8:0:{s}::{i:x}") for s in (1, 2) for i in range(1, 60)]
+    out += [A(f"2400:cb00:0:{s}::{i:x}") for s in (1, 2) for i in range(1, 60)]
+    return out
+
+
+class TestDETMechanics:
+    def test_rebuild_folds_in_actives(self):
+        det = DET(rebuild_every=1, max_tracked_actives=1000)
+        det.prepare(seeds())
+        batch = det.propose(100)
+        # Everything "responds": the rebuild must absorb them.
+        det.observe({address: True for address in batch})
+        assert det.discovered_actives == len(batch)
+        # After the rebuild, previously discovered actives are seeds of
+        # the new tree and are never proposed again.
+        later = det.propose(200)
+        assert not set(later) & set(batch)
+
+    def test_tracked_actives_capped(self):
+        det = DET(rebuild_every=100, max_tracked_actives=10)
+        det.prepare(seeds())
+        batch = det.propose(100)
+        det.observe({address: True for address in batch})
+        assert det.discovered_actives <= 10
+
+    def test_group_stats_survive_rebuild(self):
+        det = DET(rebuild_every=1)
+        det.prepare(seeds())
+        batch = det.propose(80)
+        det.observe({address: True for address in batch})
+        total_probes = sum(group.probes for group in det._groups)
+        assert total_probes >= len([a for a in batch])  # stats preserved
+
+
+class TestSixHitMechanics:
+    def test_q_values_move_toward_reward(self):
+        tga = SixHit(learning_rate=0.5, rebuild_every=1000)
+        tga.prepare(seeds())
+        batch = tga.propose(100)
+        tga.observe({address: False for address in batch})
+        # All-miss feedback drags touched regions' Q below the optimistic 1.0.
+        assert min(tga._q) < 1.0
+
+    def test_epsilon_floor_keeps_everyone_alive(self):
+        tga = SixHit(epsilon=0.2, rebuild_every=1000)
+        tga.prepare(seeds())
+        batch = tga.propose(100)
+        tga.observe({address: False for address in batch})
+        assert all(weight > 0 for weight in tga._pool.weights)
+
+
+class TestSixSenseMechanics:
+    def test_exploration_slice_touches_cold_sections(self):
+        tga = SixSense(exploration_fraction=0.5)
+        tga.prepare(seeds())
+        batch = tga.propose(200)
+        sections_touched = {address >> 96 for address in batch}
+        assert len(sections_touched) >= 2  # both /32s get budget
+
+    def test_suppressed_prefix_not_proposed_again(self):
+        tga = SixSense(alias_suppression_threshold=5)
+        tga.prepare(seeds())
+        target_net96 = A("2001:db8:0:1::") >> 32
+        for _ in range(10):
+            batch = tga.propose(150)
+            if not batch:
+                break
+            tga.observe({a: ((a >> 32) == target_net96) for a in batch})
+            if target_net96 in tga._suppressed_net96:
+                break
+        assert target_net96 in tga._suppressed_net96
+        after = tga.propose(300)
+        assert not any((a >> 32) == target_net96 for a in after)
+
+    def test_reward_smoothing(self):
+        tga = SixSense(reward_smoothing=0.5)
+        tga.prepare(seeds())
+        batch = tga.propose(100)
+        tga.observe({address: False for address in batch})
+        # All-miss feedback lowers some section's reward below optimistic 0.5.
+        assert min(section.reward for section in tga._sections) < 0.5

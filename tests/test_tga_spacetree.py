@@ -1,0 +1,181 @@
+"""Tests for repro.tga.spacetree."""
+
+import pytest
+
+from repro.addr import parse_address
+from repro.addr.nybbles import differing_positions
+from repro.tga import SpaceTree, SpaceTreeLeaf, expanded_values, leaf_candidates
+
+
+def A(text: str) -> int:
+    return parse_address(text)
+
+
+class TestExpandedValues:
+    def test_observed_first(self):
+        values = expanded_values({3, 5})
+        assert values[:2] == [3, 5]
+
+    def test_gap_fill(self):
+        values = expanded_values({1, 4})
+        assert 2 in values and 3 in values
+
+    def test_extrapolation(self):
+        values = expanded_values({4, 5})
+        assert 6 in values and 7 in values and 3 in values
+
+    def test_bounds_respected(self):
+        values = expanded_values({0xF})
+        assert all(0 <= v <= 0xF for v in values)
+        values = expanded_values({0})
+        assert all(0 <= v <= 0xF for v in values)
+
+    def test_no_duplicates(self):
+        values = expanded_values({1, 2, 3})
+        assert len(values) == len(set(values))
+
+
+class TestSpaceTree:
+    def test_single_seed_single_leaf(self):
+        tree = SpaceTree([A("2001:db8::1")])
+        assert len(tree) == 1
+        assert tree.leaves[0].variable_dims == []
+
+    def test_identical_seeds_deduplicated(self):
+        tree = SpaceTree([A("2001:db8::1")] * 5)
+        assert len(tree.leaves[0].seeds) == 1
+
+    def test_small_cluster_stays_one_leaf(self):
+        seeds = [A(f"2001:db8::{i}") for i in range(1, 6)]
+        tree = SpaceTree(seeds, max_leaf_seeds=12)
+        assert len(tree) == 1
+        assert tree.leaves[0].variable_dims == [31]
+
+    def test_splits_when_over_limit(self):
+        seeds = [A(f"2001:db8:{i}::1") for i in range(1, 10)] + [
+            A(f"2400:1:{i}::1") for i in range(1, 10)
+        ]
+        tree = SpaceTree(seeds, max_leaf_seeds=10)
+        assert len(tree) >= 2
+
+    def test_leftmost_splits_on_first_varying(self):
+        seeds = [A(f"2001:db8::{i}") for i in range(16)] + [
+            A(f"2a00:db8::{i}") for i in range(16)
+        ]
+        tree = SpaceTree(seeds, strategy="leftmost", max_leaf_seeds=4)
+        # After the first split, the two /16 families must be separate.
+        for leaf in tree.leaves:
+            top_nybbles = {seed >> 124 for seed in leaf.seeds}
+            assert len(top_nybbles) == 1
+
+    def test_entropy_strategy_builds(self):
+        seeds = [A(f"2001:db8:{i}::{j}") for i in range(4) for j in range(1, 9)]
+        tree = SpaceTree(seeds, strategy="entropy", max_leaf_seeds=4)
+        assert sum(len(leaf.seeds) for leaf in tree.leaves) == len(set(seeds))
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceTree([1], strategy="magic")
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceTree([])
+
+    def test_leaves_partition_seeds(self):
+        seeds = [A(f"2001:db8:{i:x}::{j:x}") for i in range(8) for j in range(1, 20)]
+        tree = SpaceTree(seeds, max_leaf_seeds=6)
+        collected = sorted(
+            seed
+            for leaf in tree.leaves
+            if not leaf.is_internal
+            for seed in leaf.seeds
+        )
+        assert collected == sorted(set(seeds))
+
+    def test_internal_regions_widen_reach(self):
+        """Split nodes become generalisation regions spanning subnets."""
+        seeds = [A(f"2001:db8:{i:x}::{j:x}") for i in range(4) for j in range(1, 20)]
+        tree = SpaceTree(seeds, max_leaf_seeds=6)
+        internals = [leaf for leaf in tree.leaves if leaf.is_internal]
+        assert internals
+        assert any(len(leaf.variable_dims) >= 3 for leaf in internals)
+
+    def test_internal_regions_can_be_disabled(self):
+        seeds = [A(f"2001:db8:{i:x}::{j:x}") for i in range(4) for j in range(1, 20)]
+        tree = SpaceTree(seeds, max_leaf_seeds=6, internal_regions=False)
+        assert not any(leaf.is_internal for leaf in tree.leaves)
+
+    def test_leaves_by_density_ordering(self):
+        dense = [A(f"2001:db8::{i:x}") for i in range(1, 13)]
+        sparse = [A("2400:cafe::1"), A("2600:beef:1234:5678:9abc:def0:1111:2222")]
+        tree = SpaceTree(dense + sparse, max_leaf_seeds=20)
+        ranked = tree.leaves_by_density()
+        assert ranked[0].density >= ranked[-1].density
+
+
+class TestLeafCandidates:
+    def test_never_emits_seeds(self):
+        seeds = [A(f"2001:db8::{i}") for i in range(1, 9)]
+        leaf = SpaceTreeLeaf(seeds=seeds, variable_dims=[31])
+        emitted = list(leaf_candidates(leaf))
+        assert not set(emitted) & set(seeds)
+
+    def test_no_duplicates(self):
+        seeds = [A("2001:db8::1"), A("2001:db8::3")]
+        leaf = SpaceTreeLeaf(seeds=seeds, variable_dims=[31])
+        emitted = list(leaf_candidates(leaf))
+        assert len(emitted) == len(set(emitted))
+
+    def test_gap_fill_candidate_present(self):
+        seeds = [A("2001:db8::1"), A("2001:db8::4")]
+        leaf = SpaceTreeLeaf(seeds=seeds, variable_dims=[31])
+        emitted = set(leaf_candidates(leaf))
+        assert A("2001:db8::2") in emitted
+        assert A("2001:db8::3") in emitted
+
+    def test_extrapolation_candidate_present(self):
+        seeds = [A("2001:db8::1"), A("2001:db8::2")]
+        leaf = SpaceTreeLeaf(seeds=seeds, variable_dims=[31])
+        assert A("2001:db8::3") in set(leaf_candidates(leaf))
+
+    def test_degenerate_leaf_expands_tail(self):
+        leaf = SpaceTreeLeaf(seeds=[A("2001:db8::1")], variable_dims=[])
+        emitted = list(leaf_candidates(leaf))
+        assert A("2001:db8::2") in emitted
+
+    def test_multi_dim_combination(self):
+        seeds = [A("2001:db8:1::1"), A("2001:db8:2::2")]
+        leaf = SpaceTreeLeaf(
+            seeds=seeds, variable_dims=differing_positions(seeds)
+        )
+        emitted = set(leaf_candidates(leaf, max_level=2))
+        # Cross combination: subnet of one seed with IID of the other.
+        assert A("2001:db8:1::2") in emitted
+        assert A("2001:db8:2::1") in emitted
+
+    def test_level_one_before_level_two(self):
+        seeds = [A("2001:db8:1::1"), A("2001:db8:2::2")]
+        leaf = SpaceTreeLeaf(
+            seeds=seeds, variable_dims=differing_positions(seeds)
+        )
+        emitted = list(leaf_candidates(leaf, max_level=2))
+        single_dim = emitted.index(A("2001:db8:2::1"))
+        # A two-dim change (new subnet AND new IID) must come later than
+        # at least one single-dim change.
+        double_change = emitted.index(A("2001:db8:3::3"))
+        assert single_dim < double_change
+
+    def test_deterministic(self):
+        seeds = [A("2001:db8::1"), A("2001:db8::5")]
+        leaf_a = SpaceTreeLeaf(seeds=list(seeds), variable_dims=[31])
+        leaf_b = SpaceTreeLeaf(seeds=list(seeds), variable_dims=[31])
+        assert list(leaf_candidates(leaf_a)) == list(leaf_candidates(leaf_b))
+
+    def test_value_sets_cached(self):
+        leaf = SpaceTreeLeaf(seeds=[A("2001:db8::1")], variable_dims=[])
+        assert leaf.value_sets() is leaf.value_sets()
+
+    def test_density_positive(self):
+        leaf = SpaceTreeLeaf(seeds=[A("2001:db8::1")], variable_dims=[])
+        assert leaf.density > 0
+        assert leaf.span_score() > 0

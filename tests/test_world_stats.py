@@ -1,0 +1,64 @@
+"""Tests for repro.internet.stats and experiment sanity bounds."""
+
+from repro.internet import (
+    ALL_PORTS,
+    Port,
+    RegionRole,
+    compute_world_stats,
+    discoverable_upper_bound,
+)
+
+
+class TestWorldStats:
+    def test_org_counts_sum_to_as_count(self, internet):
+        stats = compute_world_stats(internet)
+        assert sum(stats.ases_by_org.values()) == len(internet.registry)
+
+    def test_role_counts_sum_to_region_count(self, internet):
+        stats = compute_world_stats(internet)
+        assert sum(stats.regions_by_role.values()) == len(internet.regions)
+
+    def test_responsive_matches_model(self, internet):
+        stats = compute_world_stats(internet)
+        for port in ALL_PORTS:
+            assert stats.responsive_by_port[port] == internet.count_responsive(port)
+
+    def test_structural_counters(self, internet):
+        stats = compute_world_stats(internet)
+        assert stats.aliased_regions == sum(1 for r in internet.regions if r.aliased)
+        assert stats.renumbered_regions > 0
+        assert stats.pattern_active_total > 0
+
+    def test_rows_flatten(self, internet):
+        rows = compute_world_stats(internet).as_rows()
+        categories = {row["category"] for row in rows}
+        assert categories == {"org", "role", "responsive", "structural"}
+        assert all(isinstance(row["value"], int) for row in rows)
+
+    def test_gateway_role_counted(self, internet):
+        stats = compute_world_stats(internet)
+        assert stats.regions_by_role.get(RegionRole.GATEWAY, 0) > 0
+
+
+class TestDiscoverableUpperBound:
+    def test_bound_matches_count_responsive_modulo_mega(self, internet):
+        bound = discoverable_upper_bound(internet, Port.ICMP, exclude_mega=False)
+        assert bound == internet.count_responsive(Port.ICMP)
+
+    def test_mega_exclusion_shrinks_icmp_bound(self, internet):
+        with_mega = discoverable_upper_bound(internet, Port.ICMP, exclude_mega=False)
+        without = discoverable_upper_bound(internet, Port.ICMP, exclude_mega=True)
+        assert without < with_mega
+
+    def test_mega_exclusion_noop_on_tcp(self, internet):
+        a = discoverable_upper_bound(internet, Port.TCP80, exclude_mega=True)
+        b = discoverable_upper_bound(internet, Port.TCP80, exclude_mega=False)
+        # Mega answers almost nothing on TCP; the bound may differ by the
+        # handful of mega TCP responders but not materially.
+        assert abs(a - b) <= 10
+
+    def test_no_run_exceeds_the_bound(self, study):
+        """Experiment sanity: measured hits never exceed ground truth."""
+        bound = discoverable_upper_bound(study.internet, Port.ICMP)
+        result = study.run("6tree", study.constructions.all_active, Port.ICMP)
+        assert result.metrics.hits <= bound

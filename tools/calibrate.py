@@ -1,0 +1,62 @@
+"""Calibration harness: prints the headline shapes at bench scale.
+
+Run: python tools/calibrate.py [budget]
+"""
+
+import sys
+import time
+
+from repro.experiments import Study, run_rq1a, run_rq1b, run_rq2
+from repro.internet import InternetConfig, Port
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 2500
+    t0 = time.time()
+    study = Study(config=InternetConfig.bench(), budget=budget, round_size=budget // 5)
+    sizes = study.constructions.sizes()
+    print("sizes", sizes)
+    print(
+        "tcp80/icmp active ratio:",
+        round(sizes["port_tcp80"] / sizes["port_icmp"], 2),
+    )
+
+    print("\n== RQ1a (ICMP): aliases by treatment ==")
+    rq1a = run_rq1a(study, ports=(Port.ICMP,))
+    for tga, row in rq1a.table4(Port.ICMP).items():
+        print(f"  {tga:8s}", {m.value: v for m, v in row.items()})
+    print("  fig3 (joint vs full):")
+    for tga, r in rq1a.figure3(Port.ICMP).items():
+        print(f"  {tga:8s}", {k: round(v, 2) for k, v in r.items()})
+
+    print("\n== RQ1b: active vs dealiased ==")
+    rq1b = run_rq1b(study, ports=(Port.ICMP, Port.TCP80))
+    for port in (Port.ICMP, Port.TCP80):
+        print(f"  -- {port.value}")
+        for tga in study.tga_names:
+            d = rq1b.dealiased_runs[(tga, port)].metrics
+            a = rq1b.active_runs[(tga, port)].metrics
+            hr = (a.hits - d.hits) / d.hits if d.hits else 0
+            print(
+                f"  {tga:8s} deal h={d.hits:6d} a={d.ases:4d}"
+                f" | act h={a.hits:6d} a={a.ases:4d} | dh {hr:+.2f}"
+            )
+
+    print("\n== RQ2: port-specific vs all-active ==")
+    rq2 = run_rq2(study, ports=(Port.ICMP, Port.TCP80, Port.UDP53))
+    for port in (Port.ICMP, Port.TCP80, Port.UDP53):
+        print(f"  -- {port.value}")
+        for tga in study.tga_names:
+            o = rq2.all_active_runs[(tga, port)].metrics
+            c = rq2.port_specific_runs[(tga, port)].metrics
+            hr = (c.hits - o.hits) / o.hits if o.hits else 0
+            ar = (c.ases - o.ases) / o.ases if o.ases else 0
+            print(
+                f"  {tga:8s} aa h={o.hits:6d} a={o.ases:4d}"
+                f" | ps h={c.hits:6d} a={c.ases:4d} | dh {hr:+.2f} da {ar:+.2f}"
+            )
+    print("\ntotal", round(time.time() - t0, 1), "s")
+
+
+if __name__ == "__main__":
+    main()
