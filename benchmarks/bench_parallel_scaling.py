@@ -1,0 +1,151 @@
+"""Serial-vs-parallel scaling benchmark for the grid executor.
+
+Times the full TGA × port grid on the All Active dataset — the paper's
+core workload shape — once serially and once per worker count, each on
+a fresh Study (fresh world, empty run cache), and records wall time,
+cells/sec and speedup to a JSON artifact.  Every parallel run is also
+checked cell-by-cell against the serial run: the executor must be
+bit-identical, not just fast.
+
+Run:  python benchmarks/bench_parallel_scaling.py [--quick] [--out FILE]
+
+``--quick`` shrinks the workload (fewer ports, smaller budget, worker
+counts 1/2) for CI smoke runs.  Note that measured speedup is bounded
+by the CPUs actually available; the artifact records ``cpu_count`` so
+numbers from different hosts are comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments import GridSpec, Study, run_grid
+from repro.internet import ALL_PORTS, InternetConfig, Port
+from repro.tga import ALL_TGA_NAMES
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def make_study(seed: int, budget: int) -> Study:
+    return Study(
+        config=InternetConfig.tiny(master_seed=seed),
+        budget=budget,
+        round_size=max(100, budget // 5),
+    )
+
+
+def make_spec(study: Study, ports: tuple[Port, ...], budget: int) -> GridSpec:
+    return GridSpec(
+        datasets=(study.constructions.all_active,),
+        tga_names=ALL_TGA_NAMES,
+        ports=ports,
+        budget=budget,
+    )
+
+
+def run_once(seed: int, budget: int, ports: tuple[Port, ...], workers: int | None):
+    """One timed grid run on a fresh study; returns (seconds, results)."""
+    study = make_study(seed, budget)
+    spec = make_spec(study, ports, budget)
+    start = time.perf_counter()
+    results = run_grid(study, spec, workers=workers)
+    return time.perf_counter() - start, results
+
+
+def identical(serial_runs: dict, parallel_runs: dict) -> bool:
+    """Cell-by-cell bit-identity between two grid result sets."""
+    if set(serial_runs) != set(parallel_runs):
+        return False
+    for key, a in serial_runs.items():
+        b = parallel_runs[key]
+        if (
+            a.clean_hits != b.clean_hits
+            or a.aliased_hits != b.aliased_hits
+            or a.active_ases != b.active_ases
+            or a.metrics != b.metrics
+            or a.round_history != b.round_history
+        ):
+            return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--budget", type=int, default=0, help="per-cell budget")
+    parser.add_argument(
+        "--workers",
+        default="",
+        help="comma-separated worker counts (default 1,2,4,8 / 1,2 quick)",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    budget = args.budget or (300 if args.quick else 1_500)
+    ports = (Port.ICMP, Port.TCP80) if args.quick else ALL_PORTS
+    if args.workers:
+        worker_counts = tuple(int(w) for w in args.workers.split(","))
+    else:
+        worker_counts = (1, 2) if args.quick else (1, 2, 4, 8)
+    cells = len(ALL_TGA_NAMES) * len(ports)
+
+    print(
+        f"workload: {cells} cells "
+        f"({len(ALL_TGA_NAMES)} TGAs x {len(ports)} ports, budget {budget}), "
+        f"cpu_count={os.cpu_count()}"
+    )
+
+    serial_seconds, serial_results = run_once(args.seed, budget, ports, None)
+    print(
+        f"serial          : {serial_seconds:8.2f}s  "
+        f"{cells / serial_seconds:6.2f} cells/s"
+    )
+
+    record = {
+        "benchmark": "parallel_scaling",
+        "workload": {
+            "cells": cells,
+            "tgas": len(ALL_TGA_NAMES),
+            "ports": [port.value for port in ports],
+            "budget": budget,
+            "seed": args.seed,
+            "scale": "tiny",
+        },
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel": [],
+        "identical": True,
+    }
+
+    for workers in worker_counts:
+        seconds, results = run_once(args.seed, budget, ports, workers)
+        same = identical(serial_results.runs, results.runs)
+        record["identical"] = record["identical"] and same
+        speedup = serial_seconds / seconds if seconds else 0.0
+        record["parallel"].append(
+            {
+                "workers": workers,
+                "seconds": round(seconds, 4),
+                "cells_per_sec": round(cells / seconds, 4) if seconds else 0.0,
+                "speedup": round(speedup, 4),
+                "identical_to_serial": same,
+            }
+        )
+        print(
+            f"workers={workers:<2}      : {seconds:8.2f}s  "
+            f"{cells / seconds:6.2f} cells/s  "
+            f"speedup {speedup:4.2f}x  identical={same}"
+        )
+
+    args.out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0 if record["identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

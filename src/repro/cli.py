@@ -11,7 +11,10 @@
 * ``report``     — full markdown study report
 
 Common options: ``--scale {tiny,bench,small}``, ``--seed``, ``--budget``,
-``--port``, ``--export file.csv|file.json``.
+``--port``, ``--workers``, ``--export file.csv|file.json``.
+
+``--workers N`` spreads uncached experiment cells across N worker
+processes; results are bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -54,6 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", choices=sorted(_SCALES), default="tiny")
     parser.add_argument("--seed", type=int, default=42, help="world master seed")
     parser.add_argument("--budget", type=int, default=2_500)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for experiment cells (1 = serial; "
+        "parallel results are bit-identical to serial)",
+    )
     parser.add_argument(
         "--export", default="", help="write result rows to a .csv or .json file"
     )
@@ -166,7 +176,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_rq1a(args: argparse.Namespace) -> int:
     study = _make_study(args)
     port = Port(args.port)
-    result = run_rq1a(study, ports=(port,))
+    result = run_rq1a(study, ports=(port,), workers=args.workers)
     table = result.table4(port)
     rows = [
         [tga] + [f"{table[tga][mode]:,}" for mode in DealiasMode]
@@ -198,7 +208,7 @@ def _ratio_table(title: str, ratios: dict[str, dict[str, float]], keys: Sequence
 def _cmd_rq1b(args: argparse.Namespace) -> int:
     study = _make_study(args)
     port = Port(args.port)
-    result = run_rq1b(study, ports=(port,))
+    result = run_rq1b(study, ports=(port,), workers=args.workers)
     rows = _ratio_table(
         f"Active-only vs dealiased seeds ({port.value})",
         result.figure4(port),
@@ -211,7 +221,7 @@ def _cmd_rq1b(args: argparse.Namespace) -> int:
 def _cmd_rq2(args: argparse.Namespace) -> int:
     study = _make_study(args)
     port = Port(args.port)
-    result = run_rq2(study, ports=(port,))
+    result = run_rq2(study, ports=(port,), workers=args.workers)
     rows = _ratio_table(
         f"Port-specific vs All Active seeds ({port.value})",
         result.figure5(port),
@@ -224,7 +234,7 @@ def _cmd_rq2(args: argparse.Namespace) -> int:
 def _cmd_rq4(args: argparse.Namespace) -> int:
     study = _make_study(args)
     port = Port(args.port)
-    result = run_rq4(study, ports=(port,))
+    result = run_rq4(study, ports=(port,), workers=args.workers)
     steps = result.figure6_hits(port)
     rows = [
         [step.name, f"{step.new_items:,}", f"{step.cumulative:,}", f"{step.cumulative_fraction:.0%}"]
@@ -275,7 +285,11 @@ def _cmd_rq3(args: argparse.Namespace) -> int:
     study = _make_study(args)
     sources = tuple(name.strip() for name in args.sources.split(",") if name.strip())
     result = run_rq3(
-        study, ports=(Port.ICMP,), sources=sources, budget=max(200, args.budget // 3)
+        study,
+        ports=(Port.ICMP,),
+        sources=sources,
+        budget=max(200, args.budget // 3),
+        workers=args.workers,
     )
     rows = [
         [

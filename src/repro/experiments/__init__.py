@@ -2,6 +2,7 @@
 
 from .grid import GridResults, GridSpec, run_grid
 from .harness import Study
+from .parallel import ParallelExecutor, WorkerSpec
 from .recommendations import (
     RECOMMENDED_ENSEMBLE,
     EnsembleResult,
@@ -52,4 +53,6 @@ __all__ = [
     "GridSpec",
     "GridResults",
     "run_grid",
+    "ParallelExecutor",
+    "WorkerSpec",
 ]

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from ..datasets import SeedDataset
 from ..internet import ALL_PORTS, Port
+from ..metrics import MetricSet
 from ..tga import ALL_TGA_NAMES
 from .harness import Study
 from .results import RunResult
@@ -78,6 +79,11 @@ class GridResults:
 
     def best(self, metric: str = "hits", port: Port | None = None) -> RunResult:
         """The single best cell by a metric (optionally on one port)."""
+        if metric not in MetricSet.METRIC_NAMES:
+            raise ValueError(
+                f"unknown metric {metric!r}; valid metrics: "
+                f"{', '.join(MetricSet.METRIC_NAMES)}"
+            )
         candidates = self.by_port(port) if port else list(self.runs.values())
         if not candidates:
             raise ValueError("empty grid results")
@@ -92,13 +98,31 @@ def run_grid(
     study: Study,
     spec: GridSpec,
     progress: Callable[[int, int, RunResult], None] | None = None,
+    workers: int | None = None,
+    chunksize: int | None = None,
 ) -> GridResults:
     """Execute every cell of a grid through the study's memoised runner.
 
-    ``progress(done, total, last_result)`` is invoked after each cell.
+    ``progress(done, total, last_result)`` is invoked after each cell —
+    in cell order when running serially, in completion order when
+    ``workers`` > 1 spreads uncached cells across processes.  Parallel
+    results are bit-identical to serial ones.
     """
     results = GridResults(spec=spec)
     total = spec.size
+    if workers and workers > 1:
+        from .parallel import ParallelExecutor
+
+        executor = ParallelExecutor(study, max_workers=workers, chunksize=chunksize)
+        executor.run_cells(
+            [(tga, dataset, port, spec.budget) for tga, dataset, port in spec.cells()],
+            progress=progress,
+        )
+        for tga, dataset, port in spec.cells():
+            results.runs[(tga, dataset.name, port)] = study.run(
+                tga, dataset, port, budget=spec.budget
+            )
+        return results
     for index, (tga, dataset, port) in enumerate(spec.cells(), start=1):
         run = study.run(tga, dataset, port, budget=spec.budget)
         results.runs[(tga, dataset.name, port)] = run

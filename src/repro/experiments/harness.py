@@ -108,22 +108,64 @@ class Study:
         self._run_cache[key] = result
         return result
 
+    def precompute(
+        self,
+        cells: list[tuple[str, SeedDataset, Port, int | None]],
+        workers: int | None = None,
+        chunksize: int | None = None,
+    ) -> int:
+        """Fill the run cache for ``cells`` using ``workers`` processes.
+
+        With ``workers`` unset (or 1) this is a no-op — callers compute
+        cells lazily through :meth:`run`, which is the same work in the
+        same process.  Returns the number of cells that were missing
+        from the cache when called.  Parallel results are bit-identical
+        to serial ones (every stochastic draw is keyed on the master
+        seed), so downstream consumers cannot tell the difference.
+        """
+        missing = sum(
+            1
+            for tga_name, dataset, port, budget in cells
+            if (tga_name, dataset.name, port, budget or self.budget)
+            not in self._run_cache
+        )
+        if not workers or workers <= 1 or missing == 0:
+            return missing
+        from .parallel import ParallelExecutor
+
+        ParallelExecutor(self, max_workers=workers, chunksize=chunksize).run_cells(
+            cells
+        )
+        return missing
+
     def run_matrix(
         self,
         datasets: list[SeedDataset],
         ports: tuple[Port, ...] = ALL_PORTS,
         tga_names: tuple[str, ...] | None = None,
         budget: int | None = None,
+        parallel: int | None = None,
+        chunksize: int | None = None,
     ) -> dict[tuple[str, str, Port], RunResult]:
-        """Run the full TGA × dataset × port grid."""
+        """Run the full TGA × dataset × port grid.
+
+        ``parallel`` spreads uncached cells across that many worker
+        processes; results (and the populated run cache) are identical
+        to a serial run.
+        """
         tga_names = tga_names or self.tga_names
+        cells = [
+            (tga_name, dataset, port, budget)
+            for dataset in datasets
+            for port in ports
+            for tga_name in tga_names
+        ]
+        self.precompute(cells, workers=parallel, chunksize=chunksize)
         results: dict[tuple[str, str, Port], RunResult] = {}
-        for dataset in datasets:
-            for port in ports:
-                for tga_name in tga_names:
-                    results[(tga_name, dataset.name, port)] = self.run(
-                        tga_name, dataset, port, budget=budget
-                    )
+        for tga_name, dataset, port, _budget in cells:
+            results[(tga_name, dataset.name, port)] = self.run(
+                tga_name, dataset, port, budget=budget
+            )
         return results
 
     @property

@@ -1,0 +1,217 @@
+"""Deterministic multiprocess execution of experiment grids.
+
+The paper's study is embarrassingly parallel: every (TGA, dataset, port,
+budget) cell is an independent generate-and-scan run.  This module
+spreads cells across a :class:`concurrent.futures.ProcessPoolExecutor`
+while keeping results **bit-identical** to serial execution — every
+stochastic decision in the system is a splitmix64 hash of
+``(master_seed, ...)``, so a cell computes the same ``RunResult`` no
+matter which process runs it.
+
+Key design points:
+
+* A :class:`WorkerSpec` captures everything needed to rebuild a
+  Study-equivalent world (config, budget, round size, blocklist, rate,
+  generator roster).  Specs are frozen/hashable; they double as the
+  fingerprint for the worker-side memo.
+* Each worker process rebuilds the world **once** per distinct spec
+  (module-global memo keyed on the spec), then runs every cell chunk it
+  receives against the memoised Study.  With *n* workers the simulated
+  Internet and the 12 collected sources are constructed ~*n* times
+  total, never per cell.
+* Completed :class:`RunResult`\\ s are merged back into the parent
+  study's run cache, so downstream RQ pipelines (which overlap heavily)
+  reuse them exactly as they would after a serial run.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+from ..addr import Prefix
+from ..internet import InternetConfig, Port
+from ..scanner import Blocklist
+from .harness import Study
+from .results import RunResult
+
+__all__ = ["Cell", "RunKey", "WorkerSpec", "ParallelExecutor"]
+
+#: One grid cell: (tga name, dataset, port, budget-or-None).
+Cell = tuple  # (str, SeedDataset, Port, int | None)
+#: A resolved run-cache key: (tga name, dataset name, port, budget).
+RunKey = tuple  # (str, str, Port, int)
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to rebuild a Study-equivalent world.
+
+    Frozen and hashable: the spec itself is the fingerprint keying the
+    worker-global Study memo.
+    """
+
+    config: InternetConfig
+    budget: int
+    round_size: int
+    tga_names: tuple[str, ...]
+    #: Blocklist entries as plain (value, length) pairs — cheap to pickle.
+    blocklist_prefixes: tuple[tuple[int, int], ...]
+    packets_per_second: float
+
+    @classmethod
+    def from_study(cls, study: Study) -> "WorkerSpec":
+        """Capture a study's world-defining parameters."""
+        return cls(
+            config=study.internet.config,
+            budget=study.budget,
+            round_size=study.round_size,
+            tga_names=tuple(study.tga_names),
+            blocklist_prefixes=tuple(
+                (prefix.value, prefix.length)
+                for prefix in study.blocklist.prefixes()
+            ),
+            packets_per_second=study.packets_per_second,
+        )
+
+    def build_study(self) -> Study:
+        """Reconstruct an equivalent Study (in a worker process)."""
+        return Study(
+            config=self.config,
+            budget=self.budget,
+            round_size=self.round_size,
+            tga_names=self.tga_names,
+            blocklist=Blocklist(
+                Prefix(value, length) for value, length in self.blocklist_prefixes
+            ),
+            packets_per_second=self.packets_per_second,
+        )
+
+
+# -- worker side -----------------------------------------------------------
+
+#: Worker-global memo: one rebuilt Study per distinct spec per process.
+_WORKER_STUDIES: dict[WorkerSpec, Study] = {}
+
+
+def _worker_study(spec: WorkerSpec) -> Study:
+    study = _WORKER_STUDIES.get(spec)
+    if study is None:
+        study = spec.build_study()
+        _WORKER_STUDIES[spec] = study
+    return study
+
+
+def _run_cell_chunk(
+    spec: WorkerSpec, chunk: Sequence[Cell]
+) -> list[tuple[RunKey, RunResult]]:
+    """Run a chunk of cells in a worker; returns (key, result) pairs."""
+    study = _worker_study(spec)
+    out: list[tuple[RunKey, RunResult]] = []
+    for tga_name, dataset, port, budget in chunk:
+        result = study.run(tga_name, dataset, port, budget=budget)
+        out.append(((tga_name, dataset.name, port, result.budget), result))
+    return out
+
+
+# -- parent side -----------------------------------------------------------
+
+
+class ParallelExecutor:
+    """Runs grid cells across processes, merging into a study's run cache.
+
+    ``max_workers`` defaults to the machine's CPU count.  ``chunksize``
+    controls how many cells ride in one inter-process task (larger
+    chunks amortise dataset pickling; smaller chunks balance load) — by
+    default cells are split into ~4 chunks per worker.
+    """
+
+    def __init__(
+        self,
+        study: Study,
+        max_workers: int | None = None,
+        chunksize: int | None = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be at least 1")
+        self.study = study
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.chunksize = chunksize
+
+    def worker_spec(self) -> WorkerSpec:
+        """The spec shipped to (and memoised by) worker processes."""
+        return WorkerSpec.from_study(self.study)
+
+    def _chunks(self, cells: list[Cell]) -> list[list[Cell]]:
+        size = self.chunksize
+        if size is None:
+            size = max(1, -(-len(cells) // (self.max_workers * 4)))
+        return [cells[i : i + size] for i in range(0, len(cells), size)]
+
+    def run_cells(
+        self,
+        cells: Sequence[Cell],
+        progress: Callable[[int, int, RunResult], None] | None = None,
+    ) -> dict[RunKey, RunResult]:
+        """Run every cell, reusing and feeding the study's run cache.
+
+        Already-cached cells are returned immediately; missing cells are
+        executed across the worker pool (serially when ``max_workers``
+        is 1 or only one cell is missing) and merged back into
+        ``study._run_cache``.  ``progress(done, total, result)`` fires
+        once per cell, in completion order.
+
+        The returned mapping is keyed ``(tga, dataset_name, port,
+        budget)`` with budgets resolved against the study default.
+        """
+        study = self.study
+        resolved: dict[RunKey, Cell] = {}
+        for tga_name, dataset, port, budget in cells:
+            budget = budget or study.budget
+            resolved.setdefault(
+                (tga_name, dataset.name, port, budget),
+                (tga_name, dataset, port, budget),
+            )
+        total = len(resolved)
+        done = 0
+        results: dict[RunKey, RunResult] = {}
+        missing: list[Cell] = []
+        for key, cell in resolved.items():
+            cached = study._run_cache.get(key)
+            if cached is not None:
+                results[key] = cached
+                done += 1
+                if progress is not None:
+                    progress(done, total, cached)
+            else:
+                missing.append(cell)
+        if missing:
+            if self.max_workers <= 1 or len(missing) == 1:
+                for tga_name, dataset, port, budget in missing:
+                    run = study.run(tga_name, dataset, port, budget=budget)
+                    results[(tga_name, dataset.name, port, budget)] = run
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, run)
+            else:
+                spec = self.worker_spec()
+                chunks = self._chunks(missing)
+                workers = min(self.max_workers, len(chunks))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(_run_cell_chunk, spec, chunk)
+                        for chunk in chunks
+                    ]
+                    for future in as_completed(futures):
+                        for key, run in future.result():
+                            # First writer wins, matching serial memoisation.
+                            cached = study._run_cache.setdefault(key, run)
+                            results[key] = cached
+                            done += 1
+                            if progress is not None:
+                                progress(done, total, cached)
+        return results

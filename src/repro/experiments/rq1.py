@@ -89,11 +89,26 @@ def run_rq1a(
     ports: tuple[Port, ...] = ALL_PORTS,
     modes: tuple[DealiasMode, ...] = DEALIAS_MODES,
     budget: int | None = None,
+    workers: int | None = None,
 ) -> RQ1aResult:
-    """Run the RQ1.a grid: every TGA on every dealias treatment and port."""
+    """Run the RQ1.a grid: every TGA on every dealias treatment and port.
+
+    ``workers`` precomputes uncached cells across that many processes;
+    results are bit-identical to a serial run.
+    """
+    datasets = {mode: study.constructions.dealias_variant(mode) for mode in modes}
+    study.precompute(
+        [
+            (tga, datasets[mode], port, budget)
+            for mode in modes
+            for port in ports
+            for tga in study.tga_names
+        ],
+        workers=workers,
+    )
     runs: dict[tuple[str, DealiasMode, Port], RunResult] = {}
     for mode in modes:
-        dataset = study.constructions.dealias_variant(mode)
+        dataset = datasets[mode]
         for port in ports:
             for tga in study.tga_names:
                 runs[(tga, mode, port)] = study.run(tga, dataset, port, budget=budget)
@@ -104,10 +119,20 @@ def run_rq1b(
     study: Study,
     ports: tuple[Port, ...] = ALL_PORTS,
     budget: int | None = None,
+    workers: int | None = None,
 ) -> RQ1bResult:
     """Run the RQ1.b comparison: joint-dealiased vs active-only seeds."""
     dealiased = study.constructions.joint_dealiased
     active = study.constructions.all_active
+    study.precompute(
+        [
+            (tga, dataset, port, budget)
+            for dataset in (dealiased, active)
+            for port in ports
+            for tga in study.tga_names
+        ],
+        workers=workers,
+    )
     dealiased_runs: dict[tuple[str, Port], RunResult] = {}
     active_runs: dict[tuple[str, Port], RunResult] = {}
     for port in ports:

@@ -60,9 +60,19 @@ def run_rq2(
     study: Study,
     ports: tuple[Port, ...] = ALL_PORTS,
     budget: int | None = None,
+    workers: int | None = None,
 ) -> RQ2Result:
     """Run the RQ2 grid: each port scanned from its port-specific seeds."""
     all_active = study.constructions.all_active
+    study.precompute(
+        [
+            (tga, dataset, port, budget)
+            for port in ports
+            for dataset in (all_active, study.constructions.port_specific(port))
+            for tga in study.tga_names
+        ],
+        workers=workers,
+    )
     all_active_runs: dict[tuple[str, Port], RunResult] = {}
     port_specific_runs: dict[tuple[str, Port], RunResult] = {}
     for port in ports:
@@ -84,6 +94,7 @@ def run_cross_port(
     study: Study,
     ports: tuple[Port, ...] = ALL_PORTS,
     budget: int | None = None,
+    workers: int | None = None,
 ) -> CrossPortResult:
     """Run the Figure 7 grid: every input dataset scanned on every target.
 
@@ -92,6 +103,15 @@ def run_cross_port(
     """
     inputs = [study.constructions.port_specific(port) for port in ports]
     inputs.append(study.constructions.all_active)
+    study.precompute(
+        [
+            (tga, dataset, scan_port, budget)
+            for dataset in inputs
+            for scan_port in ports
+            for tga in study.tga_names
+        ],
+        workers=workers,
+    )
     runs: dict[tuple[str, str, Port], RunResult] = {}
     for dataset in inputs:
         for scan_port in ports:

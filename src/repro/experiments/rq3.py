@@ -72,6 +72,7 @@ def run_rq3(
     sources: tuple[str, ...] = SOURCE_ORDER,
     budget: int | None = None,
     pooled_ports: tuple[Port, ...] = (Port.ICMP,),
+    workers: int | None = None,
 ) -> RQ3Result:
     """Run the RQ3 grid plus the pooled-budget comparison.
 
@@ -80,19 +81,35 @@ def run_rq3(
     reports it for ICMP, so that is the default.
     """
     per_source_budget = budget or study.budget
+    source_datasets = {
+        source: dataset
+        for source in sources
+        if (dataset := study.constructions.source_specific(source)).addresses
+    }
+    pooled_budget = per_source_budget * len(sources)
+    all_active = study.constructions.all_active
+    study.precompute(
+        [
+            (tga, dataset, port, per_source_budget)
+            for dataset in source_datasets.values()
+            for port in ports
+            for tga in study.tga_names
+        ]
+        + [
+            (tga, all_active, port, pooled_budget)
+            for port in pooled_ports
+            for tga in study.tga_names
+        ],
+        workers=workers,
+    )
     source_runs: dict[tuple[str, str, Port], RunResult] = {}
-    for source in sources:
-        dataset = study.constructions.source_specific(source)
-        if not dataset.addresses:
-            continue
+    for source, dataset in source_datasets.items():
         for port in ports:
             for tga in study.tga_names:
                 source_runs[(tga, source, port)] = study.run(
                     tga, dataset, port, budget=per_source_budget
                 )
     pooled_runs: dict[tuple[str, Port], RunResult] = {}
-    pooled_budget = per_source_budget * len(sources)
-    all_active = study.constructions.all_active
     for port in pooled_ports:
         for tga in study.tga_names:
             pooled_runs[(tga, port)] = study.run(

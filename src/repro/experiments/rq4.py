@@ -63,9 +63,18 @@ def run_rq4(
     study: Study,
     ports: tuple[Port, ...] = ALL_PORTS,
     budget: int | None = None,
+    workers: int | None = None,
 ) -> RQ4Result:
     """Run every generator on the All Active dataset for each port."""
     all_active = study.constructions.all_active
+    study.precompute(
+        [
+            (tga, all_active, port, budget)
+            for port in ports
+            for tga in study.tga_names
+        ],
+        workers=workers,
+    )
     runs: dict[tuple[str, Port], RunResult] = {}
     for port in ports:
         for tga in study.tga_names:

@@ -84,6 +84,32 @@ class SimulatedInternet:
             return False
         return region.responds(address, port, epoch, attempt)
 
+    def probe_batch(
+        self, addresses: Iterable[int], port: Port, epoch: int = SCAN_EPOCH
+    ) -> set[int]:
+        """Batched ground-truth probing: the responsive subset of ``addresses``.
+
+        Groups targets by /64 so the region lookup and the region-level
+        checks (firewall, retirement, alias profile, responsive-IID set)
+        are done once per group rather than once per address.  Results
+        are identical to calling :meth:`probe` per address.
+        """
+        groups: dict[int, list[int]] = {}
+        for address in addresses:
+            net64 = address >> 64
+            group = groups.get(net64)
+            if group is None:
+                groups[net64] = [address]
+            else:
+                group.append(address)
+        hits: set[int] = set()
+        regions = self._regions_by_net64
+        for net64, group in groups.items():
+            region = regions.get(net64)
+            if region is not None:
+                hits |= region.respond_batch(group, port, epoch)
+        return hits
+
     def target_exists(self, address: int) -> bool:
         """Whether ``address`` falls in allocated (region-backed) space."""
         return (address >> 64) in self._regions_by_net64

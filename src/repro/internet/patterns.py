@@ -28,6 +28,7 @@ ever enumerating the 2**64 IID space.
 from __future__ import annotations
 
 from enum import Enum
+from functools import lru_cache
 
 from ..addr.rand import hash64
 
@@ -74,12 +75,17 @@ def _eui64_iid(oui: int, low24: int) -> int:
     return (flipped << 40) | (0xFF_FE << 24) | (low24 & 0xFF_FFFF)
 
 
+@lru_cache(maxsize=8192)
 def generate_iids(kind: PatternKind, count: int, region_salt: int) -> frozenset[int]:
     """The deterministic active-IID set for a region.
 
     ``region_salt`` individualises the set per region; ``count`` bounds its
     size (the result may be slightly smaller after deduplication for the
     structured families).
+
+    Results are memoised: rebuilding the same world (worker processes,
+    serial/parallel equality checks, repeated benchmark studies) reuses
+    the already-materialised frozensets instead of regenerating them.
     """
     if count <= 0:
         return frozenset()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 from dataclasses import dataclass
+from typing import ClassVar
 
 from ..asdb import ASRegistry
 from ..internet import Port
@@ -22,13 +23,16 @@ __all__ = ["MetricSet", "evaluate_metrics", "filter_mega_isp"]
 class MetricSet:
     """The triple of headline metrics for one TGA run."""
 
+    #: Valid names accepted by :meth:`metric` (and by-name consumers).
+    METRIC_NAMES: ClassVar[tuple[str, ...]] = ("hits", "ases", "aliases")
+
     hits: int
     ases: int
     aliases: int = 0
 
     def metric(self, name: str) -> int:
         """Access a metric by name ("hits" / "ases" / "aliases")."""
-        if name not in ("hits", "ases", "aliases"):
+        if name not in MetricSet.METRIC_NAMES:
             raise KeyError(f"unknown metric: {name}")
         return getattr(self, name)
 

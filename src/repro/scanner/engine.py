@@ -106,31 +106,64 @@ class Scanner:
 
         Input order does not affect results (responses are deterministic
         per address), matching the paper's randomised scan order.
+
+        Targets are grouped by /64 so the region lookup, firewall and
+        retirement checks and the port-profile dispatch happen once per
+        group rather than once per address; outcomes are identical to
+        probing each address individually.
         """
         result = ScanResult(port=port)
         stats = result.stats
         start_time = self.rate_limiter.virtual_time
-        blocked = self.blocklist
-        internet_probe = self.internet.probe
         epoch = self.epoch
         regions = self.internet._regions_by_net64  # hot path: direct dict
         classify_negative = self.classify_negative
         port_index = port.index
+        # Hoisted blocklist check: empty blocklists cost nothing per target.
+        is_blocked = self.blocklist.is_blocked if self.blocklist else None
+        blocked_count = 0
+        groups: dict[int, list[int]] = {}
+        for address in addresses:
+            if is_blocked is not None and is_blocked(address):
+                blocked_count += 1
+                continue
+            net64 = address >> 64
+            group = groups.get(net64)
+            if group is None:
+                groups[net64] = [address]
+            else:
+                group.append(address)
+        if blocked_count:
+            stats.targets_blocked += blocked_count
+            stats.responses[ResponseType.BLOCKED] = (
+                stats.responses.get(ResponseType.BLOCKED, 0) + blocked_count
+            )
         sent = 0
         neg = 0
         timeouts = 0
-        for address in addresses:
-            if len(blocked) and blocked.is_blocked(address):
-                stats.record(ResponseType.BLOCKED)
+        hits = result.hits
+        for net64, group in groups.items():
+            sent += len(group)
+            region = regions.get(net64)
+            if region is None:
+                timeouts += len(group)
                 continue
-            sent += 1
-            region = regions.get(address >> 64)
-            if region is not None and region.responds(address, port, epoch):
-                result.hits.add(address)
-            elif classify_negative and region is not None and not region.firewalled and _negative_noise(address, port_index):
-                neg += 1
+            responders = region.respond_batch(group, port, epoch)
+            if responders:
+                hits |= responders
+                misses = [a for a in group if a not in responders]
             else:
-                timeouts += 1
+                misses = group
+            if not misses:
+                continue
+            if classify_negative and not region.firewalled:
+                for address in misses:
+                    if _negative_noise(address, port_index):
+                        neg += 1
+                    else:
+                        timeouts += 1
+            else:
+                timeouts += len(misses)
         self.rate_limiter.account(sent)
         stats.probes_sent += sent
         if result.hits:
@@ -149,7 +182,10 @@ class Scanner:
 
     def scan_all_ports(self, addresses: Iterable[int], ports: Iterable[Port]) -> dict[Port, ScanResult]:
         """Scan the same target list on several ports."""
-        targets = list(addresses)
+        if isinstance(addresses, (list, tuple)):
+            targets: Iterable[int] = addresses
+        else:
+            targets = list(addresses)
         return {port: self.scan(targets, port) for port in ports}
 
     # -- internals ---------------------------------------------------------------

@@ -112,6 +112,27 @@ class TestStudy:
         assert small is not large
         assert small.budget == 300 and large.budget == 600
 
+    def test_cache_identity_per_key(self, study):
+        # Same (tga, dataset, port, budget) key -> the identical object,
+        # whether reached via explicit budget or the study default.
+        dataset = study.constructions.all_active
+        explicit = study.run("6hit", dataset, Port.TCP80, budget=study.budget)
+        defaulted = study.run("6hit", dataset, Port.TCP80)
+        assert explicit is defaulted
+
+    def test_cached_runs_counts(self, study):
+        fresh = Study(internet=study.internet, budget=400, round_size=200)
+        dataset = fresh.constructions.all_active
+        assert fresh.cached_runs == 0
+        fresh.run("6tree", dataset, Port.ICMP)
+        assert fresh.cached_runs == 1
+        fresh.run("6tree", dataset, Port.ICMP)  # cache hit: no growth
+        assert fresh.cached_runs == 1
+        fresh.run("6tree", dataset, Port.TCP80)  # new port: new cell
+        assert fresh.cached_runs == 2
+        fresh.run("6tree", dataset, Port.ICMP, budget=200)  # new budget
+        assert fresh.cached_runs == 3
+
     def test_run_matrix(self, study):
         datasets = [study.constructions.all_active]
         results = study.run_matrix(

@@ -154,6 +154,17 @@ class TestRunGrid:
         results = run_grid(study, spec)
         assert results.best("hits").tga_name == "6tree"
 
+    def test_best_rejects_unknown_metric(self, study):
+        spec = GridSpec(
+            datasets=(study.constructions.all_active,),
+            tga_names=("6tree",),
+            ports=(Port.ICMP,),
+            budget=300,
+        )
+        results = run_grid(study, spec)
+        with pytest.raises(ValueError, match="hits, ases, aliases"):
+            results.best("latency")
+
     def test_to_rows(self, study):
         spec = GridSpec(
             datasets=(study.constructions.all_active,),

@@ -1,0 +1,191 @@
+"""Tests for repro.experiments.parallel: the multiprocess grid executor.
+
+The correctness gate of the parallel path is *bit-identical* results:
+every stochastic decision in the system is splitmix64-hashed from the
+master seed, so a cell must compute the same RunResult in any process.
+"""
+
+import pytest
+
+from repro.experiments import (
+    GridSpec,
+    ParallelExecutor,
+    Study,
+    WorkerSpec,
+    run_grid,
+)
+from repro.internet import InternetConfig, Port
+
+TGAS = ("6tree", "6gen", "eip")
+PORTS = (Port.ICMP, Port.TCP80)
+BUDGET = 400
+
+
+def make_study() -> Study:
+    return Study(config=InternetConfig.tiny(), budget=500, round_size=200)
+
+
+def make_spec(study: Study) -> GridSpec:
+    return GridSpec(
+        datasets=(study.constructions.all_active,),
+        tga_names=TGAS,
+        ports=PORTS,
+        budget=BUDGET,
+    )
+
+
+def assert_identical_runs(a, b) -> None:
+    """Full bit-identity: hit sets, AS sets, metrics, round trajectory."""
+    assert a.clean_hits == b.clean_hits
+    assert a.aliased_hits == b.aliased_hits
+    assert a.active_ases == b.active_ases
+    assert a.metrics == b.metrics
+    assert a.generated == b.generated
+    assert a.probes_sent == b.probes_sent
+    assert a.rounds == b.rounds
+    assert a.round_history == b.round_history
+
+
+class TestWorkerSpec:
+    def test_roundtrip_builds_equivalent_study(self):
+        study = make_study()
+        spec = WorkerSpec.from_study(study)
+        rebuilt = spec.build_study()
+        assert rebuilt.internet.config == study.internet.config
+        assert rebuilt.budget == study.budget
+        assert rebuilt.round_size == study.round_size
+        assert rebuilt.tga_names == tuple(study.tga_names)
+        assert rebuilt.packets_per_second == study.packets_per_second
+
+    def test_spec_is_hashable_fingerprint(self):
+        study = make_study()
+        a = WorkerSpec.from_study(study)
+        b = WorkerSpec.from_study(study)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_blocklist_survives_roundtrip(self):
+        from repro.addr import Prefix
+        from repro.scanner import Blocklist
+
+        prefix = Prefix.parse("2001:db8::/32")
+        study = Study(
+            config=InternetConfig.tiny(),
+            budget=300,
+            round_size=100,
+            blocklist=Blocklist([prefix]),
+        )
+        rebuilt = WorkerSpec.from_study(study).build_study()
+        assert rebuilt.blocklist.prefixes() == [prefix]
+
+    def test_executor_validates_arguments(self):
+        study = make_study()
+        with pytest.raises(ValueError):
+            ParallelExecutor(study, max_workers=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(study, chunksize=0)
+
+
+class TestParallelDeterminism:
+    """The tentpole's correctness gate: serial ≡ parallel, bit for bit."""
+
+    def test_run_grid_parallel_matches_serial(self):
+        serial_study = make_study()
+        parallel_study = make_study()
+        serial = run_grid(serial_study, make_spec(serial_study))
+        parallel = run_grid(parallel_study, make_spec(parallel_study), workers=4)
+        assert set(serial.runs) == set(parallel.runs)
+        for key in serial.runs:
+            assert_identical_runs(serial.runs[key], parallel.runs[key])
+
+    def test_workers_one_matches_workers_four(self):
+        one = make_study()
+        four = make_study()
+        grid_one = run_grid(one, make_spec(one), workers=1)
+        grid_four = run_grid(four, make_spec(four), workers=4)
+        for key in grid_one.runs:
+            assert_identical_runs(grid_one.runs[key], grid_four.runs[key])
+
+    def test_run_matrix_parallel_matches_serial(self):
+        serial_study = make_study()
+        parallel_study = make_study()
+        serial = serial_study.run_matrix(
+            [serial_study.constructions.all_active],
+            ports=PORTS,
+            tga_names=TGAS,
+            budget=BUDGET,
+        )
+        parallel = parallel_study.run_matrix(
+            [parallel_study.constructions.all_active],
+            ports=PORTS,
+            tga_names=TGAS,
+            budget=BUDGET,
+            parallel=3,
+        )
+        assert set(serial) == set(parallel)
+        for key in serial:
+            assert_identical_runs(serial[key], parallel[key])
+
+
+class TestRunCellsMechanics:
+    def test_results_merge_into_study_cache(self):
+        study = make_study()
+        dataset = study.constructions.all_active
+        assert study.cached_runs == 0
+        executor = ParallelExecutor(study, max_workers=2)
+        results = executor.run_cells(
+            [(tga, dataset, Port.ICMP, BUDGET) for tga in TGAS]
+        )
+        assert study.cached_runs == len(TGAS)
+        for tga in TGAS:
+            run = study.run(tga, dataset, Port.ICMP, budget=BUDGET)
+            assert run is results[(tga, dataset.name, Port.ICMP, BUDGET)]
+
+    def test_cached_cells_are_not_recomputed(self):
+        study = make_study()
+        dataset = study.constructions.all_active
+        first = study.run("6tree", dataset, Port.ICMP, budget=BUDGET)
+        executor = ParallelExecutor(study, max_workers=2)
+        results = executor.run_cells(
+            [(tga, dataset, Port.ICMP, BUDGET) for tga in TGAS]
+        )
+        assert results[("6tree", dataset.name, Port.ICMP, BUDGET)] is first
+
+    def test_progress_fires_once_per_cell(self):
+        study = make_study()
+        dataset = study.constructions.all_active
+        seen = []
+        executor = ParallelExecutor(study, max_workers=2)
+        executor.run_cells(
+            [(tga, dataset, Port.ICMP, BUDGET) for tga in TGAS],
+            progress=lambda done, total, run: seen.append((done, total)),
+        )
+        assert seen == [(i, len(TGAS)) for i in range(1, len(TGAS) + 1)]
+
+    def test_none_budget_resolves_to_study_default(self):
+        study = make_study()
+        dataset = study.constructions.all_active
+        executor = ParallelExecutor(study, max_workers=1)
+        results = executor.run_cells([("6tree", dataset, Port.ICMP, None)])
+        key = ("6tree", dataset.name, Port.ICMP, study.budget)
+        assert key in results
+        assert results[key].budget == study.budget
+
+    def test_precompute_reports_missing_and_fills_cache(self):
+        study = make_study()
+        dataset = study.constructions.all_active
+        cells = [(tga, dataset, Port.ICMP, BUDGET) for tga in TGAS]
+        assert study.precompute(cells, workers=2) == len(TGAS)
+        assert study.cached_runs == len(TGAS)
+        # Everything cached now: nothing missing, nothing recomputed.
+        assert study.precompute(cells, workers=2) == 0
+
+    def test_precompute_serial_is_noop(self):
+        study = make_study()
+        dataset = study.constructions.all_active
+        missing = study.precompute(
+            [("6tree", dataset, Port.ICMP, BUDGET)], workers=1
+        )
+        assert missing == 1
+        assert study.cached_runs == 0
