@@ -25,6 +25,7 @@ from pathlib import Path
 
 from repro.experiments import GridSpec, Study, run_grid
 from repro.internet import ALL_PORTS, InternetConfig, Port
+from repro.telemetry import MemorySink, Telemetry
 from repro.tga import ALL_TGA_NAMES
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
@@ -47,12 +48,18 @@ def make_spec(study: Study, ports: tuple[Port, ...], budget: int) -> GridSpec:
     )
 
 
-def run_once(seed: int, budget: int, ports: tuple[Port, ...], workers: int | None):
+def run_once(
+    seed: int,
+    budget: int,
+    ports: tuple[Port, ...],
+    workers: int | None,
+    telemetry: Telemetry | None = None,
+):
     """One timed grid run on a fresh study; returns (seconds, results)."""
     study = make_study(seed, budget)
     spec = make_spec(study, ports, budget)
     start = time.perf_counter()
-    results = run_grid(study, spec, workers=workers)
+    results = run_grid(study, spec, workers=workers, telemetry=telemetry)
     return time.perf_counter() - start, results
 
 
@@ -106,6 +113,25 @@ def main(argv=None) -> int:
         f"{cells / serial_seconds:6.2f} cells/s"
     )
 
+    # Serial again with a live telemetry registry: the RunResults must be
+    # unchanged and the artifact records both the overhead and the
+    # (deterministic) counter/span snapshot.
+    telemetry = Telemetry(sinks=[MemorySink()])
+    telemetry_seconds, telemetry_results = run_once(
+        args.seed, budget, ports, None, telemetry=telemetry
+    )
+    telemetry.close()
+    telemetry_same = identical(serial_results.runs, telemetry_results.runs)
+    telemetry_overhead = (
+        (telemetry_seconds - serial_seconds) / serial_seconds
+        if serial_seconds
+        else 0.0
+    )
+    print(
+        f"serial+telemetry: {telemetry_seconds:8.2f}s  "
+        f"overhead {telemetry_overhead:+6.1%}  identical={telemetry_same}"
+    )
+
     record = {
         "benchmark": "parallel_scaling",
         "workload": {
@@ -118,8 +144,14 @@ def main(argv=None) -> int:
         },
         "cpu_count": os.cpu_count(),
         "serial_seconds": round(serial_seconds, 4),
+        "telemetry": {
+            "seconds": round(telemetry_seconds, 4),
+            "overhead": round(telemetry_overhead, 4),
+            "identical_to_serial": telemetry_same,
+            "snapshot": telemetry.snapshot(),
+        },
         "parallel": [],
-        "identical": True,
+        "identical": telemetry_same,
     }
 
     for workers in worker_counts:

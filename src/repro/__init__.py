@@ -26,6 +26,7 @@ from .dealias import DealiasMode
 from .experiments import Study
 from .internet import ALL_PORTS, InternetConfig, Port, SimulatedInternet
 from .scanner import Scanner
+from .telemetry import Telemetry, get_telemetry, use_telemetry
 from .tga import ALL_TGA_NAMES, create_tga
 
 __version__ = "1.0.0"
@@ -41,4 +42,7 @@ __all__ = [
     "DealiasMode",
     "ALL_TGA_NAMES",
     "create_tga",
+    "Telemetry",
+    "get_telemetry",
+    "use_telemetry",
 ]

@@ -15,6 +15,11 @@ Common options: ``--scale {tiny,bench,small}``, ``--seed``, ``--budget``,
 
 ``--workers N`` spreads uncached experiment cells across N worker
 processes; results are bit-identical to a serial run.
+
+``--telemetry trace.jsonl`` writes a deterministic JSONL event trace of
+the whole command (byte-identical across runs for a fixed seed, even
+with ``--workers``); ``--telemetry-summary`` prints a counters +
+span-tree summary to stderr when the command finishes.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from .experiments import (
 )
 from .internet import ALL_PORTS, InternetConfig, Port
 from .reporting import format_ratio, render_table, write_rows
+from .telemetry import ConsoleSink, JsonlSink, Telemetry, use_telemetry
 from .tga import ALL_TGA_NAMES
 
 __all__ = ["main", "build_parser"]
@@ -66,6 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--export", default="", help="write result rows to a .csv or .json file"
+    )
+    parser.add_argument(
+        "--telemetry",
+        default="",
+        metavar="PATH",
+        help="write a deterministic JSONL telemetry trace to PATH",
+    )
+    parser.add_argument(
+        "--telemetry-summary",
+        action="store_true",
+        help="print a telemetry summary (counters + span tree) to stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -400,10 +417,32 @@ _COMMANDS = {
 }
 
 
+def _make_telemetry(args: argparse.Namespace) -> Telemetry | None:
+    """The registry requested by --telemetry/--telemetry-summary (or None)."""
+    sinks: list = []
+    if args.telemetry:
+        sinks.append(JsonlSink(args.telemetry))
+    if args.telemetry_summary:
+        sinks.append(ConsoleSink(stream=sys.stderr))
+    if not sinks:
+        return None
+    return Telemetry(sinks=sinks)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    telemetry = _make_telemetry(args)
+    if telemetry is None:
+        return _COMMANDS[args.command](args)
+    try:
+        with use_telemetry(telemetry):
+            status = _COMMANDS[args.command](args)
+    finally:
+        telemetry.close()
+    if args.telemetry:
+        print(f"wrote telemetry trace to {args.telemetry}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

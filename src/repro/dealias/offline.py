@@ -12,6 +12,7 @@ from collections.abc import Iterable
 
 from ..addr import Prefix
 from ..internet import SimulatedInternet
+from ..telemetry import get_telemetry
 from .prefixset import AliasPrefixSet
 
 __all__ = ["OfflineDealiaser"]
@@ -34,7 +35,12 @@ class OfflineDealiaser:
 
     def partition(self, addresses: Iterable[int]) -> tuple[set[int], set[int]]:
         """Split into (clean, aliased-per-published-list)."""
-        return self.prefix_set.partition(addresses)
+        clean, aliased = self.prefix_set.partition(addresses)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("dealias.offline.aliased_addresses", len(aliased))
+            tel.count("dealias.offline.clean_addresses", len(clean))
+        return clean, aliased
 
     def filter(self, addresses: Iterable[int]) -> set[int]:
         """Addresses not covered by the published list."""

@@ -19,6 +19,7 @@ from ..addr import Prefix
 from ..addr.rand import hash64
 from ..internet import Port
 from ..scanner import Scanner
+from ..telemetry import get_telemetry
 from .prefixset import AliasPrefixSet
 
 __all__ = ["OnlineDealiaser"]
@@ -60,10 +61,20 @@ class OnlineDealiaser:
         cached = self._verdicts.get(net)
         if cached is not None:
             return cached
+        probes_before = self.verification_probes
         verdict = self._verify(net, port)
         self._verdicts[net] = verdict
         if verdict:
             self.detected.add(Prefix(net << shift, self.prefix_bits))
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("dealias.online.prefixes_checked")
+            tel.count(
+                "dealias.online.verification_probes",
+                self.verification_probes - probes_before,
+            )
+            if verdict:
+                tel.count("dealias.online.aliased_prefixes")
         return verdict
 
     def partition(self, addresses: Iterable[int], port: Port) -> tuple[set[int], set[int]]:
@@ -75,6 +86,10 @@ class OnlineDealiaser:
                 aliased.add(address)
             else:
                 clean.add(address)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("dealias.online.aliased_addresses", len(aliased))
+            tel.count("dealias.online.clean_addresses", len(clean))
         return clean, aliased
 
     # -- internals --------------------------------------------------------

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from ..datasets import SeedDataset
 from ..internet import ALL_PORTS, Port
 from ..metrics import MetricSet
+from ..telemetry import Telemetry, get_telemetry, use_telemetry
 from ..tga import ALL_TGA_NAMES
 from .harness import Study
 from .results import RunResult
@@ -100,6 +101,7 @@ def run_grid(
     progress: Callable[[int, int, RunResult], None] | None = None,
     workers: int | None = None,
     chunksize: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> GridResults:
     """Execute every cell of a grid through the study's memoised runner.
 
@@ -107,25 +109,39 @@ def run_grid(
     in cell order when running serially, in completion order when
     ``workers`` > 1 spreads uncached cells across processes.  Parallel
     results are bit-identical to serial ones.
-    """
-    results = GridResults(spec=spec)
-    total = spec.size
-    if workers and workers > 1:
-        from .parallel import ParallelExecutor
 
-        executor = ParallelExecutor(study, max_workers=workers, chunksize=chunksize)
-        executor.run_cells(
-            [(tga, dataset, port, spec.budget) for tga, dataset, port in spec.cells()],
-            progress=progress,
-        )
-        for tga, dataset, port in spec.cells():
-            results.runs[(tga, dataset.name, port)] = study.run(
-                tga, dataset, port, budget=spec.budget
-            )
-        return results
-    for index, (tga, dataset, port) in enumerate(spec.cells(), start=1):
-        run = study.run(tga, dataset, port, budget=spec.budget)
-        results.runs[(tga, dataset.name, port)] = run
-        if progress is not None:
-            progress(index, total, run)
-    return results
+    ``telemetry`` activates a registry for the duration of the grid;
+    otherwise the currently active registry (if any) instruments the
+    run.  Worker-process telemetry is merged back in deterministic
+    chunk order, so a fixed-seed grid writes a byte-identical JSONL
+    event log no matter how cells were scheduled.
+    """
+    with use_telemetry(telemetry):
+        results = GridResults(spec=spec)
+        total = spec.size
+        tel = get_telemetry()
+        with tel.span("grid", cells=total):
+            if workers and workers > 1:
+                from .parallel import ParallelExecutor
+
+                executor = ParallelExecutor(
+                    study, max_workers=workers, chunksize=chunksize
+                )
+                executor.run_cells(
+                    [
+                        (tga, dataset, port, spec.budget)
+                        for tga, dataset, port in spec.cells()
+                    ],
+                    progress=progress,
+                )
+                for tga, dataset, port in spec.cells():
+                    results.runs[(tga, dataset.name, port)] = study.run(
+                        tga, dataset, port, budget=spec.budget
+                    )
+                return results
+            for index, (tga, dataset, port) in enumerate(spec.cells(), start=1):
+                run = study.run(tga, dataset, port, budget=spec.budget)
+                results.runs[(tga, dataset.name, port)] = run
+                if progress is not None:
+                    progress(index, total, run)
+            return results

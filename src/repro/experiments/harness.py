@@ -14,6 +14,7 @@ from ..datasets import DatasetCollection, SeedDataset, collect_all
 from ..internet import ALL_PORTS, InternetConfig, Port, SimulatedInternet
 from ..preprocess import DatasetConstructions
 from ..scanner import Blocklist, Scanner
+from ..telemetry import Telemetry, get_telemetry, use_telemetry
 from ..tga import ALL_TGA_NAMES
 from .results import RunResult
 from .runner import run_generation
@@ -93,8 +94,13 @@ class Study:
         budget = budget or self.budget
         key = (tga_name, dataset.name, port, budget)
         cached = self._run_cache.get(key)
+        tel = get_telemetry()
         if cached is not None:
+            if tel.enabled:
+                tel.count("meta.cache_hits")
             return cached
+        if tel.enabled:
+            tel.count("meta.cache_misses")
         result = run_generation(
             self.internet,
             tga_name,
@@ -146,12 +152,15 @@ class Study:
         budget: int | None = None,
         parallel: int | None = None,
         chunksize: int | None = None,
+        telemetry: Telemetry | None = None,
     ) -> dict[tuple[str, str, Port], RunResult]:
         """Run the full TGA × dataset × port grid.
 
         ``parallel`` spreads uncached cells across that many worker
         processes; results (and the populated run cache) are identical
-        to a serial run.
+        to a serial run.  ``telemetry`` activates a registry for the
+        duration of the matrix (worker-process telemetry is merged back
+        deterministically).
         """
         tga_names = tga_names or self.tga_names
         cells = [
@@ -160,12 +169,13 @@ class Study:
             for port in ports
             for tga_name in tga_names
         ]
-        self.precompute(cells, workers=parallel, chunksize=chunksize)
-        results: dict[tuple[str, str, Port], RunResult] = {}
-        for tga_name, dataset, port, _budget in cells:
-            results[(tga_name, dataset.name, port)] = self.run(
-                tga_name, dataset, port, budget=budget
-            )
+        with use_telemetry(telemetry):
+            self.precompute(cells, workers=parallel, chunksize=chunksize)
+            results: dict[tuple[str, str, Port], RunResult] = {}
+            for tga_name, dataset, port, _budget in cells:
+                results[(tga_name, dataset.name, port)] = self.run(
+                    tga_name, dataset, port, budget=budget
+                )
         return results
 
     @property

@@ -29,11 +29,12 @@ from __future__ import annotations
 import os
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..addr import Prefix
 from ..internet import InternetConfig, Port
 from ..scanner import Blocklist
+from ..telemetry import MemorySink, Telemetry, get_telemetry, use_telemetry
 from .harness import Study
 from .results import RunResult
 
@@ -60,9 +61,11 @@ class WorkerSpec:
     #: Blocklist entries as plain (value, length) pairs — cheap to pickle.
     blocklist_prefixes: tuple[tuple[int, int], ...]
     packets_per_second: float
+    #: Collect telemetry in the worker and ship it back to the parent.
+    telemetry: bool = False
 
     @classmethod
-    def from_study(cls, study: Study) -> "WorkerSpec":
+    def from_study(cls, study: Study, telemetry: bool = False) -> "WorkerSpec":
         """Capture a study's world-defining parameters."""
         return cls(
             config=study.internet.config,
@@ -74,6 +77,7 @@ class WorkerSpec:
                 for prefix in study.blocklist.prefixes()
             ),
             packets_per_second=study.packets_per_second,
+            telemetry=telemetry,
         )
 
     def build_study(self) -> Study:
@@ -97,23 +101,41 @@ _WORKER_STUDIES: dict[WorkerSpec, Study] = {}
 
 
 def _worker_study(spec: WorkerSpec) -> Study:
-    study = _WORKER_STUDIES.get(spec)
+    key = replace(spec, telemetry=False)  # one world per *world* spec
+    study = _WORKER_STUDIES.get(key)
     if study is None:
         study = spec.build_study()
-        _WORKER_STUDIES[spec] = study
+        _WORKER_STUDIES[key] = study
     return study
 
 
 def _run_cell_chunk(
     spec: WorkerSpec, chunk: Sequence[Cell]
-) -> list[tuple[RunKey, RunResult]]:
-    """Run a chunk of cells in a worker; returns (key, result) pairs."""
+) -> tuple[list[tuple[RunKey, RunResult]], dict | None, list[dict] | None]:
+    """Run a chunk of cells in a worker.
+
+    Returns ``(pairs, telemetry_snapshot, telemetry_events)``; the last
+    two are ``None`` unless the spec requests telemetry.  World
+    construction (simulated Internet, seed collection, the known-address
+    pool) is warmed *before* the worker registry activates, so worker
+    telemetry measures exactly the cell work — matching the parent,
+    where those structures are built before (or outside) the runs.
+    """
     study = _worker_study(spec)
     out: list[tuple[RunKey, RunResult]] = []
-    for tga_name, dataset, port, budget in chunk:
-        result = study.run(tga_name, dataset, port, budget=budget)
-        out.append(((tga_name, dataset.name, port, result.budget), result))
-    return out
+    if not spec.telemetry:
+        for tga_name, dataset, port, budget in chunk:
+            result = study.run(tga_name, dataset, port, budget=budget)
+            out.append(((tga_name, dataset.name, port, result.budget), result))
+        return out, None, None
+    study._known_addresses  # noqa: B018 — warm the world uninstrumented
+    sink = MemorySink()
+    telemetry = Telemetry(sinks=[sink])
+    with use_telemetry(telemetry):
+        for tga_name, dataset, port, budget in chunk:
+            result = study.run(tga_name, dataset, port, budget=budget)
+            out.append(((tga_name, dataset.name, port, result.budget), result))
+    return out, telemetry.snapshot(include_wall=True), sink.events
 
 
 # -- parent side -----------------------------------------------------------
@@ -144,7 +166,9 @@ class ParallelExecutor:
 
     def worker_spec(self) -> WorkerSpec:
         """The spec shipped to (and memoised by) worker processes."""
-        return WorkerSpec.from_study(self.study)
+        return WorkerSpec.from_study(
+            self.study, telemetry=get_telemetry().enabled
+        )
 
     def _chunks(self, cells: list[Cell]) -> list[list[Cell]]:
         size = self.chunksize
@@ -169,6 +193,7 @@ class ParallelExecutor:
         budget)`` with budgets resolved against the study default.
         """
         study = self.study
+        tel = get_telemetry()
         resolved: dict[RunKey, Cell] = {}
         for tga_name, dataset, port, budget in cells:
             budget = budget or study.budget
@@ -189,6 +214,9 @@ class ParallelExecutor:
                     progress(done, total, cached)
             else:
                 missing.append(cell)
+        if tel.enabled:
+            tel.count("meta.parallel.cells_cached", total - len(missing))
+            tel.count("meta.parallel.cells_executed", len(missing))
         if missing:
             if self.max_workers <= 1 or len(missing) == 1:
                 for tga_name, dataset, port, budget in missing:
@@ -201,17 +229,36 @@ class ParallelExecutor:
                 spec = self.worker_spec()
                 chunks = self._chunks(missing)
                 workers = min(self.max_workers, len(chunks))
+                if tel.enabled:
+                    tel.count("meta.parallel.chunks", len(chunks))
+                    tel.gauge("meta.parallel.workers", workers)
+                #: Worker telemetry, indexed by chunk so the merge below
+                #: is independent of completion order.
+                captured: list[tuple[dict, list[dict]] | None] = [None] * len(chunks)
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [
-                        pool.submit(_run_cell_chunk, spec, chunk)
-                        for chunk in chunks
-                    ]
+                    futures = {
+                        pool.submit(_run_cell_chunk, spec, chunk): index
+                        for index, chunk in enumerate(chunks)
+                    }
                     for future in as_completed(futures):
-                        for key, run in future.result():
+                        pairs, snapshot, events = future.result()
+                        if snapshot is not None:
+                            captured[futures[future]] = (snapshot, events or [])
+                        for key, run in pairs:
                             # First writer wins, matching serial memoisation.
                             cached = study._run_cache.setdefault(key, run)
                             results[key] = cached
                             done += 1
                             if progress is not None:
                                 progress(done, total, cached)
+                # Deterministic merge: chunk order, not completion order,
+                # so counters, span trees and forwarded events (hence
+                # JSONL sinks) are byte-identical across runs.
+                for capture in captured:
+                    if capture is None:
+                        continue
+                    snapshot, events = capture
+                    tel.merge_snapshot(snapshot)
+                    for event in events:
+                        tel.emit_event(event)
         return results

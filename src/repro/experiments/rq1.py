@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..dealias import DealiasMode
 from ..internet import ALL_PORTS, Port
 from ..metrics import metric_ratios
+from ..telemetry import Telemetry, use_telemetry
 from .harness import Study
 from .results import RunResult
 
@@ -90,29 +91,32 @@ def run_rq1a(
     modes: tuple[DealiasMode, ...] = DEALIAS_MODES,
     budget: int | None = None,
     workers: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> RQ1aResult:
     """Run the RQ1.a grid: every TGA on every dealias treatment and port.
 
     ``workers`` precomputes uncached cells across that many processes;
-    results are bit-identical to a serial run.
+    results are bit-identical to a serial run.  ``telemetry`` activates
+    a registry for the duration of the pipeline.
     """
-    datasets = {mode: study.constructions.dealias_variant(mode) for mode in modes}
-    study.precompute(
-        [
-            (tga, datasets[mode], port, budget)
-            for mode in modes
-            for port in ports
-            for tga in study.tga_names
-        ],
-        workers=workers,
-    )
-    runs: dict[tuple[str, DealiasMode, Port], RunResult] = {}
-    for mode in modes:
-        dataset = datasets[mode]
-        for port in ports:
-            for tga in study.tga_names:
-                runs[(tga, mode, port)] = study.run(tga, dataset, port, budget=budget)
-    return RQ1aResult(runs=runs, tga_names=study.tga_names, ports=ports)
+    with use_telemetry(telemetry) as tel, tel.span("rq1a"):
+        datasets = {mode: study.constructions.dealias_variant(mode) for mode in modes}
+        study.precompute(
+            [
+                (tga, datasets[mode], port, budget)
+                for mode in modes
+                for port in ports
+                for tga in study.tga_names
+            ],
+            workers=workers,
+        )
+        runs: dict[tuple[str, DealiasMode, Port], RunResult] = {}
+        for mode in modes:
+            dataset = datasets[mode]
+            for port in ports:
+                for tga in study.tga_names:
+                    runs[(tga, mode, port)] = study.run(tga, dataset, port, budget=budget)
+        return RQ1aResult(runs=runs, tga_names=study.tga_names, ports=ports)
 
 
 def run_rq1b(
@@ -120,28 +124,30 @@ def run_rq1b(
     ports: tuple[Port, ...] = ALL_PORTS,
     budget: int | None = None,
     workers: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> RQ1bResult:
     """Run the RQ1.b comparison: joint-dealiased vs active-only seeds."""
-    dealiased = study.constructions.joint_dealiased
-    active = study.constructions.all_active
-    study.precompute(
-        [
-            (tga, dataset, port, budget)
-            for dataset in (dealiased, active)
-            for port in ports
-            for tga in study.tga_names
-        ],
-        workers=workers,
-    )
-    dealiased_runs: dict[tuple[str, Port], RunResult] = {}
-    active_runs: dict[tuple[str, Port], RunResult] = {}
-    for port in ports:
-        for tga in study.tga_names:
-            dealiased_runs[(tga, port)] = study.run(tga, dealiased, port, budget=budget)
-            active_runs[(tga, port)] = study.run(tga, active, port, budget=budget)
-    return RQ1bResult(
-        dealiased_runs=dealiased_runs,
-        active_runs=active_runs,
-        tga_names=study.tga_names,
-        ports=ports,
-    )
+    with use_telemetry(telemetry) as tel, tel.span("rq1b"):
+        dealiased = study.constructions.joint_dealiased
+        active = study.constructions.all_active
+        study.precompute(
+            [
+                (tga, dataset, port, budget)
+                for dataset in (dealiased, active)
+                for port in ports
+                for tga in study.tga_names
+            ],
+            workers=workers,
+        )
+        dealiased_runs: dict[tuple[str, Port], RunResult] = {}
+        active_runs: dict[tuple[str, Port], RunResult] = {}
+        for port in ports:
+            for tga in study.tga_names:
+                dealiased_runs[(tga, port)] = study.run(tga, dealiased, port, budget=budget)
+                active_runs[(tga, port)] = study.run(tga, active, port, budget=budget)
+        return RQ1bResult(
+            dealiased_runs=dealiased_runs,
+            active_runs=active_runs,
+            tga_names=study.tga_names,
+            ports=ports,
+        )

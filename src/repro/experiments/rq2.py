@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from ..internet import ALL_PORTS, Port
 from ..metrics import metric_ratios
+from ..telemetry import Telemetry, use_telemetry
 from .harness import Study
 from .results import RunResult
 
@@ -61,33 +62,35 @@ def run_rq2(
     ports: tuple[Port, ...] = ALL_PORTS,
     budget: int | None = None,
     workers: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> RQ2Result:
     """Run the RQ2 grid: each port scanned from its port-specific seeds."""
-    all_active = study.constructions.all_active
-    study.precompute(
-        [
-            (tga, dataset, port, budget)
-            for port in ports
-            for dataset in (all_active, study.constructions.port_specific(port))
-            for tga in study.tga_names
-        ],
-        workers=workers,
-    )
-    all_active_runs: dict[tuple[str, Port], RunResult] = {}
-    port_specific_runs: dict[tuple[str, Port], RunResult] = {}
-    for port in ports:
-        port_dataset = study.constructions.port_specific(port)
-        for tga in study.tga_names:
-            all_active_runs[(tga, port)] = study.run(tga, all_active, port, budget=budget)
-            port_specific_runs[(tga, port)] = study.run(
-                tga, port_dataset, port, budget=budget
-            )
-    return RQ2Result(
-        all_active_runs=all_active_runs,
-        port_specific_runs=port_specific_runs,
-        tga_names=study.tga_names,
-        ports=ports,
-    )
+    with use_telemetry(telemetry) as tel, tel.span("rq2"):
+        all_active = study.constructions.all_active
+        study.precompute(
+            [
+                (tga, dataset, port, budget)
+                for port in ports
+                for dataset in (all_active, study.constructions.port_specific(port))
+                for tga in study.tga_names
+            ],
+            workers=workers,
+        )
+        all_active_runs: dict[tuple[str, Port], RunResult] = {}
+        port_specific_runs: dict[tuple[str, Port], RunResult] = {}
+        for port in ports:
+            port_dataset = study.constructions.port_specific(port)
+            for tga in study.tga_names:
+                all_active_runs[(tga, port)] = study.run(tga, all_active, port, budget=budget)
+                port_specific_runs[(tga, port)] = study.run(
+                    tga, port_dataset, port, budget=budget
+                )
+        return RQ2Result(
+            all_active_runs=all_active_runs,
+            port_specific_runs=port_specific_runs,
+            tga_names=study.tga_names,
+            ports=ports,
+        )
 
 
 def run_cross_port(
@@ -95,33 +98,35 @@ def run_cross_port(
     ports: tuple[Port, ...] = ALL_PORTS,
     budget: int | None = None,
     workers: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> CrossPortResult:
     """Run the Figure 7 grid: every input dataset scanned on every target.
 
     Inputs are the four port-specific datasets plus All Active; each is
     used to generate and scan on all four targets.
     """
-    inputs = [study.constructions.port_specific(port) for port in ports]
-    inputs.append(study.constructions.all_active)
-    study.precompute(
-        [
-            (tga, dataset, scan_port, budget)
-            for dataset in inputs
-            for scan_port in ports
-            for tga in study.tga_names
-        ],
-        workers=workers,
-    )
-    runs: dict[tuple[str, str, Port], RunResult] = {}
-    for dataset in inputs:
-        for scan_port in ports:
-            for tga in study.tga_names:
-                runs[(tga, dataset.name, scan_port)] = study.run(
-                    tga, dataset, scan_port, budget=budget
-                )
-    return CrossPortResult(
-        runs=runs,
-        input_names=tuple(dataset.name for dataset in inputs),
-        tga_names=study.tga_names,
-        ports=ports,
-    )
+    with use_telemetry(telemetry) as tel, tel.span("cross_port"):
+        inputs = [study.constructions.port_specific(port) for port in ports]
+        inputs.append(study.constructions.all_active)
+        study.precompute(
+            [
+                (tga, dataset, scan_port, budget)
+                for dataset in inputs
+                for scan_port in ports
+                for tga in study.tga_names
+            ],
+            workers=workers,
+        )
+        runs: dict[tuple[str, str, Port], RunResult] = {}
+        for dataset in inputs:
+            for scan_port in ports:
+                for tga in study.tga_names:
+                    runs[(tga, dataset.name, scan_port)] = study.run(
+                        tga, dataset, scan_port, budget=budget
+                    )
+        return CrossPortResult(
+            runs=runs,
+            input_names=tuple(dataset.name for dataset in inputs),
+            tga_names=study.tga_names,
+            ports=ports,
+        )

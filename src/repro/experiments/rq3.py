@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from ..datasets import SOURCE_ORDER
 from ..internet import ALL_PORTS, Port
 from ..metrics import ASCharacterization, characterize_ases
+from ..telemetry import Telemetry, use_telemetry
 from .harness import Study
 from .results import RunResult
 
@@ -73,6 +74,7 @@ def run_rq3(
     budget: int | None = None,
     pooled_ports: tuple[Port, ...] = (Port.ICMP,),
     workers: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> RQ3Result:
     """Run the RQ3 grid plus the pooled-budget comparison.
 
@@ -80,50 +82,51 @@ def run_rq3(
     dataset with ``len(sources) ×`` the per-source budget; the paper
     reports it for ICMP, so that is the default.
     """
-    per_source_budget = budget or study.budget
-    source_datasets = {
-        source: dataset
-        for source in sources
-        if (dataset := study.constructions.source_specific(source)).addresses
-    }
-    pooled_budget = per_source_budget * len(sources)
-    all_active = study.constructions.all_active
-    study.precompute(
-        [
-            (tga, dataset, port, per_source_budget)
-            for dataset in source_datasets.values()
-            for port in ports
-            for tga in study.tga_names
-        ]
-        + [
-            (tga, all_active, port, pooled_budget)
-            for port in pooled_ports
-            for tga in study.tga_names
-        ],
-        workers=workers,
-    )
-    source_runs: dict[tuple[str, str, Port], RunResult] = {}
-    for source, dataset in source_datasets.items():
-        for port in ports:
+    with use_telemetry(telemetry) as tel, tel.span("rq3"):
+        per_source_budget = budget or study.budget
+        source_datasets = {
+            source: dataset
+            for source in sources
+            if (dataset := study.constructions.source_specific(source)).addresses
+        }
+        pooled_budget = per_source_budget * len(sources)
+        all_active = study.constructions.all_active
+        study.precompute(
+            [
+                (tga, dataset, port, per_source_budget)
+                for dataset in source_datasets.values()
+                for port in ports
+                for tga in study.tga_names
+            ]
+            + [
+                (tga, all_active, port, pooled_budget)
+                for port in pooled_ports
+                for tga in study.tga_names
+            ],
+            workers=workers,
+        )
+        source_runs: dict[tuple[str, str, Port], RunResult] = {}
+        for source, dataset in source_datasets.items():
+            for port in ports:
+                for tga in study.tga_names:
+                    source_runs[(tga, source, port)] = study.run(
+                        tga, dataset, port, budget=per_source_budget
+                    )
+        pooled_runs: dict[tuple[str, Port], RunResult] = {}
+        for port in pooled_ports:
             for tga in study.tga_names:
-                source_runs[(tga, source, port)] = study.run(
-                    tga, dataset, port, budget=per_source_budget
+                pooled_runs[(tga, port)] = study.run(
+                    tga, all_active, port, budget=pooled_budget
                 )
-    pooled_runs: dict[tuple[str, Port], RunResult] = {}
-    for port in pooled_ports:
-        for tga in study.tga_names:
-            pooled_runs[(tga, port)] = study.run(
-                tga, all_active, port, budget=pooled_budget
-            )
-    return RQ3Result(
-        source_runs=source_runs,
-        pooled_runs=pooled_runs,
-        source_names=sources,
-        tga_names=study.tga_names,
-        ports=ports,
-        per_source_budget=per_source_budget,
-        seed_pool=all_active.addresses,
-    )
+        return RQ3Result(
+            source_runs=source_runs,
+            pooled_runs=pooled_runs,
+            source_names=sources,
+            tga_names=study.tga_names,
+            ports=ports,
+            per_source_budget=per_source_budget,
+            seed_pool=all_active.addresses,
+        )
 
 
 def table5(result: RQ3Result, port: Port = Port.ICMP) -> list[Table5Row]:

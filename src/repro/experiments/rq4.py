@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..internet import ALL_PORTS, Port
 from ..metrics import ContributionStep, cumulative_contributions, pairwise_jaccard
+from ..telemetry import Telemetry, use_telemetry
 from .harness import Study
 from .results import RunResult
 
@@ -64,19 +65,21 @@ def run_rq4(
     ports: tuple[Port, ...] = ALL_PORTS,
     budget: int | None = None,
     workers: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> RQ4Result:
     """Run every generator on the All Active dataset for each port."""
-    all_active = study.constructions.all_active
-    study.precompute(
-        [
-            (tga, all_active, port, budget)
-            for port in ports
-            for tga in study.tga_names
-        ],
-        workers=workers,
-    )
-    runs: dict[tuple[str, Port], RunResult] = {}
-    for port in ports:
-        for tga in study.tga_names:
-            runs[(tga, port)] = study.run(tga, all_active, port, budget=budget)
-    return RQ4Result(runs=runs, tga_names=study.tga_names, ports=ports)
+    with use_telemetry(telemetry) as tel, tel.span("rq4"):
+        all_active = study.constructions.all_active
+        study.precompute(
+            [
+                (tga, all_active, port, budget)
+                for port in ports
+                for tga in study.tga_names
+            ],
+            workers=workers,
+        )
+        runs: dict[tuple[str, Port], RunResult] = {}
+        for port in ports:
+            for tga in study.tga_names:
+                runs[(tga, port)] = study.run(tga, all_active, port, budget=budget)
+        return RQ4Result(runs=runs, tga_names=study.tga_names, ports=ports)

@@ -16,6 +16,7 @@ from ..dealias import OfflineDealiaser, OnlineDealiaser
 from ..internet import Port, SimulatedInternet
 from ..metrics import evaluate_metrics, filter_mega_isp
 from ..scanner import Scanner
+from ..telemetry import get_telemetry
 from ..tga import create_tga
 from .results import RunResult
 
@@ -56,62 +57,111 @@ def run_generation(
     salt = hash64(internet.config.master_seed, len(seeds), port.index)
     tga = tga_factory(salt) if tga_factory is not None else create_tga(tga_name, salt=salt)
     seed_set = set(seeds.addresses)
-    tga.prepare(sorted(seed_set))
+    tel = get_telemetry()
 
-    generated: set[int] = set()
-    raw_hits: set[int] = set()
-    stalled = 0
-    rounds = 0
-    round_history: list[tuple[int, int]] = []
-    while len(generated) < budget and stalled < _MAX_STALLED_ROUNDS:
-        want = min(round_size, budget - len(generated))
-        batch = tga.propose(want)
-        if not batch:
-            break
-        fresh = [
-            address
-            for address in batch
-            if address not in generated and address not in seed_set
-        ]
-        rounds += 1
-        if not fresh:
-            stalled += 1
-            continue
+    with tel.span(
+        "cell", tga=tga_name, dataset=seeds.name, port=port.value, budget=budget
+    ) as cell_span:
+        virtual_start = scanner.rate_limiter.virtual_time
+        with tel.span("prepare"):
+            tga.prepare(sorted(seed_set))
+
+        generated: set[int] = set()
+        raw_hits: set[int] = set()
         stalled = 0
-        generated.update(fresh)
-        result = scanner.scan(fresh, port)
-        raw_hits |= result.hits
-        round_history.append((len(generated), len(raw_hits)))
-        tga.observe({address: address in result.hits for address in fresh})
+        rounds = 0
+        round_history: list[tuple[int, int]] = []
+        with tel.span("generate") as generate_span:
+            generate_start = scanner.rate_limiter.virtual_time
+            while len(generated) < budget and stalled < _MAX_STALLED_ROUNDS:
+                want = min(round_size, budget - len(generated))
+                batch = tga.propose_batch(want)
+                if not batch:
+                    break
+                fresh = [
+                    address
+                    for address in batch
+                    if address not in generated and address not in seed_set
+                ]
+                rounds += 1
+                if tel.enabled:
+                    tel.count("tga.rounds")
+                    tel.count("tga.dedup_discards", len(batch) - len(fresh))
+                    tel.count("tga.budget_consumed", len(fresh))
+                if not fresh:
+                    stalled += 1
+                    continue
+                stalled = 0
+                generated.update(fresh)
+                result = scanner.scan(fresh, port)
+                raw_hits |= result.hits
+                round_history.append((len(generated), len(raw_hits)))
+                if tel.enabled:
+                    tel.emit(
+                        "round",
+                        tga=tga_name,
+                        dataset=seeds.name,
+                        port=port.value,
+                        round=rounds,
+                        candidates=len(batch),
+                        fresh=len(fresh),
+                        generated=len(generated),
+                        raw_hits=len(raw_hits),
+                    )
+                tga.feedback({address: address in result.hits for address in fresh})
+            generate_span.add_virtual(
+                scanner.rate_limiter.virtual_time - generate_start
+            )
 
-    if dealias_outputs:
-        offline = OfflineDealiaser.from_internet(internet)
-        clean, aliased = offline.partition(raw_hits)
-        online = OnlineDealiaser(scanner)
-        clean, online_aliased = online.partition(clean, port)
-        aliased |= online_aliased
-    else:
-        clean, aliased = set(raw_hits), set()
+        if dealias_outputs:
+            with tel.span("dealias") as dealias_span:
+                dealias_start = scanner.rate_limiter.virtual_time
+                offline = OfflineDealiaser.from_internet(internet)
+                clean, aliased = offline.partition(raw_hits)
+                online = OnlineDealiaser(scanner)
+                clean, online_aliased = online.partition(clean, port)
+                aliased |= online_aliased
+                dealias_span.add_virtual(
+                    scanner.rate_limiter.virtual_time - dealias_start
+                )
+        else:
+            clean, aliased = set(raw_hits), set()
 
-    if known_addresses:
-        clean -= known_addresses
+        if known_addresses:
+            clean -= known_addresses
 
-    registry = internet.registry
-    metrics = evaluate_metrics(
-        clean, aliased, registry, port, mega_asn=internet.mega_isp_asn
-    )
-    counted = filter_mega_isp(clean, registry, internet.mega_isp_asn, port)
-    return RunResult(
-        tga_name=tga_name,
-        dataset_name=seeds.name,
-        port=port,
-        budget=budget,
-        generated=len(generated),
-        clean_hits=frozenset(counted),
-        aliased_hits=frozenset(aliased),
-        active_ases=frozenset(registry.ases_of(counted)),
-        metrics=metrics,
-        probes_sent=scanner.rate_limiter.packets_sent,
-        rounds=rounds,
-        round_history=tuple(round_history),
-    )
+        registry = internet.registry
+        metrics = evaluate_metrics(
+            clean, aliased, registry, port, mega_asn=internet.mega_isp_asn
+        )
+        counted = filter_mega_isp(clean, registry, internet.mega_isp_asn, port)
+        cell_span.add_virtual(scanner.rate_limiter.virtual_time - virtual_start)
+        run = RunResult(
+            tga_name=tga_name,
+            dataset_name=seeds.name,
+            port=port,
+            budget=budget,
+            generated=len(generated),
+            clean_hits=frozenset(counted),
+            aliased_hits=frozenset(aliased),
+            active_ases=frozenset(registry.ases_of(counted)),
+            metrics=metrics,
+            probes_sent=scanner.rate_limiter.packets_sent,
+            rounds=rounds,
+            round_history=tuple(round_history),
+        )
+    if tel.enabled:
+        tel.emit(
+            "cell",
+            tga=tga_name,
+            dataset=seeds.name,
+            port=port.value,
+            budget=budget,
+            generated=run.generated,
+            hits=run.metrics.hits,
+            ases=run.metrics.ases,
+            aliases=run.metrics.aliases,
+            probes_sent=run.probes_sent,
+            rounds=run.rounds,
+        )
+    return run

@@ -20,6 +20,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from ..internet import SCAN_EPOCH, Port, SimulatedInternet
+from ..telemetry import get_telemetry
 from .blocklist import Blocklist
 from .ratelimit import RateLimiter
 from .responses import ResponseType, affirmative_response, negative_response
@@ -73,12 +74,19 @@ class Scanner:
 
     def probe(self, address: int, port: Port, attempt: int = 0) -> ResponseType:
         """Send one probe and classify the reply."""
+        tel = get_telemetry()
         if self.blocklist.is_blocked(address):
             self.lifetime_stats.record(ResponseType.BLOCKED)
+            if tel.enabled:
+                tel.count("scan.blocked")
             return ResponseType.BLOCKED
         self.rate_limiter.account()
         response = self._classify(address, port, attempt)
         self.lifetime_stats.record(response)
+        if tel.enabled:
+            tel.count("scan.single_probes")
+            if response.is_hit:
+                tel.count(f"scan.hits.{port.value}")
         return response
 
     def probe_with_retries(self, address: int, port: Port, retries: int = 3) -> bool:
@@ -135,9 +143,6 @@ class Scanner:
                 group.append(address)
         if blocked_count:
             stats.targets_blocked += blocked_count
-            stats.responses[ResponseType.BLOCKED] = (
-                stats.responses.get(ResponseType.BLOCKED, 0) + blocked_count
-            )
         sent = 0
         neg = 0
         timeouts = 0
@@ -178,6 +183,17 @@ class Scanner:
             )
         stats.virtual_duration = self.rate_limiter.virtual_time - start_time
         self.lifetime_stats.merge(stats)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("scan.calls")
+            tel.count("scan.probes", sent)
+            tel.count("scan.batches", len(groups))
+            if blocked_count:
+                tel.count("scan.blocked", blocked_count)
+            if result.hits:
+                tel.count(f"scan.hits.{port.value}", len(result.hits))
+            for group in groups.values():
+                tel.observe("scan.batch_addresses", len(group))
         return result
 
     def scan_all_ports(self, addresses: Iterable[int], ports: Iterable[Port]) -> dict[Port, ScanResult]:
@@ -186,6 +202,9 @@ class Scanner:
             targets: Iterable[int] = addresses
         else:
             targets = list(addresses)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("scan.multiport_calls")
         return {port: self.scan(targets, port) for port in ports}
 
     # -- internals ---------------------------------------------------------------

@@ -19,15 +19,26 @@ class ScanStats:
     virtual_duration: float = 0.0
 
     def record(self, response: ResponseType) -> None:
-        """Record one probe outcome."""
+        """Record one probe outcome.
+
+        Blocked targets were never probed, so they land only in
+        ``targets_blocked`` — ``responses`` counts actual wire outcomes,
+        preserving the invariant ``probes_sent == sum(responses.values())``.
+        """
         if response is ResponseType.BLOCKED:
             self.targets_blocked += 1
-        else:
-            self.probes_sent += 1
+            return
+        self.probes_sent += 1
         self.responses[response] = self.responses.get(response, 0) + 1
 
     def count(self, response: ResponseType) -> int:
-        """How many probes got the given response type."""
+        """How many probes got the given response type.
+
+        ``count(BLOCKED)`` reports ``targets_blocked``: blocked targets
+        are tracked separately and never appear in ``responses``.
+        """
+        if response is ResponseType.BLOCKED:
+            return self.targets_blocked
         return self.responses.get(response, 0)
 
     @property

@@ -1,0 +1,45 @@
+"""Telemetry & tracing for scans, TGAs and experiment runs.
+
+Usage::
+
+    from repro.telemetry import Telemetry, JsonlSink, use_telemetry
+
+    tel = Telemetry(sinks=[JsonlSink("trace.jsonl")])
+    with use_telemetry(tel):
+        run_grid(study, spec, workers=2)
+    tel.close()
+
+Everything the subsystem records — counters, histograms, span virtual
+times, JSONL event logs — is deterministic for a fixed master seed;
+only wall-clock durations (kept in the in-memory span tree for console
+summaries) vary between runs.  Counters under the ``meta.`` namespace
+(cache hits, scheduler bookkeeping) are additionally allowed to depend
+on the execution strategy (serial vs parallel); all other names must
+not.  See ``docs/architecture.md`` for the event schema.
+"""
+
+from .core import (
+    DEFAULT_EDGES,
+    Histogram,
+    SpanHandle,
+    SpanNode,
+    Telemetry,
+    get_telemetry,
+    use_telemetry,
+)
+from .sinks import ConsoleSink, JsonlSink, MemorySink, Sink, render_summary
+
+__all__ = [
+    "DEFAULT_EDGES",
+    "Histogram",
+    "SpanHandle",
+    "SpanNode",
+    "Telemetry",
+    "get_telemetry",
+    "use_telemetry",
+    "Sink",
+    "JsonlSink",
+    "ConsoleSink",
+    "MemorySink",
+    "render_summary",
+]

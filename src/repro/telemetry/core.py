@@ -1,0 +1,349 @@
+"""The telemetry registry: counters, gauges, histograms and spans.
+
+Design constraints (see ``docs/architecture.md`` § Telemetry):
+
+* **Zero dependencies** — standard library only.
+* **Near-zero overhead when off** — :func:`get_telemetry` returns a
+  shared no-op instance unless a registry has been activated, so hot
+  paths pay one global read and one attribute check per *batch* (never
+  per address).
+* **Deterministic numbers** — every counter, histogram and virtual-time
+  figure is a pure function of the master seed and the work performed.
+  Wall-clock durations are accumulated in the span tree for human
+  summaries but excluded from events and default snapshots, so JSONL
+  event logs and golden snapshots are byte-identical across runs.
+  The one sanctioned exception is the ``meta.*`` counter namespace
+  (cache hits, scheduling bookkeeping), which may legitimately differ
+  between serial and parallel execution of the same workload; all other
+  names must be execution-strategy independent.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
+
+__all__ = [
+    "DEFAULT_EDGES",
+    "Histogram",
+    "SpanNode",
+    "SpanHandle",
+    "Telemetry",
+    "get_telemetry",
+    "use_telemetry",
+]
+
+#: Default histogram bucket edges (counts of addresses / batch sizes).
+DEFAULT_EDGES: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000)
+
+
+class Histogram:
+    """Fixed-bucket histogram; bucket *i* counts values <= ``edges[i]``,
+    with one overflow bucket past the last edge."""
+
+    __slots__ = ("edges", "buckets", "count", "total")
+
+    def __init__(self, edges: Sequence[float] = DEFAULT_EDGES) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("histogram edges must be a non-empty sorted sequence")
+        self.edges = tuple(edges)
+        self.buckets = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def snapshot(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "total": self.total,
+        }
+
+    def merge(self, other: "Histogram | dict") -> None:
+        if isinstance(other, dict):
+            edges = tuple(other["edges"])
+            buckets = other["buckets"]
+            count = other["count"]
+            total = other["total"]
+        else:
+            edges, buckets, count, total = other.edges, other.buckets, other.count, other.total
+        if edges != self.edges:
+            raise ValueError(f"cannot merge histograms with different edges: {edges} != {self.edges}")
+        for index, value in enumerate(buckets):
+            self.buckets[index] += value
+        self.count += count
+        self.total += total
+
+
+class SpanNode:
+    """One node of the span tree: aggregate timings for a phase."""
+
+    __slots__ = ("name", "path", "count", "wall", "virtual", "children")
+
+    def __init__(self, name: str, path: str) -> None:
+        self.name = name
+        self.path = path
+        self.count = 0
+        self.wall = 0.0
+        self.virtual = 0.0
+        self.children: dict[str, SpanNode] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name, f"{self.path}/{name}" if self.path else name)
+            self.children[name] = node
+        return node
+
+    def snapshot(self, include_wall: bool = False) -> dict:
+        data: dict = {"name": self.name, "count": self.count, "virtual": self.virtual}
+        if include_wall:
+            data["wall"] = self.wall
+        if self.children:
+            data["children"] = [
+                self.children[name].snapshot(include_wall)
+                for name in sorted(self.children)
+            ]
+        return data
+
+    def merge(self, data: dict) -> None:
+        """Fold a span snapshot (from :meth:`snapshot`) into this node."""
+        self.count += data.get("count", 0)
+        self.wall += data.get("wall", 0.0)
+        self.virtual += data.get("virtual", 0.0)
+        for child in data.get("children", ()):
+            self.child(child["name"]).merge(child)
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "SpanNode"]]:
+        """Depth-first traversal as (depth, node) pairs (root excluded
+        when its name is empty)."""
+        if self.name:
+            yield depth, self
+            depth += 1
+        for name in sorted(self.children):
+            yield from self.children[name].walk(depth)
+
+
+class SpanHandle:
+    """Mutable handle yielded by :meth:`Telemetry.span`."""
+
+    __slots__ = ("node", "virtual")
+
+    def __init__(self, node: SpanNode) -> None:
+        self.node = node
+        self.virtual = 0.0
+
+    def add_virtual(self, seconds: float) -> None:
+        """Attribute virtual scan time (rate-limiter seconds) to the span."""
+        self.virtual += seconds
+
+
+class _NullSpanHandle:
+    """Reusable no-op stand-in for SpanHandle on the disabled path."""
+
+    __slots__ = ()
+
+    def add_virtual(self, seconds: float) -> None:  # pragma: no cover - trivial
+        pass
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class Telemetry:
+    """A metrics + tracing registry with pluggable sinks.
+
+    Counters/gauges/histograms aggregate named numbers; :meth:`span`
+    builds a tree of phase timings; :meth:`emit` forwards structured
+    events to every attached sink.  :meth:`snapshot` returns the whole
+    state as a plain dict (deterministic by default), and
+    :meth:`merge_snapshot` folds a snapshot from another registry (e.g.
+    a worker process) back in.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks: Sequence = ()) -> None:
+        self.sinks = list(sinks)
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.root = SpanNode("", "")
+        self._stack: list[SpanNode] = [self.root]
+        self._seq = 0
+
+    # -- metrics -----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float, edges: Sequence[float] = DEFAULT_EDGES) -> None:
+        """Record ``value`` into the named fixed-bucket histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(edges)
+        histogram.observe(value)
+
+    # -- tracing -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Time a phase; nests under the innermost open span.
+
+        Wall-clock lands only in the in-memory tree; the span-exit event
+        carries just the deterministic fields (path, attrs, virtual).
+        """
+        node = self._stack[-1].child(name)
+        handle = SpanHandle(node)
+        self._stack.append(node)
+        start = time.perf_counter()
+        try:
+            yield handle
+        finally:
+            node.wall += time.perf_counter() - start
+            self._stack.pop()
+            node.count += 1
+            node.virtual += handle.virtual
+            if self.sinks:
+                event: dict = {"type": "span", "path": node.path}
+                if handle.virtual:
+                    event["virtual"] = handle.virtual
+                if attrs:
+                    event.update(attrs)
+                self.emit_event(event)
+
+    # -- events ------------------------------------------------------------
+
+    def emit(self, event_type: str, **fields) -> None:
+        """Send one structured event to every sink."""
+        self.emit_event({"type": event_type, **fields})
+
+    def emit_event(self, event: dict) -> None:
+        """Send a pre-built event dict (``seq`` is (re)assigned here)."""
+        if not self.sinks:
+            return
+        self._seq += 1
+        event["seq"] = self._seq
+        for sink in self.sinks:
+            sink.handle(event)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self, include_wall: bool = False) -> dict:
+        """Plain-dict state dump.
+
+        Deterministic for a fixed seed unless ``include_wall`` is set
+        (wall-clock is the only non-deterministic figure tracked).
+        """
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name] for name in sorted(self.gauges)},
+            "histograms": {
+                name: self.histograms[name].snapshot()
+                for name in sorted(self.histograms)
+            },
+            "spans": self.root.snapshot(include_wall),
+        }
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histograms add; gauges overwrite (callers merge in
+        a deterministic order); the incoming span tree grafts onto the
+        *currently open* span, so telemetry merged back from a worker
+        process nests exactly where the work was dispatched — a
+        parallel grid's cells land under the same ``grid`` span as a
+        serial run's.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.count(name, value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, data in snap.get("histograms", {}).items():
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram(tuple(data["edges"]))
+            histogram.merge(data)
+        spans = snap.get("spans")
+        if spans:
+            node = self._stack[-1]
+            for child in spans.get("children", ()):
+                node.child(child["name"]).merge(child)
+
+    def close(self) -> None:
+        """Flush and close every sink (hands each the final snapshot)."""
+        for sink in self.sinks:
+            sink.close(self)
+
+
+class _NullTelemetry(Telemetry):
+    """Shared disabled registry: every operation is a no-op."""
+
+    enabled = False
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float, edges: Sequence[float] = DEFAULT_EDGES) -> None:
+        pass
+
+    def span(self, name: str, **attrs):  # type: ignore[override]
+        return _NULL_SPAN
+
+    def emit(self, event_type: str, **fields) -> None:
+        pass
+
+    def emit_event(self, event: dict) -> None:
+        pass
+
+
+#: The shared disabled registry returned while nothing is activated.
+NULL_TELEMETRY = _NullTelemetry()
+
+_ACTIVE: Telemetry | None = None
+
+
+def get_telemetry() -> Telemetry:
+    """The active registry, or the shared no-op one."""
+    return _ACTIVE if _ACTIVE is not None else NULL_TELEMETRY
+
+
+@contextmanager
+def use_telemetry(telemetry: Telemetry | None):
+    """Activate ``telemetry`` for the dynamic extent of the block.
+
+    ``use_telemetry(None)`` is a no-op pass-through (the previously
+    active registry, if any, stays active) so call sites can wire an
+    optional ``telemetry=`` parameter without branching.
+    """
+    global _ACTIVE
+    if telemetry is None:
+        yield get_telemetry()
+        return
+    previous = _ACTIVE
+    _ACTIVE = telemetry
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE = previous

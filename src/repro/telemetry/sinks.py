@@ -1,0 +1,121 @@
+"""Telemetry sinks: where events and final snapshots go.
+
+Three built-ins cover the subsystem's use cases:
+
+* :class:`JsonlSink` — one JSON object per line, sorted keys, no
+  wall-clock fields: for a fixed seed the file is byte-identical across
+  runs (including parallel runs — worker events are merged back in
+  deterministic chunk order).
+* :class:`ConsoleSink` — human summary table (counters + span tree with
+  wall and virtual time) printed on close.
+* :class:`MemorySink` — buffers events and the final snapshot in memory;
+  the workhorse for tests and for shipping worker-process telemetry back
+  to the parent.
+
+A sink is anything with ``handle(event: dict)`` and
+``close(telemetry: Telemetry)``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .core import Telemetry
+
+__all__ = ["Sink", "JsonlSink", "ConsoleSink", "MemorySink", "render_summary"]
+
+
+class Sink:
+    """Base sink: subclass and override :meth:`handle` / :meth:`close`."""
+
+    def handle(self, event: dict) -> None:  # pragma: no cover - interface
+        pass
+
+    def close(self, telemetry: "Telemetry") -> None:  # pragma: no cover - interface
+        pass
+
+
+def _encode(event: dict) -> str:
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+class JsonlSink(Sink):
+    """Append events (and a final deterministic snapshot) to a file."""
+
+    def __init__(self, path: str | Path, final_snapshot: bool = True) -> None:
+        self.path = Path(path)
+        self.final_snapshot = final_snapshot
+        self._handle: IO[str] | None = self.path.open("w", encoding="utf-8")
+
+    def handle(self, event: dict) -> None:
+        if self._handle is None:
+            raise ValueError(f"JsonlSink({self.path}) is closed")
+        self._handle.write(_encode(event) + "\n")
+
+    def close(self, telemetry: "Telemetry") -> None:
+        if self._handle is None:
+            return
+        if self.final_snapshot:
+            snapshot = telemetry.snapshot(include_wall=False)
+            self._handle.write(_encode({"type": "snapshot", **snapshot}) + "\n")
+        self._handle.close()
+        self._handle = None
+
+
+class MemorySink(Sink):
+    """Buffer events in memory; capture the final snapshot on close."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self.snapshot: dict | None = None
+
+    def handle(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self, telemetry: "Telemetry") -> None:
+        self.snapshot = telemetry.snapshot(include_wall=False)
+
+
+def render_summary(telemetry: "Telemetry") -> str:
+    """Counters, histograms and the span tree as an aligned text block."""
+    lines: list[str] = ["== telemetry =="]
+    if telemetry.counters:
+        lines.append("-- counters --")
+        width = max(len(name) for name in telemetry.counters)
+        for name in sorted(telemetry.counters):
+            lines.append(f"  {name:<{width}}  {telemetry.counters[name]:>12,}")
+    if telemetry.gauges:
+        lines.append("-- gauges --")
+        width = max(len(name) for name in telemetry.gauges)
+        for name in sorted(telemetry.gauges):
+            lines.append(f"  {name:<{width}}  {telemetry.gauges[name]:>12g}")
+    if telemetry.histograms:
+        lines.append("-- histograms --")
+        for name in sorted(telemetry.histograms):
+            histogram = telemetry.histograms[name]
+            mean = histogram.total / histogram.count if histogram.count else 0.0
+            lines.append(f"  {name}: n={histogram.count:,} mean={mean:.1f}")
+    entries = list(telemetry.root.walk())
+    if entries:
+        lines.append("-- spans (count / wall s / virtual s) --")
+        for depth, node in entries:
+            lines.append(
+                f"  {'  ' * depth}{node.name:<24} {node.count:>6,} "
+                f"{node.wall:>9.3f} {node.virtual:>10.3f}"
+            )
+    return "\n".join(lines)
+
+
+class ConsoleSink(Sink):
+    """Print a human-readable summary table when the registry closes."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream
+
+    def close(self, telemetry: "Telemetry") -> None:
+        import sys
+
+        print(render_summary(telemetry), file=self.stream or sys.stdout)

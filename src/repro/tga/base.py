@@ -22,6 +22,8 @@ import abc
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
+from ..telemetry import get_telemetry
+
 __all__ = [
     "TargetGenerator",
     "register_tga",
@@ -72,6 +74,32 @@ class TargetGenerator(abc.ABC):
 
         Default is a no-op (offline generators).
         """
+
+    # -- instrumented entry points -----------------------------------------
+    #
+    # The experiment harness drives generators through these wrappers so
+    # every TGA's per-round accounting (candidates emitted, feedback
+    # consumed) lands in the active telemetry registry without each
+    # subclass having to know telemetry exists.
+
+    def propose_batch(self, count: int) -> list[int]:
+        """Instrumented :meth:`propose`: records candidates emitted."""
+        batch = self.propose(count)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("tga.propose_calls")
+            tel.count(f"tga.{self.name}.candidates", len(batch))
+            tel.observe("tga.batch_candidates", len(batch))
+        return batch
+
+    def feedback(self, results: Mapping[int, bool]) -> None:
+        """Instrumented :meth:`observe`: records scan feedback volume."""
+        tel = get_telemetry()
+        if tel.enabled:
+            hits = sum(1 for responded in results.values() if responded)
+            tel.count(f"tga.{self.name}.feedback_addresses", len(results))
+            tel.count(f"tga.{self.name}.feedback_hits", hits)
+        self.observe(results)
 
     # -- helpers -----------------------------------------------------------
 

@@ -1,0 +1,81 @@
+"""The golden telemetry workload shared by the regression test and the
+regeneration script.
+
+One tiny fixed-seed serial grid (2 TGAs x 1 port on a micro world) run
+with an attached :class:`~repro.telemetry.MemorySink`.  Everything the
+run records — counters, histograms, the span tree and the full event
+stream — is deterministic, so the whole payload is checked into
+``tests/data/telemetry_golden.json`` and compared with exact equality.
+
+Regenerate after an intentional telemetry change with:
+
+    PYTHONPATH=src python -m tests.regen_telemetry_golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments import GridSpec, Study, run_grid
+from repro.internet import InternetConfig, Port
+from repro.telemetry import MemorySink, Telemetry
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "telemetry_golden.json"
+
+GOLDEN_SEED = 1337
+GOLDEN_TGAS = ("6tree", "6gen")
+GOLDEN_BUDGET = 150
+
+
+def golden_config() -> InternetConfig:
+    """The micro world the golden trace is recorded against."""
+    return InternetConfig(
+        master_seed=GOLDEN_SEED,
+        num_ases=12,
+        max_sites_per_as=2,
+        server_density_min=8,
+        server_density_max=24,
+        cdn_density_min=12,
+        cdn_density_max=30,
+        enterprise_density_min=4,
+        enterprise_density_max=12,
+        subscriber_density_min=2,
+        subscriber_density_max=8,
+        mega_isp_regions=20,
+    )
+
+
+def compute_golden_payload() -> dict:
+    """Run the golden workload; return the deterministic telemetry dump."""
+    study = Study(
+        config=golden_config(),
+        budget=GOLDEN_BUDGET,
+        round_size=GOLDEN_BUDGET // 2,
+    )
+    spec = GridSpec(
+        datasets=(study.constructions.all_active,),
+        tga_names=GOLDEN_TGAS,
+        ports=(Port.ICMP,),
+        budget=GOLDEN_BUDGET,
+    )
+    sink = MemorySink()
+    telemetry = Telemetry(sinks=[sink])
+    run_grid(study, spec, telemetry=telemetry)
+    telemetry.close()
+    return {"events": sink.events, "snapshot": sink.snapshot}
+
+
+def load_golden_payload() -> dict:
+    """The checked-in fixture, parsed."""
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def write_golden_payload() -> dict:
+    """Recompute the payload and overwrite the fixture; returns it."""
+    payload = compute_golden_payload()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return payload

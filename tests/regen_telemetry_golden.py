@@ -1,0 +1,28 @@
+"""Regenerate the golden telemetry fixture.
+
+Run this (and commit the result) ONLY after an intentional change to
+what the telemetry subsystem records:
+
+    PYTHONPATH=src python -m tests.regen_telemetry_golden
+
+The fixture lives at ``tests/data/telemetry_golden.json`` and is
+asserted byte-for-byte by ``tests/test_telemetry_golden.py``.
+"""
+
+from __future__ import annotations
+
+from .golden_telemetry import GOLDEN_PATH, write_golden_payload
+
+
+def main() -> int:
+    payload = write_golden_payload()
+    counters = payload["snapshot"]["counters"]
+    print(
+        f"wrote {GOLDEN_PATH} "
+        f"({len(payload['events'])} events, {len(counters)} counters)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

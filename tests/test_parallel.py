@@ -15,6 +15,7 @@ from repro.experiments import (
     run_grid,
 )
 from repro.internet import InternetConfig, Port
+from repro.telemetry import Telemetry
 
 TGAS = ("6tree", "6gen", "eip")
 PORTS = (Port.ICMP, Port.TCP80)
@@ -189,3 +190,83 @@ class TestRunCellsMechanics:
         )
         assert missing == 1
         assert study.cached_runs == 0
+
+
+# ---------------------------------------------------------------------------
+# Property test: serial ≡ parallel across many seeds, results AND telemetry.
+# ---------------------------------------------------------------------------
+
+PROPERTY_SEEDS = tuple(range(25))
+PROPERTY_TGAS = ("6tree", "6gen")
+PROPERTY_BUDGET = 150
+
+
+def micro_config(seed: int) -> InternetConfig:
+    """A world even smaller than ``tiny`` so 25 seeds stay cheap."""
+    return InternetConfig(
+        master_seed=seed,
+        num_ases=12,
+        max_sites_per_as=2,
+        server_density_min=8,
+        server_density_max=24,
+        cdn_density_min=12,
+        cdn_density_max=30,
+        enterprise_density_min=4,
+        enterprise_density_max=12,
+        subscriber_density_min=2,
+        subscriber_density_max=8,
+        mega_isp_regions=20,
+    )
+
+
+def run_micro_grid(seed: int, workers: int | None):
+    """One fresh micro-grid run; returns (GridResult, Telemetry)."""
+    study = Study(
+        config=micro_config(seed),
+        budget=PROPERTY_BUDGET,
+        round_size=PROPERTY_BUDGET // 2,
+    )
+    spec = GridSpec(
+        datasets=(study.constructions.all_active,),
+        tga_names=PROPERTY_TGAS,
+        ports=(Port.ICMP,),
+        budget=PROPERTY_BUDGET,
+    )
+    telemetry = Telemetry()
+    return run_grid(study, spec, workers=workers, telemetry=telemetry), telemetry
+
+
+def nonmeta_counters(telemetry: Telemetry) -> dict[str, int]:
+    """All counters outside the ``meta.`` namespace (the only names
+    allowed to depend on the execution strategy)."""
+    return {
+        name: value
+        for name, value in telemetry.counters.items()
+        if not name.startswith("meta.")
+    }
+
+
+class TestSerialParallelProperty:
+    """Seed-parametrized property: for any master seed, a serial grid run
+    and a ``workers=2`` grid run agree on every RunResult *and* on every
+    merged telemetry counter outside the ``meta.`` namespace."""
+
+    @pytest.mark.parametrize("seed", PROPERTY_SEEDS)
+    def test_serial_and_parallel_agree(self, seed):
+        serial, serial_tel = run_micro_grid(seed, workers=None)
+        parallel, parallel_tel = run_micro_grid(seed, workers=2)
+
+        assert set(serial.runs) == set(parallel.runs)
+        for key in serial.runs:
+            assert_identical_runs(serial.runs[key], parallel.runs[key])
+
+        assert nonmeta_counters(serial_tel) == nonmeta_counters(parallel_tel)
+        # Histograms and the (deterministic) span tree must agree too.
+        assert {
+            name: hist.snapshot()
+            for name, hist in serial_tel.histograms.items()
+        } == {
+            name: hist.snapshot()
+            for name, hist in parallel_tel.histograms.items()
+        }
+        assert serial_tel.root.snapshot() == parallel_tel.root.snapshot()

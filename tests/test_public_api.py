@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.analysis",
     "repro.reporting",
+    "repro.telemetry",
 ]
 
 

@@ -52,3 +52,55 @@ class TestScanStats:
         assert info["probes_sent"] == 1
         assert info["hits"] == 1
         assert info["response_echo_reply"] == 1
+
+
+class TestBlockedAccounting:
+    """BLOCKED targets never reach the wire: they are tracked separately
+    from response counts, and ``probes_sent`` equals the sum of all
+    recorded (non-blocked) responses."""
+
+    def test_count_blocked_returns_targets_blocked(self):
+        stats = ScanStats()
+        stats.record(ResponseType.BLOCKED)
+        stats.record(ResponseType.BLOCKED)
+        assert stats.count(ResponseType.BLOCKED) == 2
+        assert stats.targets_blocked == 2
+
+    def test_blocked_leaves_no_responses_entry(self):
+        stats = ScanStats()
+        stats.record(ResponseType.BLOCKED)
+        assert ResponseType.BLOCKED not in stats.responses
+
+    def test_probes_sent_invariant(self):
+        stats = ScanStats()
+        mixed = [
+            ResponseType.ECHO_REPLY,
+            ResponseType.BLOCKED,
+            ResponseType.TIMEOUT,
+            ResponseType.SYN_ACK,
+            ResponseType.BLOCKED,
+            ResponseType.RST,
+            ResponseType.DEST_UNREACH,
+        ]
+        for response in mixed:
+            stats.record(response)
+        assert stats.probes_sent == sum(stats.responses.values())
+        assert stats.probes_sent == 5
+        assert stats.targets_blocked == 2
+
+    def test_invariant_survives_merge(self):
+        a, b = ScanStats(), ScanStats()
+        a.record(ResponseType.ECHO_REPLY)
+        a.record(ResponseType.BLOCKED)
+        b.record(ResponseType.TIMEOUT)
+        b.record(ResponseType.BLOCKED)
+        a.merge(b)
+        assert a.probes_sent == sum(a.responses.values()) == 2
+        assert a.targets_blocked == 2
+
+    def test_hitrate_excludes_blocked(self):
+        stats = ScanStats()
+        stats.record(ResponseType.ECHO_REPLY)
+        stats.record(ResponseType.BLOCKED)
+        # One probe actually sent, one hit: 100%, not 50%.
+        assert stats.hitrate == 1.0

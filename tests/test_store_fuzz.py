@@ -1,0 +1,171 @@
+"""Round-trip fuzz tests for repro.experiments.store.
+
+Hand-rolled property testing (no hypothesis dependency): a seeded
+``random.Random`` builds arbitrary :class:`RunResult` objects —
+including empty address sets, 128-bit extremes and non-ASCII dataset
+names — and every one must survive ``result_to_dict``/
+``result_from_dict`` and a full ``dump_results``/``load_results`` disk
+round trip exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments import RunResult
+from repro.experiments.store import (
+    dump_results,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.internet import ALL_PORTS
+from repro.metrics import MetricSet
+
+MAX_ADDRESS = (1 << 128) - 1
+
+#: Adversarial dataset names: empty-ish, non-ASCII, JSON-hostile.
+NASTY_NAMES = (
+    "all_active",
+    "seed café",
+    "データセット",
+    "zmap—v6 (new york)",
+    'quote"backslash\\name',
+    "newline\nname",
+    "🌱 seeds",
+    " ",
+)
+
+
+def random_addresses(rng: random.Random) -> frozenset[int]:
+    count = rng.choice((0, 0, 1, 2, 5, 17))
+    picks = set()
+    for _ in range(count):
+        if rng.random() < 0.2:
+            picks.add(rng.choice((0, 1, MAX_ADDRESS, MAX_ADDRESS - 1)))
+        else:
+            picks.add(rng.getrandbits(128))
+    return frozenset(picks)
+
+
+def random_result(rng: random.Random) -> RunResult:
+    hits = rng.randrange(0, 1_000)
+    rounds = rng.randrange(0, 6)
+    return RunResult(
+        tga_name=rng.choice(("6tree", "6gen", "eip", "entropy-ip")),
+        dataset_name=rng.choice(NASTY_NAMES),
+        port=rng.choice(ALL_PORTS),
+        budget=rng.choice((0, 1, 500, 10**9)),
+        generated=rng.randrange(0, 10**6),
+        clean_hits=random_addresses(rng),
+        aliased_hits=random_addresses(rng),
+        active_ases=frozenset(
+            rng.randrange(1, 2**32) for _ in range(rng.randrange(0, 8))
+        ),
+        metrics=MetricSet(
+            hits=hits,
+            ases=rng.randrange(0, 100),
+            aliases=rng.randrange(0, 100),
+        ),
+        probes_sent=rng.randrange(0, 10**6),
+        rounds=rounds,
+        round_history=tuple(
+            (rng.randrange(0, 10**6), rng.randrange(0, 10**4))
+            for _ in range(rounds)
+        ),
+    )
+
+
+class TestResultDictRoundTrip:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_results_round_trip(self, seed):
+        rng = random.Random(seed)
+        result = random_result(rng)
+        assert result_from_dict(result_to_dict(result)) == result
+
+    def test_empty_sets_round_trip(self):
+        rng = random.Random(0)
+        result = random_result(rng)
+        empty = RunResult(
+            tga_name=result.tga_name,
+            dataset_name="",
+            port=result.port,
+            budget=0,
+            generated=0,
+            clean_hits=frozenset(),
+            aliased_hits=frozenset(),
+            active_ases=frozenset(),
+            metrics=MetricSet(hits=0, ases=0, aliases=0),
+        )
+        assert result_from_dict(result_to_dict(empty)) == empty
+
+    def test_dict_form_is_json_safe(self):
+        import json
+
+        rng = random.Random(7)
+        for _ in range(20):
+            data = result_to_dict(random_result(rng))
+            assert json.loads(json.dumps(data)) == data
+
+    def test_address_extremes_survive_hex_encoding(self):
+        rng = random.Random(1)
+        base = random_result(rng)
+        result = RunResult(
+            tga_name=base.tga_name,
+            dataset_name=base.dataset_name,
+            port=base.port,
+            budget=base.budget,
+            generated=base.generated,
+            clean_hits=frozenset((0, 1, MAX_ADDRESS)),
+            aliased_hits=frozenset((MAX_ADDRESS - 1,)),
+            active_ases=base.active_ases,
+            metrics=base.metrics,
+        )
+        back = result_from_dict(result_to_dict(result))
+        assert back.clean_hits == result.clean_hits
+        assert back.aliased_hits == result.aliased_hits
+
+
+class TestDiskRoundTrip:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_dump_load_round_trip(self, seed, tmp_path):
+        rng = random.Random(seed)
+        results = [random_result(rng) for _ in range(rng.randrange(0, 12))]
+        path = tmp_path / "checkpoint.json"
+        assert dump_results(path, results) == len(results)
+        assert load_results(path) == results
+
+    def test_empty_checkpoint_round_trips(self, tmp_path):
+        path = tmp_path / "empty.json"
+        assert dump_results(path, []) == 0
+        assert load_results(path) == []
+
+    def test_non_ascii_names_survive_disk(self, tmp_path):
+        rng = random.Random(3)
+        results = []
+        for name in NASTY_NAMES:
+            base = random_result(rng)
+            results.append(
+                RunResult(
+                    tga_name=base.tga_name,
+                    dataset_name=name,
+                    port=base.port,
+                    budget=base.budget,
+                    generated=base.generated,
+                    clean_hits=base.clean_hits,
+                    aliased_hits=base.aliased_hits,
+                    active_ases=base.active_ases,
+                    metrics=base.metrics,
+                )
+            )
+        path = tmp_path / "names.json"
+        dump_results(path, results)
+        loaded = load_results(path)
+        assert [r.dataset_name for r in loaded] == list(NASTY_NAMES)
+        assert loaded == results
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 999, "results": []}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_results(path)

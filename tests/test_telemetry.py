@@ -1,0 +1,260 @@
+"""Unit tests for repro.telemetry: registry, spans, sinks, activation."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_EDGES,
+    ConsoleSink,
+    Histogram,
+    JsonlSink,
+    MemorySink,
+    Telemetry,
+    get_telemetry,
+    render_summary,
+    use_telemetry,
+)
+from repro.telemetry.core import NULL_TELEMETRY
+
+
+class TestHistogram:
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((5, 1))
+
+    def test_bucket_boundaries_are_inclusive(self):
+        hist = Histogram((10, 20))
+        for value in (1, 10, 11, 20, 21):
+            hist.observe(value)
+        # bucket 0: <=10, bucket 1: <=20, bucket 2: overflow.
+        assert hist.buckets == [2, 2, 1]
+        assert hist.count == 5
+        assert hist.total == 63
+
+    def test_snapshot_roundtrips_through_merge(self):
+        a = Histogram((1, 5))
+        for value in (1, 3, 99):
+            a.observe(value)
+        b = Histogram((1, 5))
+        b.merge(a.snapshot())
+        assert b.snapshot() == a.snapshot()
+
+    def test_merge_rejects_mismatched_edges(self):
+        with pytest.raises(ValueError):
+            Histogram((1, 2)).merge(Histogram((1, 3)))
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        tel = Telemetry()
+        tel.count("a")
+        tel.count("a", 4)
+        tel.count("b", 2)
+        assert tel.counters == {"a": 5, "b": 2}
+
+    def test_gauges_last_write_wins(self):
+        tel = Telemetry()
+        tel.gauge("workers", 2)
+        tel.gauge("workers", 8)
+        assert tel.gauges == {"workers": 8.0}
+
+    def test_observe_uses_default_edges(self):
+        tel = Telemetry()
+        tel.observe("batch", 7)
+        assert tel.histograms["batch"].edges == DEFAULT_EDGES
+
+    def test_snapshot_is_sorted_and_wall_free(self):
+        tel = Telemetry()
+        tel.count("z")
+        tel.count("a")
+        snap = tel.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        assert "wall" not in snap["spans"]
+
+    def test_snapshot_include_wall(self):
+        tel = Telemetry()
+        with tel.span("phase"):
+            pass
+        snap = tel.snapshot(include_wall=True)
+        (child,) = snap["spans"]["children"]
+        assert child["wall"] >= 0.0
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tel = Telemetry()
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+            with tel.span("inner"):
+                pass
+        outer = tel.root.children["outer"]
+        assert outer.count == 1
+        assert outer.children["inner"].count == 2
+        assert outer.children["inner"].path == "outer/inner"
+
+    def test_virtual_time_attaches_to_the_span(self):
+        tel = Telemetry()
+        with tel.span("scan") as handle:
+            handle.add_virtual(1.5)
+            handle.add_virtual(0.5)
+        assert tel.root.children["scan"].virtual == 2.0
+
+    def test_span_event_emitted_only_with_sinks(self):
+        sink = MemorySink()
+        tel = Telemetry(sinks=[sink])
+        with tel.span("phase", port="icmp") as handle:
+            handle.add_virtual(2.0)
+        (event,) = sink.events
+        assert event["type"] == "span"
+        assert event["path"] == "phase"
+        assert event["virtual"] == 2.0
+        assert event["port"] == "icmp"
+        assert event["seq"] == 1
+
+    def test_span_survives_exceptions(self):
+        tel = Telemetry()
+        with pytest.raises(RuntimeError):
+            with tel.span("phase"):
+                raise RuntimeError("boom")
+        assert tel.root.children["phase"].count == 1
+        # The stack unwound: new spans nest at the root again.
+        with tel.span("other"):
+            pass
+        assert "other" in tel.root.children
+
+
+class TestMergeSnapshot:
+    def test_counters_add_and_gauges_overwrite(self):
+        a, b = Telemetry(), Telemetry()
+        a.count("x", 1)
+        a.gauge("g", 1)
+        b.count("x", 2)
+        b.count("y", 3)
+        b.gauge("g", 9)
+        a.merge_snapshot(b.snapshot())
+        assert a.counters == {"x": 3, "y": 3}
+        assert a.gauges == {"g": 9.0}
+
+    def test_histograms_merge(self):
+        a, b = Telemetry(), Telemetry()
+        a.observe("h", 1)
+        b.observe("h", 100)
+        a.merge_snapshot(b.snapshot())
+        assert a.histograms["h"].count == 2
+
+    def test_spans_graft_onto_the_open_span(self):
+        worker = Telemetry()
+        with worker.span("cell"):
+            pass
+        parent = Telemetry()
+        with parent.span("grid"):
+            parent.merge_snapshot(worker.snapshot())
+        grid = parent.root.children["grid"]
+        assert grid.children["cell"].count == 1
+
+    def test_merge_is_associative_on_counters(self):
+        parts = []
+        for value in (1, 2, 3):
+            tel = Telemetry()
+            tel.count("n", value)
+            parts.append(tel.snapshot())
+        combined = Telemetry()
+        for part in parts:
+            combined.merge_snapshot(part)
+        assert combined.counters["n"] == 6
+
+
+class TestSinks:
+    def test_jsonl_sink_writes_sorted_compact_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tel = Telemetry(sinks=[JsonlSink(path)])
+        tel.emit("round", zebra=1, apple=2)
+        tel.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        assert lines[0] == '{"apple":2,"seq":1,"type":"round","zebra":1}'
+        snapshot = json.loads(lines[1])
+        assert snapshot["type"] == "snapshot"
+
+    def test_jsonl_sink_without_final_snapshot(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tel = Telemetry(sinks=[JsonlSink(path, final_snapshot=False)])
+        tel.emit("ping")
+        tel.close()
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 1
+
+    def test_jsonl_sink_rejects_writes_after_close(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.close(Telemetry())
+        with pytest.raises(ValueError):
+            sink.handle({"type": "late"})
+
+    def test_memory_sink_buffers_and_snapshots(self):
+        sink = MemorySink()
+        tel = Telemetry(sinks=[sink])
+        tel.count("c", 7)
+        tel.emit("ping")
+        tel.close()
+        assert [event["type"] for event in sink.events] == ["ping"]
+        assert sink.snapshot["counters"] == {"c": 7}
+
+    def test_console_sink_prints_summary(self):
+        stream = io.StringIO()
+        tel = Telemetry(sinks=[ConsoleSink(stream=stream)])
+        tel.count("scan.probes", 100)
+        with tel.span("grid"):
+            pass
+        tel.close()
+        output = stream.getvalue()
+        assert "scan.probes" in output
+        assert "grid" in output
+
+    def test_render_summary_covers_all_sections(self):
+        tel = Telemetry()
+        tel.count("c", 1)
+        tel.gauge("g", 2.5)
+        tel.observe("h", 3)
+        with tel.span("s"):
+            pass
+        text = render_summary(tel)
+        for fragment in ("counters", "gauges", "histograms", "spans", "c", "s"):
+            assert fragment in text
+
+
+class TestActivation:
+    def test_default_is_the_shared_null_registry(self):
+        tel = get_telemetry()
+        assert tel is NULL_TELEMETRY
+        assert not tel.enabled
+        # Everything is a no-op, including spans.
+        with tel.span("phase") as handle:
+            handle.add_virtual(1.0)
+        tel.count("x")
+        tel.emit("e")
+
+    def test_use_telemetry_activates_and_restores(self):
+        tel = Telemetry()
+        with use_telemetry(tel) as active:
+            assert active is tel
+            assert get_telemetry() is tel
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_use_telemetry_none_is_passthrough(self):
+        outer = Telemetry()
+        with use_telemetry(outer):
+            with use_telemetry(None) as active:
+                assert active is outer
+                assert get_telemetry() is outer
+            assert get_telemetry() is outer
+
+    def test_nested_activation_restores_the_outer_registry(self):
+        outer, inner = Telemetry(), Telemetry()
+        with use_telemetry(outer):
+            with use_telemetry(inner):
+                assert get_telemetry() is inner
+            assert get_telemetry() is outer

@@ -1,0 +1,54 @@
+"""Golden regression test for the telemetry subsystem.
+
+Runs the tiny fixed-seed grid defined in :mod:`tests.golden_telemetry`
+and asserts the recorded counters, span tree and full event stream are
+*exactly* equal to the checked-in fixture.  Any drift — a renamed
+counter, a reordered event, a changed batch size — fails loudly here.
+
+If the change is intentional, regenerate the fixture with::
+
+    PYTHONPATH=src python -m tests.regen_telemetry_golden
+
+and commit the updated ``tests/data/telemetry_golden.json``.
+"""
+
+import pytest
+
+from .golden_telemetry import (
+    GOLDEN_PATH,
+    compute_golden_payload,
+    load_golden_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def payload() -> dict:
+    return compute_golden_payload()
+
+
+class TestTelemetryGolden:
+    def test_fixture_exists(self):
+        assert GOLDEN_PATH.is_file(), (
+            "missing golden fixture; regenerate with "
+            "PYTHONPATH=src python -m tests.regen_telemetry_golden"
+        )
+
+    def test_snapshot_matches_fixture_exactly(self, payload):
+        golden = load_golden_payload()
+        assert payload["snapshot"]["counters"] == golden["snapshot"]["counters"]
+        assert payload["snapshot"]["spans"] == golden["snapshot"]["spans"]
+        assert payload["snapshot"] == golden["snapshot"]
+
+    def test_event_stream_matches_fixture_exactly(self, payload):
+        golden = load_golden_payload()
+        assert payload["events"] == golden["events"]
+
+    def test_snapshot_has_no_wall_clock_fields(self, payload):
+        """The fixture must stay deterministic: no wall times anywhere."""
+
+        def assert_no_wall(span: dict) -> None:
+            assert "wall" not in span
+            for child in span.get("children", ()):
+                assert_no_wall(child)
+
+        assert_no_wall(payload["snapshot"]["spans"])
