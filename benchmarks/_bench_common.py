@@ -96,9 +96,33 @@ def output_dir() -> Path:
     return OUTPUT_DIR
 
 
+def _bench_manifest():
+    """The shared provenance manifest for this benchmark configuration
+    (memoised: every artifact of one session shares one run context)."""
+    global _MANIFEST
+    if _MANIFEST is None:
+        from repro.telemetry import RunManifest
+
+        _MANIFEST = RunManifest.from_config(
+            InternetConfig.bench(master_seed=SEED),
+            scale="bench",
+            budget=BUDGET,
+            ports=tuple(port.value for port in BENCH_PORTS),
+            command="benchmarks",
+        )
+    return _MANIFEST
+
+
+_MANIFEST = None
+
+
 def write_artifact(output_dir: Path, name: str, text: str) -> None:
-    """Persist a rendered table/figure next to the benchmark results."""
+    """Persist a rendered table/figure next to the benchmark results,
+    plus a ``<stem>.manifest.json`` provenance sidecar."""
+    from repro.telemetry import write_manifest
+
     (output_dir / name).write_text(text + "\n", encoding="utf-8")
+    write_manifest(output_dir / name, _bench_manifest())
 
 
 def once(benchmark, func):

@@ -25,7 +25,7 @@ from pathlib import Path
 
 from repro.experiments import GridSpec, Study, run_grid
 from repro.internet import ALL_PORTS, InternetConfig, Port
-from repro.telemetry import MemorySink, Telemetry
+from repro.telemetry import MemorySink, RunManifest, Telemetry
 from repro.tga import ALL_TGA_NAMES
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
@@ -132,8 +132,20 @@ def main(argv=None) -> int:
         f"overhead {telemetry_overhead:+6.1%}  identical={telemetry_same}"
     )
 
+    # Provenance: the artifact embeds the manifest of the run that made
+    # it, digest included, so its numbers are traceable to an exact
+    # (seed, scale, budget) configuration and telemetry snapshot.
+    manifest = RunManifest.from_config(
+        InternetConfig.tiny(master_seed=args.seed),
+        scale="tiny",
+        budget=budget,
+        ports=tuple(port.value for port in ports),
+        command="bench_parallel_scaling",
+    ).with_snapshot(telemetry.snapshot())
+
     record = {
         "benchmark": "parallel_scaling",
+        "manifest": manifest.to_dict(),
         "workload": {
             "cells": cells,
             "tgas": len(ALL_TGA_NAMES),

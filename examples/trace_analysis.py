@@ -1,0 +1,103 @@
+"""Trace analysis: attribution, diffing and provenance for two runs.
+
+Records two small fixed-seed grids at different probe budgets, each to
+its own JSONL trace opened by a :class:`repro.telemetry.RunManifest`
+provenance line, then consumes them with the analysis toolkit:
+
+* :func:`repro.telemetry.attribute` — where did the virtual (probe)
+  time go, split across the ``tga``/``scan``/``dealias``/``meta``
+  namespaces, per TGA, and per hot span;
+* :func:`repro.telemetry.diff_traces` — a structured delta between the
+  two budgets: every counter, histogram and span figure that moved,
+  which is exactly what ``repro trace check --baseline`` gates on;
+* the manifest — enough provenance (seed, budget, config hash) to
+  re-run the world that produced either trace.
+
+The same analyses are available from the shell:
+
+    python -m repro trace attribution small_trace.jsonl
+    python -m repro trace diff large_trace.jsonl small_trace.jsonl
+
+Run:  python examples/trace_analysis.py
+"""
+
+from pathlib import Path
+
+from repro.experiments import GridSpec, Study, run_grid
+from repro.internet import InternetConfig, Port
+from repro.telemetry import (
+    JsonlSink,
+    RunManifest,
+    Telemetry,
+    attribute,
+    diff_traces,
+    load_trace,
+)
+
+SMALL, LARGE = 600, 1_200
+
+
+def record(path: Path, budget: int) -> None:
+    """One tiny grid at ``budget`` probes per cell, traced to ``path``."""
+    study = Study(config=InternetConfig.tiny(master_seed=42), budget=budget)
+    spec = GridSpec(
+        datasets=(study.collection.combined("joint"),),
+        tga_names=("6tree", "6gen"),
+        ports=(Port.ICMP,),
+    )
+    telemetry = Telemetry(sinks=[JsonlSink(path)])
+    # Provenance first: the manifest is the opening line of the trace.
+    manifest = RunManifest.from_study(
+        study, scale="tiny", ports=("icmp",), command="trace_analysis"
+    )
+    telemetry.emit_event(manifest.event())
+    run_grid(study, spec, telemetry=telemetry)
+    telemetry.close()
+
+
+def main() -> None:
+    small_path, large_path = Path("small_trace.jsonl"), Path("large_trace.jsonl")
+    record(small_path, budget=SMALL)
+    record(large_path, budget=LARGE)
+    small, large = load_trace(small_path), load_trace(large_path)
+
+    # 1. Provenance: who made this trace, and from what world?
+    print("manifests:")
+    for trace in (small, large):
+        m = trace.manifest
+        print(
+            f"  {trace.path.name}: seed={m['master_seed']} budget={m['budget']} "
+            f"config={m['config_hash'][:19]}..."
+        )
+    assert small.manifest["config_hash"] == large.manifest["config_hash"]
+
+    # 2. Attribution: where the probe budget's virtual seconds went.
+    result = attribute(small, top=3)
+    print(f"\nattribution of {small_path.name} "
+          f"(total virtual {result.total_virtual:.3f}s):")
+    for namespace, share in result.shares().items():
+        print(f"  {namespace:<8} {share:6.1%}  ({result.virtual[namespace]:.3f}s)")
+    for tga, entry in result.by_tga.items():
+        print(
+            f"  {tga}: {entry['cells']} cells, {entry['hits']} hits, "
+            f"{entry['probes']:,} probes"
+        )
+    print("  hot spans:", ", ".join(path for path, _n, _v in result.hot_spans))
+
+    # 3. Diff: doubling the budget moves probe counters and span time.
+    diff = diff_traces(large, small)
+    drift = diff.regressions()
+    print(f"\ndiff large vs small: {len(drift)} figures moved, e.g.")
+    for entry in drift[:5]:
+        print(f"  {entry.describe()}")
+    probes = next(e for e in drift if e.name == "scan.probes")
+    assert probes.current > probes.baseline
+
+    # 4. The gate: a trace checked against itself is clean — this is
+    #    what CI runs (with zero tolerance) against the golden baseline.
+    assert diff_traces(load_trace(small_path), small).is_empty
+    print(f"\nself-check clean; wrote {small_path} and {large_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,8 @@
 * ``overlap``    — Figure 1 heatmap; ``convergence`` — discovery curves
 * ``recommend``  — the RQ5 best-practice ensemble pipeline
 * ``report``     — full markdown study report
+* ``trace``      — analyse recorded telemetry traces
+  (``summary`` / ``attribution`` / ``diff`` / ``check``)
 
 Common options: ``--scale {tiny,bench,small}``, ``--seed``, ``--budget``,
 ``--port``, ``--workers``, ``--export file.csv|file.json``.
@@ -18,8 +20,16 @@ processes; results are bit-identical to a serial run.
 
 ``--telemetry trace.jsonl`` writes a deterministic JSONL event trace of
 the whole command (byte-identical across runs for a fixed seed, even
-with ``--workers``); ``--telemetry-summary`` prints a counters +
-span-tree summary to stderr when the command finishes.
+with ``--workers``; a ``.gz`` suffix compresses it), starting with a
+``{"type": "manifest"}`` provenance line.  ``--telemetry-summary``
+prints a counters + span-tree summary to stderr when the command
+finishes, and ``--progress`` renders live cell/round progress with an
+ETA to stderr (wall-clock stays out of the trace, which remains
+byte-identical with the flag on or off).
+
+``--export`` artifacts additionally get a ``<stem>.manifest.json``
+sidecar recording the run's provenance (seed, scale, budget, config
+hash, versions) so every row set is traceable to the run that made it.
 """
 
 from __future__ import annotations
@@ -42,7 +52,21 @@ from .experiments import (
 )
 from .internet import ALL_PORTS, InternetConfig, Port
 from .reporting import format_ratio, render_table, write_rows
-from .telemetry import ConsoleSink, JsonlSink, Telemetry, use_telemetry
+from .telemetry import (
+    ConsoleSink,
+    JsonlSink,
+    ProgressSink,
+    RunManifest,
+    Telemetry,
+    attribute,
+    diff_traces,
+    get_telemetry,
+    histogram_columns,
+    load_trace,
+    use_telemetry,
+    write_manifest,
+)
+from .telemetry.provenance import config_digest
 from .tga import ALL_TGA_NAMES
 
 __all__ = ["main", "build_parser"]
@@ -83,6 +107,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-summary",
         action="store_true",
         help="print a telemetry summary (counters + span tree) to stderr",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live cell/round progress with an ETA to stderr "
+        "(never touches the telemetry trace)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -134,6 +164,59 @@ def build_parser() -> argparse.ArgumentParser:
 
     report_parser = sub.add_parser("report", help="full markdown study report")
     report_parser.add_argument("--out", default="", help="write to a file instead of stdout")
+
+    trace_parser = sub.add_parser(
+        "trace", help="analyse telemetry traces (summary/attribution/diff/check)"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    trace_summary = trace_sub.add_parser(
+        "summary", help="counters, histograms (p50/p90/max) and span tree"
+    )
+    trace_summary.add_argument("trace", help="trace file (.jsonl, .jsonl.gz or .json)")
+
+    trace_attr = trace_sub.add_parser(
+        "attribution",
+        help="virtual-time and counter attribution per namespace / TGA",
+    )
+    trace_attr.add_argument("trace", help="trace file")
+    trace_attr.add_argument("--top", type=int, default=10, help="hot spans to list")
+
+    trace_diff = trace_sub.add_parser(
+        "diff", help="structured delta between two traces (exit 1 when non-empty)"
+    )
+    trace_diff.add_argument("trace", help="current trace file")
+    trace_diff.add_argument("baseline", help="baseline trace file")
+    trace_diff.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.0,
+        help="ignore relative drifts up to this fraction (default 0: exact)",
+    )
+
+    trace_check = trace_sub.add_parser(
+        "check",
+        help="regression gate: compare against a baseline, exit non-zero on drift",
+    )
+    trace_check.add_argument("trace", help="fresh trace file")
+    trace_check.add_argument("--baseline", required=True, help="baseline trace file")
+    trace_check.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.0,
+        help="allowed relative drift per figure (default 0: zero tolerance)",
+    )
+    trace_check.add_argument(
+        "--abs-tol",
+        type=float,
+        default=0.0,
+        help="allowed absolute drift per figure",
+    )
+    trace_check.add_argument(
+        "--ignore-meta",
+        action="store_true",
+        help="ignore meta.* names (differ legitimately serial vs parallel)",
+    )
     return parser
 
 
@@ -150,10 +233,32 @@ def _dataset_for(study: Study, name: str):
     return study.constructions.dealias_variant(DealiasMode(name))
 
 
+def _make_manifest(args: argparse.Namespace) -> RunManifest:
+    """Provenance for the command described by ``args``."""
+    from . import __version__
+
+    config = _SCALES[args.scale](master_seed=args.seed)
+    return RunManifest(
+        master_seed=args.seed,
+        scale=args.scale,
+        budget=args.budget,
+        config_hash=config_digest(config),
+        ports=(getattr(args, "port", ""),) if getattr(args, "port", "") else (),
+        workers=args.workers,
+        command=args.command,
+        version=__version__,
+    )
+
+
 def _maybe_export(args: argparse.Namespace, rows: list[dict]) -> None:
     if args.export:
         write_rows(args.export, rows)
-        print(f"wrote {len(rows)} rows to {args.export}")
+        manifest = _make_manifest(args)
+        tel = get_telemetry()
+        if tel.enabled:
+            manifest = manifest.with_snapshot(tel.snapshot())
+        sidecar = write_manifest(args.export, manifest)
+        print(f"wrote {len(rows)} rows to {args.export} (manifest: {sidecar})")
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
@@ -401,6 +506,148 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_manifest(trace) -> None:
+    if trace.manifest:
+        fields = ", ".join(
+            f"{key}={trace.manifest[key]}"
+            for key in ("scale", "master_seed", "budget", "workers", "command")
+            if key in trace.manifest
+        )
+        print(f"manifest: {fields}")
+        if trace.manifest.get("config_hash"):
+            print(f"  config: {trace.manifest['config_hash']}")
+        if trace.manifest.get("snapshot_digest"):
+            print(f"  snapshot: {trace.manifest['snapshot_digest']}")
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    _print_manifest(trace)
+    if trace.aborted:
+        print("trace: ABORTED (no final snapshot; figures reconstructed from events)")
+    by_type: dict[str, int] = {}
+    for event in trace.events:
+        by_type[event.get("type", "?")] = by_type.get(event.get("type", "?"), 0) + 1
+    print(
+        f"events: {len(trace.events)} "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(by_type.items()))})"
+    )
+    counters = trace.counters
+    if counters:
+        print(
+            render_table(
+                ["counter", "value"],
+                [[name, f"{counters[name]:,}"] for name in sorted(counters)],
+                title="Counters",
+            )
+        )
+    histograms = trace.histograms
+    if histograms:
+        print(
+            render_table(
+                ["histogram", "stats"],
+                [[name, histogram_columns(histograms[name])] for name in sorted(histograms)],
+                title="Histograms",
+            )
+        )
+    entries = list(trace.span_tree().walk())
+    if entries:
+        print("spans (count / virtual s):")
+        for depth, node in entries:
+            print(f"  {'  ' * depth}{node.name:<24} {node.count:>6,} {node.virtual:>10.4f}")
+    return 0
+
+
+def _cmd_trace_attribution(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    _print_manifest(trace)
+    result = attribute(trace, top=args.top)
+    shares = result.shares()
+    print(
+        render_table(
+            ["namespace", "virtual s", "share", "counter total"],
+            [
+                [
+                    name,
+                    f"{result.virtual[name]:.4f}",
+                    f"{shares[name]:.1%}",
+                    f"{result.counters.get(name, 0):,}",
+                ]
+                for name in result.virtual
+            ],
+            title=f"Attribution (total virtual {result.total_virtual:.4f}s)",
+        )
+    )
+    if result.by_tga:
+        print(
+            render_table(
+                ["TGA", "cells", "virtual s", "hits", "probes", "rounds"],
+                [
+                    [
+                        tga,
+                        f"{entry['cells']:,}",
+                        f"{entry['virtual']:.4f}",
+                        f"{entry['hits']:,}",
+                        f"{entry['probes']:,}",
+                        f"{entry['rounds']:,}",
+                    ]
+                    for tga, entry in result.by_tga.items()
+                ],
+                title="Per-TGA",
+            )
+        )
+    if result.hot_spans:
+        print(
+            render_table(
+                ["span", "count", "virtual s"],
+                [
+                    [path, f"{count:,}", f"{virtual:.4f}"]
+                    for path, count, virtual in result.hot_spans
+                ],
+                title=f"Hot spans (top {args.top})",
+            )
+        )
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    diff = diff_traces(load_trace(args.trace), load_trace(args.baseline))
+    drift = diff.regressions(rel_tol=args.rel_tol)
+    if not drift:
+        print("traces are identical" + (" within tolerance" if args.rel_tol else ""))
+        return 0
+    for entry in drift:
+        print(entry.describe())
+    print(f"{len(drift)} figures differ")
+    return 1
+
+
+def _cmd_trace_check(args: argparse.Namespace) -> int:
+    diff = diff_traces(load_trace(args.trace), load_trace(args.baseline))
+    regressions = diff.regressions(
+        rel_tol=args.rel_tol, abs_tol=args.abs_tol, ignore_meta=args.ignore_meta
+    )
+    if not regressions:
+        print(f"OK: {args.trace} matches baseline {args.baseline}")
+        return 0
+    print(f"REGRESSION: {args.trace} drifted from baseline {args.baseline}:")
+    for entry in regressions:
+        print(f"  {entry.describe()}")
+    return 1
+
+
+_TRACE_COMMANDS = {
+    "summary": _cmd_trace_summary,
+    "attribution": _cmd_trace_attribution,
+    "diff": _cmd_trace_diff,
+    "check": _cmd_trace_check,
+}
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    return _TRACE_COMMANDS[args.trace_command](args)
+
+
 _COMMANDS = {
     "describe": _cmd_describe,
     "sources": _cmd_sources,
@@ -414,16 +661,19 @@ _COMMANDS = {
     "convergence": _cmd_convergence,
     "recommend": _cmd_recommend,
     "report": _cmd_report,
+    "trace": _cmd_trace,
 }
 
 
 def _make_telemetry(args: argparse.Namespace) -> Telemetry | None:
-    """The registry requested by --telemetry/--telemetry-summary (or None)."""
+    """The registry requested by --telemetry/--telemetry-summary/--progress."""
     sinks: list = []
     if args.telemetry:
         sinks.append(JsonlSink(args.telemetry))
     if args.telemetry_summary:
         sinks.append(ConsoleSink(stream=sys.stderr))
+    if args.progress:
+        sinks.append(ProgressSink())
     if not sinks:
         return None
     return Telemetry(sinks=sinks)
@@ -432,14 +682,20 @@ def _make_telemetry(args: argparse.Namespace) -> Telemetry | None:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    telemetry = _make_telemetry(args)
+    telemetry = None if args.command == "trace" else _make_telemetry(args)
     if telemetry is None:
         return _COMMANDS[args.command](args)
+    aborted = False
     try:
         with use_telemetry(telemetry):
+            # Provenance first: every trace opens with its manifest.
+            telemetry.emit_event(_make_manifest(args).event())
             status = _COMMANDS[args.command](args)
+    except BaseException:
+        aborted = True
+        raise
     finally:
-        telemetry.close()
+        telemetry.close(aborted=aborted)
     if args.telemetry:
         print(f"wrote telemetry trace to {args.telemetry}", file=sys.stderr)
     return status

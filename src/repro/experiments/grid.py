@@ -120,6 +120,16 @@ def run_grid(
         results = GridResults(spec=spec)
         total = spec.size
         tel = get_telemetry()
+        if tel.enabled:
+            # Deterministic start-of-grid event: totals for progress
+            # displays (``pending`` excludes already-cached cells).
+            pending = sum(
+                1
+                for tga, dataset, port in spec.cells()
+                if (tga, dataset.name, port, spec.budget or study.budget)
+                not in study._run_cache
+            )
+            tel.emit("grid", cells=total, pending=pending)
         with tel.span("grid", cells=total):
             if workers and workers > 1:
                 from .parallel import ParallelExecutor

@@ -135,6 +135,11 @@ class Study:
             if (tga_name, dataset.name, port, budget or self.budget)
             not in self._run_cache
         )
+        tel = get_telemetry()
+        if tel.enabled:
+            # Deterministic start-of-batch event: totals for progress
+            # displays, emitted before any cell runs (serial or not).
+            tel.emit("grid", cells=len(cells), pending=missing)
         if not workers or workers <= 1 or missing == 0:
             return missing
         from .parallel import ParallelExecutor

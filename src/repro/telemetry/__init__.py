@@ -16,8 +16,32 @@ summaries) vary between runs.  Counters under the ``meta.`` namespace
 (cache hits, scheduler bookkeeping) are additionally allowed to depend
 on the execution strategy (serial vs parallel); all other names must
 not.  See ``docs/architecture.md`` for the event schema.
+
+The consumption layer lives alongside the producer:
+
+* :mod:`repro.telemetry.analysis` — load traces back, attribute
+  virtual time and counters per pipeline namespace / TGA, diff two
+  traces, gate regressions, export Prometheus text;
+* :mod:`repro.telemetry.provenance` — :class:`RunManifest` run
+  fingerprints emitted as the first trace event and written beside
+  every exported artifact;
+* :mod:`repro.telemetry.progress` — :class:`ProgressSink`, a live
+  stderr progress display that leaves traces byte-identical.
+
+All of it is scriptable via ``repro trace {summary,attribution,diff,
+check}`` and ``--progress`` on the CLI.
 """
 
+from .analysis import (
+    Attribution,
+    DiffEntry,
+    Trace,
+    TraceDiff,
+    attribute,
+    diff_traces,
+    load_trace,
+    to_prometheus_text,
+)
 from .core import (
     DEFAULT_EDGES,
     Histogram,
@@ -25,9 +49,25 @@ from .core import (
     SpanNode,
     Telemetry,
     get_telemetry,
+    quantile_from_buckets,
     use_telemetry,
 )
-from .sinks import ConsoleSink, JsonlSink, MemorySink, Sink, render_summary
+from .progress import ProgressSink
+from .provenance import (
+    RunManifest,
+    config_digest,
+    manifest_sidecar_path,
+    snapshot_digest,
+    write_manifest,
+)
+from .sinks import (
+    ConsoleSink,
+    JsonlSink,
+    MemorySink,
+    Sink,
+    histogram_columns,
+    render_summary,
+)
 
 __all__ = [
     "DEFAULT_EDGES",
@@ -36,10 +76,26 @@ __all__ = [
     "SpanNode",
     "Telemetry",
     "get_telemetry",
+    "quantile_from_buckets",
     "use_telemetry",
     "Sink",
     "JsonlSink",
     "ConsoleSink",
     "MemorySink",
+    "ProgressSink",
+    "histogram_columns",
     "render_summary",
+    "Trace",
+    "load_trace",
+    "Attribution",
+    "attribute",
+    "DiffEntry",
+    "TraceDiff",
+    "diff_traces",
+    "to_prometheus_text",
+    "RunManifest",
+    "config_digest",
+    "snapshot_digest",
+    "manifest_sidecar_path",
+    "write_manifest",
 ]

@@ -1,0 +1,451 @@
+"""Trace analysis: load, attribute, diff and gate telemetry traces.
+
+The producer side of :mod:`repro.telemetry` writes deterministic JSONL
+event traces; this module is the consumer side:
+
+* :func:`load_trace` reads a trace back (plain ``.jsonl``, gzipped
+  ``.jsonl.gz``, or the ``{"events": ..., "snapshot": ...}`` JSON payload
+  format used by the golden fixture) into a typed :class:`Trace` with
+  the manifest, event stream, final snapshot and a reconstructed span
+  tree;
+* :func:`attribute` computes where a run's *virtual* time (deterministic
+  rate-limiter seconds) and counters went, per pipeline namespace
+  (``tga`` / ``scan`` / ``dealias`` / ``meta``) and per TGA, plus the
+  top-k hottest spans;
+* :func:`diff_traces` produces a structured delta of counters, gauges,
+  histograms and spans between two traces, and
+  :meth:`TraceDiff.regressions` applies relative/absolute thresholds —
+  the engine behind ``repro trace check --baseline`` (the CI
+  perf-regression gate);
+* :func:`to_prometheus_text` renders a snapshot in the Prometheus text
+  exposition format for scrape integration.
+
+Everything consumes the *deterministic* snapshot (no wall-clock), so a
+diff of two fixed-seed runs of the same workload is empty by
+construction.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .core import SpanNode
+
+__all__ = [
+    "Trace",
+    "load_trace",
+    "Attribution",
+    "attribute",
+    "PHASE_NAMESPACES",
+    "DiffEntry",
+    "TraceDiff",
+    "diff_traces",
+    "to_prometheus_text",
+]
+
+#: Span (phase) name → pipeline namespace for virtual-time attribution.
+#: ``prepare`` is pure TGA work, ``generate`` spends its virtual seconds
+#: probing candidates, ``dealias`` on verification probes; everything
+#: else (grid/cell framing, rq wrappers) is harness bookkeeping.
+PHASE_NAMESPACES: dict[str, str] = {
+    "prepare": "tga",
+    "generate": "scan",
+    "dealias": "dealias",
+}
+
+#: The canonical namespaces attribution reports over.
+NAMESPACES: tuple[str, ...] = ("tga", "scan", "dealias", "meta")
+
+
+@dataclass
+class Trace:
+    """A parsed telemetry trace."""
+
+    path: Path | None
+    events: list[dict]
+    snapshot: dict | None = None
+    manifest: dict | None = None
+    aborted: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """True when the trace ended with a final snapshot."""
+        return self.snapshot is not None and not self.aborted
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return dict((self.snapshot or {}).get("counters", {}))
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        return dict((self.snapshot or {}).get("gauges", {}))
+
+    @property
+    def histograms(self) -> dict[str, dict]:
+        return dict((self.snapshot or {}).get("histograms", {}))
+
+    def span_tree(self) -> SpanNode:
+        """The span tree: from the snapshot when complete, otherwise
+        reconstructed by aggregating ``span`` exit events."""
+        if self.snapshot is not None:
+            root = SpanNode("", "")
+            spans = self.snapshot.get("spans")
+            if spans:
+                for child in spans.get("children", ()):
+                    root.child(child["name"]).merge(child)
+            return root
+        return self.spans_from_events()
+
+    def spans_from_events(self) -> SpanNode:
+        """Rebuild a span tree purely from the event stream (the only
+        option for aborted traces)."""
+        root = SpanNode("", "")
+        for event in self.events:
+            if event.get("type") != "span" or "path" not in event:
+                continue
+            node = root
+            for part in event["path"].split("/"):
+                node = node.child(part)
+            node.count += 1
+            node.virtual += float(event.get("virtual", 0.0))
+        return root
+
+    def events_of(self, event_type: str) -> list[dict]:
+        return [event for event in self.events if event.get("type") == event_type]
+
+
+def _iter_jsonl(path: Path):
+    if path.suffix == ".gz":
+        import gzip
+
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    yield json.loads(line)
+    else:
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    yield json.loads(line)
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Parse a trace file into a :class:`Trace`.
+
+    Accepts JSONL traces written by
+    :class:`~repro.telemetry.JsonlSink` (``.jsonl`` / ``.jsonl.gz``) and
+    the ``{"events": [...], "snapshot": {...}}`` JSON payload format of
+    the golden fixture.
+    """
+    path = Path(path)
+    if path.suffix == ".json":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or "events" not in payload:
+            raise ValueError(f"{path}: not a telemetry trace payload")
+        return Trace(
+            path=path,
+            events=list(payload.get("events", ())),
+            snapshot=payload.get("snapshot"),
+            manifest=payload.get("manifest"),
+        )
+    events: list[dict] = []
+    snapshot: dict | None = None
+    manifest: dict | None = None
+    aborted = False
+    for record in _iter_jsonl(path):
+        kind = record.get("type")
+        if kind == "manifest":
+            manifest = {k: v for k, v in record.items() if k not in ("type", "seq")}
+        elif kind == "snapshot":
+            snapshot = {k: v for k, v in record.items() if k != "type"}
+        elif kind == "aborted":
+            aborted = True
+        else:
+            events.append(record)
+    return Trace(
+        path=path, events=events, snapshot=snapshot, manifest=manifest, aborted=aborted
+    )
+
+
+# -- attribution -----------------------------------------------------------
+
+
+@dataclass
+class Attribution:
+    """Where a run's budget went."""
+
+    #: Total virtual seconds across the whole span tree.
+    total_virtual: float
+    #: Virtual seconds per namespace; values sum to ``total_virtual``.
+    virtual: dict[str, float]
+    #: Counter totals per namespace (first dotted segment).
+    counters: dict[str, int]
+    #: Per-TGA rollup: cells, virtual seconds, hits, probes, rounds.
+    by_tga: dict[str, dict]
+    #: The hottest spans: (path, count, virtual), sorted by virtual desc.
+    hot_spans: list[tuple[str, int, float]]
+
+    def shares(self) -> dict[str, float]:
+        """Virtual-time share per namespace (fractions summing to 1)."""
+        if self.total_virtual <= 0.0:
+            return {name: 0.0 for name in self.virtual}
+        return {
+            name: value / self.total_virtual for name, value in self.virtual.items()
+        }
+
+
+def _self_virtual(node: SpanNode) -> float:
+    # Clamped at zero: a parent span that does not roll its children's
+    # virtual time into its own total would otherwise go negative and
+    # cancel the children's contribution out of the namespace sums.
+    own = node.virtual - sum(child.virtual for child in node.children.values())
+    return max(0.0, own)
+
+
+def attribute(trace: Trace, top: int = 10) -> Attribution:
+    """Per-namespace / per-TGA attribution of one trace."""
+    root = trace.span_tree()
+    virtual = {name: 0.0 for name in NAMESPACES}
+    hot: list[tuple[str, int, float]] = []
+    for _depth, node in root.walk():
+        namespace = PHASE_NAMESPACES.get(node.name, "meta")
+        virtual[namespace] += _self_virtual(node)
+        hot.append((node.path, node.count, node.virtual))
+    hot.sort(key=lambda item: (-item[2], item[0]))
+
+    counters: dict[str, int] = {}
+    for name, value in trace.counters.items():
+        namespace = name.split(".", 1)[0]
+        counters[namespace] = counters.get(namespace, 0) + int(value)
+
+    by_tga: dict[str, dict] = {}
+    for event in trace.events_of("cell"):
+        tga = event.get("tga")
+        if tga is None:
+            continue
+        entry = by_tga.setdefault(
+            tga, {"cells": 0, "virtual": 0.0, "hits": 0, "probes": 0, "rounds": 0}
+        )
+        entry["cells"] += 1
+        entry["hits"] += int(event.get("hits", 0))
+        entry["probes"] += int(event.get("probes_sent", 0))
+        entry["rounds"] += int(event.get("rounds", 0))
+    for event in trace.events_of("span"):
+        tga = event.get("tga")
+        path = event.get("path", "")
+        if tga is None or not path.endswith("cell"):
+            continue
+        if tga in by_tga:
+            by_tga[tga]["virtual"] += float(event.get("virtual", 0.0))
+
+    return Attribution(
+        total_virtual=sum(virtual.values()),
+        virtual=virtual,
+        counters=counters,
+        by_tga=dict(sorted(by_tga.items())),
+        hot_spans=hot[:top],
+    )
+
+
+# -- diffing and the regression gate ---------------------------------------
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One changed figure between two traces."""
+
+    kind: str  # counter | gauge | histogram | span
+    name: str
+    baseline: float
+    current: float
+
+    @property
+    def delta(self) -> float:
+        return self.current - self.baseline
+
+    @property
+    def relative(self) -> float:
+        """Relative change vs the baseline (``inf`` for new figures)."""
+        if self.baseline == 0:
+            return float("inf") if self.delta else 0.0
+        return self.delta / self.baseline
+
+    def describe(self) -> str:
+        rel = self.relative
+        rel_text = "new" if rel == float("inf") else f"{rel:+.1%}"
+        return (
+            f"{self.kind} {self.name}: {self.baseline:g} -> {self.current:g} "
+            f"({rel_text})"
+        )
+
+
+@dataclass
+class TraceDiff:
+    """Structured delta between a current trace and a baseline."""
+
+    entries: list[DiffEntry] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    def regressions(
+        self,
+        rel_tol: float = 0.0,
+        abs_tol: float = 0.0,
+        ignore_meta: bool = False,
+    ) -> list[DiffEntry]:
+        """Entries exceeding the thresholds.
+
+        With both tolerances at 0 (the default, and what CI uses against
+        the golden baseline) *any* drift is a regression.  ``rel_tol``
+        admits changes within ±``rel_tol`` of the baseline value;
+        ``abs_tol`` admits small absolute drifts regardless of the
+        relative size; ``ignore_meta`` drops the ``meta.*`` names, which
+        legitimately differ between serial and parallel execution.
+        """
+        out = []
+        for entry in self.entries:
+            if ignore_meta and entry.name.split(".", 1)[0] == "meta":
+                continue
+            if abs(entry.delta) <= abs_tol:
+                continue
+            if entry.baseline != 0 and abs(entry.relative) <= rel_tol:
+                continue
+            out.append(entry)
+        return out
+
+
+def _flatten_spans(root: SpanNode) -> dict[str, tuple[int, float]]:
+    return {node.path: (node.count, node.virtual) for _d, node in root.walk()}
+
+
+def diff_traces(current: Trace, baseline: Trace) -> TraceDiff:
+    """Every counter/gauge/histogram/span figure that differs.
+
+    Both traces must be complete (carry a final snapshot); aborted
+    traces cannot be meaningfully compared.
+    """
+    for trace, label in ((current, "current"), (baseline, "baseline")):
+        if trace.snapshot is None:
+            raise ValueError(
+                f"{label} trace {trace.path} has no final snapshot"
+                + (" (aborted)" if trace.aborted else "")
+            )
+    entries: list[DiffEntry] = []
+
+    def compare(kind: str, current_map: dict, baseline_map: dict) -> None:
+        for name in sorted(set(current_map) | set(baseline_map)):
+            a = float(baseline_map.get(name, 0))
+            b = float(current_map.get(name, 0))
+            if a != b:
+                entries.append(DiffEntry(kind=kind, name=name, baseline=a, current=b))
+
+    compare("counter", current.counters, baseline.counters)
+    compare("gauge", current.gauges, baseline.gauges)
+
+    current_hists = current.histograms
+    baseline_hists = baseline.histograms
+    for name in sorted(set(current_hists) | set(baseline_hists)):
+        a = baseline_hists.get(name, {})
+        b = current_hists.get(name, {})
+        for figure in ("count", "total"):
+            a_val = float(a.get(figure, 0))
+            b_val = float(b.get(figure, 0))
+            if a_val != b_val:
+                entries.append(
+                    DiffEntry(
+                        kind="histogram",
+                        name=f"{name}.{figure}",
+                        baseline=a_val,
+                        current=b_val,
+                    )
+                )
+        if a.get("count") == b.get("count") and a.get("buckets") != b.get("buckets"):
+            entries.append(
+                DiffEntry(kind="histogram", name=f"{name}.buckets", baseline=0, current=1)
+            )
+
+    current_spans = _flatten_spans(current.span_tree())
+    baseline_spans = _flatten_spans(baseline.span_tree())
+    for path in sorted(set(current_spans) | set(baseline_spans)):
+        a_count, a_virtual = baseline_spans.get(path, (0, 0.0))
+        b_count, b_virtual = current_spans.get(path, (0, 0.0))
+        if a_count != b_count:
+            entries.append(
+                DiffEntry(
+                    kind="span",
+                    name=f"{path}.count",
+                    baseline=float(a_count),
+                    current=float(b_count),
+                )
+            )
+        if a_virtual != b_virtual:
+            entries.append(
+                DiffEntry(
+                    kind="span",
+                    name=f"{path}.virtual",
+                    baseline=a_virtual,
+                    current=b_virtual,
+                )
+            )
+    return TraceDiff(entries=entries)
+
+
+# -- prometheus export -----------------------------------------------------
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    return _INVALID_METRIC_CHARS.sub("_", f"{prefix}_{name}")
+
+
+def to_prometheus_text(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a telemetry snapshot in Prometheus text exposition format.
+
+    Counters become ``counter`` metrics, gauges ``gauge``, histograms
+    classic Prometheus histograms (cumulative ``_bucket{le=...}`` series
+    plus ``_sum``/``_count``), and the span tree two families labelled
+    by span path (``<prefix>_span_count`` and
+    ``<prefix>_span_virtual_seconds``).  Output order is sorted, so the
+    text is deterministic for a deterministic snapshot.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _metric_name(prefix, name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {snapshot['gauges'][name]:g}")
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for edge, bucket in zip(data["edges"], data["buckets"]):
+            cumulative += bucket
+            lines.append(f'{metric}_bucket{{le="{edge:g}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {data["count"]}')
+        lines.append(f"{metric}_sum {data['total']:g}")
+        lines.append(f"{metric}_count {data['count']}")
+    spans = snapshot.get("spans")
+    if spans and spans.get("children"):
+        root = SpanNode("", "")
+        for child in spans["children"]:
+            root.child(child["name"]).merge(child)
+        flat = _flatten_spans(root)
+        count_metric = f"{prefix}_span_count"
+        virtual_metric = f"{prefix}_span_virtual_seconds"
+        lines.append(f"# TYPE {count_metric} gauge")
+        for path in sorted(flat):
+            lines.append(f'{count_metric}{{path="{path}"}} {flat[path][0]}')
+        lines.append(f"# TYPE {virtual_metric} gauge")
+        for path in sorted(flat):
+            lines.append(f'{virtual_metric}{{path="{path}"}} {flat[path][1]:g}')
+    return "\n".join(lines) + "\n"

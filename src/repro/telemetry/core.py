@@ -32,11 +32,43 @@ __all__ = [
     "SpanHandle",
     "Telemetry",
     "get_telemetry",
+    "quantile_from_buckets",
     "use_telemetry",
 ]
 
 #: Default histogram bucket edges (counts of addresses / batch sizes).
 DEFAULT_EDGES: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000)
+
+
+def quantile_from_buckets(
+    edges: Sequence[float], buckets: Sequence[int], q: float
+) -> float:
+    """Estimate the ``q``-quantile of a fixed-bucket histogram.
+
+    Uses linear interpolation inside the bucket containing the target
+    rank; the overflow bucket (values past the last edge) is clamped to
+    the last edge since its upper bound is unknown.  This is the single
+    estimator shared by :func:`~repro.telemetry.render_summary` and
+    ``repro trace summary``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    count = sum(buckets)
+    if count == 0:
+        return 0.0
+    rank = q * count
+    cumulative = 0
+    for index, bucket in enumerate(buckets):
+        if bucket == 0:
+            continue
+        if cumulative + bucket >= rank:
+            if index >= len(edges):  # overflow: upper bound unknown
+                return float(edges[-1])
+            lower = float(edges[index - 1]) if index > 0 else min(0.0, float(edges[0]))
+            upper = float(edges[index])
+            return lower + (upper - lower) * ((rank - cumulative) / bucket)
+        cumulative += bucket
+    return float(edges[-1])
 
 
 class Histogram:
@@ -65,6 +97,25 @@ class Histogram:
             "count": self.count,
             "total": self.total,
         }
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (see
+        :func:`quantile_from_buckets`)."""
+        return quantile_from_buckets(self.edges, self.buckets, q)
+
+    def estimated_max(self) -> tuple[float, bool]:
+        """Upper bound of the highest occupied bucket.
+
+        Returns ``(value, exceeds)`` — ``exceeds`` is true when the
+        overflow bucket is occupied, i.e. the true maximum is somewhere
+        past the last edge.
+        """
+        for index in range(len(self.buckets) - 1, -1, -1):
+            if self.buckets[index]:
+                if index >= len(self.edges):
+                    return float(self.edges[-1]), True
+                return float(self.edges[index]), False
+        return 0.0, False
 
     def merge(self, other: "Histogram | dict") -> None:
         if isinstance(other, dict):
@@ -288,10 +339,16 @@ class Telemetry:
             for child in spans.get("children", ()):
                 node.child(child["name"]).merge(child)
 
-    def close(self) -> None:
-        """Flush and close every sink (hands each the final snapshot)."""
+    def close(self, aborted: bool = False) -> None:
+        """Flush and close every sink (hands each the final snapshot).
+
+        ``aborted`` marks an exceptional shutdown: sinks that persist
+        traces (e.g. :class:`~repro.telemetry.JsonlSink`) record an
+        ``{"type": "aborted"}`` footer instead of a final snapshot, so a
+        truncated trace is distinguishable from a complete one.
+        """
         for sink in self.sinks:
-            sink.close(self)
+            sink.close(self, aborted=aborted)
 
 
 class _NullTelemetry(Telemetry):

@@ -1,0 +1,171 @@
+"""Run provenance: manifests that tie artifacts to the run that made them.
+
+A :class:`RunManifest` captures everything needed to re-produce (and to
+audit) a run: the package and Python versions, the platform, the world's
+master seed and scale, the probe budget, the ports scanned, the worker
+count, and a content hash of the full :class:`~repro.internet.InternetConfig`.
+Two placements make every output traceable:
+
+* the first event of every CLI telemetry trace is a
+  ``{"type": "manifest", ...}`` line (no timestamps — traces stay
+  byte-identical across fixed-seed runs on one machine);
+* every ``--export`` artifact and benchmark JSON either embeds the
+  manifest or gets a ``<stem>.manifest.json`` sidecar, optionally
+  carrying the trace's final snapshot digest so a figure can be matched
+  to the exact trace that produced it.
+
+Nothing here depends on wall clocks: a manifest is a pure function of
+the run's configuration (plus the interpreter/platform identity), which
+is exactly what provenance requires.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform as _platform
+import sys
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+__all__ = [
+    "RunManifest",
+    "config_digest",
+    "snapshot_digest",
+    "manifest_sidecar_path",
+    "write_manifest",
+]
+
+
+def _canonical(data) -> bytes:
+    """Deterministic JSON encoding for hashing."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"), default=str).encode(
+        "utf-8"
+    )
+
+
+def config_digest(config) -> str:
+    """``sha256:`` content hash of an :class:`InternetConfig` (or any
+    dataclass / mapping of world-defining knobs)."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        data = dataclasses.asdict(config)
+    else:
+        data = dict(config)
+    return "sha256:" + hashlib.sha256(_canonical(data)).hexdigest()
+
+
+def snapshot_digest(snapshot: dict) -> str:
+    """``sha256:`` content hash of a deterministic telemetry snapshot."""
+    return "sha256:" + hashlib.sha256(_canonical(snapshot)).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Who, what and how of one run — everything but the results.
+
+    All fields are deterministic for a fixed configuration on a fixed
+    machine; ``snapshot_digest`` is the one late-bound field, filled in
+    (via :meth:`with_snapshot`) once the final telemetry snapshot
+    exists.
+    """
+
+    master_seed: int
+    scale: str
+    budget: int
+    config_hash: str
+    ports: tuple[str, ...] = ()
+    workers: int = 1
+    command: str = ""
+    package: str = "repro"
+    version: str = ""
+    python: str = field(default_factory=_platform.python_version)
+    platform: str = field(default_factory=lambda: sys.platform)
+    snapshot_digest: str | None = None
+
+    @classmethod
+    def from_study(
+        cls,
+        study,
+        scale: str = "custom",
+        ports: tuple[str, ...] = (),
+        workers: int = 1,
+        command: str = "",
+    ) -> "RunManifest":
+        """Capture a :class:`~repro.experiments.Study`'s provenance."""
+        from .. import __version__
+
+        config = study.internet.config
+        return cls(
+            master_seed=config.master_seed,
+            scale=scale,
+            budget=study.budget,
+            config_hash=config_digest(config),
+            ports=tuple(ports),
+            workers=workers,
+            command=command,
+            version=__version__,
+        )
+
+    @classmethod
+    def from_config(
+        cls,
+        config,
+        scale: str = "custom",
+        budget: int = 0,
+        ports: tuple[str, ...] = (),
+        workers: int = 1,
+        command: str = "",
+    ) -> "RunManifest":
+        """Capture provenance straight from an :class:`InternetConfig`."""
+        from .. import __version__
+
+        return cls(
+            master_seed=config.master_seed,
+            scale=scale,
+            budget=budget,
+            config_hash=config_digest(config),
+            ports=tuple(ports),
+            workers=workers,
+            command=command,
+            version=__version__,
+        )
+
+    def with_snapshot(self, snapshot: dict) -> "RunManifest":
+        """A copy carrying the digest of the run's final snapshot."""
+        return replace(self, snapshot_digest=snapshot_digest(snapshot))
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["ports"] = list(self.ports)
+        if self.snapshot_digest is None:
+            data.pop("snapshot_digest")
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in fields}
+        kwargs["ports"] = tuple(kwargs.get("ports", ()))
+        return cls(**kwargs)
+
+    def event(self) -> dict:
+        """The ``{"type": "manifest"}`` event emitted first in a trace."""
+        return {"type": "manifest", **self.to_dict()}
+
+
+def manifest_sidecar_path(artifact_path: str | Path) -> Path:
+    """Where the manifest for ``artifact_path`` lives:
+    ``results.json`` → ``results.manifest.json``."""
+    path = Path(artifact_path)
+    return path.with_name(path.stem + ".manifest.json")
+
+
+def write_manifest(artifact_path: str | Path, manifest: RunManifest) -> Path:
+    """Write ``manifest`` as a sidecar next to ``artifact_path``."""
+    sidecar = manifest_sidecar_path(artifact_path)
+    sidecar.write_text(
+        json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return sidecar

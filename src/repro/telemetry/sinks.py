@@ -5,7 +5,11 @@ Three built-ins cover the subsystem's use cases:
 * :class:`JsonlSink` — one JSON object per line, sorted keys, no
   wall-clock fields: for a fixed seed the file is byte-identical across
   runs (including parallel runs — worker events are merged back in
-  deterministic chunk order).
+  deterministic chunk order).  Paths ending in ``.gz`` are transparently
+  gzip-compressed (with a zeroed mtime so compressed traces stay
+  byte-identical too).  The file opens lazily on the first event, and an
+  aborted registry close writes an ``{"type": "aborted"}`` footer so
+  truncated traces are distinguishable from complete ones.
 * :class:`ConsoleSink` — human summary table (counters + span tree with
   wall and virtual time) printed on close.
 * :class:`MemorySink` — buffers events and the final snapshot in memory;
@@ -13,7 +17,7 @@ Three built-ins cover the subsystem's use cases:
   to the parent.
 
 A sink is anything with ``handle(event: dict)`` and
-``close(telemetry: Telemetry)``.
+``close(telemetry: Telemetry, aborted: bool = False)``.
 """
 
 from __future__ import annotations
@@ -25,7 +29,14 @@ from typing import IO, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .core import Telemetry
 
-__all__ = ["Sink", "JsonlSink", "ConsoleSink", "MemorySink", "render_summary"]
+__all__ = [
+    "Sink",
+    "JsonlSink",
+    "ConsoleSink",
+    "MemorySink",
+    "histogram_columns",
+    "render_summary",
+]
 
 
 class Sink:
@@ -34,7 +45,7 @@ class Sink:
     def handle(self, event: dict) -> None:  # pragma: no cover - interface
         pass
 
-    def close(self, telemetry: "Telemetry") -> None:  # pragma: no cover - interface
+    def close(self, telemetry: "Telemetry", aborted: bool = False) -> None:  # pragma: no cover - interface
         pass
 
 
@@ -43,26 +54,58 @@ def _encode(event: dict) -> str:
 
 
 class JsonlSink(Sink):
-    """Append events (and a final deterministic snapshot) to a file."""
+    """Append events (and a final deterministic snapshot) to a file.
+
+    The file is created lazily on the first event (or at close, so even
+    an event-free run leaves a well-formed trace).  A ``.gz`` suffix
+    selects transparent gzip compression with ``mtime=0`` — compressed
+    traces are byte-identical across runs exactly like plain ones.
+    """
 
     def __init__(self, path: str | Path, final_snapshot: bool = True) -> None:
         self.path = Path(path)
         self.final_snapshot = final_snapshot
-        self._handle: IO[str] | None = self.path.open("w", encoding="utf-8")
+        self._handle: IO[str] | None = None
+        self._raw: IO[bytes] | None = None
+        self._closed = False
+
+    def _open(self) -> IO[str]:
+        if self._handle is None:
+            if self._closed:
+                raise ValueError(f"JsonlSink({self.path}) is closed")
+            if self.path.suffix == ".gz":
+                import gzip
+                import io
+
+                self._raw = self.path.open("wb")
+                compressor = gzip.GzipFile(
+                    fileobj=self._raw, mode="wb", filename="", mtime=0
+                )
+                self._handle = io.TextIOWrapper(compressor, encoding="utf-8")
+            else:
+                self._handle = self.path.open("w", encoding="utf-8")
+        return self._handle
 
     def handle(self, event: dict) -> None:
-        if self._handle is None:
+        if self._closed:
             raise ValueError(f"JsonlSink({self.path}) is closed")
-        self._handle.write(_encode(event) + "\n")
+        self._open().write(_encode(event) + "\n")
 
-    def close(self, telemetry: "Telemetry") -> None:
-        if self._handle is None:
+    def close(self, telemetry: "Telemetry", aborted: bool = False) -> None:
+        if self._closed:
             return
-        if self.final_snapshot:
+        handle = self._open()
+        if aborted:
+            handle.write(_encode({"type": "aborted"}) + "\n")
+        elif self.final_snapshot:
             snapshot = telemetry.snapshot(include_wall=False)
-            self._handle.write(_encode({"type": "snapshot", **snapshot}) + "\n")
-        self._handle.close()
+            handle.write(_encode({"type": "snapshot", **snapshot}) + "\n")
+        handle.close()
+        if self._raw is not None:
+            self._raw.close()
+            self._raw = None
         self._handle = None
+        self._closed = True
 
 
 class MemorySink(Sink):
@@ -71,12 +114,35 @@ class MemorySink(Sink):
     def __init__(self) -> None:
         self.events: list[dict] = []
         self.snapshot: dict | None = None
+        self.aborted = False
 
     def handle(self, event: dict) -> None:
         self.events.append(event)
 
-    def close(self, telemetry: "Telemetry") -> None:
+    def close(self, telemetry: "Telemetry", aborted: bool = False) -> None:
+        self.aborted = aborted
         self.snapshot = telemetry.snapshot(include_wall=False)
+
+
+def histogram_columns(histogram) -> str:
+    """``n/mean/p50/p90/max`` columns for one histogram (object or
+    snapshot dict) — shared by :func:`render_summary` and
+    ``repro trace summary``."""
+    from .core import Histogram
+
+    if isinstance(histogram, dict):
+        rebuilt = Histogram(tuple(histogram["edges"]))
+        rebuilt.merge(histogram)
+        histogram = rebuilt
+    mean = histogram.total / histogram.count if histogram.count else 0.0
+    p50 = histogram.quantile(0.50)
+    p90 = histogram.quantile(0.90)
+    peak, exceeds = histogram.estimated_max()
+    peak_text = f">{peak:g}" if exceeds else f"~{peak:g}"
+    return (
+        f"n={histogram.count:,} mean={mean:.1f} "
+        f"p50={p50:.1f} p90={p90:.1f} max={peak_text}"
+    )
 
 
 def render_summary(telemetry: "Telemetry") -> str:
@@ -95,9 +161,7 @@ def render_summary(telemetry: "Telemetry") -> str:
     if telemetry.histograms:
         lines.append("-- histograms --")
         for name in sorted(telemetry.histograms):
-            histogram = telemetry.histograms[name]
-            mean = histogram.total / histogram.count if histogram.count else 0.0
-            lines.append(f"  {name}: n={histogram.count:,} mean={mean:.1f}")
+            lines.append(f"  {name}: {histogram_columns(telemetry.histograms[name])}")
     entries = list(telemetry.root.walk())
     if entries:
         lines.append("-- spans (count / wall s / virtual s) --")
@@ -115,7 +179,7 @@ class ConsoleSink(Sink):
     def __init__(self, stream=None) -> None:
         self.stream = stream
 
-    def close(self, telemetry: "Telemetry") -> None:
+    def close(self, telemetry: "Telemetry", aborted: bool = False) -> None:
         import sys
 
         print(render_summary(telemetry), file=self.stream or sys.stdout)

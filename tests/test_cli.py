@@ -6,6 +6,8 @@ import pytest
 
 from repro.cli import build_parser, main
 
+from .golden_telemetry import GOLDEN_PATH
+
 
 class TestParser:
     def test_requires_command(self):
@@ -98,3 +100,174 @@ class TestNewCommands:
         text = out.read_text()
         assert text.startswith("# Seeds of Scanning")
         assert "RQ1.a" in text and "RQ5" in text
+
+
+def run_traced(tmp_path, name, extra=(), budget="400"):
+    """Run a tiny cell with --telemetry and return the trace path."""
+    trace = tmp_path / name
+    argv = [
+        "--budget", budget, "--telemetry", str(trace),
+        *extra, "run", "6gen", "--port", "icmp",
+    ]
+    assert main(argv) == 0
+    return trace
+
+
+class TestTelemetryFlags:
+    def test_trace_opens_with_manifest_and_ends_with_snapshot(
+        self, tmp_path, capsys
+    ):
+        trace = run_traced(tmp_path, "trace.jsonl")
+        assert "wrote telemetry trace" in capsys.readouterr().err
+        lines = trace.read_text(encoding="utf-8").splitlines()
+        manifest = json.loads(lines[0])
+        assert manifest["type"] == "manifest"
+        assert manifest["master_seed"] == 42
+        assert manifest["scale"] == "tiny"
+        assert manifest["config_hash"].startswith("sha256:")
+        assert json.loads(lines[-1])["type"] == "snapshot"
+        assert any(json.loads(line)["type"] == "cell" for line in lines[1:-1])
+
+    def test_telemetry_summary_goes_to_stderr(self, capsys):
+        assert (
+            main(
+                ["--budget", "400", "--telemetry-summary", "run", "6gen",
+                 "--port", "icmp"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "counters" in captured.err and "spans" in captured.err
+        assert "counters" not in captured.out  # the run table stays clean
+
+    def test_fixed_seed_traces_are_byte_identical(self, tmp_path, capsys):
+        a = run_traced(tmp_path, "a.jsonl")
+        b = run_traced(tmp_path, "b.jsonl")
+        assert a.read_bytes() == b.read_bytes()
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_progress_renders_but_leaves_the_trace_untouched(
+        self, tmp_path, capsys
+    ):
+        plain = run_traced(tmp_path, "plain.jsonl")
+        plain_stdout = capsys.readouterr().out
+        shown = run_traced(tmp_path, "shown.jsonl", extra=("--progress",))
+        captured = capsys.readouterr()
+        assert shown.read_bytes() == plain.read_bytes()  # byte-identical
+        assert captured.out == plain_stdout  # stdout untouched too
+        assert "cells]" in captured.err
+        assert "finished:" in captured.err
+
+    def test_export_writes_manifest_sidecar(self, tmp_path, capsys):
+        export = tmp_path / "rows.json"
+        trace = tmp_path / "trace.jsonl"
+        argv = [
+            "--budget", "400", "--telemetry", str(trace),
+            "--export", str(export), "run", "6gen", "--port", "icmp",
+        ]
+        assert main(argv) == 0
+        sidecar = tmp_path / "rows.manifest.json"
+        assert "manifest:" in capsys.readouterr().out
+        manifest = json.loads(sidecar.read_text(encoding="utf-8"))
+        assert manifest["master_seed"] == 42
+        assert manifest["snapshot_digest"].startswith("sha256:")
+
+    def test_export_sidecar_without_telemetry_has_no_snapshot(
+        self, tmp_path, capsys
+    ):
+        export = tmp_path / "rows.json"
+        assert (
+            main(
+                ["--budget", "400", "--export", str(export), "run", "6gen",
+                 "--port", "icmp"]
+            )
+            == 0
+        )
+        manifest = json.loads(
+            (tmp_path / "rows.manifest.json").read_text(encoding="utf-8")
+        )
+        assert manifest["config_hash"].startswith("sha256:")
+        assert "snapshot_digest" not in manifest
+
+
+def inflate_counter(trace_path, out_path, factor=10):
+    """Copy a JSONL trace, multiplying the first scan.* counter by ``factor``."""
+    lines = []
+    for line in trace_path.read_text(encoding="utf-8").splitlines():
+        record = json.loads(line)
+        if record.get("type") == "snapshot":
+            name = next(k for k in record["counters"] if k.startswith("scan."))
+            record["counters"][name] *= factor
+        lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+    out_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return out_path
+
+
+class TestTraceCommands:
+    def test_summary_on_golden_fixture(self, capsys):
+        assert main(["trace", "summary", str(GOLDEN_PATH)]) == 0
+        out = capsys.readouterr().out
+        assert "events:" in out
+        assert "Counters" in out
+        assert "tga.rounds" in out
+
+    def test_summary_on_recorded_run(self, tmp_path, capsys):
+        trace = run_traced(tmp_path, "trace.jsonl")
+        capsys.readouterr()
+        assert main(["trace", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "master_seed=42" in out
+        assert "config: sha256:" in out
+        # The opening manifest is written before the run so it cannot
+        # carry a final-snapshot digest; only export sidecars do.
+        assert "snapshot: sha256:" not in out
+
+    def test_attribution_on_golden_fixture(self, capsys):
+        assert main(["trace", "attribution", str(GOLDEN_PATH), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "scan" in out and "dealias" in out
+        assert "%" in out
+        assert "total" in out
+
+    def test_check_clean_against_itself(self, tmp_path, capsys):
+        trace = run_traced(tmp_path, "a.jsonl")
+        capsys.readouterr()
+        assert (
+            main(["trace", "check", str(trace), "--baseline", str(trace)]) == 0
+        )
+        assert "OK:" in capsys.readouterr().out
+
+    def test_check_fails_on_inflated_counters(self, tmp_path, capsys):
+        baseline = run_traced(tmp_path, "baseline.jsonl")
+        inflated = inflate_counter(baseline, tmp_path / "inflated.jsonl")
+        capsys.readouterr()
+        assert (
+            main(["trace", "check", str(inflated), "--baseline", str(baseline)])
+            == 1
+        )
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_check_tolerance_admits_the_drift(self, tmp_path, capsys):
+        baseline = run_traced(tmp_path, "baseline.jsonl")
+        inflated = inflate_counter(baseline, tmp_path / "inflated.jsonl")
+        assert (
+            main(
+                ["trace", "check", str(inflated), "--baseline", str(baseline),
+                 "--rel-tol", "100"]
+            )
+            == 0
+        )
+
+    def test_diff_detects_budget_change(self, tmp_path, capsys):
+        small = run_traced(tmp_path, "small.jsonl", budget="400")
+        large = run_traced(tmp_path, "large.jsonl", budget="800")
+        capsys.readouterr()
+        assert main(["trace", "diff", str(large), str(small)]) == 1
+        out = capsys.readouterr().out
+        assert "figures differ" in out
+
+    def test_trace_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])

@@ -194,6 +194,53 @@ class TestSinks:
         with pytest.raises(ValueError):
             sink.handle({"type": "late"})
 
+    def test_jsonl_sink_opens_lazily(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        assert not path.exists()  # nothing recorded yet: no file
+        sink.handle({"type": "ping"})
+        assert path.exists()
+        sink.close(Telemetry())
+
+    def test_jsonl_sink_aborted_close_writes_footer(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tel = Telemetry(sinks=[JsonlSink(path)])
+        tel.emit("round", n=1)
+        tel.close(aborted=True)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert json.loads(lines[-1]) == {"type": "aborted"}
+        # No snapshot: the trace is visibly truncated, not complete.
+        assert all(json.loads(line)["type"] != "snapshot" for line in lines)
+
+    def test_jsonl_sink_event_free_run_still_leaves_a_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tel = Telemetry(sinks=[JsonlSink(path)])
+        tel.count("c", 1)  # counters don't emit events
+        tel.close()
+        (line,) = path.read_text(encoding="utf-8").splitlines()
+        snapshot = json.loads(line)
+        assert snapshot["type"] == "snapshot"
+        assert snapshot["counters"] == {"c": 1}
+
+    def test_jsonl_sink_gzip_roundtrip_is_deterministic(self, tmp_path):
+        def record(path):
+            tel = Telemetry(sinks=[JsonlSink(path)])
+            tel.emit("round", n=1)
+            tel.count("c", 2)
+            tel.close()
+
+        import gzip
+
+        a, b = tmp_path / "a.jsonl.gz", tmp_path / "b.jsonl.gz"
+        record(a)
+        record(b)
+        assert a.read_bytes() == b.read_bytes()  # mtime zeroed
+        plain = tmp_path / "plain.jsonl"
+        record(plain)
+        assert gzip.decompress(a.read_bytes()).decode("utf-8") == plain.read_text(
+            encoding="utf-8"
+        )
+
     def test_memory_sink_buffers_and_snapshots(self):
         sink = MemorySink()
         tel = Telemetry(sinks=[sink])
@@ -224,6 +271,43 @@ class TestSinks:
         text = render_summary(tel)
         for fragment in ("counters", "gauges", "histograms", "spans", "c", "s"):
             assert fragment in text
+
+    def test_render_summary_histogram_percentiles(self):
+        tel = Telemetry()
+        for value in (1, 3, 8, 40, 90):
+            tel.observe("h", value, edges=(10, 100))
+        text = render_summary(tel)
+        line = next(l for l in text.splitlines() if l.strip().startswith("h:"))
+        for column in ("n=5", "mean=28.4", "p50=", "p90=", "max=~100"):
+            assert column in line
+
+    def test_render_summary_overflowed_histogram_max(self):
+        tel = Telemetry()
+        tel.observe("h", 500, edges=(10, 100))
+        text = render_summary(tel)
+        assert "max=>100" in text
+
+
+class TestHistogramQuantiles:
+    def test_quantile_method_matches_function(self):
+        from repro.telemetry import quantile_from_buckets
+
+        hist = Histogram((10, 20))
+        for value in (1, 5, 12, 18, 19):
+            hist.observe(value)
+        assert hist.quantile(0.5) == quantile_from_buckets(
+            hist.edges, hist.buckets, 0.5
+        )
+
+    def test_estimated_max(self):
+        hist = Histogram((10, 20))
+        assert hist.estimated_max() == (0.0, False)
+        hist.observe(5)
+        assert hist.estimated_max() == (10.0, False)
+        hist.observe(15)
+        assert hist.estimated_max() == (20.0, False)
+        hist.observe(999)
+        assert hist.estimated_max() == (20.0, True)
 
 
 class TestActivation:

@@ -1,0 +1,221 @@
+"""Tests for repro.telemetry.analysis: trace loading, attribution,
+diffing, the regression gate and the Prometheus exporter."""
+
+import gzip
+import json
+import math
+
+import pytest
+
+from repro.telemetry import (
+    JsonlSink,
+    Telemetry,
+    attribute,
+    diff_traces,
+    load_trace,
+    quantile_from_buckets,
+    to_prometheus_text,
+)
+from repro.telemetry.analysis import Trace
+
+from .golden_telemetry import GOLDEN_PATH
+
+
+def make_recorded_trace(tmp_path, name="trace.jsonl", aborted=False):
+    """A small real trace: two cells with spans, counters, a histogram."""
+    path = tmp_path / name
+    tel = Telemetry(sinks=[JsonlSink(path)])
+    tel.count("scan.probes", 100)
+    tel.count("tga.rounds", 4)
+    tel.observe("scan.batch_addresses", 12)
+    with tel.span("grid"):
+        for tga, hits in (("6tree", 7), ("6gen", 9)):
+            with tel.span("cell", tga=tga, dataset="d", port="icmp") as cell:
+                with tel.span("generate") as gen:
+                    gen.add_virtual(0.25)
+                with tel.span("dealias") as dea:
+                    dea.add_virtual(0.05)
+                cell.add_virtual(0.30)
+            tel.emit(
+                "cell", tga=tga, dataset="d", port="icmp",
+                hits=hits, probes_sent=110, rounds=2,
+            )
+    tel.close(aborted=aborted)
+    return path
+
+
+class TestLoadTrace:
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = make_recorded_trace(tmp_path)
+        trace = load_trace(path)
+        assert trace.complete
+        assert not trace.aborted
+        assert trace.counters["scan.probes"] == 100
+        assert trace.histograms["scan.batch_addresses"]["count"] == 1
+        assert len(trace.events_of("cell")) == 2
+
+    def test_gzip_trace_loads_transparently(self, tmp_path):
+        plain = make_recorded_trace(tmp_path, "a.jsonl")
+        packed = make_recorded_trace(tmp_path, "b.jsonl.gz")
+        assert load_trace(packed).snapshot == load_trace(plain).snapshot
+        assert load_trace(packed).events == load_trace(plain).events
+
+    def test_golden_payload_format(self):
+        trace = load_trace(GOLDEN_PATH)
+        assert trace.complete
+        assert trace.events
+        assert "tga.rounds" in trace.counters
+
+    def test_aborted_trace_is_flagged_and_reconstructable(self, tmp_path):
+        path = make_recorded_trace(tmp_path, aborted=True)
+        trace = load_trace(path)
+        assert trace.aborted
+        assert not trace.complete
+        assert trace.snapshot is None
+        # The span tree is rebuilt from the event stream.
+        root = trace.span_tree()
+        grid = root.children["grid"]
+        assert grid.children["cell"].count == 2
+        assert grid.children["cell"].virtual == pytest.approx(0.60)
+
+    def test_rejects_non_trace_json(self, tmp_path):
+        bogus = tmp_path / "rows.json"
+        bogus.write_text(json.dumps([{"a": 1}]), encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_trace(bogus)
+
+
+class TestSpanReconstruction:
+    def test_events_and_snapshot_trees_agree(self, tmp_path):
+        trace = load_trace(make_recorded_trace(tmp_path))
+        from_snapshot = {
+            node.path: (node.count, node.virtual)
+            for _d, node in trace.span_tree().walk()
+        }
+        from_events = {
+            node.path: (node.count, node.virtual)
+            for _d, node in trace.spans_from_events().walk()
+        }
+        assert from_snapshot == from_events
+
+
+class TestAttribution:
+    def test_golden_namespace_shares_sum_to_one(self):
+        result = attribute(load_trace(GOLDEN_PATH))
+        assert result.total_virtual > 0
+        assert set(result.virtual) == {"tga", "scan", "dealias", "meta"}
+        assert math.isclose(sum(result.shares().values()), 1.0, rel_tol=1e-9)
+        assert math.isclose(
+            sum(result.virtual.values()), result.total_virtual, rel_tol=1e-9
+        )
+        # The golden workload spends its virtual seconds probing.
+        assert result.virtual["scan"] > 0
+        assert result.virtual["dealias"] > 0
+
+    def test_per_tga_rollup(self, tmp_path):
+        result = attribute(load_trace(make_recorded_trace(tmp_path)))
+        assert set(result.by_tga) == {"6tree", "6gen"}
+        assert result.by_tga["6gen"]["hits"] == 9
+        assert result.by_tga["6tree"]["virtual"] == pytest.approx(0.30)
+
+    def test_hot_spans_sorted_by_virtual(self, tmp_path):
+        result = attribute(load_trace(make_recorded_trace(tmp_path)), top=3)
+        assert len(result.hot_spans) == 3
+        virtuals = [virtual for _p, _c, virtual in result.hot_spans]
+        assert virtuals == sorted(virtuals, reverse=True)
+
+    def test_counter_namespaces(self, tmp_path):
+        result = attribute(load_trace(make_recorded_trace(tmp_path)))
+        assert result.counters["scan"] == 100
+        assert result.counters["tga"] == 4
+
+
+class TestDiff:
+    def test_identical_traces_diff_empty(self, tmp_path):
+        a = load_trace(make_recorded_trace(tmp_path, "a.jsonl"))
+        b = load_trace(make_recorded_trace(tmp_path, "b.jsonl"))
+        diff = diff_traces(a, b)
+        assert diff.is_empty
+        assert diff.regressions() == []
+
+    def test_counter_inflation_is_a_regression(self):
+        golden = load_trace(GOLDEN_PATH)
+        inflated_snapshot = json.loads(json.dumps(golden.snapshot))
+        inflated_snapshot["counters"]["scan.probes"] *= 10
+        inflated = Trace(path=None, events=golden.events, snapshot=inflated_snapshot)
+        diff = diff_traces(inflated, golden)
+        names = {entry.name for entry in diff.regressions()}
+        assert names == {"scan.probes"}
+        (entry,) = diff.regressions()
+        assert entry.relative == pytest.approx(9.0)
+        # A generous relative tolerance still flags a 10x inflation...
+        assert diff.regressions(rel_tol=0.5)
+        # ...but a huge one admits it.
+        assert not diff.regressions(rel_tol=10.0)
+
+    def test_abs_tol_admits_small_drift(self, tmp_path):
+        a = load_trace(make_recorded_trace(tmp_path, "a.jsonl"))
+        snapshot = json.loads(json.dumps(a.snapshot))
+        snapshot["counters"]["scan.probes"] += 2
+        drifted = Trace(path=None, events=a.events, snapshot=snapshot)
+        assert diff_traces(drifted, a).regressions(abs_tol=1.0)
+        assert not diff_traces(drifted, a).regressions(abs_tol=2.0)
+
+    def test_ignore_meta_excludes_meta_names(self, tmp_path):
+        a = load_trace(make_recorded_trace(tmp_path, "a.jsonl"))
+        snapshot = json.loads(json.dumps(a.snapshot))
+        snapshot["counters"]["meta.cache_hits"] = 5
+        drifted = Trace(path=None, events=a.events, snapshot=snapshot)
+        assert diff_traces(drifted, a).regressions()
+        assert not diff_traces(drifted, a).regressions(ignore_meta=True)
+
+    def test_span_drift_detected(self, tmp_path):
+        a = load_trace(make_recorded_trace(tmp_path, "a.jsonl"))
+        snapshot = json.loads(json.dumps(a.snapshot))
+        snapshot["spans"]["children"][0]["virtual"] += 1.0
+        drifted = Trace(path=None, events=a.events, snapshot=snapshot)
+        kinds = {entry.kind for entry in diff_traces(drifted, a).regressions()}
+        assert kinds == {"span"}
+
+    def test_aborted_trace_cannot_be_diffed(self, tmp_path):
+        good = load_trace(make_recorded_trace(tmp_path, "a.jsonl"))
+        bad = load_trace(make_recorded_trace(tmp_path, "b.jsonl", aborted=True))
+        with pytest.raises(ValueError, match="aborted"):
+            diff_traces(good, bad)
+
+
+class TestQuantileEstimator:
+    def test_interpolates_within_buckets(self):
+        # 10 values <= 10, 10 values in (10, 20].
+        assert quantile_from_buckets((10, 20), (10, 10), 0.5) == pytest.approx(10.0)
+        assert quantile_from_buckets((10, 20), (10, 10), 0.75) == pytest.approx(15.0)
+
+    def test_overflow_clamps_to_last_edge(self):
+        assert quantile_from_buckets((10,), (0, 5), 0.99) == 10.0
+
+    def test_empty_histogram(self):
+        assert quantile_from_buckets((10,), (0, 0), 0.5) == 0.0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            quantile_from_buckets((10,), (1, 0), 1.5)
+
+
+class TestPrometheusExport:
+    def test_counters_gauges_histograms_spans(self, tmp_path):
+        trace = load_trace(make_recorded_trace(tmp_path))
+        text = to_prometheus_text(trace.snapshot)
+        assert "# TYPE repro_scan_probes_total counter" in text
+        assert "repro_scan_probes_total 100" in text
+        assert 'repro_scan_batch_addresses_bucket{le="+Inf"} 1' in text
+        assert "repro_scan_batch_addresses_count 1" in text
+        assert 'repro_span_count{path="grid/cell"} 2' in text
+        assert 'repro_span_virtual_seconds{path="grid/cell/generate"} 0.5' in text
+
+    def test_deterministic_output(self, tmp_path):
+        trace = load_trace(make_recorded_trace(tmp_path))
+        assert to_prometheus_text(trace.snapshot) == to_prometheus_text(trace.snapshot)
+
+    def test_custom_prefix_sanitised(self):
+        text = to_prometheus_text({"counters": {"a.b-c": 1}}, prefix="x")
+        assert "x_a_b_c_total 1" in text

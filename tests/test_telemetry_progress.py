@@ -1,0 +1,122 @@
+"""Tests for repro.telemetry.progress: the live progress sink.
+
+The two invariants: output goes only to the configured stream (stderr by
+default), and attaching the sink never changes what other sinks see —
+the trace byte-identity half is asserted end-to-end in test_cli.py.
+"""
+
+import io
+
+from repro.telemetry import MemorySink, ProgressSink, Telemetry
+from repro.telemetry.progress import format_eta
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_sink(min_interval=0.0):
+    stream = io.StringIO()
+    clock = FakeClock()
+    sink = ProgressSink(stream=stream, min_interval=min_interval, clock=clock)
+    return sink, stream, clock
+
+
+class TestFormatEta:
+    def test_minutes_seconds(self):
+        assert format_eta(63) == "1:03"
+        assert format_eta(0) == "0:00"
+
+    def test_hours(self):
+        assert format_eta(3723) == "1:02:03"
+
+    def test_negative_clamps(self):
+        assert format_eta(-5) == "0:00"
+
+
+class TestProgressSink:
+    def test_cell_events_advance_the_counter(self):
+        sink, stream, clock = make_sink()
+        sink.handle({"type": "grid", "cells": 4, "pending": 4})
+        clock.advance(1.0)
+        sink.handle({"type": "cell", "tga": "6tree", "dataset": "d", "port": "icmp", "hits": 5, "rounds": 2})
+        out = stream.getvalue()
+        assert "[1/4 cells]" in out
+        assert "6tree:d:icmp" in out
+        assert "hits=5" in out
+
+    def test_eta_appears_once_rate_is_known(self):
+        sink, stream, clock = make_sink()
+        sink.handle({"type": "grid", "cells": 4, "pending": 4})
+        clock.advance(2.0)
+        sink.handle({"type": "round", "tga": "a", "round": 1, "generated": 10, "raw_hits": 1})
+        clock.advance(2.0)
+        sink.handle({"type": "cell", "tga": "a", "hits": 1, "rounds": 1})
+        # 1 cell in 4s -> 3 remaining at ~4s each = 12s.
+        assert "eta 0:12" in stream.getvalue()
+
+    def test_rate_limited_rendering(self):
+        sink, stream, clock = make_sink(min_interval=10.0)
+        sink.handle({"type": "grid", "cells": 2, "pending": 2})
+        sink.handle({"type": "round", "tga": "a", "round": 1})
+        first = stream.getvalue()
+        clock.advance(1.0)  # within the interval: suppressed
+        sink.handle({"type": "round", "tga": "a", "round": 2})
+        assert stream.getvalue() == first
+        clock.advance(10.0)  # past the interval: renders
+        sink.handle({"type": "round", "tga": "a", "round": 3})
+        assert len(stream.getvalue()) > len(first)
+
+    def test_final_cell_forces_a_render(self):
+        sink, stream, clock = make_sink(min_interval=1000.0)
+        sink.handle({"type": "grid", "cells": 1, "pending": 1})
+        sink.handle({"type": "cell", "tga": "a", "hits": 1, "rounds": 1})
+        assert "[1/1 cells]" in stream.getvalue()
+
+    def test_works_without_grid_totals(self):
+        sink, stream, clock = make_sink()
+        sink.handle({"type": "cell", "tga": "a", "hits": 3, "rounds": 1})
+        out = stream.getvalue()
+        assert "[1 cells]" in out
+        assert "eta" not in out
+
+    def test_close_writes_summary_only_after_output(self):
+        sink, stream, clock = make_sink()
+        sink.close(Telemetry())
+        assert stream.getvalue() == ""  # silent when nothing rendered
+        sink.handle({"type": "cell", "tga": "a"})
+        clock.advance(61)
+        sink.close(Telemetry())
+        assert "finished:" in stream.getvalue()
+        assert "1:01" in stream.getvalue()
+
+    def test_aborted_close_says_so(self):
+        sink, stream, clock = make_sink()
+        sink.handle({"type": "cell", "tga": "a"})
+        sink.close(Telemetry(), aborted=True)
+        assert "aborted" in stream.getvalue()
+
+    def test_events_are_not_mutated(self):
+        sink, _stream, _clock = make_sink()
+        memory = MemorySink()
+        tel = Telemetry(sinks=[memory, sink])
+        tel.emit("grid", cells=1, pending=1)
+        tel.emit("cell", tga="a", hits=2, rounds=1)
+        tel.close()
+        assert memory.events == [
+            {"type": "grid", "cells": 1, "pending": 1, "seq": 1},
+            {"type": "cell", "tga": "a", "hits": 2, "rounds": 1, "seq": 2},
+        ]
+
+    def test_ignores_unrelated_events(self):
+        sink, stream, _clock = make_sink()
+        sink.handle({"type": "span", "path": "grid/cell"})
+        sink.handle({"type": "snapshot"})
+        assert stream.getvalue() == ""

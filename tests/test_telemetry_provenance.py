@@ -1,0 +1,112 @@
+"""Tests for repro.telemetry.provenance: manifests, digests, sidecars."""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.experiments import Study
+from repro.internet import InternetConfig
+from repro.telemetry import (
+    RunManifest,
+    config_digest,
+    manifest_sidecar_path,
+    snapshot_digest,
+    write_manifest,
+)
+
+
+def make_manifest(**overrides) -> RunManifest:
+    fields = dict(
+        master_seed=7,
+        scale="tiny",
+        budget=500,
+        config_hash=config_digest(InternetConfig.tiny(master_seed=7)),
+        ports=("icmp",),
+        workers=2,
+        command="run",
+        version=__version__,
+    )
+    fields.update(overrides)
+    return RunManifest(**fields)
+
+
+class TestDigests:
+    def test_config_digest_is_stable(self):
+        a = config_digest(InternetConfig.tiny(master_seed=7))
+        b = config_digest(InternetConfig.tiny(master_seed=7))
+        assert a == b
+        assert a.startswith("sha256:")
+
+    def test_config_digest_sees_every_knob(self):
+        base = config_digest(InternetConfig.tiny(master_seed=7))
+        assert config_digest(InternetConfig.tiny(master_seed=8)) != base
+        assert (
+            config_digest(InternetConfig.tiny(master_seed=7).with_seed(7)) == base
+        )
+
+    def test_snapshot_digest_orders_keys(self):
+        assert snapshot_digest({"a": 1, "b": 2}) == snapshot_digest({"b": 2, "a": 1})
+        assert snapshot_digest({"a": 1}) != snapshot_digest({"a": 2})
+
+
+class TestRunManifest:
+    def test_dict_roundtrip(self):
+        manifest = make_manifest()
+        again = RunManifest.from_dict(manifest.to_dict())
+        assert again == manifest
+
+    def test_event_shape(self):
+        event = make_manifest().event()
+        assert event["type"] == "manifest"
+        assert event["master_seed"] == 7
+        assert event["scale"] == "tiny"
+        assert event["config_hash"].startswith("sha256:")
+        # No wall-clock anywhere: manifests must not break determinism.
+        assert not any("time" in key or "date" in key for key in event)
+
+    def test_with_snapshot_fills_digest(self):
+        manifest = make_manifest()
+        assert manifest.snapshot_digest is None
+        assert "snapshot_digest" not in manifest.to_dict()
+        stamped = manifest.with_snapshot({"counters": {"x": 1}})
+        assert stamped.snapshot_digest.startswith("sha256:")
+        assert stamped.to_dict()["snapshot_digest"] == stamped.snapshot_digest
+
+    def test_from_study_captures_world(self):
+        study = Study(config=InternetConfig.tiny(master_seed=9), budget=777)
+        manifest = RunManifest.from_study(
+            study, scale="tiny", ports=("icmp", "tcp80"), workers=4, command="rq2"
+        )
+        assert manifest.master_seed == 9
+        assert manifest.budget == 777
+        assert manifest.ports == ("icmp", "tcp80")
+        assert manifest.workers == 4
+        assert manifest.version == __version__
+        assert manifest.config_hash == config_digest(study.internet.config)
+
+    def test_from_config_matches_from_study(self):
+        config = InternetConfig.tiny(master_seed=9)
+        study = Study(config=config, budget=777)
+        assert (
+            RunManifest.from_config(config, scale="tiny", budget=777).config_hash
+            == RunManifest.from_study(study, scale="tiny").config_hash
+        )
+
+
+class TestSidecars:
+    def test_sidecar_path_replaces_extension(self):
+        assert manifest_sidecar_path("out/results.json").name == "results.manifest.json"
+        assert manifest_sidecar_path("results.csv").name == "results.manifest.json"
+
+    def test_write_manifest_roundtrip(self, tmp_path):
+        artifact = tmp_path / "rows.json"
+        artifact.write_text("[]", encoding="utf-8")
+        sidecar = write_manifest(artifact, make_manifest())
+        assert sidecar == tmp_path / "rows.manifest.json"
+        data = json.loads(sidecar.read_text(encoding="utf-8"))
+        assert RunManifest.from_dict(data) == make_manifest()
+
+    def test_manifest_is_frozen(self):
+        with pytest.raises(AttributeError):
+            make_manifest().budget = 1
