@@ -1,0 +1,224 @@
+"""Prepared-model cache benchmark: cold/warm prepares and grid speedup.
+
+Measures what the :mod:`repro.tga.modelcache` layer actually buys on
+the paper's core workload shape — the TGA × port grid on the All
+Active dataset, where every (TGA, dataset) model is rebuilt once per
+port without the cache:
+
+* per-TGA ``prepare`` microbenchmark, cold (fresh cache) vs warm
+  (artifact already cached);
+* three timed grid runs, each on a **fresh Study** (fresh world, empty
+  run cache, so Study-level memoisation cannot mask anything): cache
+  disabled, cache cold, cache warm;
+* the warm-cache hit rate, and a cell-by-cell bit-identity check of
+  all three grids (the cache must be invisible in the results — the
+  exit status reflects this, not the timings).
+
+Run:  python benchmarks/bench_model_cache.py [--quick] [--out FILE]
+
+``--quick`` shrinks the workload (2 ports, smaller budget) for CI
+smoke runs.  The JSON artifact gets a ``.manifest.json`` provenance
+sidecar recording the seed/scale/budget and telemetry snapshot digest
+of the run that produced it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments import GridSpec, Study, run_grid
+from repro.internet import ALL_PORTS, InternetConfig, Port
+from repro.telemetry import RunManifest, write_manifest
+from repro.tga import ALL_TGA_NAMES, ModelCache, create_tga, use_model_cache
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_model_cache.json"
+
+#: The acceptance target: a warm cache must at least halve grid time
+#: relative to running with the cache disabled.
+TARGET_SPEEDUP = 2.0
+
+
+def make_study(seed: int, budget: int) -> Study:
+    return Study(
+        config=InternetConfig.tiny(master_seed=seed),
+        budget=budget,
+        round_size=max(100, budget // 5),
+    )
+
+
+def make_spec(study: Study, ports: tuple[Port, ...], budget: int) -> GridSpec:
+    return GridSpec(
+        datasets=(study.constructions.all_active,),
+        tga_names=ALL_TGA_NAMES,
+        ports=ports,
+        budget=budget,
+    )
+
+
+def grid_once(
+    seed: int, budget: int, ports: tuple[Port, ...], cache: ModelCache
+):
+    """One timed grid run on a fresh study under ``cache``."""
+    study = make_study(seed, budget)
+    spec = make_spec(study, ports, budget)
+    with use_model_cache(cache):
+        start = time.perf_counter()
+        results = run_grid(study, spec)
+        seconds = time.perf_counter() - start
+    return seconds, results
+
+
+def prepare_microbench(seeds: list[int], repeats: int) -> list[dict]:
+    """Cold vs warm ``prepare`` wall time per TGA (best of ``repeats``)."""
+    rows = []
+    for name in ALL_TGA_NAMES:
+        cache = ModelCache()
+        with use_model_cache(cache):
+            cold = warm = float("inf")
+            for _ in range(repeats):
+                cache.clear()
+                tga = create_tga(name, salt=0)
+                start = time.perf_counter()
+                tga.prepare(seeds)
+                cold = min(cold, time.perf_counter() - start)
+            for _ in range(repeats):
+                tga = create_tga(name, salt=0)
+                start = time.perf_counter()
+                tga.prepare(seeds)
+                warm = min(warm, time.perf_counter() - start)
+        rows.append(
+            {
+                "tga": name,
+                "cold_ms": round(cold * 1e3, 3),
+                "warm_ms": round(warm * 1e3, 3),
+                "speedup": round(cold / warm, 2) if warm else 0.0,
+            }
+        )
+    return rows
+
+
+def identical(reference: dict, candidate: dict) -> bool:
+    """Cell-by-cell bit-identity between two grid result sets."""
+    if set(reference) != set(candidate):
+        return False
+    for key, a in reference.items():
+        b = candidate[key]
+        if (
+            a.clean_hits != b.clean_hits
+            or a.aliased_hits != b.aliased_hits
+            or a.active_ases != b.active_ases
+            or a.metrics != b.metrics
+            or a.round_history != b.round_history
+        ):
+            return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--budget", type=int, default=0, help="per-cell budget")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    budget = args.budget or (250 if args.quick else 800)
+    ports = (Port.ICMP, Port.TCP80) if args.quick else ALL_PORTS
+    repeats = 2 if args.quick else 3
+    cells = len(ALL_TGA_NAMES) * len(ports)
+    print(
+        f"workload: {cells} cells "
+        f"({len(ALL_TGA_NAMES)} TGAs x {len(ports)} ports, budget {budget}), "
+        f"cpu_count={os.cpu_count()}"
+    )
+
+    seeds = sorted(make_study(args.seed, budget).constructions.all_active.addresses)
+    prepare_rows = prepare_microbench(seeds, repeats)
+    for row in prepare_rows:
+        print(
+            f"prepare {row['tga']:<8}: cold {row['cold_ms']:9.2f}ms  "
+            f"warm {row['warm_ms']:7.2f}ms  {row['speedup']:6.1f}x"
+        )
+
+    off_seconds, off_results = grid_once(
+        args.seed, budget, ports, ModelCache(enabled=False)
+    )
+    print(f"grid cache-off : {off_seconds:8.2f}s  {cells / off_seconds:6.2f} cells/s")
+
+    cache = ModelCache()
+    cold_seconds, cold_results = grid_once(args.seed, budget, ports, cache)
+    cold_stats = cache.stats.as_dict()
+    print(
+        f"grid cache-cold: {cold_seconds:8.2f}s  "
+        f"{cells / cold_seconds:6.2f} cells/s  "
+        f"(hits {cold_stats['hits']}, misses {cold_stats['misses']})"
+    )
+
+    # Warm: same model cache, fresh Study — every artifact is served.
+    warm_seconds, warm_results = grid_once(args.seed, budget, ports, cache)
+    warm_stats = cache.stats.as_dict()
+    warm_hits = warm_stats["hits"] - cold_stats["hits"]
+    warm_misses = warm_stats["misses"] - cold_stats["misses"]
+    hit_rate = warm_hits / max(1, warm_hits + warm_misses)
+    warm_speedup = off_seconds / warm_seconds if warm_seconds else 0.0
+    print(
+        f"grid cache-warm: {warm_seconds:8.2f}s  "
+        f"{cells / warm_seconds:6.2f} cells/s  "
+        f"speedup {warm_speedup:4.2f}x  hit rate {hit_rate:.0%}"
+    )
+
+    same = identical(off_results.runs, cold_results.runs) and identical(
+        off_results.runs, warm_results.runs
+    )
+    print(f"cell-by-cell identical across off/cold/warm: {same}")
+
+    manifest = RunManifest.from_config(
+        InternetConfig.tiny(master_seed=args.seed),
+        scale="tiny",
+        budget=budget,
+        ports=tuple(port.value for port in ports),
+        command="bench_model_cache",
+    )
+    record = {
+        "benchmark": "model_cache",
+        "manifest": manifest.to_dict(),
+        "workload": {
+            "cells": cells,
+            "tgas": len(ALL_TGA_NAMES),
+            "ports": [port.value for port in ports],
+            "budget": budget,
+            "seed": args.seed,
+            "seeds": len(seeds),
+            "scale": "tiny",
+        },
+        "cpu_count": os.cpu_count(),
+        "prepare": prepare_rows,
+        "grid": {
+            "off_seconds": round(off_seconds, 4),
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "cold_speedup": round(off_seconds / cold_seconds, 4)
+            if cold_seconds
+            else 0.0,
+            "warm_speedup": round(warm_speedup, 4),
+            "warm_hit_rate": round(hit_rate, 4),
+            "cache_stats": warm_stats,
+        },
+        "target_speedup": TARGET_SPEEDUP,
+        "target_speedup_met": warm_speedup >= TARGET_SPEEDUP,
+        "identical": same,
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    sidecar = write_manifest(args.out, manifest)
+    print(f"wrote {args.out} (manifest: {sidecar})")
+    # Identity is a hard failure; timing targets are recorded, not
+    # enforced — CI machines are too noisy to gate on wall clock.
+    return 0 if same else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ from pathlib import Path
 from repro.experiments import GridSpec, Study, run_grid
 from repro.internet import ALL_PORTS, InternetConfig, Port
 from repro.telemetry import MemorySink, RunManifest, Telemetry
-from repro.tga import ALL_TGA_NAMES
+from repro.tga import ALL_TGA_NAMES, ModelCache, use_model_cache
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
@@ -55,12 +55,19 @@ def run_once(
     workers: int | None,
     telemetry: Telemetry | None = None,
 ):
-    """One timed grid run on a fresh study; returns (seconds, results)."""
+    """One timed grid run on a fresh study; returns (seconds, results).
+
+    Each run gets a fresh (cold) model cache so measured scaling is not
+    skewed by artifacts warmed in an earlier run — this benchmark
+    isolates process-level parallelism; cold-vs-warm cache economics
+    are ``bench_model_cache.py``'s job.
+    """
     study = make_study(seed, budget)
     spec = make_spec(study, ports, budget)
-    start = time.perf_counter()
-    results = run_grid(study, spec, workers=workers, telemetry=telemetry)
-    return time.perf_counter() - start, results
+    with use_model_cache(ModelCache()):
+        start = time.perf_counter()
+        results = run_grid(study, spec, workers=workers, telemetry=telemetry)
+        return time.perf_counter() - start, results
 
 
 def identical(serial_runs: dict, parallel_runs: dict) -> bool:

@@ -16,7 +16,10 @@ Common options: ``--scale {tiny,bench,small}``, ``--seed``, ``--budget``,
 ``--port``, ``--workers``, ``--export file.csv|file.json``.
 
 ``--workers N`` spreads uncached experiment cells across N worker
-processes; results are bit-identical to a serial run.
+processes (``--workers auto`` picks ``min(cpu_count, cells)``); results
+are bit-identical to a serial run.  ``--no-model-cache`` disables the
+prepared-model cache (see ``repro.tga.modelcache``) — an escape hatch
+for debugging; results are bit-identical with it on or off.
 
 ``--telemetry trace.jsonl`` writes a deterministic JSONL event trace of
 the whole command (byte-identical across runs for a fixed seed, even
@@ -67,7 +70,7 @@ from .telemetry import (
     write_manifest,
 )
 from .telemetry.provenance import config_digest
-from .tga import ALL_TGA_NAMES
+from .tga import ALL_TGA_NAMES, canonical_tga_name, get_model_cache
 
 __all__ = ["main", "build_parser"]
 
@@ -76,6 +79,29 @@ _SCALES = {
     "bench": InternetConfig.bench,
     "small": InternetConfig.small,
 }
+
+
+def _workers_arg(value: str) -> int | str:
+    """``--workers`` accepts a positive integer or the string ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError("workers must be at least 1")
+    return count
+
+
+def _tga_arg(value: str) -> str:
+    """A TGA name or documented alias, resolved to the canonical name."""
+    try:
+        return canonical_tga_name(value)
+    except KeyError as error:
+        raise argparse.ArgumentTypeError(error.args[0]) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,10 +115,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--budget", type=int, default=2_500)
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=1,
-        help="worker processes for experiment cells (1 = serial; "
-        "parallel results are bit-identical to serial)",
+        metavar="N|auto",
+        help="worker processes for experiment cells (1 = serial; 'auto' = "
+        "min(CPU count, cells); parallel results are bit-identical to serial)",
+    )
+    parser.add_argument(
+        "--no-model-cache",
+        action="store_true",
+        help="disable the prepared-model cache (debugging escape hatch; "
+        "results are bit-identical either way, prepares just get slower)",
     )
     parser.add_argument(
         "--export", default="", help="write result rows to a .csv or .json file"
@@ -120,7 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("sources", help="seed source composition (Table 3)")
 
     run_parser = sub.add_parser("run", help="run one TGA cell")
-    run_parser.add_argument("tga", choices=ALL_TGA_NAMES)
+    run_parser.add_argument("tga", type=_tga_arg, choices=ALL_TGA_NAMES)
     run_parser.add_argument(
         "--port", choices=[p.value for p in ALL_PORTS], default="icmp"
     )
@@ -141,7 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     overlap_parser.add_argument("--by", choices=["ip", "as"], default="ip")
 
     conv_parser = sub.add_parser("convergence", help="discovery-curve summary for one TGA")
-    conv_parser.add_argument("tga", choices=ALL_TGA_NAMES)
+    conv_parser.add_argument("tga", type=_tga_arg, choices=ALL_TGA_NAMES)
     conv_parser.add_argument(
         "--port", choices=[p.value for p in ALL_PORTS], default="icmp"
     )
@@ -215,7 +248,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace_check.add_argument(
         "--ignore-meta",
         action="store_true",
-        help="ignore meta.* names (differ legitimately serial vs parallel)",
+        help="ignore the sanctioned variant namespaces (meta.*, "
+        "tga.model_cache.*: differ legitimately between serial/parallel "
+        "and cold/warm-cache executions)",
     )
     return parser
 
@@ -682,6 +717,9 @@ def _make_telemetry(args: argparse.Namespace) -> Telemetry | None:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.no_model_cache:
+        # Reaches worker processes too: WorkerSpec captures the setting.
+        get_model_cache().enabled = False
     telemetry = None if args.command == "trace" else _make_telemetry(args)
     if telemetry is None:
         return _COMMANDS[args.command](args)

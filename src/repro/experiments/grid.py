@@ -17,7 +17,7 @@ from ..datasets import SeedDataset
 from ..internet import ALL_PORTS, Port
 from ..metrics import MetricSet
 from ..telemetry import Telemetry, get_telemetry, use_telemetry
-from ..tga import ALL_TGA_NAMES
+from ..tga import ALL_TGA_NAMES, canonical_tga_name
 from .harness import Study
 from .results import RunResult
 
@@ -99,7 +99,7 @@ def run_grid(
     study: Study,
     spec: GridSpec,
     progress: Callable[[int, int, RunResult], None] | None = None,
-    workers: int | None = None,
+    workers: int | str | None = None,
     chunksize: int | None = None,
     telemetry: Telemetry | None = None,
 ) -> GridResults:
@@ -107,7 +107,9 @@ def run_grid(
 
     ``progress(done, total, last_result)`` is invoked after each cell —
     in cell order when running serially, in completion order when
-    ``workers`` > 1 spreads uncached cells across processes.  Parallel
+    ``workers`` > 1 spreads uncached cells across processes.
+    ``workers="auto"`` picks ``min(cpu_count, cells)`` and falls back
+    to the serial path on single-CPU machines.  Parallel
     results are bit-identical to serial ones.
 
     ``telemetry`` activates a registry for the duration of the grid;
@@ -116,9 +118,12 @@ def run_grid(
     chunk order, so a fixed-seed grid writes a byte-identical JSONL
     event log no matter how cells were scheduled.
     """
+    from .parallel import ParallelExecutor, resolve_workers
+
     with use_telemetry(telemetry):
         results = GridResults(spec=spec)
         total = spec.size
+        workers = resolve_workers(workers, total)
         tel = get_telemetry()
         if tel.enabled:
             # Deterministic start-of-grid event: totals for progress
@@ -126,14 +131,17 @@ def run_grid(
             pending = sum(
                 1
                 for tga, dataset, port in spec.cells()
-                if (tga, dataset.name, port, spec.budget or study.budget)
+                if (
+                    canonical_tga_name(tga),
+                    dataset.name,
+                    port,
+                    spec.budget or study.budget,
+                )
                 not in study._run_cache
             )
             tel.emit("grid", cells=total, pending=pending)
         with tel.span("grid", cells=total):
-            if workers and workers > 1:
-                from .parallel import ParallelExecutor
-
+            if workers > 1:
                 executor = ParallelExecutor(
                     study, max_workers=workers, chunksize=chunksize
                 )

@@ -15,7 +15,7 @@ from ..internet import ALL_PORTS, InternetConfig, Port, SimulatedInternet
 from ..preprocess import DatasetConstructions
 from ..scanner import Blocklist, Scanner
 from ..telemetry import Telemetry, get_telemetry, use_telemetry
-from ..tga import ALL_TGA_NAMES
+from ..tga import ALL_TGA_NAMES, canonical_tga_name
 from .results import RunResult
 from .runner import run_generation
 
@@ -90,7 +90,12 @@ class Study:
         port: Port,
         budget: int | None = None,
     ) -> RunResult:
-        """Run (or fetch from cache) one generation-and-scan cell."""
+        """Run (or fetch from cache) one generation-and-scan cell.
+
+        ``tga_name`` may be an alias (e.g. ``entropy_ip``); cache keys
+        and results always carry the canonical registry name.
+        """
+        tga_name = canonical_tga_name(tga_name)
         budget = budget or self.budget
         key = (tga_name, dataset.name, port, budget)
         cached = self._run_cache.get(key)
@@ -117,22 +122,27 @@ class Study:
     def precompute(
         self,
         cells: list[tuple[str, SeedDataset, Port, int | None]],
-        workers: int | None = None,
+        workers: int | str | None = None,
         chunksize: int | None = None,
     ) -> int:
         """Fill the run cache for ``cells`` using ``workers`` processes.
 
         With ``workers`` unset (or 1) this is a no-op — callers compute
         cells lazily through :meth:`run`, which is the same work in the
-        same process.  Returns the number of cells that were missing
-        from the cache when called.  Parallel results are bit-identical
-        to serial ones (every stochastic draw is keyed on the master
-        seed), so downstream consumers cannot tell the difference.
+        same process.  ``workers="auto"`` picks ``min(cpu_count,
+        cells)`` (serial on single-CPU hosts).  Returns the number of
+        cells that were missing from the cache when called.  Parallel
+        results are bit-identical to serial ones (every stochastic draw
+        is keyed on the master seed), so downstream consumers cannot
+        tell the difference.
         """
+        from .parallel import ParallelExecutor, resolve_workers
+
+        workers = resolve_workers(workers, len(cells))
         missing = sum(
             1
             for tga_name, dataset, port, budget in cells
-            if (tga_name, dataset.name, port, budget or self.budget)
+            if (canonical_tga_name(tga_name), dataset.name, port, budget or self.budget)
             not in self._run_cache
         )
         tel = get_telemetry()
@@ -140,9 +150,8 @@ class Study:
             # Deterministic start-of-batch event: totals for progress
             # displays, emitted before any cell runs (serial or not).
             tel.emit("grid", cells=len(cells), pending=missing)
-        if not workers or workers <= 1 or missing == 0:
+        if workers <= 1 or missing == 0:
             return missing
-        from .parallel import ParallelExecutor
 
         ParallelExecutor(self, max_workers=workers, chunksize=chunksize).run_cells(
             cells
@@ -155,14 +164,15 @@ class Study:
         ports: tuple[Port, ...] = ALL_PORTS,
         tga_names: tuple[str, ...] | None = None,
         budget: int | None = None,
-        parallel: int | None = None,
+        parallel: int | str | None = None,
         chunksize: int | None = None,
         telemetry: Telemetry | None = None,
     ) -> dict[tuple[str, str, Port], RunResult]:
         """Run the full TGA × dataset × port grid.
 
         ``parallel`` spreads uncached cells across that many worker
-        processes; results (and the populated run cache) are identical
+        processes (``"auto"`` = ``min(cpu_count, cells)``); results
+        (and the populated run cache) are identical
         to a serial run.  ``telemetry`` activates a registry for the
         duration of the matrix (worker-process telemetry is merged back
         deterministically).

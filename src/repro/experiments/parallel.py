@@ -35,10 +35,17 @@ from ..addr import Prefix
 from ..internet import InternetConfig, Port
 from ..scanner import Blocklist
 from ..telemetry import MemorySink, Telemetry, get_telemetry, use_telemetry
+from ..tga import canonical_tga_name, get_model_cache
 from .harness import Study
 from .results import RunResult
 
-__all__ = ["Cell", "RunKey", "WorkerSpec", "ParallelExecutor"]
+__all__ = [
+    "Cell",
+    "RunKey",
+    "WorkerSpec",
+    "ParallelExecutor",
+    "resolve_workers",
+]
 
 #: One grid cell: (tga name, dataset, port, budget-or-None).
 Cell = tuple  # (str, SeedDataset, Port, int | None)
@@ -63,10 +70,21 @@ class WorkerSpec:
     packets_per_second: float
     #: Collect telemetry in the worker and ship it back to the parent.
     telemetry: bool = False
+    #: Enable the prepared-model cache in the worker (mirrors the
+    #: parent's :func:`repro.tga.get_model_cache` setting, so
+    #: ``--no-model-cache`` reaches every process).
+    model_cache: bool = True
 
     @classmethod
-    def from_study(cls, study: Study, telemetry: bool = False) -> "WorkerSpec":
+    def from_study(
+        cls,
+        study: Study,
+        telemetry: bool = False,
+        model_cache: bool | None = None,
+    ) -> "WorkerSpec":
         """Capture a study's world-defining parameters."""
+        if model_cache is None:
+            model_cache = get_model_cache().enabled
         return cls(
             config=study.internet.config,
             budget=study.budget,
@@ -78,6 +96,7 @@ class WorkerSpec:
             ),
             packets_per_second=study.packets_per_second,
             telemetry=telemetry,
+            model_cache=model_cache,
         )
 
     def build_study(self) -> Study:
@@ -100,8 +119,35 @@ class WorkerSpec:
 _WORKER_STUDIES: dict[WorkerSpec, Study] = {}
 
 
+def resolve_workers(workers: int | str | None, cells: int) -> int:
+    """Resolve a worker-count request against the machine and grid size.
+
+    ``None`` means serial (1).  Integers pass through unchanged.  The
+    string ``"auto"`` picks ``min(cpu_count, cells)`` — enough processes
+    to cover the grid without oversubscribing the machine — and falls
+    back to the serial path on single-CPU hosts, where process spawn
+    overhead can only lose.
+    """
+    if workers is None:
+        return 1
+    if isinstance(workers, str):
+        if workers != "auto":
+            raise ValueError(
+                f"workers must be a positive int or 'auto', got {workers!r}"
+            )
+        cpus = os.cpu_count() or 1
+        if cpus <= 1:
+            return 1
+        return max(1, min(cpus, cells))
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    return workers
+
+
 def _worker_study(spec: WorkerSpec) -> Study:
-    key = replace(spec, telemetry=False)  # one world per *world* spec
+    # One world per *world* spec: neither telemetry capture nor the
+    # model-cache toggle changes what gets built.
+    key = replace(spec, telemetry=False, model_cache=True)
     study = _WORKER_STUDIES.get(key)
     if study is None:
         study = spec.build_study()
@@ -121,6 +167,7 @@ def _run_cell_chunk(
     telemetry measures exactly the cell work — matching the parent,
     where those structures are built before (or outside) the runs.
     """
+    get_model_cache().enabled = spec.model_cache
     study = _worker_study(spec)
     out: list[tuple[RunKey, RunResult]] = []
     if not spec.telemetry:
@@ -196,6 +243,7 @@ class ParallelExecutor:
         tel = get_telemetry()
         resolved: dict[RunKey, Cell] = {}
         for tga_name, dataset, port, budget in cells:
+            tga_name = canonical_tga_name(tga_name)
             budget = budget or study.budget
             resolved.setdefault(
                 (tga_name, dataset.name, port, budget),

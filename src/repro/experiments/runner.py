@@ -17,7 +17,8 @@ from ..internet import Port, SimulatedInternet
 from ..metrics import evaluate_metrics, filter_mega_isp
 from ..scanner import Scanner
 from ..telemetry import get_telemetry
-from ..tga import create_tga
+from ..tga import canonical_tga_name, create_tga
+from ..tga.modelcache import get_model_cache
 from .results import RunResult
 
 __all__ = ["run_generation"]
@@ -53,6 +54,11 @@ def run_generation(
     """
     if budget <= 0:
         raise ValueError("budget must be positive")
+    if tga_factory is None:
+        # Aliases resolve here so results and trace spans always carry
+        # the canonical registry name; factory runs keep their label
+        # (ablations use names outside the registry).
+        tga_name = canonical_tga_name(tga_name)
     scanner = scanner or Scanner(internet)
     salt = hash64(internet.config.master_seed, len(seeds), port.index)
     tga = tga_factory(salt) if tga_factory is not None else create_tga(tga_name, salt=salt)
@@ -63,8 +69,22 @@ def run_generation(
         "cell", tga=tga_name, dataset=seeds.name, port=port.value, budget=budget
     ) as cell_span:
         virtual_start = scanner.rate_limiter.virtual_time
-        with tel.span("prepare"):
+        with tel.span("prepare") as prepare_span:
+            cache = get_model_cache()
+            misses_before = cache.stats.misses
+            hits_before = cache.stats.hits
             tga.prepare(sorted(seed_set))
+            # ``cached``: every model artifact this prepare needed came
+            # from the cache.  Lives in the sanctioned
+            # ``tga.model_cache.*`` variant namespace — cold and warm
+            # runs legitimately differ here and nowhere else.
+            prepare_span.annotate(
+                cached=bool(
+                    cache.enabled
+                    and cache.stats.misses == misses_before
+                    and cache.stats.hits > hits_before
+                )
+            )
 
         generated: set[int] = set()
         raw_hits: set[int] = set()

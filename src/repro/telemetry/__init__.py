@@ -12,10 +12,12 @@ Usage::
 Everything the subsystem records — counters, histograms, span virtual
 times, JSONL event logs — is deterministic for a fixed master seed;
 only wall-clock durations (kept in the in-memory span tree for console
-summaries) vary between runs.  Counters under the ``meta.`` namespace
-(cache hits, scheduler bookkeeping) are additionally allowed to depend
-on the execution strategy (serial vs parallel); all other names must
-not.  See ``docs/architecture.md`` for the event schema.
+summaries) vary between runs.  Counters under the sanctioned variant
+namespaces (:data:`SANCTIONED_VARIANT_PREFIXES`: ``meta.*`` run-cache
+bookkeeping, ``tga.model_cache.*`` prepared-model cache traffic) are
+additionally allowed to depend on the execution strategy (serial vs
+parallel, cold vs warm cache); all other names must not.  See
+``docs/architecture.md`` for the event schema.
 
 The consumption layer lives alongside the producer:
 
@@ -44,6 +46,7 @@ from .analysis import (
 )
 from .core import (
     DEFAULT_EDGES,
+    SANCTIONED_VARIANT_PREFIXES,
     Histogram,
     SpanHandle,
     SpanNode,
@@ -71,6 +74,7 @@ from .sinks import (
 
 __all__ = [
     "DEFAULT_EDGES",
+    "SANCTIONED_VARIANT_PREFIXES",
     "Histogram",
     "SpanHandle",
     "SpanNode",

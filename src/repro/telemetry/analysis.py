@@ -32,7 +32,7 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from .core import SpanNode
+from .core import SANCTIONED_VARIANT_PREFIXES, SpanNode
 
 __all__ = [
     "Trace",
@@ -304,12 +304,16 @@ class TraceDiff:
         the golden baseline) *any* drift is a regression.  ``rel_tol``
         admits changes within ±``rel_tol`` of the baseline value;
         ``abs_tol`` admits small absolute drifts regardless of the
-        relative size; ``ignore_meta`` drops the ``meta.*`` names, which
-        legitimately differ between serial and parallel execution.
+        relative size; ``ignore_meta`` drops the sanctioned
+        execution-variant namespaces
+        (:data:`~repro.telemetry.SANCTIONED_VARIANT_PREFIXES`:
+        ``meta.*`` run-cache bookkeeping and ``tga.model_cache.*``
+        traffic), which legitimately differ between serial/parallel or
+        cold/warm-cache executions.
         """
         out = []
         for entry in self.entries:
-            if ignore_meta and entry.name.split(".", 1)[0] == "meta":
+            if ignore_meta and entry.name.startswith(SANCTIONED_VARIANT_PREFIXES):
                 continue
             if abs(entry.delta) <= abs_tol:
                 continue

@@ -12,10 +12,13 @@ Design constraints (see ``docs/architecture.md`` § Telemetry):
   Wall-clock durations are accumulated in the span tree for human
   summaries but excluded from events and default snapshots, so JSONL
   event logs and golden snapshots are byte-identical across runs.
-  The one sanctioned exception is the ``meta.*`` counter namespace
-  (cache hits, scheduling bookkeeping), which may legitimately differ
-  between serial and parallel execution of the same workload; all other
-  names must be execution-strategy independent.
+  The sanctioned exceptions are the namespaces listed in
+  :data:`SANCTIONED_VARIANT_PREFIXES` — ``meta.*`` (run-cache hits,
+  scheduling bookkeeping) and ``tga.model_cache.*`` (prepared-model
+  cache traffic, plus the ``cached`` attribute on ``prepare`` span
+  events) — which may legitimately differ between serial and parallel
+  execution, or between cold- and warm-cache runs, of the same
+  workload; all other names must be execution-strategy independent.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from contextlib import contextmanager
 
 __all__ = [
     "DEFAULT_EDGES",
+    "SANCTIONED_VARIANT_PREFIXES",
     "Histogram",
     "SpanNode",
     "SpanHandle",
@@ -35,6 +39,12 @@ __all__ = [
     "quantile_from_buckets",
     "use_telemetry",
 ]
+
+#: Metric-name prefixes sanctioned to differ between executions of the
+#: same workload that are otherwise bit-identical (serial vs parallel,
+#: cold vs warm model cache).  Every comparison that asserts
+#: execution-strategy independence filters these out.
+SANCTIONED_VARIANT_PREFIXES: tuple[str, ...] = ("meta.", "tga.model_cache.")
 
 #: Default histogram bucket edges (counts of addresses / batch sizes).
 DEFAULT_EDGES: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000)
@@ -185,15 +195,28 @@ class SpanNode:
 class SpanHandle:
     """Mutable handle yielded by :meth:`Telemetry.span`."""
 
-    __slots__ = ("node", "virtual")
+    __slots__ = ("node", "virtual", "attrs")
 
     def __init__(self, node: SpanNode) -> None:
         self.node = node
         self.virtual = 0.0
+        self.attrs: dict | None = None
 
     def add_virtual(self, seconds: float) -> None:
         """Attribute virtual scan time (rate-limiter seconds) to the span."""
         self.virtual += seconds
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the span's exit event.
+
+        Unlike the keyword attributes passed to :meth:`Telemetry.span`
+        (fixed at entry), annotations can record facts only known once
+        the work has run — e.g. whether ``prepare`` was served from the
+        model cache.
+        """
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs.update(attrs)
 
 
 class _NullSpanHandle:
@@ -202,6 +225,9 @@ class _NullSpanHandle:
     __slots__ = ()
 
     def add_virtual(self, seconds: float) -> None:  # pragma: no cover - trivial
+        pass
+
+    def annotate(self, **attrs) -> None:  # pragma: no cover - trivial
         pass
 
     def __enter__(self) -> "_NullSpanHandle":
@@ -279,6 +305,8 @@ class Telemetry:
                     event["virtual"] = handle.virtual
                 if attrs:
                     event.update(attrs)
+                if handle.attrs:
+                    event.update(handle.attrs)
                 self.emit_event(event)
 
     # -- events ------------------------------------------------------------

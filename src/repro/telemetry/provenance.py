@@ -75,7 +75,10 @@ class RunManifest:
     budget: int
     config_hash: str
     ports: tuple[str, ...] = ()
-    workers: int = 1
+    #: The requested worker count — the literal ``"auto"`` when the run
+    #: asked for machine-dependent autoscaling (recording the resolved
+    #: count would make the manifest machine-dependent).
+    workers: int | str = 1
     command: str = ""
     package: str = "repro"
     version: str = ""

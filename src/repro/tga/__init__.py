@@ -2,9 +2,11 @@
 
 from .base import (
     ALL_TGA_NAMES,
+    TGA_ALIASES,
     TGA_TABLE1,
     Table1Row,
     TargetGenerator,
+    canonical_tga_name,
     create_tga,
     register_tga,
     tga_class,
@@ -13,6 +15,14 @@ from .addrminer import AddrMiner
 from .det import DET
 from .entropy_ip import EntropyIP
 from .leafpool import LeafPool
+from .modelcache import (
+    CacheStats,
+    ModelCache,
+    cached_space_tree,
+    get_model_cache,
+    seed_fingerprint,
+    use_model_cache,
+)
 from .sixgen import SixGen
 from .sixgraph import SixGraph
 from .sixhit import SixHit
@@ -25,8 +35,10 @@ __all__ = [
     "TargetGenerator",
     "create_tga",
     "tga_class",
+    "canonical_tga_name",
     "register_tga",
     "ALL_TGA_NAMES",
+    "TGA_ALIASES",
     "Table1Row",
     "TGA_TABLE1",
     "SpaceTree",
@@ -34,6 +46,12 @@ __all__ = [
     "LeafPool",
     "expanded_values",
     "leaf_candidates",
+    "CacheStats",
+    "ModelCache",
+    "cached_space_tree",
+    "get_model_cache",
+    "seed_fingerprint",
+    "use_model_cache",
     "SixTree",
     "SixScan",
     "SixHit",

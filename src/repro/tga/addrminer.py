@@ -20,7 +20,7 @@ from ..addr import Prefix
 from ..addr.rand import DeterministicStream
 from .base import TargetGenerator, register_tga
 from .leafpool import LeafPool
-from .spacetree import SpaceTree
+from .modelcache import cached_space_tree, get_model_cache, seed_fingerprint
 
 __all__ = ["AddrMiner"]
 
@@ -62,20 +62,36 @@ class AddrMiner(TargetGenerator):
     # -- model ------------------------------------------------------------
 
     def _ingest(self, seeds: list[int]) -> None:
+        # Frozen model: the (cached) entropy tree plus the sparse-/48
+        # table.  Per-run state: pool, pending map, transfer stream.
         self._seed_set = set(seeds)
-        tree = SpaceTree(seeds, strategy="entropy", max_leaf_seeds=self.max_leaf_seeds)
+        fingerprint = seed_fingerprint(seeds)
+        tree = cached_space_tree(
+            seeds,
+            strategy="entropy",
+            max_leaf_seeds=self.max_leaf_seeds,
+            fingerprint=fingerprint,
+        )
         self._pool = LeafPool(
             tree.leaves,
             weights=[max(leaf.density, 1e-9) for leaf in tree.leaves],
             max_level=self.max_level,
             exclude=self._seed_set,
         )
-        by_net48: dict[int, int] = {}
-        for seed in self._seed_set:
-            net48 = seed >> 80
-            by_net48[net48] = by_net48.get(net48, 0) + 1
-        self._sparse_net48 = sorted(
-            net48 for net48, count in by_net48.items() if count <= 2
+
+        def build_sparse() -> tuple[int, ...]:
+            by_net48: dict[int, int] = {}
+            for seed in self._seed_set:
+                net48 = seed >> 80
+                by_net48[net48] = by_net48.get(net48, 0) + 1
+            return tuple(
+                sorted(net48 for net48, count in by_net48.items() if count <= 2)
+            )
+
+        self._sparse_net48 = list(
+            get_model_cache().get_or_build(
+                "addrminer.sparse48", fingerprint, (), build_sparse, cost=len(seeds)
+            )
         )
         self._stream = DeterministicStream(0xADD2, self.salt)
         self._pending = {}

@@ -29,7 +29,9 @@ __all__ = [
     "register_tga",
     "create_tga",
     "tga_class",
+    "canonical_tga_name",
     "ALL_TGA_NAMES",
+    "TGA_ALIASES",
     "Table1Row",
     "TGA_TABLE1",
 ]
@@ -127,6 +129,19 @@ ALL_TGA_NAMES: tuple[str, ...] = (
 )
 
 
+#: Accepted spellings for generators whose registry name differs from
+#: how the paper (or common usage) writes them.  Keys are normalised
+#: lowercase; values are canonical registry names.
+TGA_ALIASES: dict[str, str] = {
+    "entropy_ip": "eip",
+    "entropy-ip": "eip",
+    "entropyip": "eip",
+    "entropy/ip": "eip",
+    "addr_miner": "addrminer",
+    "addr-miner": "addrminer",
+}
+
+
 def register_tga(cls: type[TargetGenerator]) -> type[TargetGenerator]:
     """Class decorator: add a generator to the registry."""
     if not cls.name:
@@ -137,18 +152,30 @@ def register_tga(cls: type[TargetGenerator]) -> type[TargetGenerator]:
     return cls
 
 
-def tga_class(name: str) -> type[TargetGenerator]:
-    """Look up a generator class by canonical name."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
+def canonical_tga_name(name: str) -> str:
+    """Resolve a generator name or alias to its canonical registry name.
+
+    Accepts canonical names (returned unchanged, so the mapping
+    round-trips for all eight generators), the paper's spellings
+    (``"entropy_ip"`` → ``"eip"``) and any case variation thereof.
+    Unknown names raise ``KeyError`` listing the known canonical names.
+    """
+    lowered = name.lower()
+    resolved = TGA_ALIASES.get(lowered, lowered)
+    if resolved not in _REGISTRY:
         raise KeyError(
             f"unknown TGA {name!r}; known: {sorted(_REGISTRY)}"
-        ) from None
+        )
+    return resolved
+
+
+def tga_class(name: str) -> type[TargetGenerator]:
+    """Look up a generator class by canonical name or alias."""
+    return _REGISTRY[canonical_tga_name(name)]
 
 
 def create_tga(name: str, salt: int = 0) -> TargetGenerator:
-    """Instantiate a generator by canonical name."""
+    """Instantiate a generator by canonical name or alias."""
     return tga_class(name)(salt=salt)
 
 

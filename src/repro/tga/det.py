@@ -28,7 +28,7 @@ import math
 
 from .base import TargetGenerator, register_tga
 from .leafpool import LeafPool
-from .spacetree import SpaceTree
+from .modelcache import cached_space_tree, get_model_cache, seed_fingerprint
 
 __all__ = ["DET"]
 
@@ -79,15 +79,42 @@ class DET(TargetGenerator):
 
     # -- model construction -----------------------------------------------
 
+    def _frozen_groups(self, seeds: list[int]) -> tuple:
+        """Frozen model: entropy-tree leaves grouped by /32, cached.
+
+        Pure function of the seed list — the UCB statistics, pools and
+        pending maps layered on top are per-run state.
+        """
+        fingerprint = seed_fingerprint(seeds)
+
+        def build() -> tuple:
+            tree = cached_space_tree(
+                seeds,
+                strategy="entropy",
+                max_leaf_seeds=self.max_leaf_seeds,
+                fingerprint=fingerprint,
+            )
+            by_net32: dict[int, list] = {}
+            for leaf in tree.leaves:
+                by_net32.setdefault(leaf.seeds[0] >> 96, []).append(leaf)
+            return tuple(
+                (net32, tuple(leaves)) for net32, leaves in sorted(by_net32.items())
+            )
+
+        return get_model_cache().get_or_build(
+            "det.groups",
+            fingerprint,
+            (self.max_leaf_seeds,),
+            build,
+            cost=len(seeds),
+        )
+
     def _build_groups(self, seeds: list[int]) -> None:
-        tree = SpaceTree(seeds, strategy="entropy", max_leaf_seeds=self.max_leaf_seeds)
-        by_net32: dict[int, list] = {}
-        for leaf in tree.leaves:
-            by_net32.setdefault(leaf.seeds[0] >> 96, []).append(leaf)
+        grouped = self._frozen_groups(seeds)
         exclude = self._seeds | self._discovered
         old_stats = {group.net32: (group.probes, group.hits) for group in self._groups}
         self._groups = []
-        for net32, leaves in sorted(by_net32.items()):
+        for net32, leaves in grouped:
             pool = LeafPool(
                 leaves,
                 weights=[max(leaf.density, 1e-9) for leaf in leaves],

@@ -22,6 +22,7 @@ from ..addr import ADDRESS_NYBBLES
 from ..addr.nybbles import get_nybble
 from ..addr.rand import DeterministicStream
 from .base import TargetGenerator, register_tga
+from .modelcache import get_model_cache, seed_fingerprint
 
 __all__ = ["EntropyIP"]
 
@@ -72,34 +73,61 @@ class EntropyIP(TargetGenerator):
             value = (value << 4) | get_nybble(seed, dim)
         return value
 
+    def _frozen_model(self, seeds: list[int]) -> tuple:
+        """Frozen model: segments, marginals and transition tables.
+
+        Pure function of the seed list (order-sensitive — transitions
+        pair adjacent segment values per seed), cached process-wide.
+        The sampling stream and emitted-set are per-run state.
+        """
+
+        def build() -> tuple:
+            entropies = [
+                _nybble_entropy(seeds, dim) for dim in range(ADDRESS_NYBBLES)
+            ]
+            starts = segment_boundaries(entropies)
+            segments: list[tuple[int, int]] = []
+            for i, start in enumerate(starts):
+                end = starts[i + 1] if i + 1 < len(starts) else ADDRESS_NYBBLES
+                segments.append((start, end - start))
+
+            # Per-segment marginals and adjacent-segment transition counts.
+            marginals: list[list[tuple[int, int]]] = []
+            transitions_chain: list[dict[int, list[tuple[int, int]]]] = []
+            previous_values: list[int] | None = None
+            for start, length in segments:
+                values = [
+                    self._segment_value(seed, start, length) for seed in seeds
+                ]
+                counts = Counter(values)
+                marginals.append(counts.most_common(_TOP_VALUES))
+                transitions: dict[int, list[tuple[int, int]]] = {}
+                if previous_values is not None:
+                    pair_counts: dict[int, Counter] = {}
+                    for prev, cur in zip(previous_values, values):
+                        pair_counts.setdefault(prev, Counter())[cur] += 1
+                    transitions = {
+                        prev: counter.most_common(_TOP_VALUES)
+                        for prev, counter in pair_counts.items()
+                    }
+                transitions_chain.append(transitions)
+                previous_values = values
+            return tuple(segments), tuple(marginals), tuple(transitions_chain)
+
+        return get_model_cache().get_or_build(
+            "eip.model",
+            seed_fingerprint(seeds),
+            (_ENTROPY_STEP, _TOP_VALUES),
+            build,
+            cost=len(seeds),
+        )
+
     def _ingest(self, seeds: list[int]) -> None:
         self._seeds = set(seeds)
-        entropies = [_nybble_entropy(seeds, dim) for dim in range(ADDRESS_NYBBLES)]
-        starts = segment_boundaries(entropies)
-        self._segments = []
-        for i, start in enumerate(starts):
-            end = starts[i + 1] if i + 1 < len(starts) else ADDRESS_NYBBLES
-            self._segments.append((start, end - start))
-
-        # Per-segment marginals and adjacent-segment transition counts.
-        self._marginals = []
-        self._transitions = []
-        previous_values: list[int] | None = None
-        for start, length in self._segments:
-            values = [self._segment_value(seed, start, length) for seed in seeds]
-            counts = Counter(values)
-            self._marginals.append(counts.most_common(_TOP_VALUES))
-            transitions: dict[int, list[tuple[int, int]]] = {}
-            if previous_values is not None:
-                pair_counts: dict[int, Counter] = {}
-                for prev, cur in zip(previous_values, values):
-                    pair_counts.setdefault(prev, Counter())[cur] += 1
-                transitions = {
-                    prev: counter.most_common(_TOP_VALUES)
-                    for prev, counter in pair_counts.items()
-                }
-            self._transitions.append(transitions)
-            previous_values = values
+        segments, marginals, transitions = self._frozen_model(seeds)
+        self._segments = list(segments)
+        self._marginals = list(marginals)
+        self._transitions = list(transitions)
         self._stream = DeterministicStream(0xE1B, self.salt)
         self._emitted: set[int] = set()
 

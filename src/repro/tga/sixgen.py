@@ -17,6 +17,7 @@ from __future__ import annotations
 from ..addr.nybbles import differing_positions
 from .base import TargetGenerator, register_tga
 from .leafpool import LeafPool
+from .modelcache import get_model_cache, seed_fingerprint
 from .spacetree import SpaceTreeLeaf
 
 __all__ = ["SixGen"]
@@ -35,31 +36,46 @@ class SixGen(TargetGenerator):
         self.max_level = max_level
         self._pool: LeafPool | None = None
 
-    def _ingest(self, seeds: list[int]) -> None:
-        by_net64: dict[int, list[int]] = {}
-        for seed in set(seeds):
-            by_net64.setdefault(seed >> 64, []).append(seed)
+    def _frozen_clusters(self, seeds: list[int]) -> tuple:
+        """Frozen model: the clustered range leaves, cached process-wide."""
 
-        clusters: list[list[int]] = []
-        sparse_by_net48: dict[int, list[int]] = {}
-        for net64, members in by_net64.items():
-            if len(members) >= self.min_cluster_seeds:
+        def build() -> tuple:
+            by_net64: dict[int, list[int]] = {}
+            for seed in set(seeds):
+                by_net64.setdefault(seed >> 64, []).append(seed)
+
+            clusters: list[list[int]] = []
+            sparse_by_net48: dict[int, list[int]] = {}
+            for net64, members in by_net64.items():
+                if len(members) >= self.min_cluster_seeds:
+                    clusters.append(sorted(members))
+                else:
+                    sparse_by_net48.setdefault(net64 >> 16, []).extend(members)
+            for members in sparse_by_net48.values():
                 clusters.append(sorted(members))
-            else:
-                sparse_by_net48.setdefault(net64 >> 16, []).extend(members)
-        for members in sparse_by_net48.values():
-            clusters.append(sorted(members))
 
-        leaves = [
-            SpaceTreeLeaf(
-                seeds=members,
-                variable_dims=differing_positions(members),
-                depth=0,
-            )
-            for members in clusters
-        ]
-        for index, leaf in enumerate(leaves):
-            leaf.index = index
+            leaves = [
+                SpaceTreeLeaf(
+                    seeds=members,
+                    variable_dims=differing_positions(members),
+                    depth=0,
+                )
+                for members in clusters
+            ]
+            for index, leaf in enumerate(leaves):
+                leaf.index = index
+            return tuple(leaves)
+
+        return get_model_cache().get_or_build(
+            "6gen.clusters",
+            seed_fingerprint(seeds),
+            (self.min_cluster_seeds,),
+            build,
+            cost=len(seeds),
+        )
+
+    def _ingest(self, seeds: list[int]) -> None:
+        leaves = self._frozen_clusters(seeds)
         self._pool = LeafPool(
             leaves,
             weights=[leaf.density for leaf in leaves],

@@ -24,7 +24,8 @@ import math
 from ..addr.nybbles import differing_positions
 from .base import TargetGenerator, register_tga
 from .leafpool import LeafPool
-from .spacetree import SpaceTree, SpaceTreeLeaf
+from .modelcache import cached_space_tree, get_model_cache, seed_fingerprint
+from .spacetree import SpaceTreeLeaf
 
 __all__ = ["SixGraph"]
 
@@ -49,54 +50,90 @@ class SixGraph(TargetGenerator):
         self.max_merged_dims = max_merged_dims
         self._pool: LeafPool | None = None
 
-    def _ingest(self, seeds: list[int]) -> None:
-        tree = SpaceTree(
-            seeds, strategy="entropy", max_leaf_seeds=self.max_leaf_seeds
-        )
-        # Graph-clustering analogue: leaves with the same wildcard
-        # signature inside one /32 merge into a single pattern, provided
-        # the merged pattern stays compact.
-        buckets: dict[tuple[int, tuple[int, ...]], list[int]] = {}
-        passthrough: list[SpaceTreeLeaf] = []
-        for leaf in tree.leaves:
-            if leaf.is_internal:
-                passthrough.append(leaf)
-                continue
-            key = (leaf.seeds[0] >> 96, tuple(leaf.variable_dims))
-            buckets.setdefault(key, []).extend(leaf.seeds)
+    def _frozen_patterns(self, seeds: list[int]) -> tuple[tuple, tuple]:
+        """Frozen model: the merged pattern list plus damped weights.
 
-        leaves: list[SpaceTreeLeaf] = []
-        for (_, signature), members in sorted(buckets.items()):
-            members = sorted(set(members))
-            merged_dims = differing_positions(members)
-            if len(merged_dims) <= max(len(signature) + 2, self.max_merged_dims):
-                leaves.append(
-                    SpaceTreeLeaf(seeds=members, variable_dims=merged_dims)
-                )
-            else:
-                # Outlier merge: the combined pattern is too diffuse, so
-                # keep the densest half of the members as one pattern.
-                half = members[: max(2, len(members) // 2)]
-                leaves.append(
-                    SpaceTreeLeaf(
-                        seeds=half, variable_dims=differing_positions(half)
+        Pure function of the seed list, cached process-wide.  Internal
+        passthrough regions are *copied* out of the shared space tree
+        before their ``index`` is reassigned — the tree artifact is
+        shared with other TGAs and must stay immutable.
+        """
+        fingerprint = seed_fingerprint(seeds)
+
+        def build() -> tuple[tuple, tuple]:
+            tree = cached_space_tree(
+                seeds,
+                strategy="entropy",
+                max_leaf_seeds=self.max_leaf_seeds,
+                fingerprint=fingerprint,
+            )
+            # Graph-clustering analogue: leaves with the same wildcard
+            # signature inside one /32 merge into a single pattern,
+            # provided the merged pattern stays compact.
+            buckets: dict[tuple[int, tuple[int, ...]], list[int]] = {}
+            passthrough: list[SpaceTreeLeaf] = []
+            for leaf in tree.leaves:
+                if leaf.is_internal:
+                    passthrough.append(
+                        SpaceTreeLeaf(
+                            seeds=leaf.seeds,
+                            variable_dims=leaf.variable_dims,
+                            depth=leaf.depth,
+                            is_internal=True,
+                            _packed=leaf._packed,
+                        )
                     )
-                )
-        leaves.extend(passthrough)
-        for index, leaf in enumerate(leaves):
-            leaf.index = index
-        # Outlier culling (real 6Graph discards isolated seeds from its
-        # pattern graph): single-support patterns get a token weight.
-        # Remaining patterns are density-weighted with mild damping —
-        # flatter than 6Tree, trading peak exploitation for breadth.
-        weights = [
-            max(leaf.density, 1e-9) ** 0.85
-            if len(leaf.seeds) >= 2
-            else max(leaf.density, 1e-9) * 0.05
-            for leaf in leaves
-        ]
+                    continue
+                key = (leaf.seeds[0] >> 96, tuple(leaf.variable_dims))
+                buckets.setdefault(key, []).extend(leaf.seeds)
+
+            leaves: list[SpaceTreeLeaf] = []
+            for (_, signature), members in sorted(buckets.items()):
+                members = sorted(set(members))
+                merged_dims = differing_positions(members)
+                if len(merged_dims) <= max(len(signature) + 2, self.max_merged_dims):
+                    leaves.append(
+                        SpaceTreeLeaf(seeds=members, variable_dims=merged_dims)
+                    )
+                else:
+                    # Outlier merge: the combined pattern is too diffuse, so
+                    # keep the densest half of the members as one pattern.
+                    half = members[: max(2, len(members) // 2)]
+                    leaves.append(
+                        SpaceTreeLeaf(
+                            seeds=half, variable_dims=differing_positions(half)
+                        )
+                    )
+            leaves.extend(passthrough)
+            for index, leaf in enumerate(leaves):
+                leaf.index = index
+            # Outlier culling (real 6Graph discards isolated seeds from its
+            # pattern graph): single-support patterns get a token weight.
+            # Remaining patterns are density-weighted with mild damping —
+            # flatter than 6Tree, trading peak exploitation for breadth.
+            weights = tuple(
+                max(leaf.density, 1e-9) ** 0.85
+                if len(leaf.seeds) >= 2
+                else max(leaf.density, 1e-9) * 0.05
+                for leaf in leaves
+            )
+            return tuple(leaves), weights
+
+        return get_model_cache().get_or_build(
+            "6graph.patterns",
+            fingerprint,
+            (self.max_leaf_seeds, self.max_merged_dims),
+            build,
+            cost=len(seeds),
+        )
+
+    def _ingest(self, seeds: list[int]) -> None:
+        leaves, weights = self._frozen_patterns(seeds)
         self._pool = LeafPool(
-            leaves, weights=weights, max_level=self.max_level, exclude=set(seeds)
+            leaves,
+            weights=list(weights),
+            max_level=self.max_level,
+            exclude=set(seeds),
         )
 
     def propose(self, count: int) -> list[int]:

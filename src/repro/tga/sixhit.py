@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from .base import TargetGenerator, register_tga
 from .leafpool import LeafPool
-from .spacetree import SpaceTree
+from .modelcache import cached_space_tree
 
 __all__ = ["SixHit"]
 
@@ -58,7 +58,13 @@ class SixHit(TargetGenerator):
         self._rounds_since_rebuild = 0
 
     def _build_pool(self, seeds: list[int]) -> None:
-        tree = SpaceTree(seeds, strategy="leftmost", max_leaf_seeds=self.max_leaf_seeds)
+        # Frozen model: the (cached) space tree — online rebuilds on
+        # seeds+discovered route through the cache too, so repeated
+        # rebuilds of the same active set are free.  Per-run state:
+        # pool, Q-values, pending probes.
+        tree = cached_space_tree(
+            seeds, strategy="leftmost", max_leaf_seeds=self.max_leaf_seeds
+        )
         self._pool = LeafPool(
             tree.leaves,
             weights=[max(leaf.density, 1e-9) for leaf in tree.leaves],

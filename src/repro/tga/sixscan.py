@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from .base import TargetGenerator, register_tga
 from .leafpool import LeafPool
-from .spacetree import SpaceTree
+from .modelcache import cached_space_tree
 
 __all__ = ["SixScan"]
 
@@ -42,7 +42,9 @@ class SixScan(TargetGenerator):
         self._pending: dict[int, int] = {}
 
     def _ingest(self, seeds: list[int]) -> None:
-        tree = SpaceTree(
+        # Frozen model: the (cached) space tree.  Per-run state: pool
+        # weights, pending probes and hitrate bookkeeping.
+        tree = cached_space_tree(
             seeds, strategy="leftmost", max_leaf_seeds=self.max_leaf_seeds
         )
         self._pool = LeafPool(

@@ -25,7 +25,7 @@ import math
 
 from .base import TargetGenerator, register_tga
 from .leafpool import LeafPool
-from .spacetree import SpaceTree
+from .modelcache import cached_space_tree, get_model_cache, seed_fingerprint
 
 __all__ = ["SixSense"]
 
@@ -45,7 +45,11 @@ class _Section:
 
     def ensure_pool(self, exclude: set[int], max_level: int) -> LeafPool:
         if self.pool is None:
-            tree = SpaceTree(self.seeds, strategy="leftmost", max_leaf_seeds=10)
+            # The section's tree is a frozen artifact too: the same /32
+            # section recurs across ports, so its lazy build is shared.
+            tree = cached_space_tree(
+                self.seeds, strategy="leftmost", max_leaf_seeds=10
+            )
             self.pool = LeafPool(
                 tree.leaves,
                 weights=[leaf.density for leaf in tree.leaves],
@@ -88,13 +92,32 @@ class SixSense(TargetGenerator):
 
     # -- model ------------------------------------------------------------
 
+    def _frozen_sections(self, seeds: list[int]) -> tuple[tuple[int, list[int]], ...]:
+        """Frozen model: (net32, sorted members) section table, cached."""
+
+        def build() -> tuple[tuple[int, list[int]], ...]:
+            by_net32: dict[int, list[int]] = {}
+            for seed in set(seeds):
+                by_net32.setdefault(seed >> 96, []).append(seed)
+            return tuple(
+                (net32, sorted(members))
+                for net32, members in sorted(by_net32.items())
+            )
+
+        return get_model_cache().get_or_build(
+            "6sense.sections",
+            seed_fingerprint(seeds),
+            (),
+            build,
+            cost=len(seeds),
+        )
+
     def _ingest(self, seeds: list[int]) -> None:
-        by_net32: dict[int, list[int]] = {}
-        for seed in set(seeds):
-            by_net32.setdefault(seed >> 96, []).append(seed)
+        # Per-run state: fresh _Section wrappers (reward, probes, lazy
+        # pool) over the frozen section table.
         self._sections = [
-            _Section(net32, sorted(members))
-            for net32, members in sorted(by_net32.items())
+            _Section(net32, members)
+            for net32, members in self._frozen_sections(seeds)
         ]
         self._seed_set = set(seeds)
         self._pending = {}

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from .base import TargetGenerator, register_tga
 from .leafpool import LeafPool
-from .spacetree import SpaceTree
+from .modelcache import cached_space_tree
 
 __all__ = ["SixTree"]
 
@@ -33,7 +33,9 @@ class SixTree(TargetGenerator):
         self._pool: LeafPool | None = None
 
     def _ingest(self, seeds: list[int]) -> None:
-        tree = SpaceTree(
+        # Frozen model: the space tree (pure function of the seed list,
+        # shared through the model cache).  Per-run state: the pool.
+        tree = cached_space_tree(
             seeds, strategy="leftmost", max_leaf_seeds=self.max_leaf_seeds
         )
         self._pool = LeafPool(

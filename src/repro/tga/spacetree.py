@@ -17,18 +17,33 @@ Two split strategies are provided:
     DET's refinement (shared by 6Graph) — split on the variable nybble
     with the *lowest* Shannon entropy, peeling the most structured
     dimension first.
+
+Construction is the hottest path in a full grid (see
+``docs/architecture.md`` § Model preparation cache), so the tree works
+on *packed nybble planes*: each seed is pre-encoded once as 16 big-endian
+``bytes`` and every nybble read below is a byte index instead of a
+128-bit integer shift.  Entropy nodes build all per-dimension nybble
+histograms in a single pass over those planes, folding the
+variable-dimension scan and the entropy counts together.  All of it is
+bit-identical to the straightforward per-nybble formulation — float
+summation order in the entropy scoring is preserved exactly.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
+from collections import Counter
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from ..addr import ADDRESS_NYBBLES
-from ..addr.nybbles import differing_positions, get_nybble, set_nybble
+from ..addr.address import MAX_ADDRESS
+from ..addr.nybbles import differing_positions, get_nybble
 
 __all__ = ["SpaceTreeLeaf", "SpaceTree", "expanded_values", "leaf_candidates"]
+
+_ADDRESS_BYTES = ADDRESS_NYBBLES // 2
 
 
 def expanded_values(observed: set[int]) -> list[int]:
@@ -63,6 +78,42 @@ def _default_expansion_dims(seeds: list[int]) -> list[int]:
     return [ADDRESS_NYBBLES - 1, ADDRESS_NYBBLES - 2]
 
 
+def _pack_seeds(seeds: list[int]) -> list[bytes]:
+    """Encode each seed as its 16 big-endian bytes (two nybbles each)."""
+    return [seed.to_bytes(_ADDRESS_BYTES, "big") for seed in seeds]
+
+
+def _nybble_histogram(
+    column_counts: Counter, odd: bool
+) -> tuple[list[int], list[int]]:
+    """Fold a byte-column histogram into one nybble dimension's counts.
+
+    Returns ``(counts, order)``: a 16-slot count table plus the values
+    in first-seen order.  A byte value's first-seen rank in the Counter
+    equals the first row where it occurs, so the first Counter key
+    carrying a given nybble yields exactly the row-order first
+    occurrence of that nybble — replicating the insertion order of the
+    per-dimension counting dicts the scoring loop historically used and
+    keeping the (non-associative) float entropy summation
+    bit-identical.
+    """
+    counts = [0] * 16
+    order: list[int] = []
+    if odd:
+        for byte_value, count in column_counts.items():
+            value = byte_value & 0xF
+            if counts[value] == 0:
+                order.append(value)
+            counts[value] += count
+    else:
+        for byte_value, count in column_counts.items():
+            value = byte_value >> 4
+            if counts[value] == 0:
+                order.append(value)
+            counts[value] += count
+    return counts, order
+
+
 @dataclass
 class SpaceTreeLeaf:
     """One region of a space tree.
@@ -81,6 +132,10 @@ class SpaceTreeLeaf:
     is_internal: bool = False
 
     _value_sets: dict[int, list[int]] | None = field(default=None, repr=False)
+    #: Packed nybble planes of ``seeds`` (tree-built leaves only) — lets
+    #: :meth:`value_sets` read nybbles as byte halves instead of
+    #: shifting 128-bit integers.
+    _packed: list[bytes] | None = field(default=None, repr=False, compare=False)
 
     @property
     def effective_dims(self) -> list[int]:
@@ -91,8 +146,16 @@ class SpaceTreeLeaf:
         """Expanded candidate values per effective dimension (cached)."""
         if self._value_sets is None:
             sets: dict[int, list[int]] = {}
+            packed = self._packed
             for dim in self.effective_dims:
-                observed = {get_nybble(seed, dim) for seed in self.seeds}
+                if packed is None:
+                    observed = {get_nybble(seed, dim) for seed in self.seeds}
+                else:
+                    byte_index, odd = divmod(dim, 2)
+                    if odd:
+                        observed = {row[byte_index] & 0xF for row in packed}
+                    else:
+                        observed = {row[byte_index] >> 4 for row in packed}
                 sets[dim] = expanded_values(observed)
             self._value_sets = sets
         return self._value_sets
@@ -132,27 +195,45 @@ def leaf_candidates(leaf: SpaceTreeLeaf, max_level: int = 3) -> Iterator[int]:
 
     for level in range(1, max_level + 1):
         for combo in _combinations(dims, level):
-            combo_values = [value_sets[dim] for dim in combo]
-            for base in leaf.seeds:
-                for assignment in _product(combo_values):
-                    address = base
-                    for dim, value in zip(combo, assignment):
-                        address = set_nybble(address, dim, value)
-                    if address not in emitted:
-                        emitted.add(address)
-                        yield address
+            # One clear-mask per combo plus pre-shifted value lists turn
+            # the per-candidate work into a mask-and-OR instead of
+            # per-dimension set_nybble calls.
+            clear_mask = MAX_ADDRESS
+            shifted_lists: list[list[int]] = []
+            for dim in combo:
+                shift = (ADDRESS_NYBBLES - 1 - dim) * 4
+                clear_mask ^= 0xF << shift
+                shifted_lists.append(
+                    [value << shift for value in value_sets[dim]]
+                )
+            if level == 1:
+                shifted = shifted_lists[0]
+                for base in leaf.seeds:
+                    stripped = base & clear_mask
+                    for part in shifted:
+                        address = stripped | part
+                        if address not in emitted:
+                            emitted.add(address)
+                            yield address
+            else:
+                for base in leaf.seeds:
+                    stripped = base & clear_mask
+                    for assignment in _product(shifted_lists):
+                        address = stripped
+                        for part in assignment:
+                            address |= part
+                        if address not in emitted:
+                            emitted.add(address)
+                            yield address
 
 
 def _combinations(items: list[int], k: int) -> Iterator[tuple[int, ...]]:
     """itertools.combinations, re-exported for patchability in tests."""
-    import itertools
-
     return itertools.combinations(items, k)
 
 
 def _product(value_lists: list[list[int]]) -> Iterator[tuple[int, ...]]:
-    import itertools
-
+    """itertools.product over the given value lists (patchable)."""
     return itertools.product(*value_lists)
 
 
@@ -181,13 +262,13 @@ class SpaceTree:
         self.max_internal_dims = max_internal_dims
         self.leaves: list[SpaceTreeLeaf] = []
         unique = sorted(set(seeds))
-        self._build(unique, depth=0)
+        self._build(unique, _pack_seeds(unique), depth=0)
         for index, leaf in enumerate(self.leaves):
             leaf.index = index
 
     # -- construction -----------------------------------------------------
 
-    def _build(self, seeds: list[int], depth: int) -> None:
+    def _build(self, seeds: list[int], packed: list[bytes], depth: int) -> None:
         variable = differing_positions(seeds)
         if (
             len(seeds) <= self.max_leaf_seeds
@@ -195,7 +276,10 @@ class SpaceTree:
             or depth >= self.max_depth
         ):
             self.leaves.append(
-                SpaceTreeLeaf(seeds=seeds, variable_dims=variable, depth=depth)
+                SpaceTreeLeaf(
+                    seeds=seeds, variable_dims=variable, depth=depth,
+                    _packed=packed,
+                )
             )
             return
         if (
@@ -212,47 +296,74 @@ class SpaceTree:
                     variable_dims=variable,
                     depth=depth,
                     is_internal=True,
+                    _packed=packed,
                 )
             )
-        dim = self._choose_dim(seeds, variable)
-        buckets: dict[int, list[int]] = {}
-        for seed in seeds:
-            buckets.setdefault(get_nybble(seed, dim), []).append(seed)
+        dim = self._choose_dim(seeds, packed, variable)
+        byte_index, odd = divmod(dim, 2)
+        buckets: dict[int, tuple[list[int], list[bytes]]] = {}
+        if odd:
+            for seed, row in zip(seeds, packed):
+                bucket = buckets.get(row[byte_index] & 0xF)
+                if bucket is None:
+                    bucket = buckets[row[byte_index] & 0xF] = ([], [])
+                bucket[0].append(seed)
+                bucket[1].append(row)
+        else:
+            for seed, row in zip(seeds, packed):
+                bucket = buckets.get(row[byte_index] >> 4)
+                if bucket is None:
+                    bucket = buckets[row[byte_index] >> 4] = ([], [])
+                bucket[0].append(seed)
+                bucket[1].append(row)
         if len(buckets) <= 1:  # defensive: cannot actually split here
             self.leaves.append(
-                SpaceTreeLeaf(seeds=seeds, variable_dims=variable, depth=depth)
+                SpaceTreeLeaf(
+                    seeds=seeds, variable_dims=variable, depth=depth,
+                    _packed=packed,
+                )
             )
             return
         for value in sorted(buckets):
-            self._build(buckets[value], depth + 1)
+            sub_seeds, sub_packed = buckets[value]
+            self._build(sub_seeds, sub_packed, depth + 1)
 
     # Entropy estimation on huge nodes samples a deterministic stride of
     # seeds: the split choice is a ranking, and a few thousand samples
     # rank 16-bin histograms reliably.
     _ENTROPY_SAMPLE = 2048
 
-    def _choose_dim(self, seeds: list[int], variable: list[int]) -> int:
+    def _choose_dim(
+        self, seeds: list[int], packed: list[bytes], variable: list[int]
+    ) -> int:
         if self.strategy == "leftmost":
             return variable[0]
         # Entropy strategy: lowest-entropy variable dimension first.
+        # Each byte column is extracted and Counter-tallied once (at C
+        # speed) and shared by both of its nybble dimensions, instead
+        # of re-extracting nybbles per dimension per seed.
         if len(seeds) > self._ENTROPY_SAMPLE:
             stride = len(seeds) // self._ENTROPY_SAMPLE
-            sample = seeds[::stride]
+            sample = packed[::stride]
         else:
-            sample = seeds
+            sample = packed
+        total = len(sample)
         best_dim = variable[0]
         best_entropy = float("inf")
-        total = len(sample)
+        log2 = math.log2
+        column_counts: dict[int, Counter] = {}
         for dim in variable:
-            shift = (ADDRESS_NYBBLES - 1 - dim) * 4
-            counts: dict[int, int] = {}
-            for seed in sample:
-                value = (seed >> shift) & 0xF
-                counts[value] = counts.get(value, 0) + 1
+            byte_index, odd = divmod(dim, 2)
+            column = column_counts.get(byte_index)
+            if column is None:
+                column = column_counts[byte_index] = Counter(
+                    [row[byte_index] for row in sample]
+                )
+            counts, order = _nybble_histogram(column, bool(odd))
             entropy = 0.0
-            for count in counts.values():
-                p = count / total
-                entropy -= p * math.log2(p)
+            for value in order:
+                p = counts[value] / total
+                entropy -= p * log2(p)
             if 0.0 < entropy < best_entropy:
                 best_entropy = entropy
                 best_dim = dim

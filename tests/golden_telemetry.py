@@ -20,6 +20,7 @@ from pathlib import Path
 from repro.experiments import GridSpec, Study, run_grid
 from repro.internet import InternetConfig, Port
 from repro.telemetry import MemorySink, Telemetry
+from repro.tga import ModelCache, use_model_cache
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "telemetry_golden.json"
 
@@ -61,7 +62,13 @@ def compute_golden_payload() -> dict:
     )
     sink = MemorySink()
     telemetry = Telemetry(sinks=[sink])
-    run_grid(study, spec, telemetry=telemetry)
+    # A fresh model cache isolates the golden trace from whatever the
+    # process-wide cache has accumulated earlier in a test session: the
+    # (sanctioned-variant) ``tga.model_cache.*`` counters and the
+    # ``prepare`` span's ``cached`` attribute are part of the payload,
+    # so the workload must always start cold.
+    with use_model_cache(ModelCache()):
+        run_grid(study, spec, telemetry=telemetry)
     telemetry.close()
     return {"events": sink.events, "snapshot": sink.snapshot}
 

@@ -237,19 +237,21 @@ def run_micro_grid(seed: int, workers: int | None):
 
 
 def nonmeta_counters(telemetry: Telemetry) -> dict[str, int]:
-    """All counters outside the ``meta.`` namespace (the only names
-    allowed to depend on the execution strategy)."""
+    """All counters outside the sanctioned variant namespaces (the only
+    names allowed to depend on the execution strategy)."""
+    from repro.telemetry import SANCTIONED_VARIANT_PREFIXES
+
     return {
         name: value
         for name, value in telemetry.counters.items()
-        if not name.startswith("meta.")
+        if not name.startswith(SANCTIONED_VARIANT_PREFIXES)
     }
 
 
 class TestSerialParallelProperty:
     """Seed-parametrized property: for any master seed, a serial grid run
     and a ``workers=2`` grid run agree on every RunResult *and* on every
-    merged telemetry counter outside the ``meta.`` namespace."""
+    merged telemetry counter outside the sanctioned variant namespaces."""
 
     @pytest.mark.parametrize("seed", PROPERTY_SEEDS)
     def test_serial_and_parallel_agree(self, seed):
