@@ -1,0 +1,225 @@
+"""Checkpoint benchmark: write overhead and resume speedup.
+
+Measures what fault-tolerant execution costs and buys on the paper's
+grid workload shape (TGA × port grid on the All Active dataset):
+
+* a baseline grid with no checkpoint;
+* the same grid streaming every completed cell into a
+  :class:`repro.experiments.RunStore` (checkpoint write overhead —
+  this must be noise next to cell compute time);
+* an interrupted run: a deterministic injected worker crash kills a
+  TGA's cells permanently, leaving a partial checkpoint on disk;
+* a resumed run that loads the partial checkpoint, verifies the world
+  digest and executes only the missing cells (resume speedup vs
+  recomputing the full grid from scratch);
+* a bit-identity check: the resumed grid must equal the no-checkpoint
+  baseline cell for cell (the exit status reflects this, not timings).
+
+Run:  python benchmarks/bench_checkpoint.py [--quick] [--out FILE]
+
+``--quick`` shrinks the workload (2 ports, fewer TGAs, smaller budget)
+for CI smoke runs.  The JSON artifact gets a ``.manifest.json``
+provenance sidecar recording the seed/budget and workload of the run
+that produced it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    ExecutionPolicy,
+    FaultPlan,
+    FaultRule,
+    GridSpec,
+    RunStore,
+    Study,
+    run_grid,
+)
+from repro.internet import ALL_PORTS, InternetConfig, Port
+from repro.telemetry import RunManifest, write_manifest
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_checkpoint.json"
+
+#: The TGA whose cells the injected crash kills in the interrupted run.
+CRASH_TGA = "6gen"
+
+
+def make_study(seed: int, budget: int) -> Study:
+    return Study(
+        config=InternetConfig.tiny(master_seed=seed),
+        budget=budget,
+        round_size=max(100, budget // 5),
+    )
+
+
+def make_spec(study: Study, tgas, ports, budget: int) -> GridSpec:
+    return GridSpec(
+        datasets=(study.constructions.all_active,),
+        tga_names=tgas,
+        ports=ports,
+        budget=budget,
+    )
+
+
+def grid_once(seed, budget, tgas, ports, policy):
+    """One timed grid run on a fresh study under ``policy``."""
+    study = make_study(seed, budget)
+    spec = make_spec(study, tgas, ports, budget)
+    start = time.perf_counter()
+    results = run_grid(study, spec, policy=policy)
+    return time.perf_counter() - start, results
+
+
+def identical(reference: dict, candidate: dict) -> bool:
+    """Cell-by-cell bit-identity between two grid result sets."""
+    if set(reference) != set(candidate):
+        return False
+    for key, a in reference.items():
+        b = candidate[key]
+        if (
+            a.clean_hits != b.clean_hits
+            or a.aliased_hits != b.aliased_hits
+            or a.active_ases != b.active_ases
+            or a.metrics != b.metrics
+            or a.round_history != b.round_history
+        ):
+            return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--budget", type=int, default=0, help="per-cell budget")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    budget = args.budget or (250 if args.quick else 600)
+    ports = (Port.ICMP, Port.TCP80) if args.quick else ALL_PORTS
+    tgas = ("6tree", CRASH_TGA, "eip") if args.quick else (
+        "6tree", CRASH_TGA, "eip", "6graph", "det"
+    )
+    cells = len(tgas) * len(ports)
+    print(
+        f"workload: {cells} cells ({len(tgas)} TGAs x {len(ports)} ports, "
+        f"budget {budget}, workers {args.workers}), cpu_count={os.cpu_count()}"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="bench_checkpoint_") as tmp:
+        checkpoint = Path(tmp) / "checkpoint.jsonl"
+
+        base_policy = ExecutionPolicy(workers=args.workers)
+        base_seconds, base_results = grid_once(
+            args.seed, budget, tgas, ports, base_policy
+        )
+        print(
+            f"grid no-checkpoint : {base_seconds:8.2f}s  "
+            f"{cells / base_seconds:6.2f} cells/s"
+        )
+
+        write_policy = ExecutionPolicy(workers=args.workers, checkpoint=checkpoint)
+        write_seconds, write_results = grid_once(
+            args.seed, budget, tgas, ports, write_policy
+        )
+        checkpoint_bytes = checkpoint.stat().st_size
+        overhead = (write_seconds - base_seconds) / base_seconds if base_seconds else 0.0
+        print(
+            f"grid checkpointing : {write_seconds:8.2f}s  "
+            f"overhead {overhead:+.1%}  ({checkpoint_bytes} bytes on disk)"
+        )
+
+        # Interrupted run: the crash TGA's cells die permanently (the
+        # fault fires on more attempts than the retry budget allows),
+        # everything else lands in a fresh checkpoint.
+        checkpoint.unlink()
+        crash_policy = ExecutionPolicy(
+            workers=args.workers,
+            checkpoint=checkpoint,
+            max_retries=0,
+            fault_plan=FaultPlan(
+                rules=(FaultRule("crash", tga=CRASH_TGA, max_fires=99),)
+            ),
+        )
+        crash_seconds, crash_results = grid_once(
+            args.seed, budget, tgas, ports, crash_policy
+        )
+        store = RunStore(checkpoint)
+        persisted = store.load()
+        print(
+            f"grid interrupted   : {crash_seconds:8.2f}s  "
+            f"{len(crash_results.runs)}/{cells} cells completed, "
+            f"{len(crash_results.failed_cells)} failed, "
+            f"{persisted} persisted"
+        )
+
+        resume_policy = ExecutionPolicy(
+            workers=args.workers, checkpoint=checkpoint, resume=True
+        )
+        resume_seconds, resume_results = grid_once(
+            args.seed, budget, tgas, ports, resume_policy
+        )
+        resume_speedup = base_seconds / resume_seconds if resume_seconds else 0.0
+        print(
+            f"grid resumed       : {resume_seconds:8.2f}s  "
+            f"speedup {resume_speedup:4.2f}x vs full recompute"
+        )
+
+        same = (
+            identical(base_results.runs, write_results.runs)
+            and identical(base_results.runs, resume_results.runs)
+            and resume_results.complete
+        )
+        print(f"resumed grid bit-identical to uninterrupted: {same}")
+
+    manifest = RunManifest.from_config(
+        InternetConfig.tiny(master_seed=args.seed),
+        scale="tiny",
+        budget=budget,
+        ports=tuple(port.value for port in ports),
+        command="bench_checkpoint",
+    )
+    record = {
+        "benchmark": "checkpoint",
+        "manifest": manifest.to_dict(),
+        "workload": {
+            "cells": cells,
+            "tgas": list(tgas),
+            "ports": [port.value for port in ports],
+            "budget": budget,
+            "seed": args.seed,
+            "workers": args.workers,
+            "scale": "tiny",
+        },
+        "cpu_count": os.cpu_count(),
+        "no_checkpoint_seconds": round(base_seconds, 4),
+        "checkpoint_seconds": round(write_seconds, 4),
+        "checkpoint_overhead": round(overhead, 4),
+        "checkpoint_bytes": checkpoint_bytes,
+        "interrupted": {
+            "seconds": round(crash_seconds, 4),
+            "completed_cells": len(crash_results.runs),
+            "failed_cells": len(crash_results.failed_cells),
+            "persisted_records": persisted,
+        },
+        "resume_seconds": round(resume_seconds, 4),
+        "resume_speedup": round(resume_speedup, 4),
+        "identical": same,
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    sidecar = write_manifest(args.out, manifest)
+    print(f"wrote {args.out} (manifest: {sidecar})")
+    # Identity is a hard failure; timing figures are recorded, not
+    # enforced — CI machines are too noisy to gate on wall clock.
+    return 0 if same else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,7 @@
 * ``describe``   — summarise the simulated world
 * ``sources``    — Table 3: seed source composition
 * ``run``        — one TGA × dataset × port cell
+* ``grid``       — a TGA × port grid with checkpoint/resume support
 * ``rq1a`` / ``rq1b`` / ``rq2`` / ``rq3`` / ``rq4`` — experiment pipelines
 * ``overlap``    — Figure 1 heatmap; ``convergence`` — discovery curves
 * ``recommend``  — the RQ5 best-practice ensemble pipeline
@@ -20,6 +21,17 @@ processes (``--workers auto`` picks ``min(cpu_count, cells)``); results
 are bit-identical to a serial run.  ``--no-model-cache`` disables the
 prepared-model cache (see ``repro.tga.modelcache``) — an escape hatch
 for debugging; results are bit-identical with it on or off.
+
+Fault tolerance (``repro.experiments.ExecutionPolicy``):
+``--checkpoint PATH`` appends every completed cell to a RunStore the
+moment it finishes; ``--resume`` restores completed cells from that
+checkpoint (after verifying its config digest) so an interrupted
+campaign never recomputes finished work.  ``--cell-timeout SECONDS``
+reaps cells stuck in a worker, ``--max-retries N`` bounds how often a
+crashing/timing-out cell is retried before it is reported as failed
+(``grid`` exits 3 on a partial result), and ``--inject-fault
+KIND[:TGA][:PORT][:FIRES]`` injects a deterministic fault (crash/stall/
+exception) for testing recovery paths.
 
 ``--telemetry trace.jsonl`` writes a deterministic JSONL event trace of
 the whole command (byte-identical across runs for a fixed seed, even
@@ -44,7 +56,11 @@ from collections.abc import Sequence
 from .dealias import DealiasMode
 from .analysis import summarize_convergence
 from .experiments import (
+    ExecutionPolicy,
+    FaultPlan,
+    GridSpec,
     Study,
+    run_grid,
     run_recommended_pipeline,
     run_rq1a,
     run_rq1b,
@@ -104,6 +120,14 @@ def _tga_arg(value: str) -> str:
         raise argparse.ArgumentTypeError(error.args[0]) from None
 
 
+def _fault_arg(value: str) -> FaultPlan:
+    """``--inject-fault KIND[:TGA][:PORT][:FIRES]`` → a FaultPlan."""
+    try:
+        return FaultPlan.parse(value)
+    except (ValueError, KeyError) as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -129,6 +153,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--export", default="", help="write result rows to a .csv or .json file"
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default="",
+        metavar="PATH",
+        help="append every completed experiment cell to this RunStore "
+        "checkpoint (JSONL, crash-safe) as it finishes",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore completed cells from --checkpoint before running "
+        "(the checkpoint's config digest must match this run)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="reap and retry a cell stuck in a worker longer than this",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per crashing/timing-out cell before it is reported "
+        "as failed (default: 2)",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        type=_fault_arg,
+        default=None,
+        metavar="SPEC",
+        help="deterministically inject a fault: KIND[:TGA][:PORT][:FIRES] "
+        "with KIND one of crash/stall/exception (recovery testing)",
     )
     parser.add_argument(
         "--telemetry",
@@ -158,6 +218,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", choices=[p.value for p in ALL_PORTS], default="icmp"
     )
     run_parser.add_argument(
+        "--dataset",
+        choices=["full", "offline", "online", "joint", "active"],
+        default="active",
+    )
+
+    grid_parser = sub.add_parser(
+        "grid", help="run a TGA × port grid (checkpointable and resumable)"
+    )
+    grid_parser.add_argument(
+        "--tgas",
+        default=",".join(ALL_TGA_NAMES),
+        help="comma-separated generator names (aliases accepted)",
+    )
+    grid_parser.add_argument(
+        "--ports",
+        default="icmp",
+        help="comma-separated ports to scan "
+        f"({', '.join(p.value for p in ALL_PORTS)})",
+    )
+    grid_parser.add_argument(
         "--dataset",
         choices=["full", "offline", "online", "joint", "active"],
         default="active",
@@ -249,8 +329,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore-meta",
         action="store_true",
         help="ignore the sanctioned variant namespaces (meta.*, "
-        "tga.model_cache.*: differ legitimately between serial/parallel "
-        "and cold/warm-cache executions)",
+        "tga.model_cache.*, fault.*, checkpoint.*: differ legitimately "
+        "between serial/parallel, cold/warm-cache and "
+        "fault-free/fault-recovered executions)",
     )
     return parser
 
@@ -258,6 +339,23 @@ def build_parser() -> argparse.ArgumentParser:
 def _make_study(args: argparse.Namespace) -> Study:
     config = _SCALES[args.scale](master_seed=args.seed)
     return Study(config=config, budget=args.budget, round_size=max(200, args.budget // 5))
+
+
+def _make_policy(args: argparse.Namespace) -> ExecutionPolicy:
+    """The ExecutionPolicy described by the global CLI flags.
+
+    Telemetry stays out of the policy: :func:`main` activates the
+    requested registry around the whole command, so pipelines inherit
+    it.
+    """
+    return ExecutionPolicy(
+        workers=args.workers,
+        checkpoint=args.checkpoint or None,
+        resume=args.resume,
+        cell_timeout=args.cell_timeout,
+        max_retries=args.max_retries,
+        fault_plan=args.inject_fault,
+    )
 
 
 def _dataset_for(study: Study, name: str):
@@ -330,10 +428,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_grid(args: argparse.Namespace) -> int:
+    study = _make_study(args)
+    try:
+        ports = tuple(Port(p.strip()) for p in args.ports.split(",") if p.strip())
+        tgas = tuple(
+            canonical_tga_name(t.strip()) for t in args.tgas.split(",") if t.strip()
+        )
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    dataset = _dataset_for(study, args.dataset)
+    spec = GridSpec(datasets=(dataset,), tga_names=tgas, ports=ports)
+    results = run_grid(study, spec, policy=_make_policy(args))
+    rows = [
+        [
+            run.tga_name,
+            run.port.value,
+            f"{run.metrics.hits:,}",
+            f"{run.metrics.ases:,}",
+            f"{run.metrics.aliases:,}",
+        ]
+        for run in results.runs.values()
+    ]
+    print(
+        render_table(
+            ["TGA", "port", "hits", "ASes", "aliases"],
+            rows,
+            title=(
+                f"Grid on {dataset.name}: {len(results.runs)}/{spec.size} "
+                "cells completed"
+            ),
+        )
+    )
+    for failure in results.failed_cells:
+        print(f"FAILED: {failure.describe()}", file=sys.stderr)
+    _maybe_export(args, results.to_rows())
+    return 0 if results.complete else 3
+
+
 def _cmd_rq1a(args: argparse.Namespace) -> int:
     study = _make_study(args)
     port = Port(args.port)
-    result = run_rq1a(study, ports=(port,), workers=args.workers)
+    result = run_rq1a(study, ports=(port,), policy=_make_policy(args))
     table = result.table4(port)
     rows = [
         [tga] + [f"{table[tga][mode]:,}" for mode in DealiasMode]
@@ -365,7 +502,7 @@ def _ratio_table(title: str, ratios: dict[str, dict[str, float]], keys: Sequence
 def _cmd_rq1b(args: argparse.Namespace) -> int:
     study = _make_study(args)
     port = Port(args.port)
-    result = run_rq1b(study, ports=(port,), workers=args.workers)
+    result = run_rq1b(study, ports=(port,), policy=_make_policy(args))
     rows = _ratio_table(
         f"Active-only vs dealiased seeds ({port.value})",
         result.figure4(port),
@@ -378,7 +515,7 @@ def _cmd_rq1b(args: argparse.Namespace) -> int:
 def _cmd_rq2(args: argparse.Namespace) -> int:
     study = _make_study(args)
     port = Port(args.port)
-    result = run_rq2(study, ports=(port,), workers=args.workers)
+    result = run_rq2(study, ports=(port,), policy=_make_policy(args))
     rows = _ratio_table(
         f"Port-specific vs All Active seeds ({port.value})",
         result.figure5(port),
@@ -391,7 +528,7 @@ def _cmd_rq2(args: argparse.Namespace) -> int:
 def _cmd_rq4(args: argparse.Namespace) -> int:
     study = _make_study(args)
     port = Port(args.port)
-    result = run_rq4(study, ports=(port,), workers=args.workers)
+    result = run_rq4(study, ports=(port,), policy=_make_policy(args))
     steps = result.figure6_hits(port)
     rows = [
         [step.name, f"{step.new_items:,}", f"{step.cumulative:,}", f"{step.cumulative_fraction:.0%}"]
@@ -446,7 +583,7 @@ def _cmd_rq3(args: argparse.Namespace) -> int:
         ports=(Port.ICMP,),
         sources=sources,
         budget=max(200, args.budget // 3),
-        workers=args.workers,
+        policy=_make_policy(args),
     )
     rows = [
         [
@@ -687,6 +824,7 @@ _COMMANDS = {
     "describe": _cmd_describe,
     "sources": _cmd_sources,
     "run": _cmd_run,
+    "grid": _cmd_grid,
     "rq1a": _cmd_rq1a,
     "rq1b": _cmd_rq1b,
     "rq2": _cmd_rq2,

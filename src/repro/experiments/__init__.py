@@ -1,8 +1,10 @@
 """Experiment orchestration: the Study context and the RQ1–RQ4 pipelines."""
 
+from .faults import FAULT_KINDS, FaultInjected, FaultPlan, FaultRule
 from .grid import GridResults, GridSpec, run_grid
 from .harness import Study
-from .parallel import ParallelExecutor, WorkerSpec
+from .parallel import CellFailure, ParallelExecutor, WorkerSpec
+from .policy import ExecutionPolicy
 from .recommendations import (
     RECOMMENDED_ENSEMBLE,
     EnsembleResult,
@@ -17,7 +19,7 @@ from .rq3 import RQ3Result, Table5Row, run_rq3, table5, table6
 from .rq4 import RQ4Result, run_rq4
 from .runner import run_generation
 from .replication import ReplicatedRatio, replicate_ratio
-from .store import dump_results, load_results
+from .store import RunStore, dump_results, load_results, study_digest
 
 __all__ = [
     "Study",
@@ -48,6 +50,8 @@ __all__ = [
     "run_targeted",
     "dump_results",
     "load_results",
+    "RunStore",
+    "study_digest",
     "ReplicatedRatio",
     "replicate_ratio",
     "GridSpec",
@@ -55,4 +59,10 @@ __all__ = [
     "run_grid",
     "ParallelExecutor",
     "WorkerSpec",
+    "ExecutionPolicy",
+    "CellFailure",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjected",
 ]

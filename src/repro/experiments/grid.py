@@ -5,7 +5,9 @@ module provides the general form for users running their own studies: a
 :class:`GridSpec` names the datasets, generators, ports and budget, and
 :func:`run_grid` executes every cell through a Study (sharing its run
 cache), reporting progress and returning an indexable result set that
-can be persisted with :mod:`repro.experiments.store`.
+can be persisted with :mod:`repro.experiments.store`.  Execution
+mechanics — workers, checkpointing, retries, fault injection — are
+governed by an :class:`~repro.experiments.ExecutionPolicy`.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from ..metrics import MetricSet
 from ..telemetry import Telemetry, get_telemetry, use_telemetry
 from ..tga import ALL_TGA_NAMES, canonical_tga_name
 from .harness import Study
+from .policy import ExecutionPolicy, coalesce_policy
 from .results import RunResult
 
 __all__ = ["GridSpec", "GridResults", "run_grid"]
@@ -59,15 +62,53 @@ class GridSpec:
 
 @dataclass
 class GridResults:
-    """Results of a grid run, indexable along every axis."""
+    """Results of a grid run, indexable along every axis.
+
+    Runs are keyed by the generator's **canonical** registry name;
+    :meth:`get` accepts aliases (``entropy_ip`` → ``eip``) so callers
+    can use whichever spelling the spec did.  A fault-tolerant run that
+    gave up on some cells records them in :attr:`failed_cells`; those
+    cells are simply absent from :attr:`runs`.
+    """
 
     spec: GridSpec
     runs: dict[tuple[str, str, Port], RunResult] = field(default_factory=dict)
+    #: Cells that exhausted their retries (``CellFailure`` records) —
+    #: empty for a fully successful run.
+    failed_cells: tuple = ()
+
+    @property
+    def complete(self) -> bool:
+        """Did every cell of the spec produce a result?"""
+        return not self.failed_cells and len(self.runs) >= self.spec.size
 
     def get(self, tga: str, dataset_name: str, port: Port) -> RunResult:
-        return self.runs[(tga, dataset_name, port)]
+        """The run for one cell; raises a ``KeyError`` naming the cell.
+
+        ``tga`` may be an alias; it is resolved to the canonical
+        registry name before lookup.
+        """
+        try:
+            tga = canonical_tga_name(tga)
+        except KeyError as error:
+            raise KeyError(
+                f"no run for cell ({tga!r}, {dataset_name!r}, "
+                f"{port.value!r}): {error.args[0]}"
+            ) from None
+        key = (tga, dataset_name, port)
+        try:
+            return self.runs[key]
+        except KeyError:
+            known = ", ".join(
+                sorted({f"{t}×{d}×{p.value}" for t, d, p in self.runs})
+            )
+            raise KeyError(
+                f"no run for cell ({tga!r}, {dataset_name!r}, {port.value!r});"
+                f" grid holds: {known or '(nothing)'}"
+            ) from None
 
     def by_tga(self, tga: str) -> list[RunResult]:
+        tga = canonical_tga_name(tga)
         return [run for (name, _, _), run in self.runs.items() if name == tga]
 
     def by_dataset(self, dataset_name: str) -> list[RunResult]:
@@ -102,28 +143,46 @@ def run_grid(
     workers: int | str | None = None,
     chunksize: int | None = None,
     telemetry: Telemetry | None = None,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> GridResults:
     """Execute every cell of a grid through the study's memoised runner.
 
+    ``policy`` governs execution mechanics — worker processes,
+    checkpoint/resume, per-cell timeout, retry budget and fault
+    injection; see :class:`~repro.experiments.ExecutionPolicy`.  The
+    ``workers``/``chunksize``/``telemetry`` keyword arguments are the
+    deprecated spelling of the corresponding policy fields.
+
     ``progress(done, total, last_result)`` is invoked after each cell —
     in cell order when running serially, in completion order when
-    ``workers`` > 1 spreads uncached cells across processes.
-    ``workers="auto"`` picks ``min(cpu_count, cells)`` and falls back
-    to the serial path on single-CPU machines.  Parallel
-    results are bit-identical to serial ones.
+    workers spread uncached cells across processes.  Parallel results
+    are bit-identical to serial ones, and worker-process telemetry is
+    merged back in deterministic chunk order, so a fixed-seed grid
+    writes a byte-identical JSONL event log no matter how cells were
+    scheduled.
 
-    ``telemetry`` activates a registry for the duration of the grid;
-    otherwise the currently active registry (if any) instruments the
-    run.  Worker-process telemetry is merged back in deterministic
-    chunk order, so a fixed-seed grid writes a byte-identical JSONL
-    event log no matter how cells were scheduled.
+    With ``policy.checkpoint`` set, completed cells stream into a
+    :class:`~repro.experiments.RunStore` as they finish and
+    ``policy.resume`` skips every cell the checkpoint already holds.  A
+    cell that keeps failing past ``policy.max_retries`` lands in
+    ``GridResults.failed_cells`` instead of sinking the grid.
     """
     from .parallel import ParallelExecutor, resolve_workers
 
-    with use_telemetry(telemetry):
+    policy = coalesce_policy(
+        policy,
+        "run_grid",
+        progress=progress,
+        workers=workers,
+        chunksize=chunksize,
+        telemetry=telemetry,
+    )
+    with use_telemetry(policy.telemetry):
         results = GridResults(spec=spec)
         total = spec.size
-        workers = resolve_workers(workers, total)
+        progress = policy.progress
+        workers_n = resolve_workers(policy.workers, total)
         tel = get_telemetry()
         if tel.enabled:
             # Deterministic start-of-grid event: totals for progress
@@ -141,25 +200,28 @@ def run_grid(
             )
             tel.emit("grid", cells=total, pending=pending)
         with tel.span("grid", cells=total):
-            if workers > 1:
+            if workers_n > 1 or policy.resilient:
                 executor = ParallelExecutor(
-                    study, max_workers=workers, chunksize=chunksize
+                    study, max_workers=workers_n, policy=policy
                 )
-                executor.run_cells(
+                run_map = executor.run_cells(
                     [
                         (tga, dataset, port, spec.budget)
                         for tga, dataset, port in spec.cells()
                     ],
                     progress=progress,
                 )
+                budget = spec.budget or study.budget
                 for tga, dataset, port in spec.cells():
-                    results.runs[(tga, dataset.name, port)] = study.run(
-                        tga, dataset, port, budget=spec.budget
-                    )
+                    key = (canonical_tga_name(tga), dataset.name, port, budget)
+                    run = run_map.get(key)
+                    if run is not None:
+                        results.runs[key[:3]] = run
+                results.failed_cells = tuple(executor.failed_cells)
                 return results
             for index, (tga, dataset, port) in enumerate(spec.cells(), start=1):
                 run = study.run(tga, dataset, port, budget=spec.budget)
-                results.runs[(tga, dataset.name, port)] = run
+                results.runs[(canonical_tga_name(tga), dataset.name, port)] = run
                 if progress is not None:
                     progress(index, total, run)
             return results

@@ -124,21 +124,29 @@ class Study:
         cells: list[tuple[str, SeedDataset, Port, int | None]],
         workers: int | str | None = None,
         chunksize: int | None = None,
+        *,
+        policy: "ExecutionPolicy | None" = None,
     ) -> int:
-        """Fill the run cache for ``cells`` using ``workers`` processes.
+        """Fill the run cache for ``cells`` under an execution policy.
 
-        With ``workers`` unset (or 1) this is a no-op — callers compute
-        cells lazily through :meth:`run`, which is the same work in the
-        same process.  ``workers="auto"`` picks ``min(cpu_count,
-        cells)`` (serial on single-CPU hosts).  Returns the number of
-        cells that were missing from the cache when called.  Parallel
-        results are bit-identical to serial ones (every stochastic draw
-        is keyed on the master seed), so downstream consumers cannot
-        tell the difference.
+        With workers unset (or 1) and no resilience features requested,
+        this is a no-op — callers compute cells lazily through
+        :meth:`run`, which is the same work in the same process.
+        ``workers="auto"`` picks ``min(cpu_count, cells)`` (serial on
+        single-CPU hosts).  Returns the number of cells that were
+        missing from the cache when called.  Parallel results are
+        bit-identical to serial ones (every stochastic draw is keyed on
+        the master seed), so downstream consumers cannot tell the
+        difference.  ``workers``/``chunksize`` are the deprecated
+        spelling of the corresponding :class:`ExecutionPolicy` fields.
         """
         from .parallel import ParallelExecutor, resolve_workers
+        from .policy import coalesce_policy
 
-        workers = resolve_workers(workers, len(cells))
+        policy = coalesce_policy(
+            policy, "Study.precompute", workers=workers, chunksize=chunksize
+        )
+        workers_n = resolve_workers(policy.workers, len(cells))
         missing = sum(
             1
             for tga_name, dataset, port, budget in cells
@@ -150,10 +158,10 @@ class Study:
             # Deterministic start-of-batch event: totals for progress
             # displays, emitted before any cell runs (serial or not).
             tel.emit("grid", cells=len(cells), pending=missing)
-        if workers <= 1 or missing == 0:
+        if (workers_n <= 1 and not policy.resilient) or missing == 0:
             return missing
 
-        ParallelExecutor(self, max_workers=workers, chunksize=chunksize).run_cells(
+        ParallelExecutor(self, max_workers=workers_n, policy=policy).run_cells(
             cells
         )
         return missing
@@ -167,16 +175,27 @@ class Study:
         parallel: int | str | None = None,
         chunksize: int | None = None,
         telemetry: Telemetry | None = None,
+        *,
+        policy: "ExecutionPolicy | None" = None,
     ) -> dict[tuple[str, str, Port], RunResult]:
         """Run the full TGA × dataset × port grid.
 
-        ``parallel`` spreads uncached cells across that many worker
-        processes (``"auto"`` = ``min(cpu_count, cells)``); results
-        (and the populated run cache) are identical
-        to a serial run.  ``telemetry`` activates a registry for the
-        duration of the matrix (worker-process telemetry is merged back
+        ``policy`` governs execution mechanics (workers, checkpointing,
+        retries, fault injection); results and the populated run cache
+        are identical to a serial run.  ``parallel``/``chunksize``/
+        ``telemetry`` are the deprecated spelling of the corresponding
+        policy fields (worker-process telemetry is merged back
         deterministically).
         """
+        from .policy import coalesce_policy
+
+        policy = coalesce_policy(
+            policy,
+            "Study.run_matrix",
+            parallel=parallel,
+            chunksize=chunksize,
+            telemetry=telemetry,
+        )
         tga_names = tga_names or self.tga_names
         cells = [
             (tga_name, dataset, port, budget)
@@ -184,8 +203,8 @@ class Study:
             for port in ports
             for tga_name in tga_names
         ]
-        with use_telemetry(telemetry):
-            self.precompute(cells, workers=parallel, chunksize=chunksize)
+        with use_telemetry(policy.telemetry):
+            self.precompute(cells, policy=policy)
             results: dict[tuple[str, str, Port], RunResult] = {}
             for tga_name, dataset, port, _budget in cells:
                 results[(tga_name, dataset.name, port)] = self.run(

@@ -1,4 +1,4 @@
-"""Deterministic multiprocess execution of experiment grids.
+"""Deterministic, fault-tolerant multiprocess execution of experiment grids.
 
 The paper's study is embarrassingly parallel: every (TGA, dataset, port,
 budget) cell is an independent generate-and-scan run.  This module
@@ -6,7 +6,8 @@ spreads cells across a :class:`concurrent.futures.ProcessPoolExecutor`
 while keeping results **bit-identical** to serial execution — every
 stochastic decision in the system is a splitmix64 hash of
 ``(master_seed, ...)``, so a cell computes the same ``RunResult`` no
-matter which process runs it.
+matter which process runs it, how often it is retried, or whether it
+was restored from a checkpoint.
 
 Key design points:
 
@@ -22,26 +23,42 @@ Key design points:
 * Completed :class:`RunResult`\\ s are merged back into the parent
   study's run cache, so downstream RQ pipelines (which overlap heavily)
   reuse them exactly as they would after a serial run.
+* Execution is governed by an :class:`~repro.experiments.ExecutionPolicy`:
+  a worker crash rebuilds the pool and retries the lost cells, a cell
+  overrunning ``cell_timeout`` has its pool reaped and is retried, and
+  a cell still failing after ``max_retries`` degrades gracefully into a
+  :class:`CellFailure` record instead of sinking the whole grid.  With
+  ``policy.checkpoint`` set, every completed cell is appended to a
+  :class:`~repro.experiments.RunStore` the moment it finishes, and
+  ``policy.resume`` restores completed cells from it (digest-verified)
+  so an interrupted campaign never recomputes finished work.
 """
 
 from __future__ import annotations
 
 import os
+import time
+from collections import deque
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, replace
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 
 from ..addr import Prefix
 from ..internet import InternetConfig, Port
 from ..scanner import Blocklist
 from ..telemetry import MemorySink, Telemetry, get_telemetry, use_telemetry
 from ..tga import canonical_tga_name, get_model_cache
+from .faults import FaultInjected, FaultPlan
 from .harness import Study
+from .policy import ExecutionPolicy
 from .results import RunResult
+from .store import RunStore, study_digest
 
 __all__ = [
     "Cell",
     "RunKey",
+    "CellFailure",
     "WorkerSpec",
     "ParallelExecutor",
     "resolve_workers",
@@ -51,6 +68,35 @@ __all__ = [
 Cell = tuple  # (str, SeedDataset, Port, int | None)
 #: A resolved run-cache key: (tga name, dataset name, port, budget).
 RunKey = tuple  # (str, str, Port, int)
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One cell that exhausted its retries — the structured post-mortem
+    carried by ``GridResults.failed_cells``."""
+
+    tga: str
+    dataset: str
+    port: Port
+    budget: int
+    #: ``crash`` (worker death), ``timeout``, ``stall`` or ``exception``.
+    reason: str
+    #: Attempts consumed (1 + retries).
+    attempts: int
+    detail: str = ""
+
+    @property
+    def key(self) -> RunKey:
+        """The run-cache key of the failed cell."""
+        return (self.tga, self.dataset, self.port, self.budget)
+
+    def describe(self) -> str:
+        return (
+            f"{self.tga} × {self.dataset} × {self.port.value} "
+            f"(budget {self.budget}): {self.reason} after "
+            f"{self.attempts} attempt(s)"
+            + (f" — {self.detail}" if self.detail else "")
+        )
 
 
 @dataclass(frozen=True)
@@ -74,6 +120,9 @@ class WorkerSpec:
     #: parent's :func:`repro.tga.get_model_cache` setting, so
     #: ``--no-model-cache`` reaches every process).
     model_cache: bool = True
+    #: Deterministic fault injection, threaded to every worker so crash
+    #: recovery is reproducible (None in production runs).
+    fault_plan: FaultPlan | None = None
 
     @classmethod
     def from_study(
@@ -81,6 +130,7 @@ class WorkerSpec:
         study: Study,
         telemetry: bool = False,
         model_cache: bool | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> "WorkerSpec":
         """Capture a study's world-defining parameters."""
         if model_cache is None:
@@ -97,6 +147,7 @@ class WorkerSpec:
             packets_per_second=study.packets_per_second,
             telemetry=telemetry,
             model_cache=model_cache,
+            fault_plan=fault_plan,
         )
 
     def build_study(self) -> Study:
@@ -145,9 +196,10 @@ def resolve_workers(workers: int | str | None, cells: int) -> int:
 
 
 def _worker_study(spec: WorkerSpec) -> Study:
-    # One world per *world* spec: neither telemetry capture nor the
-    # model-cache toggle changes what gets built.
-    key = replace(spec, telemetry=False, model_cache=True)
+    # One world per *world* spec: neither telemetry capture, the
+    # model-cache toggle nor an attached fault plan changes what gets
+    # built.
+    key = replace(spec, telemetry=False, model_cache=True, fault_plan=None)
     study = _WORKER_STUDIES.get(key)
     if study is None:
         study = spec.build_study()
@@ -156,7 +208,7 @@ def _worker_study(spec: WorkerSpec) -> Study:
 
 
 def _run_cell_chunk(
-    spec: WorkerSpec, chunk: Sequence[Cell]
+    spec: WorkerSpec, chunk: Sequence[Cell], attempt: int = 0
 ) -> tuple[list[tuple[RunKey, RunResult]], dict | None, list[dict] | None]:
     """Run a chunk of cells in a worker.
 
@@ -166,22 +218,42 @@ def _run_cell_chunk(
     pool) is warmed *before* the worker registry activates, so worker
     telemetry measures exactly the cell work — matching the parent,
     where those structures are built before (or outside) the runs.
+
+    ``attempt`` is the retry generation (0 = first try): the fault plan
+    keys on it, and a retried chunk evicts its cells from the worker's
+    memoised run cache first so the re-execution emits the same
+    telemetry a first run would.
     """
     get_model_cache().enabled = spec.model_cache
     study = _worker_study(spec)
+    if attempt:
+        # A surviving worker may have cached cells a failed attempt
+        # completed before faulting mid-chunk; evict them so the retry
+        # re-runs (bit-identically) with full telemetry.
+        for tga_name, dataset, port, budget in chunk:
+            study._run_cache.pop((tga_name, dataset.name, port, budget), None)
+    plan = spec.fault_plan
+
+    def execute(chunk_out: list) -> None:
+        for tga_name, dataset, port, budget in chunk:
+            if plan is not None:
+                plan.fire(
+                    (tga_name, dataset.name, port, budget),
+                    attempt,
+                    allow_exit=True,
+                )
+            result = study.run(tga_name, dataset, port, budget=budget)
+            chunk_out.append(((tga_name, dataset.name, port, result.budget), result))
+
     out: list[tuple[RunKey, RunResult]] = []
     if not spec.telemetry:
-        for tga_name, dataset, port, budget in chunk:
-            result = study.run(tga_name, dataset, port, budget=budget)
-            out.append(((tga_name, dataset.name, port, result.budget), result))
+        execute(out)
         return out, None, None
     study._known_addresses  # noqa: B018 — warm the world uninstrumented
     sink = MemorySink()
     telemetry = Telemetry(sinks=[sink])
     with use_telemetry(telemetry):
-        for tga_name, dataset, port, budget in chunk:
-            result = study.run(tga_name, dataset, port, budget=budget)
-            out.append(((tga_name, dataset.name, port, result.budget), result))
+        execute(out)
     return out, telemetry.snapshot(include_wall=True), sink.events
 
 
@@ -194,7 +266,10 @@ class ParallelExecutor:
     ``max_workers`` defaults to the machine's CPU count.  ``chunksize``
     controls how many cells ride in one inter-process task (larger
     chunks amortise dataset pickling; smaller chunks balance load) — by
-    default cells are split into ~4 chunks per worker.
+    default cells are split into ~4 chunks per worker, or one cell per
+    task when ``policy.cell_timeout`` is set (per-cell timeouts need
+    per-cell dispatch).  ``policy`` supplies the fault-tolerance knobs:
+    checkpoint/resume, retry budget, timeout and fault injection.
     """
 
     def __init__(
@@ -202,26 +277,111 @@ class ParallelExecutor:
         study: Study,
         max_workers: int | None = None,
         chunksize: int | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         if chunksize is not None and chunksize < 1:
             raise ValueError("chunksize must be at least 1")
         self.study = study
+        self.policy = policy or ExecutionPolicy()
         self.max_workers = max_workers or os.cpu_count() or 1
-        self.chunksize = chunksize
+        self.chunksize = (
+            chunksize if chunksize is not None else self.policy.chunksize
+        )
+        #: Cells that exhausted their retries in the last ``run_cells``.
+        self.failed_cells: list[CellFailure] = []
 
     def worker_spec(self) -> WorkerSpec:
         """The spec shipped to (and memoised by) worker processes."""
         return WorkerSpec.from_study(
-            self.study, telemetry=get_telemetry().enabled
+            self.study,
+            telemetry=get_telemetry().enabled,
+            model_cache=self.policy.model_cache,
+            fault_plan=self.policy.fault_plan,
         )
 
     def _chunks(self, cells: list[Cell]) -> list[list[Cell]]:
+        if self.policy.cell_timeout is not None:
+            # Per-cell timeout semantics require per-cell dispatch: the
+            # parent can only observe task completion, so a task must be
+            # exactly one cell.
+            return [[cell] for cell in cells]
         size = self.chunksize
         if size is None:
             size = max(1, -(-len(cells) // (self.max_workers * 4)))
         return [cells[i : i + size] for i in range(0, len(cells), size)]
+
+    # -- checkpointing -----------------------------------------------------
+
+    def _open_store(self, resolved: dict[RunKey, Cell], tel) -> RunStore | None:
+        """Open the policy's checkpoint, restoring cells on resume.
+
+        On ``resume``, the store's recorded world digest must match the
+        study (a checkpoint from a different config/seed raises) and
+        every stored cell lands in the run cache, so it is never
+        re-executed.  Without ``resume`` an existing checkpoint file is
+        overwritten.
+        """
+        if self.policy.checkpoint is None:
+            return None
+        store = RunStore(self.policy.checkpoint)
+        digest = study_digest(self.study)
+        if self.policy.resume and store.path.exists():
+            store.load()
+            store.verify(digest)
+            restored = 0
+            for key in resolved:
+                result = store.get(key)
+                if result is not None and key not in self.study._run_cache:
+                    self.study._run_cache[key] = result
+                    restored += 1
+            if tel.enabled:
+                tel.count("checkpoint.cells_loaded", restored)
+                tel.emit(
+                    "checkpoint",
+                    action="resume",
+                    records=len(store),
+                    restored=restored,
+                )
+        else:
+            store.reset()
+        store.begin(config=digest)
+        return store
+
+    def _checkpoint(self, store: RunStore | None, key: RunKey, run: RunResult, tel) -> None:
+        if store is None or key in store:
+            return
+        store.append(key, run)
+        if tel.enabled:
+            tel.count("checkpoint.cells_written")
+
+    # -- failure bookkeeping -----------------------------------------------
+
+    def _record_failure(
+        self, cell: Cell, attempts: int, reason: str, detail: str, tel
+    ) -> None:
+        tga_name, dataset, port, budget = cell
+        self.failed_cells.append(
+            CellFailure(
+                tga=tga_name,
+                dataset=dataset.name,
+                port=port,
+                budget=budget,
+                reason=reason,
+                attempts=attempts,
+                detail=detail,
+            )
+        )
+        if tel.enabled:
+            tel.count("fault.failed_cells")
+
+    def _note_fault(self, reason: str, cells: int, attempt: int, tel, **extra) -> None:
+        if tel.enabled:
+            tel.count(f"fault.{reason}")
+            tel.emit("fault", reason=reason, cells=cells, attempt=attempt, **extra)
+
+    # -- execution ---------------------------------------------------------
 
     def run_cells(
         self,
@@ -230,17 +390,25 @@ class ParallelExecutor:
     ) -> dict[RunKey, RunResult]:
         """Run every cell, reusing and feeding the study's run cache.
 
-        Already-cached cells are returned immediately; missing cells are
-        executed across the worker pool (serially when ``max_workers``
-        is 1 or only one cell is missing) and merged back into
-        ``study._run_cache``.  ``progress(done, total, result)`` fires
-        once per cell, in completion order.
+        Already-cached (or checkpoint-restored) cells are returned
+        immediately; missing cells are executed across the worker pool
+        (serially when ``max_workers`` is 1 or only one cell is missing)
+        and merged back into ``study._run_cache``.
+        ``progress(done, total, result)`` fires once per cell, in
+        completion order.
 
-        The returned mapping is keyed ``(tga, dataset_name, port,
-        budget)`` with budgets resolved against the study default.
+        Failures degrade gracefully: a cell that still fails after the
+        policy's retry budget is recorded in :attr:`failed_cells` and
+        simply absent from the returned mapping, which is keyed
+        ``(tga, dataset_name, port, budget)`` with budgets resolved
+        against the study default.
         """
         study = self.study
+        policy = self.policy
+        if progress is None:
+            progress = policy.progress
         tel = get_telemetry()
+        self.failed_cells = []
         resolved: dict[RunKey, Cell] = {}
         for tga_name, dataset, port, budget in cells:
             tga_name = canonical_tga_name(tga_name)
@@ -250,63 +418,270 @@ class ParallelExecutor:
                 (tga_name, dataset, port, budget),
             )
         total = len(resolved)
-        done = 0
-        results: dict[RunKey, RunResult] = {}
-        missing: list[Cell] = []
-        for key, cell in resolved.items():
-            cached = study._run_cache.get(key)
-            if cached is not None:
+        store = self._open_store(resolved, tel)
+        try:
+            done = 0
+            results: dict[RunKey, RunResult] = {}
+            missing: list[Cell] = []
+            for key, cell in resolved.items():
+                cached = study._run_cache.get(key)
+                if cached is not None:
+                    results[key] = cached
+                    self._checkpoint(store, key, cached, tel)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, cached)
+                else:
+                    missing.append(cell)
+            if tel.enabled:
+                tel.count("meta.parallel.cells_cached", total - len(missing))
+                tel.count("meta.parallel.cells_executed", len(missing))
+            if missing:
+                if self.max_workers <= 1 or len(missing) == 1:
+                    self._run_serial(missing, results, store, progress, done, total, tel)
+                else:
+                    self._run_pool(missing, results, store, progress, done, total, tel)
+        finally:
+            if store is not None:
+                store.close()
+        return results
+
+    # -- serial (in-process) path ------------------------------------------
+
+    def _run_serial(
+        self, missing, results, store, progress, done, total, tel
+    ) -> None:
+        """Run cells in-process, with inline fault injection and retry.
+
+        Inline execution converts every fault kind to
+        :class:`FaultInjected` (a real ``os._exit`` would kill the
+        caller; an un-reapable stall would hang it).  Genuine exceptions
+        propagate — in-process failures are the caller's bugs, not
+        infrastructure weather.
+        """
+        study = self.study
+        policy = self.policy
+        plan = policy.fault_plan
+        for cell in missing:
+            tga_name, dataset, port, budget = cell
+            key = (tga_name, dataset.name, port, budget)
+            attempt = 0
+            run = None
+            while True:
+                try:
+                    if plan is not None:
+                        plan.fire(key, attempt, allow_exit=False)
+                    run = study.run(tga_name, dataset, port, budget=budget)
+                    break
+                except FaultInjected as fault:
+                    self._note_fault(fault.kind, 1, attempt, tel)
+                    attempt += 1
+                    if attempt > policy.max_retries:
+                        self._record_failure(
+                            cell, attempt, fault.kind, str(fault), tel
+                        )
+                        break
+                    if tel.enabled:
+                        tel.count("fault.retries")
+            if run is None:
+                continue
+            results[key] = run
+            self._checkpoint(store, key, run, tel)
+            done += 1
+            if progress is not None:
+                progress(done, total, run)
+
+    # -- multiprocess path -------------------------------------------------
+
+    def _kill_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Forcibly reap a pool whose workers may never return."""
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            process.terminate()
+
+    def _run_pool(
+        self, missing, results, store, progress, done, total, tel
+    ) -> None:
+        """Run cells across a worker pool, surviving crashes and stalls.
+
+        Recovery model, per chunk of cells:
+
+        * a normal exception from a chunk charges and retries just that
+          chunk (the pool stays healthy, attribution is exact);
+        * a dead worker (``BrokenProcessPool``) poisons the whole pool:
+          the pool is rebuilt and every lost chunk moves to an
+          *isolation queue* — re-run one at a time, so the next pool
+          death identifies its culprit exactly.  Only the isolated
+          culprit is charged; innocent bystanders retry for free, which
+          keeps failure outcomes deterministic (independent of which
+          chunks happened to be in flight when a worker died);
+        * a chunk overrunning ``cell_timeout`` has the whole pool
+          terminated (a stuck worker cannot be cancelled); the expired
+          chunk is charged — deadlines identify it exactly — and
+          everything else requeues for free.
+
+        A chunk charged more than ``max_retries`` times fails all its
+        cells into :attr:`failed_cells`.  Worker telemetry is merged in
+        chunk order — not completion order — and a retried chunk
+        overwrites its capture slot, so fault-free and fault-recovered
+        runs of the same grid merge identical (variant-event-stripped)
+        traces.
+        """
+        policy = self.policy
+        spec = self.worker_spec()
+        chunks = self._chunks(missing)
+        workers = min(self.max_workers, len(chunks))
+        if tel.enabled:
+            tel.count("meta.parallel.chunks", len(chunks))
+            tel.gauge("meta.parallel.workers", workers)
+        #: Worker telemetry, indexed by chunk so the merge below is
+        #: independent of completion and retry order.
+        captured: list[tuple[dict, list[dict]] | None] = [None] * len(chunks)
+        attempts = [0] * len(chunks)
+        pending: deque[int] = deque(range(len(chunks)))
+        suspects: deque[int] = deque()
+        pool: ProcessPoolExecutor | None = None
+
+        def charge(index: int, reason: str, detail: str) -> None:
+            """Bill a failure to a chunk: retry it, or fail its cells."""
+            self._note_fault(reason, len(chunks[index]), attempts[index], tel)
+            attempts[index] += 1
+            if attempts[index] > policy.max_retries:
+                for cell in chunks[index]:
+                    self._record_failure(cell, attempts[index], reason, detail, tel)
+                return
+            if tel.enabled:
+                tel.count("fault.retries")
+            # Proven-dangerous chunks stay in isolation; plain
+            # exceptions can rejoin the parallel queue.
+            (suspects if reason in ("crash", "timeout") else pending).append(index)
+
+        def harvest(index: int, payload) -> None:
+            nonlocal done
+            pairs, snapshot, events = payload
+            if snapshot is not None:
+                captured[index] = (snapshot, events or [])
+            for key, run in pairs:
+                # First writer wins, matching serial memoisation.
+                cached = self.study._run_cache.setdefault(key, run)
                 results[key] = cached
+                self._checkpoint(store, key, cached, tel)
                 done += 1
                 if progress is not None:
                     progress(done, total, cached)
+
+        def rebuild(kill: bool) -> None:
+            nonlocal pool
+            if kill:
+                self._kill_pool(pool)
             else:
-                missing.append(cell)
-        if tel.enabled:
-            tel.count("meta.parallel.cells_cached", total - len(missing))
-            tel.count("meta.parallel.cells_executed", len(missing))
-        if missing:
-            if self.max_workers <= 1 or len(missing) == 1:
-                for tga_name, dataset, port, budget in missing:
-                    run = study.run(tga_name, dataset, port, budget=budget)
-                    results[(tga_name, dataset.name, port, budget)] = run
-                    done += 1
-                    if progress is not None:
-                        progress(done, total, run)
-            else:
-                spec = self.worker_spec()
-                chunks = self._chunks(missing)
-                workers = min(self.max_workers, len(chunks))
-                if tel.enabled:
-                    tel.count("meta.parallel.chunks", len(chunks))
-                    tel.gauge("meta.parallel.workers", workers)
-                #: Worker telemetry, indexed by chunk so the merge below
-                #: is independent of completion order.
-                captured: list[tuple[dict, list[dict]] | None] = [None] * len(chunks)
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = {
-                        pool.submit(_run_cell_chunk, spec, chunk): index
-                        for index, chunk in enumerate(chunks)
-                    }
-                    for future in as_completed(futures):
-                        pairs, snapshot, events = future.result()
-                        if snapshot is not None:
-                            captured[futures[future]] = (snapshot, events or [])
-                        for key, run in pairs:
-                            # First writer wins, matching serial memoisation.
-                            cached = study._run_cache.setdefault(key, run)
-                            results[key] = cached
-                            done += 1
-                            if progress is not None:
-                                progress(done, total, cached)
-                # Deterministic merge: chunk order, not completion order,
-                # so counters, span trees and forwarded events (hence
-                # JSONL sinks) are byte-identical across runs.
-                for capture in captured:
-                    if capture is None:
-                        continue
-                    snapshot, events = capture
-                    tel.merge_snapshot(snapshot)
-                    for event in events:
-                        tel.emit_event(event)
-        return results
+                pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+            if tel.enabled:
+                tel.count("fault.pool_rebuilds")
+
+        try:
+            while pending or suspects:
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                if suspects:
+                    isolated = True
+                    batch = [suspects.popleft()]
+                else:
+                    isolated = False
+                    batch = list(pending)
+                    pending.clear()
+                inflight = {
+                    pool.submit(_run_cell_chunk, spec, chunks[index], attempts[index]): index
+                    for index in batch
+                }
+                deadline = (
+                    None
+                    if policy.cell_timeout is None
+                    else {future: time.monotonic() + policy.cell_timeout for future in inflight}
+                )
+                broken = False
+                while inflight and not broken:
+                    timeout = None
+                    if deadline is not None:
+                        timeout = max(
+                            0.0,
+                            min(deadline[future] for future in inflight) - time.monotonic(),
+                        )
+                    finished, _ = wait(
+                        set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+                    )
+                    if not finished:
+                        # A cell blew its per-cell budget.  The stuck
+                        # worker cannot be cancelled, so the whole pool
+                        # is reaped; the expired chunk is charged and
+                        # innocent in-flight chunks requeue for free.
+                        now = time.monotonic()
+                        expired = [
+                            future for future in inflight if deadline[future] <= now
+                        ]
+                        if not expired:
+                            continue
+                        for future in expired:
+                            charge(
+                                inflight.pop(future),
+                                "timeout",
+                                f"exceeded cell_timeout={policy.cell_timeout}s",
+                            )
+                        pending.extend(inflight.values())
+                        inflight.clear()
+                        rebuild(kill=True)
+                        break
+                    for future in finished:
+                        index = inflight.pop(future)
+                        try:
+                            payload = future.result()
+                        except BrokenProcessPool:
+                            # A worker died (an injected crash, the OOM
+                            # killer): the pool is unusable and all
+                            # in-flight work is lost.  Isolated, the
+                            # culprit is known and charged; in a
+                            # parallel batch it is indistinguishable
+                            # from bystanders, so everything moves to
+                            # the isolation queue uncharged.
+                            broken = True
+                            if isolated:
+                                charge(index, "crash", "worker process died")
+                            else:
+                                suspects.append(index)
+                        except Exception as error:  # noqa: BLE001 — worker-side failure
+                            charge(
+                                index,
+                                "stall"
+                                if isinstance(error, FaultInjected)
+                                and error.kind == "stall"
+                                else "exception",
+                                f"{type(error).__name__}: {error}",
+                            )
+                        else:
+                            harvest(index, payload)
+                    if broken:
+                        if not isolated:
+                            self._note_fault(
+                                "crash",
+                                sum(len(chunks[i]) for i in inflight.values()) or 0,
+                                0,
+                                tel,
+                            )
+                        suspects.extend(inflight.values())
+                        inflight.clear()
+                        rebuild(kill=False)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        # Deterministic merge: chunk order, not completion order, so
+        # counters, span trees and forwarded events (hence JSONL sinks)
+        # are byte-identical across runs.
+        for capture in captured:
+            if capture is None:
+                continue
+            snapshot, events = capture
+            tel.merge_snapshot(snapshot)
+            for event in events:
+                tel.emit_event(event)

@@ -1,0 +1,133 @@
+"""The unified execution-control surface for experiment pipelines.
+
+Grid execution grew knobs one at a time — ``workers=``, ``parallel=``,
+``chunksize=``, ``telemetry=`` — scattered across ``run_grid``,
+:meth:`Study.run_matrix`, :meth:`Study.precompute` and the RQ1–RQ4
+pipelines.  Fault tolerance (checkpointing, retries, timeouts, fault
+injection) would have doubled that sprawl, so every entry point now
+takes one frozen :class:`ExecutionPolicy` instead.  The old kwargs keep
+working through :func:`coalesce_policy`, which folds them into a policy
+and emits a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from ..telemetry import Telemetry
+from .faults import FaultPlan
+
+__all__ = ["ExecutionPolicy", "coalesce_policy"]
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Everything controlling *how* cells execute (never *what* runs).
+
+    A policy is pure mechanism: two runs of the same cells under
+    different policies produce bit-identical ``RunResult``\\ s (faults
+    permitting) — only scheduling, persistence and observability change.
+    """
+
+    #: Worker processes: ``None``/1 = serial, ``"auto"`` = min(CPUs, cells).
+    workers: int | str | None = None
+    #: Cells per inter-process task (``None`` = ~4 chunks per worker).
+    chunksize: int | None = None
+    #: Prepared-model cache in workers (``None`` = inherit the global
+    #: :func:`repro.tga.get_model_cache` setting).
+    model_cache: bool | None = None
+    #: Registry to activate for the duration of the run (``None`` =
+    #: whatever is already active).
+    telemetry: Telemetry | None = None
+    #: ``progress(done, total, result)`` callback, fired per cell.
+    progress: Callable | None = None
+    #: Checkpoint path (:class:`~repro.experiments.RunStore`, format v2):
+    #: every completed cell is appended as it finishes.
+    checkpoint: str | Path | None = None
+    #: Load the checkpoint first and skip every cell it already holds
+    #: (the store's config digest must match the study).
+    resume: bool = False
+    #: Seconds a single cell may run in a worker before it is reaped
+    #: and retried (``None`` = no timeout; implies one cell per task).
+    cell_timeout: float | None = None
+    #: How many times a failing cell is retried before it is reported
+    #: in ``GridResults.failed_cells``.
+    max_retries: int = 2
+    #: Deterministic fault injection (tests / chaos drills).
+    fault_plan: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and not isinstance(self.workers, int):
+            if self.workers != "auto":
+                raise ValueError(
+                    f"workers must be a positive int or 'auto', got {self.workers!r}"
+                )
+        if isinstance(self.workers, int) and self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.chunksize is not None and self.chunksize < 1:
+            raise ValueError("chunksize must be at least 1")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+
+    @property
+    def resilient(self) -> bool:
+        """Does this policy need the fault-tolerant executor path?
+
+        Checkpointing, fault injection and timeouts all require routing
+        through :class:`~repro.experiments.ParallelExecutor` even when
+        the run is serial; a plain policy keeps the legacy fast path.
+        """
+        return (
+            self.checkpoint is not None
+            or self.fault_plan is not None
+            or self.cell_timeout is not None
+        )
+
+
+#: Legacy kwarg → policy field; ``parallel`` was run_matrix's spelling.
+_LEGACY_FIELDS = {
+    "workers": "workers",
+    "parallel": "workers",
+    "chunksize": "chunksize",
+    "telemetry": "telemetry",
+}
+
+
+def coalesce_policy(
+    policy: ExecutionPolicy | None,
+    api: str,
+    progress: Callable | None = None,
+    **legacy,
+) -> ExecutionPolicy:
+    """Fold deprecated scattered kwargs into an :class:`ExecutionPolicy`.
+
+    ``None`` legacy values mean "not passed" and are ignored.  Passing
+    any of the deprecated names (``workers``/``parallel``/``chunksize``/
+    ``telemetry``) warns once per call site; ``progress`` folds silently
+    (it is a per-call callback, not configuration).  Explicit legacy
+    kwargs override the corresponding policy fields, so half-migrated
+    call sites behave predictably.
+    """
+    supplied = {name: value for name, value in legacy.items() if value is not None}
+    unknown = set(supplied) - set(_LEGACY_FIELDS)
+    if unknown:
+        raise TypeError(f"{api}: unexpected arguments {sorted(unknown)}")
+    if supplied:
+        warnings.warn(
+            f"{api}: the {', '.join(sorted(supplied))} argument(s) are "
+            f"deprecated; pass policy=ExecutionPolicy(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    merged = policy if policy is not None else ExecutionPolicy()
+    overrides = {_LEGACY_FIELDS[name]: value for name, value in supplied.items()}
+    if progress is not None:
+        overrides["progress"] = progress
+    if overrides:
+        merged = replace(merged, **overrides)
+    return merged

@@ -16,6 +16,7 @@ from ..internet import ALL_PORTS, Port
 from ..metrics import metric_ratios
 from ..telemetry import Telemetry, use_telemetry
 from .harness import Study
+from .policy import ExecutionPolicy, coalesce_policy
 from .results import RunResult
 
 __all__ = ["RQ1aResult", "RQ1bResult", "run_rq1a", "run_rq1b"]
@@ -92,14 +93,17 @@ def run_rq1a(
     budget: int | None = None,
     workers: int | None = None,
     telemetry: Telemetry | None = None,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> RQ1aResult:
     """Run the RQ1.a grid: every TGA on every dealias treatment and port.
 
-    ``workers`` precomputes uncached cells across that many processes;
-    results are bit-identical to a serial run.  ``telemetry`` activates
-    a registry for the duration of the pipeline.
+    ``policy`` governs execution mechanics (workers, checkpointing,
+    retries); results are bit-identical to a serial run.  ``workers``/
+    ``telemetry`` are the deprecated spelling of the policy fields.
     """
-    with use_telemetry(telemetry) as tel, tel.span("rq1a"):
+    policy = coalesce_policy(policy, "run_rq1a", workers=workers, telemetry=telemetry)
+    with use_telemetry(policy.telemetry) as tel, tel.span("rq1a"):
         datasets = {mode: study.constructions.dealias_variant(mode) for mode in modes}
         study.precompute(
             [
@@ -108,7 +112,7 @@ def run_rq1a(
                 for port in ports
                 for tga in study.tga_names
             ],
-            workers=workers,
+            policy=policy,
         )
         runs: dict[tuple[str, DealiasMode, Port], RunResult] = {}
         for mode in modes:
@@ -125,9 +129,12 @@ def run_rq1b(
     budget: int | None = None,
     workers: int | None = None,
     telemetry: Telemetry | None = None,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> RQ1bResult:
     """Run the RQ1.b comparison: joint-dealiased vs active-only seeds."""
-    with use_telemetry(telemetry) as tel, tel.span("rq1b"):
+    policy = coalesce_policy(policy, "run_rq1b", workers=workers, telemetry=telemetry)
+    with use_telemetry(policy.telemetry) as tel, tel.span("rq1b"):
         dealiased = study.constructions.joint_dealiased
         active = study.constructions.all_active
         study.precompute(
@@ -137,7 +144,7 @@ def run_rq1b(
                 for port in ports
                 for tga in study.tga_names
             ],
-            workers=workers,
+            policy=policy,
         )
         dealiased_runs: dict[tuple[str, Port], RunResult] = {}
         active_runs: dict[tuple[str, Port], RunResult] = {}

@@ -13,6 +13,7 @@ from ..internet import ALL_PORTS, Port
 from ..metrics import metric_ratios
 from ..telemetry import Telemetry, use_telemetry
 from .harness import Study
+from .policy import ExecutionPolicy, coalesce_policy
 from .results import RunResult
 
 __all__ = ["RQ2Result", "CrossPortResult", "run_rq2", "run_cross_port"]
@@ -63,9 +64,12 @@ def run_rq2(
     budget: int | None = None,
     workers: int | None = None,
     telemetry: Telemetry | None = None,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> RQ2Result:
     """Run the RQ2 grid: each port scanned from its port-specific seeds."""
-    with use_telemetry(telemetry) as tel, tel.span("rq2"):
+    policy = coalesce_policy(policy, "run_rq2", workers=workers, telemetry=telemetry)
+    with use_telemetry(policy.telemetry) as tel, tel.span("rq2"):
         all_active = study.constructions.all_active
         study.precompute(
             [
@@ -74,7 +78,7 @@ def run_rq2(
                 for dataset in (all_active, study.constructions.port_specific(port))
                 for tga in study.tga_names
             ],
-            workers=workers,
+            policy=policy,
         )
         all_active_runs: dict[tuple[str, Port], RunResult] = {}
         port_specific_runs: dict[tuple[str, Port], RunResult] = {}
@@ -99,13 +103,18 @@ def run_cross_port(
     budget: int | None = None,
     workers: int | None = None,
     telemetry: Telemetry | None = None,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> CrossPortResult:
     """Run the Figure 7 grid: every input dataset scanned on every target.
 
     Inputs are the four port-specific datasets plus All Active; each is
     used to generate and scan on all four targets.
     """
-    with use_telemetry(telemetry) as tel, tel.span("cross_port"):
+    policy = coalesce_policy(
+        policy, "run_cross_port", workers=workers, telemetry=telemetry
+    )
+    with use_telemetry(policy.telemetry) as tel, tel.span("cross_port"):
         inputs = [study.constructions.port_specific(port) for port in ports]
         inputs.append(study.constructions.all_active)
         study.precompute(
@@ -115,7 +124,7 @@ def run_cross_port(
                 for scan_port in ports
                 for tga in study.tga_names
             ],
-            workers=workers,
+            policy=policy,
         )
         runs: dict[tuple[str, str, Port], RunResult] = {}
         for dataset in inputs:

@@ -14,6 +14,7 @@ from ..internet import ALL_PORTS, Port
 from ..metrics import ASCharacterization, characterize_ases
 from ..telemetry import Telemetry, use_telemetry
 from .harness import Study
+from .policy import ExecutionPolicy, coalesce_policy
 from .results import RunResult
 
 __all__ = ["RQ3Result", "run_rq3", "Table5Row", "table5", "table6"]
@@ -75,6 +76,8 @@ def run_rq3(
     pooled_ports: tuple[Port, ...] = (Port.ICMP,),
     workers: int | None = None,
     telemetry: Telemetry | None = None,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> RQ3Result:
     """Run the RQ3 grid plus the pooled-budget comparison.
 
@@ -82,7 +85,8 @@ def run_rq3(
     dataset with ``len(sources) ×`` the per-source budget; the paper
     reports it for ICMP, so that is the default.
     """
-    with use_telemetry(telemetry) as tel, tel.span("rq3"):
+    policy = coalesce_policy(policy, "run_rq3", workers=workers, telemetry=telemetry)
+    with use_telemetry(policy.telemetry) as tel, tel.span("rq3"):
         per_source_budget = budget or study.budget
         source_datasets = {
             source: dataset
@@ -103,7 +107,7 @@ def run_rq3(
                 for port in pooled_ports
                 for tga in study.tga_names
             ],
-            workers=workers,
+            policy=policy,
         )
         source_runs: dict[tuple[str, str, Port], RunResult] = {}
         for source, dataset in source_datasets.items():

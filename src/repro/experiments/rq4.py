@@ -15,6 +15,7 @@ from ..internet import ALL_PORTS, Port
 from ..metrics import ContributionStep, cumulative_contributions, pairwise_jaccard
 from ..telemetry import Telemetry, use_telemetry
 from .harness import Study
+from .policy import ExecutionPolicy, coalesce_policy
 from .results import RunResult
 
 __all__ = ["RQ4Result", "run_rq4"]
@@ -66,9 +67,12 @@ def run_rq4(
     budget: int | None = None,
     workers: int | None = None,
     telemetry: Telemetry | None = None,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> RQ4Result:
     """Run every generator on the All Active dataset for each port."""
-    with use_telemetry(telemetry) as tel, tel.span("rq4"):
+    policy = coalesce_policy(policy, "run_rq4", workers=workers, telemetry=telemetry)
+    with use_telemetry(policy.telemetry) as tel, tel.span("rq4"):
         all_active = study.constructions.all_active
         study.precompute(
             [
@@ -76,7 +80,7 @@ def run_rq4(
                 for port in ports
                 for tga in study.tga_names
             ],
-            workers=workers,
+            policy=policy,
         )
         runs: dict[tuple[str, Port], RunResult] = {}
         for port in ports:

@@ -1,8 +1,22 @@
-"""Persistence of experiment results.
+"""Persistence of experiment results: the RunStore checkpoint format.
 
-Long experiment grids are expensive; this module serialises
-:class:`RunResult` objects (including hit sets) to JSON so studies can
-be checkpointed, shared and re-analysed without recomputation.
+Long experiment grids are expensive; this module persists
+:class:`RunResult` objects (including hit sets) so studies can be
+checkpointed, resumed after a crash, shared and re-analysed without
+recomputation.
+
+Two on-disk formats exist:
+
+* **Format v2** (current, written by :class:`RunStore`): JSON Lines.
+  The first line is a header carrying the format number and a sha256
+  digest of the world configuration the results were computed against;
+  every subsequent line is one ``(RunKey, RunResult)`` record.  Records
+  are appended (and flushed) as cells complete, so a checkpoint is
+  crash-safe by construction: whatever survives an interruption is a
+  valid prefix, and a torn final line is detected and dropped on load.
+* **Format v1** (legacy, read-only): a single JSON document
+  ``{"format": 1, "results": [...]}``.  :meth:`RunStore.load` and
+  :func:`load_results` auto-detect it, so old checkpoints round-trip.
 
 Addresses are stored as hex strings to keep files compact and
 diff-friendly; everything round-trips exactly.
@@ -10,17 +24,27 @@ diff-friendly; everything round-trips exactly.
 
 from __future__ import annotations
 
+import dataclasses
 import json
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from ..internet import Port
 from ..metrics import MetricSet
+from ..telemetry.provenance import config_digest
 from .results import RunResult
 
-__all__ = ["dump_results", "load_results", "result_to_dict", "result_from_dict"]
+__all__ = [
+    "RunStore",
+    "study_digest",
+    "dump_results",
+    "load_results",
+    "result_to_dict",
+    "result_from_dict",
+]
 
-_FORMAT_VERSION = 1
+_FORMAT_V1 = 1
+_FORMAT_V2 = 2
 
 
 def _encode_addresses(addresses: Iterable[int]) -> list[str]:
@@ -72,18 +96,259 @@ def result_from_dict(data: dict) -> RunResult:
     )
 
 
+def study_digest(study) -> str:
+    """``sha256:`` digest of everything that determines a study's cell
+    results: the world config, round size, scan rate and blocklist.
+
+    The TGA roster and default budget are deliberately excluded — they
+    select *which* cells run, not what any one cell computes — so a
+    checkpoint stays resumable after adding generators or changing the
+    grid's budget (budgets are part of each record's key).
+    """
+    config = study.internet.config
+    return config_digest(
+        {
+            "config": dataclasses.asdict(config),
+            "round_size": study.round_size,
+            "packets_per_second": study.packets_per_second,
+            "blocklist": sorted(
+                (prefix.value, prefix.length)
+                for prefix in study.blocklist.prefixes()
+            ),
+        }
+    )
+
+
+def _result_key(result: RunResult) -> tuple:
+    return (result.tga_name, result.dataset_name, result.port, result.budget)
+
+
+class RunStore:
+    """A checkpoint of per-cell results, keyed by RunKey, append-safe.
+
+    Keys are ``(tga, dataset_name, Port, budget)`` — the same shape the
+    Study run cache uses.  Typical lifecycle::
+
+        store = RunStore("checkpoint.jsonl")
+        if resuming and store.path.exists():
+            store.load()
+            store.verify(study_digest(study))     # refuse stale worlds
+        store.begin(config=study_digest(study))   # header, once
+        ...
+        store.append(key, result)                 # per completed cell
+
+    ``load`` tolerates a torn final line (a crash mid-append) and
+    counts it in :attr:`dropped`; any earlier corruption is an error.
+    """
+
+    FORMAT = _FORMAT_V2
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.header: dict | None = None
+        self._records: list[tuple[tuple, RunResult]] = []
+        self._by_key: dict[tuple, RunResult] = {}
+        self._handle = None
+        #: Records read from disk by :meth:`load`.
+        self.loaded = 0
+        #: Records written by :meth:`append` this session.
+        self.appended = 0
+        #: Torn trailing lines discarded by :meth:`load`.
+        self.dropped = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._by_key
+
+    def get(self, key: tuple) -> RunResult | None:
+        """The stored result for ``key``, or None."""
+        return self._by_key.get(key)
+
+    def keys(self) -> list[tuple]:
+        return list(self._by_key)
+
+    @property
+    def records(self) -> list[tuple[tuple, RunResult]]:
+        """All (key, result) records in append order (duplicates kept)."""
+        return list(self._records)
+
+    def results(self) -> list[RunResult]:
+        """All stored results in append order."""
+        return [result for _, result in self._records]
+
+    @property
+    def config(self) -> str | None:
+        """The world digest recorded in the header, if any."""
+        return (self.header or {}).get("config")
+
+    # -- loading -----------------------------------------------------------
+
+    def load(self) -> int:
+        """Read an existing checkpoint (v2 JSONL, or legacy v1 JSON).
+
+        Returns the number of records loaded.  Raises ``ValueError`` on
+        unknown formats or mid-file corruption; a torn *final* line is
+        dropped silently (crash mid-append) and counted in
+        :attr:`dropped`.
+        """
+        text = self.path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        header = None
+        if lines:
+            try:
+                first = json.loads(lines[0])
+            except json.JSONDecodeError:
+                first = None
+            if isinstance(first, dict) and first.get("format") == _FORMAT_V2:
+                header = first
+        if header is None:
+            return self._load_v1(text)
+        self.header = header
+        for index, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines):  # torn final append: a crash artifact
+                    self.dropped += 1
+                    break
+                raise ValueError(
+                    f"{self.path}: corrupt checkpoint record on line {index}"
+                ) from None
+            tga, dataset, port_value, budget = record["key"]
+            key = (tga, dataset, Port(port_value), budget)
+            self._add(key, result_from_dict(record["result"]))
+            self.loaded += 1
+        return self.loaded
+
+    def _load_v1(self, text: str) -> int:
+        """Fall back to the legacy single-document format."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            raise ValueError(f"{self.path}: not a results checkpoint") from None
+        version = payload.get("format") if isinstance(payload, dict) else None
+        if version != _FORMAT_V1:
+            raise ValueError(f"unsupported results format: {version!r}")
+        self.header = {"format": _FORMAT_V1}
+        for record in payload["results"]:
+            result = result_from_dict(record)
+            self._add(_result_key(result), result)
+            self.loaded += 1
+        return self.loaded
+
+    def _add(self, key: tuple, result: RunResult) -> None:
+        self._records.append((key, result))
+        self._by_key[key] = result
+
+    def verify(self, digest: str) -> None:
+        """Refuse to resume against a different world.
+
+        ``digest`` is the current study's :func:`study_digest`; it must
+        equal the digest recorded in the checkpoint header.  Legacy v1
+        checkpoints (and stores written without a digest) cannot be
+        verified and are rejected here — load them explicitly with
+        :func:`load_results` if the mismatch is intentional.
+        """
+        recorded = self.config
+        if recorded is None:
+            raise ValueError(
+                f"{self.path}: checkpoint carries no config digest; "
+                "cannot verify it matches this study"
+            )
+        if recorded != digest:
+            raise ValueError(
+                f"{self.path}: checkpoint was recorded against a different "
+                f"world (checkpoint {recorded}, study {digest}); refusing "
+                "to resume"
+            )
+
+    # -- writing -----------------------------------------------------------
+
+    def begin(self, config: str | None = None, **meta) -> None:
+        """Open the store for appending, writing the header if new.
+
+        On an existing (loaded) v2 store this is idempotent; a legacy v1
+        store cannot be appended to.
+        """
+        if self.header is not None and self.header.get("format") == _FORMAT_V1:
+            raise ValueError(
+                f"{self.path}: legacy v1 checkpoints are read-only; "
+                "write a new v2 store instead"
+            )
+        if self._handle is not None:
+            return
+        fresh = self.header is None
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if fresh and self._handle.tell() == 0:
+            self.header = {"format": _FORMAT_V2, "config": config, **meta}
+            self._write_line(self.header)
+
+    def append(self, key: tuple, result: RunResult) -> None:
+        """Persist one completed cell (appends and flushes immediately)."""
+        if self._handle is None:
+            self.begin()
+        tga, dataset, port, budget = key
+        self._write_line(
+            {
+                "key": [tga, dataset, port.value, budget],
+                "result": result_to_dict(result),
+            }
+        )
+        self._add(key, result)
+        self.appended += 1
+
+    def _write_line(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def reset(self) -> None:
+        """Discard the on-disk checkpoint and all in-memory state."""
+        self.close()
+        self.path.unlink(missing_ok=True)
+        self.header = None
+        self._records.clear()
+        self._by_key.clear()
+        self.loaded = self.appended = self.dropped = 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __iter__(self) -> Iterator[tuple[tuple, RunResult]]:
+        return iter(self._records)
+
+
 def dump_results(path: str | Path, results: Iterable[RunResult]) -> int:
-    """Write results to a JSON checkpoint; returns the count written."""
-    records = [result_to_dict(result) for result in results]
-    payload = {"format": _FORMAT_VERSION, "results": records}
-    Path(path).write_text(json.dumps(payload), encoding="utf-8")
-    return len(records)
+    """Write results to a fresh format-v2 checkpoint; returns the count.
+
+    Thin wrapper over :class:`RunStore` (kept for compatibility; new
+    code that checkpoints incrementally should use the store directly).
+    """
+    store = RunStore(path)
+    store.reset()
+    with store:
+        store.begin()
+        for result in results:
+            store.append(_result_key(result), result)
+        return store.appended
 
 
 def load_results(path: str | Path) -> list[RunResult]:
-    """Load a JSON checkpoint written by :func:`dump_results`."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    version = payload.get("format")
-    if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported results format: {version!r}")
-    return [result_from_dict(record) for record in payload["results"]]
+    """Load a checkpoint written by :func:`dump_results` or
+    :class:`RunStore` — format v2 or legacy v1, auto-detected."""
+    store = RunStore(path)
+    store.load()
+    return store.results()

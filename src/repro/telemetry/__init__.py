@@ -14,9 +14,12 @@ times, JSONL event logs — is deterministic for a fixed master seed;
 only wall-clock durations (kept in the in-memory span tree for console
 summaries) vary between runs.  Counters under the sanctioned variant
 namespaces (:data:`SANCTIONED_VARIANT_PREFIXES`: ``meta.*`` run-cache
-bookkeeping, ``tga.model_cache.*`` prepared-model cache traffic) are
-additionally allowed to depend on the execution strategy (serial vs
-parallel, cold vs warm cache); all other names must not.  See
+bookkeeping, ``tga.model_cache.*`` prepared-model cache traffic,
+``fault.*`` retry/recovery weather, ``checkpoint.*`` RunStore traffic)
+are additionally allowed to depend on the execution strategy (serial vs
+parallel, cold vs warm cache, fault-free vs fault-recovered); all other
+names must not.  :func:`strip_variant_events` removes the matching
+event types from a trace for cross-strategy comparison.  See
 ``docs/architecture.md`` for the event schema.
 
 The consumption layer lives alongside the producer:
@@ -35,6 +38,7 @@ check}`` and ``--progress`` on the CLI.
 """
 
 from .analysis import (
+    VARIANT_EVENT_TYPES,
     Attribution,
     DiffEntry,
     Trace,
@@ -42,6 +46,7 @@ from .analysis import (
     attribute,
     diff_traces,
     load_trace,
+    strip_variant_events,
     to_prometheus_text,
 )
 from .core import (
@@ -97,6 +102,8 @@ __all__ = [
     "TraceDiff",
     "diff_traces",
     "to_prometheus_text",
+    "VARIANT_EVENT_TYPES",
+    "strip_variant_events",
     "RunManifest",
     "config_digest",
     "snapshot_digest",

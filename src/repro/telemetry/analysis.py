@@ -40,11 +40,42 @@ __all__ = [
     "Attribution",
     "attribute",
     "PHASE_NAMESPACES",
+    "VARIANT_EVENT_TYPES",
+    "strip_variant_events",
     "DiffEntry",
     "TraceDiff",
     "diff_traces",
     "to_prometheus_text",
 ]
+
+#: Event types that record execution weather (injected faults, retries,
+#: checkpoint traffic) rather than workload results — the event-stream
+#: counterpart of :data:`~repro.telemetry.SANCTIONED_VARIANT_PREFIXES`.
+VARIANT_EVENT_TYPES: tuple[str, ...] = ("fault", "checkpoint")
+
+
+def strip_variant_events(events: list[dict]) -> list[dict]:
+    """Drop execution-variant events and renumber ``seq`` contiguously.
+
+    Fault and checkpoint events consume sequence numbers, so a
+    fault-recovered trace differs from a fault-free one even where the
+    workload events are identical.  Stripping the
+    :data:`VARIANT_EVENT_TYPES`, dropping the sanctioned ``cached``
+    span attribute (prepared-model cache hits depend on worker-pool
+    scheduling and survive pool rebuilds differently), and reassigning
+    ``seq`` from 1 yields the comparable core: a fault-recovered run's
+    stripped events must equal an uninterrupted run's under the same
+    execution strategy.  Input events are not mutated.
+    """
+    stripped = []
+    for event in events:
+        if event.get("type") in VARIANT_EVENT_TYPES:
+            continue
+        clean = dict(event)
+        clean.pop("cached", None)
+        clean["seq"] = len(stripped) + 1
+        stripped.append(clean)
+    return stripped
 
 #: Span (phase) name → pipeline namespace for virtual-time attribution.
 #: ``prepare`` is pure TGA work, ``generate`` spends its virtual seconds

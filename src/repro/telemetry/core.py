@@ -14,11 +14,14 @@ Design constraints (see ``docs/architecture.md`` § Telemetry):
   event logs and golden snapshots are byte-identical across runs.
   The sanctioned exceptions are the namespaces listed in
   :data:`SANCTIONED_VARIANT_PREFIXES` — ``meta.*`` (run-cache hits,
-  scheduling bookkeeping) and ``tga.model_cache.*`` (prepared-model
+  scheduling bookkeeping), ``tga.model_cache.*`` (prepared-model
   cache traffic, plus the ``cached`` attribute on ``prepare`` span
-  events) — which may legitimately differ between serial and parallel
-  execution, or between cold- and warm-cache runs, of the same
-  workload; all other names must be execution-strategy independent.
+  events), ``fault.*`` (injected faults, retries, pool rebuilds) and
+  ``checkpoint.*`` (cells written to / restored from a RunStore) —
+  which may legitimately differ between serial and parallel execution,
+  between cold- and warm-cache runs, or between fault-free and
+  fault-recovered runs of the same workload; all other names must be
+  execution-strategy independent.
 """
 
 from __future__ import annotations
@@ -42,9 +45,17 @@ __all__ = [
 
 #: Metric-name prefixes sanctioned to differ between executions of the
 #: same workload that are otherwise bit-identical (serial vs parallel,
-#: cold vs warm model cache).  Every comparison that asserts
-#: execution-strategy independence filters these out.
-SANCTIONED_VARIANT_PREFIXES: tuple[str, ...] = ("meta.", "tga.model_cache.")
+#: cold vs warm model cache, fault-free vs fault-recovered).  Every
+#: comparison that asserts execution-strategy independence filters
+#: these out.  ``fault.*`` and ``checkpoint.*`` record retries, pool
+#: rebuilds and checkpoint traffic — infrastructure weather, not
+#: workload results.
+SANCTIONED_VARIANT_PREFIXES: tuple[str, ...] = (
+    "meta.",
+    "tga.model_cache.",
+    "fault.",
+    "checkpoint.",
+)
 
 #: Default histogram bucket edges (counts of addresses / batch sizes).
 DEFAULT_EDGES: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000)

@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.experiments import GridSpec, Study, run_grid
+from repro.experiments import ExecutionPolicy, GridSpec, Study, run_grid
 from repro.internet import InternetConfig, Port
 from repro.telemetry import MemorySink, Telemetry
 from repro.tga import ModelCache, use_model_cache
@@ -68,7 +68,7 @@ def compute_golden_payload() -> dict:
     # ``prepare`` span's ``cached`` attribute are part of the payload,
     # so the workload must always start cold.
     with use_model_cache(ModelCache()):
-        run_grid(study, spec, telemetry=telemetry)
+        run_grid(study, spec, policy=ExecutionPolicy(telemetry=telemetry))
     telemetry.close()
     return {"events": sink.events, "snapshot": sink.snapshot}
 

@@ -8,6 +8,9 @@ master seed, so a cell must compute the same RunResult in any process.
 import pytest
 
 from repro.experiments import (
+    ExecutionPolicy,
+    FaultPlan,
+    FaultRule,
     GridSpec,
     ParallelExecutor,
     Study,
@@ -233,7 +236,8 @@ def run_micro_grid(seed: int, workers: int | None):
         budget=PROPERTY_BUDGET,
     )
     telemetry = Telemetry()
-    return run_grid(study, spec, workers=workers, telemetry=telemetry), telemetry
+    policy = ExecutionPolicy(workers=workers, telemetry=telemetry)
+    return run_grid(study, spec, policy=policy), telemetry
 
 
 def nonmeta_counters(telemetry: Telemetry) -> dict[str, int]:
@@ -246,6 +250,48 @@ def nonmeta_counters(telemetry: Telemetry) -> dict[str, int]:
         for name, value in telemetry.counters.items()
         if not name.startswith(SANCTIONED_VARIANT_PREFIXES)
     }
+
+
+class TestCrashRecovery:
+    """An injected worker crash must be invisible in the final results."""
+
+    def test_worker_crash_recovers_bit_identically(self):
+        baseline_study = make_study()
+        baseline = run_grid(baseline_study, make_spec(baseline_study))
+
+        crashed_study = make_study()
+        plan = FaultPlan(rules=(FaultRule("crash", tga="6gen", port="icmp"),))
+        recovered = run_grid(
+            crashed_study,
+            make_spec(crashed_study),
+            policy=ExecutionPolicy(workers=2, fault_plan=plan, max_retries=2),
+        )
+        assert recovered.complete
+        assert not recovered.failed_cells
+        assert set(baseline.runs) == set(recovered.runs)
+        for key in baseline.runs:
+            assert_identical_runs(baseline.runs[key], recovered.runs[key])
+
+    def test_exhausted_retries_degrade_to_failed_cells(self):
+        study = make_study()
+        plan = FaultPlan(rules=(FaultRule("crash", tga="6gen", max_fires=99),))
+        results = run_grid(
+            study,
+            make_spec(study),
+            policy=ExecutionPolicy(workers=2, fault_plan=plan, max_retries=1),
+        )
+        assert not results.complete
+        # Exactly the 6gen cells fail — crash attribution is isolated to
+        # the culprit chunk, never billed to innocent bystanders.
+        assert sorted((f.tga, f.port.value) for f in results.failed_cells) == sorted(
+            ("6gen", port.value) for port in PORTS
+        )
+        assert all(f.reason == "crash" for f in results.failed_cells)
+        # Every other cell completed bit-identically to a clean serial run.
+        baseline_study = make_study()
+        baseline = run_grid(baseline_study, make_spec(baseline_study))
+        for key, run in results.runs.items():
+            assert_identical_runs(baseline.runs[key], run)
 
 
 class TestSerialParallelProperty:

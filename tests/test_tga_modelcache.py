@@ -22,7 +22,7 @@ import pytest
 
 from repro.addr import ADDRESS_NYBBLES, parse_address
 from repro.addr.nybbles import differing_positions, get_nybble, set_nybble
-from repro.experiments import GridSpec, Study, run_grid
+from repro.experiments import ExecutionPolicy, GridSpec, Study, run_grid
 from repro.experiments.parallel import resolve_workers
 from repro.internet import InternetConfig, Port
 from repro.telemetry import (
@@ -500,7 +500,7 @@ class TestCachedGridTraces:
         sink = MemorySink()
         telemetry = Telemetry(sinks=[sink])
         with use_model_cache(cache):
-            results = run_grid(study, spec, telemetry=telemetry)
+            results = run_grid(study, spec, policy=ExecutionPolicy(telemetry=telemetry))
         telemetry.close()
         return results, sink
 
