@@ -24,6 +24,10 @@ __all__ = [
     "common_prefix_len",
     "differing_positions",
     "nybble_counts",
+    "to_nybble_matrix",
+    "nybble_counts_matrix",
+    "common_prefix_len_matrix",
+    "first_seen_values",
 ]
 
 
@@ -107,3 +111,85 @@ def nybble_counts(addresses: Iterable[int], index: int) -> list[int]:
     for value in addresses:
         counts[(value >> shift) & 0xF] += 1
     return counts
+
+
+# -- vectorized counterparts -----------------------------------------------
+#
+# A 128-bit address does not fit one uint64 lane, so the batch kernels
+# take the packed `(prefix64, iid64)` column pair (see
+# :class:`repro.addr.vector.PackedAddresses`) and materialise an
+# ``(n, 32)`` uint8 nybble matrix on demand — column ``j`` is nybble
+# ``j`` of every address, most significant first, matching
+# :func:`to_nybbles` row for row.
+
+from .vector import HAVE_NUMPY, np  # noqa: E402
+
+
+def to_nybble_matrix(prefix64, iid64):
+    """Explode packed address columns into an ``(n, 32)`` uint8 matrix.
+
+    Row ``k`` equals ``to_nybbles((prefix64[k] << 64) | iid64[k])``.
+    """
+    if not HAVE_NUMPY:
+        raise RuntimeError("to_nybble_matrix requires numpy")
+    prefix64 = np.ascontiguousarray(prefix64, dtype=np.uint64)
+    iid64 = np.ascontiguousarray(iid64, dtype=np.uint64)
+    # Big-endian byte views give the 16 bytes of each half in
+    # most-significant-first order; each byte then splits into two nybbles.
+    high = prefix64.astype(">u8").view(np.uint8).reshape(-1, 8)
+    low = iid64.astype(">u8").view(np.uint8).reshape(-1, 8)
+    matrix = np.empty((prefix64.shape[0], ADDRESS_NYBBLES), dtype=np.uint8)
+    matrix[:, 0:16:2] = high >> 4
+    matrix[:, 1:16:2] = high & 0xF
+    matrix[:, 16:32:2] = low >> 4
+    matrix[:, 17:32:2] = low & 0xF
+    return matrix
+
+
+def nybble_counts_matrix(matrix):
+    """Per-position nybble histograms: ``(32, 16)`` int64 counts.
+
+    Row ``j`` equals ``nybble_counts(addresses, j)``; computed with one
+    :func:`numpy.bincount` over the whole matrix by offsetting each
+    column into its own 16-bin band.
+    """
+    if not HAVE_NUMPY:
+        raise RuntimeError("nybble_counts_matrix requires numpy")
+    positions = matrix.shape[1]
+    offsets = (np.arange(positions, dtype=np.intp) * 16)[np.newaxis, :]
+    flat = matrix.astype(np.intp, copy=False) + offsets
+    counts = np.bincount(flat.ravel(), minlength=positions * 16)
+    return counts.reshape(positions, 16)
+
+
+def common_prefix_len_matrix(matrix) -> int:
+    """Length, in nybbles, of the prefix shared by *all* rows.
+
+    The column-wise generalisation of :func:`common_prefix_len`:
+    ``common_prefix_len_matrix(to_nybble_matrix(...))`` over two rows
+    equals ``common_prefix_len(a, b)``.  An empty or single-row matrix
+    shares everything (``ADDRESS_NYBBLES``).
+    """
+    if not HAVE_NUMPY:
+        raise RuntimeError("common_prefix_len_matrix requires numpy")
+    if matrix.shape[0] <= 1:
+        return ADDRESS_NYBBLES
+    varies = (matrix != matrix[0]).any(axis=0)
+    differing = np.nonzero(varies)[0]
+    if differing.size == 0:
+        return int(matrix.shape[1])
+    return int(differing[0])
+
+
+def first_seen_values(column):
+    """Distinct values of a column in first-occurrence (row) order.
+
+    The numpy replacement for ``Counter(...)`` insertion order: entropy
+    scorers sum float terms in first-seen order, and preserving that
+    order keeps the (non-associative) summation bit-identical to the
+    scalar formulation.
+    """
+    if not HAVE_NUMPY:
+        raise RuntimeError("first_seen_values requires numpy")
+    _, first_index = np.unique(column, return_index=True)
+    return column[np.sort(first_index)]

@@ -18,6 +18,10 @@ __all__ = [
     "coin",
     "choice_index",
     "DeterministicStream",
+    "mix64_batch",
+    "hash64_batch",
+    "uniform_batch",
+    "coin_batch",
 ]
 
 _MASK64 = 0xFFFF_FFFF_FFFF_FFFF
@@ -79,6 +83,100 @@ def choice_index(n: int, *parts: int) -> int:
     if n <= 0:
         raise ValueError("cannot choose from an empty range")
     return hash64(*parts) % n
+
+
+# -- vectorized counterparts -----------------------------------------------
+#
+# The batch kernels below reproduce the scalar functions element for
+# element on uint64 numpy arrays: uint64 arithmetic wraps modulo 2**64
+# exactly like the masked Python-int formulation, and the final uniform
+# division by 2**64 performs the same correctly-rounded int->double
+# conversion CPython does, so `uniform_batch(...) < p` and
+# `coin(p, ...)` agree bit for bit.  The scalar≡vectorized contract is
+# asserted wholesale in tests/test_vector_parity.py.
+
+from .vector import HAVE_NUMPY, np  # noqa: E402  (gate lives with the toggle)
+
+_HASH_STATE = 0x5DEE_CE66_D1A4_F087
+_TWO64 = 18446744073709551616.0  # 2**64
+
+
+def mix64_batch(x):
+    """Vectorized :func:`mix64` over a uint64 array (wraps modulo 2**64)."""
+    x = (x + np.uint64(_GOLDEN)) & np.uint64(_MASK64)
+    x ^= x >> np.uint64(30)
+    x = (x * np.uint64(_MIX1)) & np.uint64(_MASK64)
+    x ^= x >> np.uint64(27)
+    x = (x * np.uint64(_MIX2)) & np.uint64(_MASK64)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def hash64_batch(*parts):
+    """Vectorized :func:`hash64`: parts are ints or uint64 arrays.
+
+    Scalar integer parts may be arbitrarily large (folded 64 bits at a
+    time, like the scalar function); array parts must already be uint64
+    lanes (one fold each).  Parts are folded in order with full
+    broadcasting, so per-element lanes (e.g. per-region salts) can sit
+    at any position.  Returns a uint64 array — or a ``np.uint64`` scalar
+    when no part was an array.
+    """
+    if not HAVE_NUMPY:
+        raise RuntimeError("hash64_batch requires numpy")
+    state = _HASH_STATE
+    vector = False
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            arr = part if part.dtype == np.uint64 else part.astype(np.uint64)
+            state = (state ^ arr) if vector else (arr ^ np.uint64(state))
+            state = mix64_batch(state)
+            vector = True
+        else:
+            if part < 0:
+                raise ValueError("hash64 parts must be non-negative")
+            while True:
+                word = part & _MASK64
+                if vector:
+                    state = mix64_batch(state ^ np.uint64(word))
+                else:
+                    state = mix64(state ^ word)
+                part >>= 64
+                if part == 0:
+                    break
+    if not vector:
+        return np.uint64(state)
+    return state
+
+
+def uniform_batch(*parts):
+    """Vectorized :func:`uniform`: float64 array in [0, 1)."""
+    return hash64_batch(*parts) / _TWO64
+
+
+def coin_batch(probability, *parts):
+    """Vectorized :func:`coin`: boolean array of Bernoulli draws.
+
+    ``probability`` may be a float or a per-element float64 array.  The
+    elementwise comparison ``uniform < p`` equals the scalar ``coin``
+    for every p (draws lie in [0, 1), so p <= 0 never passes and
+    p >= 1 always does), which keeps the short-circuit branches of the
+    scalar function bit-compatible without special-casing.
+    """
+    if not isinstance(probability, np.ndarray):
+        if probability <= 0.0:
+            return np.zeros(_broadcast_length(parts), dtype=bool)
+        if probability >= 1.0:
+            return np.ones(_broadcast_length(parts), dtype=bool)
+    return uniform_batch(*parts) < probability
+
+
+def _broadcast_length(parts) -> int:
+    """Result length for coin_batch's constant branches."""
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            return part.shape[0]
+    return 1
 
 
 class DeterministicStream:

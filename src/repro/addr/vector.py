@@ -1,0 +1,132 @@
+"""The vectorized-core gate and packed address representation.
+
+The simulation hot paths (probing, IID generation, nybble histograms)
+have two implementations: the scalar reference (plain Python integers,
+one address at a time) and a numpy batch core operating on packed
+arrays.  Both are bit-identical by contract — every kernel in
+:mod:`repro.addr.rand` and :mod:`repro.addr.nybbles` reproduces the
+scalar functions element for element — so which one runs is purely an
+execution concern:
+
+* ``REPRO_NO_VECTOR=1`` in the environment disables the batch core
+  process-wide (the escape hatch for debugging or numpy-less installs);
+* :func:`use_vectorized` / :func:`set_vectorized` override it
+  programmatically (``ExecutionPolicy(vectorized=...)`` routes here);
+* without numpy the scalar path is always used.
+
+A 128-bit IPv6 address does not fit a single uint64 lane, so the batch
+core's currency is a :class:`PackedAddresses` pair of uint64 columns —
+``prefix64`` (the /64 network, high bits) and ``iid64`` (the interface
+identifier, low bits).  Producers that keep addresses packed end to end
+skip the per-int conversion cost entirely; list-based callers convert
+once per batch via :meth:`PackedAddresses.from_addresses`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
+
+try:  # pragma: no cover - numpy is a declared dependency, but stay graceful
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+__all__ = [
+    "HAVE_NUMPY",
+    "vector_enabled",
+    "set_vectorized",
+    "use_vectorized",
+    "PackedAddresses",
+]
+
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+#: Programmatic override: None = defer to the environment.
+_FORCED: bool | None = None
+
+
+def vector_enabled() -> bool:
+    """Whether batch kernels should run (numpy present and not disabled)."""
+    if not HAVE_NUMPY:
+        return False
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get("REPRO_NO_VECTOR", "") != "1"
+
+
+def set_vectorized(enabled: bool | None) -> None:
+    """Force the vectorized core on/off; ``None`` restores the default."""
+    global _FORCED
+    _FORCED = enabled
+
+
+@contextmanager
+def use_vectorized(enabled: bool | None):
+    """Scoped :func:`set_vectorized`; ``None`` is a no-op passthrough."""
+    if enabled is None:
+        yield
+        return
+    previous = _FORCED
+    set_vectorized(enabled)
+    try:
+        yield
+    finally:
+        set_vectorized(previous)
+
+
+class PackedAddresses:
+    """A batch of 128-bit addresses as two aligned uint64 columns.
+
+    ``prefix64`` holds the high 64 bits (the /64 network) and ``iid64``
+    the low 64 (the interface identifier).  Iterating yields the plain
+    Python integers, so a ``PackedAddresses`` can be handed to any
+    scalar code path that accepts an iterable of addresses.
+    """
+
+    __slots__ = ("prefix64", "iid64")
+
+    def __init__(self, prefix64, iid64) -> None:
+        if not HAVE_NUMPY:
+            raise RuntimeError("PackedAddresses requires numpy")
+        prefix64 = np.ascontiguousarray(prefix64, dtype=np.uint64)
+        iid64 = np.ascontiguousarray(iid64, dtype=np.uint64)
+        if prefix64.shape != iid64.shape or prefix64.ndim != 1:
+            raise ValueError("prefix64 and iid64 must be equal-length 1-d arrays")
+        self.prefix64 = prefix64
+        self.iid64 = iid64
+
+    @classmethod
+    def from_addresses(cls, addresses: Iterable[int]) -> "PackedAddresses":
+        """Pack an iterable of 128-bit integer addresses (one pass each)."""
+        if not isinstance(addresses, (list, tuple)):
+            addresses = list(addresses)
+        n = len(addresses)
+        prefix64 = np.fromiter(
+            (address >> 64 for address in addresses), dtype=np.uint64, count=n
+        )
+        iid64 = np.fromiter(
+            (address & _MASK64 for address in addresses), dtype=np.uint64, count=n
+        )
+        return cls(prefix64, iid64)
+
+    def to_addresses(self) -> list[int]:
+        """Unpack back into plain Python integers."""
+        return [
+            (prefix << 64) | iid
+            for prefix, iid in zip(self.prefix64.tolist(), self.iid64.tolist())
+        ]
+
+    def __len__(self) -> int:
+        return int(self.prefix64.shape[0])
+
+    def __iter__(self) -> Iterator[int]:
+        for prefix, iid in zip(self.prefix64.tolist(), self.iid64.tolist()):
+            yield (prefix << 64) | iid
+
+    def __repr__(self) -> str:
+        return f"PackedAddresses(n={len(self)})"

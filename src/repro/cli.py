@@ -53,6 +53,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from .addr.vector import set_vectorized
 from .dealias import DealiasMode
 from .analysis import summarize_convergence
 from .experiments import (
@@ -150,6 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the prepared-model cache (debugging escape hatch; "
         "results are bit-identical either way, prepares just get slower)",
+    )
+    parser.add_argument(
+        "--no-vector",
+        action="store_true",
+        help="disable the vectorized numpy simulation core and run the "
+        "scalar reference path (results are bit-identical either way, "
+        "scans just get slower; same effect as REPRO_NO_VECTOR=1)",
     )
     parser.add_argument(
         "--export", default="", help="write result rows to a .csv or .json file"
@@ -355,6 +363,7 @@ def _make_policy(args: argparse.Namespace) -> ExecutionPolicy:
         cell_timeout=args.cell_timeout,
         max_retries=args.max_retries,
         fault_plan=args.inject_fault,
+        vectorized=False if args.no_vector else None,
     )
 
 
@@ -858,6 +867,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.no_model_cache:
         # Reaches worker processes too: WorkerSpec captures the setting.
         get_model_cache().enabled = False
+    if args.no_vector:
+        # Process-wide (the policy also ships it to workers): commands
+        # that scan outside run_grid honour the flag too.
+        set_vectorized(False)
     telemetry = None if args.command == "trace" else _make_telemetry(args)
     if telemetry is None:
         return _COMMANDS[args.command](args)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
+from ..addr.vector import use_vectorized
 from ..datasets import SeedDataset
 from ..internet import ALL_PORTS, Port
 from ..metrics import MetricSet
@@ -178,7 +179,7 @@ def run_grid(
         chunksize=chunksize,
         telemetry=telemetry,
     )
-    with use_telemetry(policy.telemetry):
+    with use_telemetry(policy.telemetry), use_vectorized(policy.vectorized):
         results = GridResults(spec=spec)
         total = spec.size
         progress = policy.progress

@@ -45,6 +45,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
 from ..addr import Prefix
+from ..addr.vector import set_vectorized
 from ..internet import InternetConfig, Port
 from ..scanner import Blocklist
 from ..telemetry import MemorySink, Telemetry, get_telemetry, use_telemetry
@@ -123,6 +124,10 @@ class WorkerSpec:
     #: Deterministic fault injection, threaded to every worker so crash
     #: recovery is reproducible (None in production runs).
     fault_plan: FaultPlan | None = None
+    #: Vectorized-core toggle for the worker process (``None`` = the
+    #: worker's own default).  Purely an execution knob: results are
+    #: bit-identical either way, so it never keys the world memo.
+    vectorized: bool | None = None
 
     @classmethod
     def from_study(
@@ -131,6 +136,7 @@ class WorkerSpec:
         telemetry: bool = False,
         model_cache: bool | None = None,
         fault_plan: FaultPlan | None = None,
+        vectorized: bool | None = None,
     ) -> "WorkerSpec":
         """Capture a study's world-defining parameters."""
         if model_cache is None:
@@ -148,6 +154,7 @@ class WorkerSpec:
             telemetry=telemetry,
             model_cache=model_cache,
             fault_plan=fault_plan,
+            vectorized=vectorized,
         )
 
     def build_study(self) -> Study:
@@ -197,9 +204,11 @@ def resolve_workers(workers: int | str | None, cells: int) -> int:
 
 def _worker_study(spec: WorkerSpec) -> Study:
     # One world per *world* spec: neither telemetry capture, the
-    # model-cache toggle nor an attached fault plan changes what gets
-    # built.
-    key = replace(spec, telemetry=False, model_cache=True, fault_plan=None)
+    # model-cache toggle, an attached fault plan nor the vectorized-core
+    # toggle changes what gets built.
+    key = replace(
+        spec, telemetry=False, model_cache=True, fault_plan=None, vectorized=None
+    )
     study = _WORKER_STUDIES.get(key)
     if study is None:
         study = spec.build_study()
@@ -225,6 +234,7 @@ def _run_cell_chunk(
     telemetry a first run would.
     """
     get_model_cache().enabled = spec.model_cache
+    set_vectorized(spec.vectorized)
     study = _worker_study(spec)
     if attempt:
         # A surviving worker may have cached cells a failed attempt
@@ -299,6 +309,7 @@ class ParallelExecutor:
             telemetry=get_telemetry().enabled,
             model_cache=self.policy.model_cache,
             fault_plan=self.policy.fault_plan,
+            vectorized=self.policy.vectorized,
         )
 
     def _chunks(self, cells: list[Cell]) -> list[list[Cell]]:

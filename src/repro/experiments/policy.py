@@ -58,6 +58,11 @@ class ExecutionPolicy:
     max_retries: int = 2
     #: Deterministic fault injection (tests / chaos drills).
     fault_plan: FaultPlan | None = None
+    #: Vectorized numpy simulation core (``None`` = inherit the process
+    #: default: on when numpy is available and ``REPRO_NO_VECTOR`` is
+    #: unset).  Results are bit-identical either way; this is purely a
+    #: performance/debugging toggle, propagated to worker processes.
+    vectorized: bool | None = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and not isinstance(self.workers, int):

@@ -17,16 +17,204 @@ from collections.abc import Iterator
 from functools import cached_property
 
 from ..addr import Prefix
-from ..addr.rand import coin, hash64
+from ..addr.rand import coin, coin_batch, hash64, hash64_batch
+from ..addr.vector import PackedAddresses, np, vector_enabled
 from ..asdb import ASRegistry, OrgType
 from .config import InternetConfig
 from .ports import ALL_PORTS, Port
-from .regions import COLLECTION_EPOCH, SCAN_EPOCH, Region, RegionRole
+from .regions import (
+    _SALT_ALIAS_RATE,
+    COLLECTION_EPOCH,
+    SCAN_EPOCH,
+    Region,
+    RegionRole,
+)
 from .topology import Topology, build_topology
 
 __all__ = ["SimulatedInternet"]
 
 _SALT_PUBLISHED = 0x55
+
+#: Batch sizes below this stay on the scalar per-region path: packing
+#: columns and running the array kernels has a fixed cost that only pays
+#: for itself once a batch holds a few cache lines of addresses.
+VECTOR_MIN_BATCH = 64
+
+
+class _ProbeTables:
+    """Columnar views of the region table for the vectorized probe path.
+
+    Region attributes become arrays aligned to the sorted ``net64``
+    order, so the per-address region lookup is one ``searchsorted``
+    instead of a dict probe, and the region-level gates (firewall,
+    retirement, alias profile) become mask operations.
+
+    Non-aliased membership uses a per-``(port, epoch)`` *global* sorted
+    array of 64-bit keys ``hash64(net64, iid)`` over every responsive
+    IID in the world.  A probe is a candidate hit when its key is
+    present; candidates (≈ the true hit count) are then verified
+    exactly against the owning region's IID set, so 64-bit key
+    collisions can never flip an answer — results are bit-identical to
+    the scalar chain.
+    """
+
+    __slots__ = (
+        "regions",
+        "net64",
+        "firewalled",
+        "aliased",
+        "alias_prob",
+        "salt",
+        "_port_prob",
+        "_member_keys",
+    )
+
+    def __init__(self, regions: list[Region]) -> None:
+        self.regions = sorted(regions, key=lambda region: region.net64)
+        n = len(self.regions)
+        self.net64 = np.fromiter(
+            (region.net64 for region in self.regions), dtype=np.uint64, count=n
+        )
+        self.firewalled = np.fromiter(
+            (region.firewalled for region in self.regions), dtype=bool, count=n
+        )
+        self.aliased = np.fromiter(
+            (region.aliased for region in self.regions), dtype=bool, count=n
+        )
+        self.alias_prob = np.fromiter(
+            (region.alias_response_prob for region in self.regions),
+            dtype=np.float64,
+            count=n,
+        )
+        self.salt = np.fromiter(
+            (region.salt for region in self.regions), dtype=np.uint64, count=n
+        )
+        self._port_prob: dict[int, object] = {}
+        self._member_keys: dict[tuple, object] = {}
+
+    def port_prob(self, port: Port):
+        """Per-region service probability on ``port`` (cached column)."""
+        arr = self._port_prob.get(port.index)
+        if arr is None:
+            arr = np.fromiter(
+                (region.profile.probability(port) for region in self.regions),
+                dtype=np.float64,
+                count=len(self.regions),
+            )
+            self._port_prob[port.index] = arr
+        return arr
+
+    def lookup(self, prefix64):
+        """Map prefix columns to region slots: ``(slots, exists)``."""
+        if self.net64.shape[0] == 0:
+            slots = np.zeros(prefix64.shape[0], dtype=np.intp)
+            return slots, np.zeros(prefix64.shape[0], dtype=bool)
+        slots = np.searchsorted(self.net64, prefix64)
+        np.minimum(slots, self.net64.shape[0] - 1, out=slots)
+        return slots, self.net64[slots] == prefix64
+
+    def member_table(self, port: Port, epoch: int):
+        """Global responsive-membership table for ``(port, epoch)``.
+
+        Returns ``(keys, net64, iid64, tied)``: every responsive
+        ``(region, IID)`` pair in the world as three aligned columns
+        sorted by the 64-bit key ``hash64(net64, iid)``, plus the set
+        of keys shared by more than one pair (collisions — essentially
+        never non-empty, but handled exactly when they are).
+        """
+        cache_key = (port, max(epoch, 0))
+        cached = self._member_keys.get(cache_key)
+        if cached is None:
+            key_chunks, net_chunks, iid_chunks = [], [], []
+            for region in self.regions:
+                if region.aliased:
+                    continue
+                iids = region.responsive_iids_array(port, epoch)
+                if iids.shape[0]:
+                    key_chunks.append(hash64_batch(region.net64, iids))
+                    net_chunks.append(
+                        np.full(iids.shape[0], region.net64, dtype=np.uint64)
+                    )
+                    iid_chunks.append(iids)
+            if key_chunks:
+                keys = np.concatenate(key_chunks)
+                order = np.argsort(keys, kind="stable")
+                keys = keys[order]
+                nets = np.concatenate(net_chunks)[order]
+                iids = np.concatenate(iid_chunks)[order]
+                dup = keys[1:] == keys[:-1]
+                tied = (
+                    frozenset(keys[1:][dup].tolist()) if dup.any() else frozenset()
+                )
+                cached = (keys, nets, iids, tied)
+            else:
+                empty = np.empty(0, dtype=np.uint64)
+                cached = (empty, empty, empty, frozenset())
+            self._member_keys[cache_key] = cached
+        return cached
+
+    def hit_mask(self, prefix64, iid64, port: Port, epoch: int, attempt: int = 0):
+        """Response mask over packed columns: ``(hits, slots, exists)``.
+
+        ``hits[k]`` equals ``probe((prefix64[k] << 64) | iid64[k], ...)``
+        bit for bit; ``slots``/``exists`` are returned so callers (the
+        scanner's negative-response classifier) can reuse the lookup.
+        """
+        slots, exists = self.lookup(prefix64)
+        hits = np.zeros(prefix64.shape[0], dtype=bool)
+        if not exists.any():
+            return hits, slots, exists
+        aliased_at = self.aliased[slots]
+        aliased_rows = exists & aliased_at
+        if aliased_rows.any():
+            rows = np.nonzero(aliased_rows)[0]
+            ridx = slots[rows]
+            open_rows = rows[self.port_prob(port)[ridx] > 0.0]
+            if open_rows.shape[0]:
+                oidx = slots[open_rows]
+                # `uniform < p` is exact for p <= 0 and p >= 1 too (draws
+                # lie in [0, 1)), so one coin covers every alias rate.
+                hits[open_rows] = coin_batch(
+                    self.alias_prob[oidx],
+                    self.salt[oidx],
+                    _SALT_ALIAS_RATE,
+                    port.index,
+                    iid64[open_rows],
+                    attempt,
+                )
+        keys, member_net, member_iid, tied = self.member_table(port, epoch)
+        if keys.shape[0]:
+            member_rows = np.nonzero(exists & ~aliased_at)[0]
+            if member_rows.shape[0]:
+                qnet = prefix64[member_rows]
+                qiid = iid64[member_rows]
+                query = hash64_batch(qnet, qiid)
+                pos = np.searchsorted(keys, query)
+                np.minimum(pos, keys.shape[0] - 1, out=pos)
+                found = keys[pos] == query
+                # The aligned columns verify candidates exactly without
+                # leaving numpy: a key match is a hit iff the (net64,
+                # iid) pair at that table position is the probed pair.
+                exact = found & (member_net[pos] == qnet) & (member_iid[pos] == qiid)
+                hits[member_rows[exact]] = True
+                if tied:
+                    # A colliding key hides pairs behind the first table
+                    # entry; re-check those few rows against the owning
+                    # region's IID set.
+                    unsure = np.nonzero(found & ~exact)[0]
+                    if unsure.shape[0]:
+                        regions = self.regions
+                        rows = member_rows[unsure]
+                        for row, key, iid in zip(
+                            rows.tolist(),
+                            query[unsure].tolist(),
+                            qiid[unsure].tolist(),
+                        ):
+                            if key in tied and iid in regions[
+                                slots[row]
+                            ].responsive_iids(port, epoch):
+                                hits[row] = True
+        return hits, slots, exists
 
 
 class SimulatedInternet:
@@ -38,6 +226,13 @@ class SimulatedInternet:
         self._regions_by_net64: dict[int, Region] = {
             region.net64: region for region in self.topology.regions
         }
+        self._probe_tables: _ProbeTables | None = None
+
+    def probe_tables(self) -> _ProbeTables:
+        """Columnar region views for the vectorized probe path (lazy)."""
+        if self._probe_tables is None:
+            self._probe_tables = _ProbeTables(self.topology.regions)
+        return self._probe_tables
 
     # -- basic accessors ----------------------------------------------------
 
@@ -93,7 +288,29 @@ class SimulatedInternet:
         checks (firewall, retirement, alias profile, responsive-IID set)
         are done once per group rather than once per address.  Results
         are identical to calling :meth:`probe` per address.
+
+        When the vectorized core is enabled, large batches (and any
+        :class:`~repro.addr.vector.PackedAddresses` input) run through
+        the columnar probe tables instead; outputs are bit-identical.
         """
+        if vector_enabled():
+            packed = addresses if isinstance(addresses, PackedAddresses) else None
+            if packed is None:
+                if not isinstance(addresses, (list, tuple)):
+                    addresses = list(addresses)
+                if len(addresses) >= VECTOR_MIN_BATCH:
+                    packed = PackedAddresses.from_addresses(addresses)
+            if packed is not None:
+                mask, _, _ = self.probe_tables().hit_mask(
+                    packed.prefix64, packed.iid64, port, epoch
+                )
+                rows = np.nonzero(mask)[0]
+                return {
+                    (prefix << 64) | iid
+                    for prefix, iid in zip(
+                        packed.prefix64[rows].tolist(), packed.iid64[rows].tolist()
+                    )
+                }
         groups: dict[int, list[int]] = {}
         for address in addresses:
             net64 = address >> 64

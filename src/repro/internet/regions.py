@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from ..addr import Prefix
-from ..addr.rand import DeterministicStream, coin, hash64
+from ..addr.rand import DeterministicStream, coin, coin_batch, hash64
+from ..addr.vector import np, vector_enabled
 from .patterns import PatternKind, generate_iids
 from .ports import ALL_PORTS, Port, PortProfile
 
@@ -62,6 +63,9 @@ class Region:
 
     _iids: frozenset[int] | None = field(default=None, repr=False)
     _responsive: dict = field(default_factory=dict, repr=False)
+    #: Sorted uint64 views of :attr:`_responsive` entries, built on
+    #: demand for the vectorized membership path.
+    _responsive_arrays: dict = field(default_factory=dict, repr=False)
 
     # -- identity ---------------------------------------------------------
 
@@ -126,15 +130,41 @@ class Region:
         if cached is not None:
             return cached
         probability = self.profile.probability(port)
-        survivors = []
-        for iid in self.active_iids():
-            if self._churned(iid, epoch):
-                continue
-            if coin(probability, self.salt, _SALT_PORT, port.index, iid):
-                survivors.append(iid)
-        result = frozenset(survivors)
+        active = self.active_iids()
+        if vector_enabled() and len(active) >= 8:
+            iids = np.fromiter(active, dtype=np.uint64, count=len(active))
+            alive = ~self._churned_mask(iids, epoch)
+            alive &= coin_batch(probability, self.salt, _SALT_PORT, port.index, iids)
+            result = frozenset(iids[alive].tolist())
+        else:
+            survivors = []
+            for iid in active:
+                if self._churned(iid, epoch):
+                    continue
+                if coin(probability, self.salt, _SALT_PORT, port.index, iid):
+                    survivors.append(iid)
+            result = frozenset(survivors)
         self._responsive[key] = result
         return result
+
+    def _churned_mask(self, iids, epoch: int):
+        """Vectorized :meth:`_churned` over a uint64 IID array."""
+        if epoch < SCAN_EPOCH:
+            return np.zeros(iids.shape[0], dtype=bool)
+        churned = coin_batch(self.churn_rate, self.salt, _SALT_CHURN, iids)
+        for later in range(SCAN_EPOCH + 1, epoch + 1):
+            churned |= coin_batch(self.churn_rate, self.salt, _SALT_CHURN, later, iids)
+        return churned
+
+    def responsive_iids_array(self, port: Port, epoch: int):
+        """Sorted uint64 array view of :meth:`responsive_iids` (cached)."""
+        key = (port, max(epoch, 0))
+        cached = self._responsive_arrays.get(key)
+        if cached is None:
+            iids = self.responsive_iids(port, epoch)
+            cached = np.fromiter(sorted(iids), dtype=np.uint64, count=len(iids))
+            self._responsive_arrays[key] = cached
+        return cached
 
     # -- probing ----------------------------------------------------------
 
@@ -174,6 +204,15 @@ class Region:
         address; per-address work reduces to a set-membership test.
         Results are identical to calling :meth:`responds` per address.
         """
+        if vector_enabled() and len(addresses) >= 64:
+            iids = np.fromiter(
+                (address & 0xFFFF_FFFF_FFFF_FFFF for address in addresses),
+                dtype=np.uint64,
+                count=len(addresses),
+            )
+            mask = self.respond_batch_array(iids, port, epoch, attempt)
+            hits = np.nonzero(mask)[0]
+            return {addresses[index] for index in hits.tolist()}
         if self.firewalled:
             return set()
         if self.retired and epoch >= SCAN_EPOCH:
@@ -206,6 +245,40 @@ class Region:
             for address in addresses
             if address & 0xFFFF_FFFF_FFFF_FFFF in iids
         }
+
+    def respond_batch_array(self, iids, port: Port, epoch: int, attempt: int = 0):
+        """Boolean response mask over a uint64 IID array.
+
+        The array counterpart of :meth:`respond_batch`: alias-rate coins
+        become one :func:`coin_batch` call (with the per-``attempt``
+        lane preserved for rate-limited aliased regions) and the
+        responsive-IID membership test becomes a ``searchsorted``
+        probe against the cached sorted array.
+        """
+        n = iids.shape[0]
+        if self.firewalled:
+            return np.zeros(n, dtype=bool)
+        if self.retired and epoch >= SCAN_EPOCH:
+            return np.zeros(n, dtype=bool)
+        if self.aliased:
+            if self.profile.probability(port) <= 0.0:
+                return np.zeros(n, dtype=bool)
+            if self.alias_response_prob >= 1.0:
+                return np.ones(n, dtype=bool)
+            return coin_batch(
+                self.alias_response_prob,
+                self.salt,
+                _SALT_ALIAS_RATE,
+                port.index,
+                iids,
+                attempt,
+            )
+        members = self.responsive_iids_array(port, epoch)
+        if members.shape[0] == 0:
+            return np.zeros(n, dtype=bool)
+        slots = np.searchsorted(members, iids)
+        slots = np.minimum(slots, members.shape[0] - 1)
+        return members[slots] == iids
 
     def responds_any_port(self, address: int, epoch: int) -> bool:
         """Whether the address answers on at least one of the four targets."""

@@ -70,11 +70,18 @@ class CachingBackend:
     def probe_batch(self, addresses: Iterable[int], port: Port) -> set[int]:
         port_index = port.index
         pending: list[int] = []
+        pending_seen: set[int] = set()
         responders: set[int] = set()
         for address in addresses:
             cached = self._cache.get((address, port_index))
             if cached is None:
-                pending.append(address)
+                # Dedupe within the batch (first-seen order preserved):
+                # a target repeated in one batch must still cost exactly
+                # one probe, and real backends may not tolerate duplicate
+                # targets in a single submission.
+                if address not in pending_seen:
+                    pending_seen.add(address)
+                    pending.append(address)
             else:
                 self.cache_hits += 1
                 if cached:

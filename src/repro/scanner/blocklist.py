@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from ..addr import Prefix, PrefixTrie
+from ..addr.vector import np
 
 __all__ = ["Blocklist"]
 
@@ -37,6 +38,31 @@ class Blocklist:
     def is_blocked(self, address: int) -> bool:
         """Whether probes to ``address`` must be suppressed."""
         return self._trie.covers(address)
+
+    def blocked_mask(self, prefix64, iid64):
+        """Vectorized :meth:`is_blocked` over packed address columns.
+
+        Blocklists hold a handful of prefixes, so one broadcast compare
+        per prefix beats walking the trie per address by orders of
+        magnitude at scan scale.
+        """
+        mask = np.zeros(prefix64.shape[0], dtype=bool)
+        for prefix in self.prefixes():
+            length = prefix.length
+            if length == 0:
+                mask[:] = True
+                break
+            high = prefix.value >> 64
+            if length <= 64:
+                shift = np.uint64(64 - length)
+                mask |= (prefix64 >> shift) == np.uint64(high >> (64 - length))
+            else:
+                low = prefix.value & 0xFFFF_FFFF_FFFF_FFFF
+                shift = np.uint64(128 - length)
+                mask |= (prefix64 == np.uint64(high)) & (
+                    (iid64 >> shift) == np.uint64(low >> (128 - length))
+                )
+        return mask
 
     def __len__(self) -> int:
         return self._count

@@ -19,7 +19,9 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from ..addr.vector import PackedAddresses, np, vector_enabled
 from ..internet import SCAN_EPOCH, Port, SimulatedInternet
+from ..internet.model import VECTOR_MIN_BATCH
 from ..telemetry import get_telemetry
 from .blocklist import Blocklist
 from .ratelimit import RateLimiter
@@ -119,7 +121,21 @@ class Scanner:
         retirement checks and the port-profile dispatch happen once per
         group rather than once per address; outcomes are identical to
         probing each address individually.
+
+        With the vectorized core enabled, large batches (and any
+        :class:`~repro.addr.vector.PackedAddresses` input) run the
+        columnar probe path instead — hits, stats and telemetry are
+        bit-identical to the scalar formulation.
         """
+        if vector_enabled():
+            packed = addresses if isinstance(addresses, PackedAddresses) else None
+            if packed is None:
+                if not isinstance(addresses, (list, tuple)):
+                    addresses = list(addresses)
+                if len(addresses) >= VECTOR_MIN_BATCH:
+                    packed = PackedAddresses.from_addresses(addresses)
+            if packed is not None:
+                return self._scan_packed(packed, port)
         result = ScanResult(port=port)
         stats = result.stats
         start_time = self.rate_limiter.virtual_time
@@ -194,6 +210,97 @@ class Scanner:
                 tel.count(f"scan.hits.{port.value}", len(result.hits))
             for group in groups.values():
                 tel.observe("scan.batch_addresses", len(group))
+        return result
+
+    def _scan_packed(self, packed: PackedAddresses, port: Port) -> ScanResult:
+        """Columnar :meth:`scan`: array kernels end to end.
+
+        Reproduces the scalar path's hits, stats and telemetry exactly:
+        the blocklist becomes a broadcast mask, the region lookup one
+        ``searchsorted`` against the probe tables, negative-response
+        noise a vectorized multiply-compare on the IID column, and the
+        per-/64 telemetry observes are rebuilt in first-seen group
+        order so golden traces stay byte-identical.
+        """
+        result = ScanResult(port=port)
+        stats = result.stats
+        start_time = self.rate_limiter.virtual_time
+        prefix64 = packed.prefix64
+        iid64 = packed.iid64
+        blocked_count = 0
+        if self.blocklist and len(self.blocklist):
+            blocked = self.blocklist.blocked_mask(prefix64, iid64)
+            blocked_count = int(blocked.sum())
+            if blocked_count:
+                keep = ~blocked
+                prefix64 = prefix64[keep]
+                iid64 = iid64[keep]
+                stats.targets_blocked += blocked_count
+        sent = int(prefix64.shape[0])
+        tables = self.internet.probe_tables()
+        hit_mask, slots, exists = tables.hit_mask(prefix64, iid64, port, self.epoch)
+        hit_rows = np.nonzero(hit_mask)[0]
+        hits = result.hits
+        if hit_rows.shape[0]:
+            hit_prefix = prefix64[hit_rows]
+            hit_iid = iid64[hit_rows]
+            if hit_rows.shape[0] > 65536:
+                # Hit-heavy batches (dense duplicates) dedupe far faster
+                # inside numpy than through 10^5+ Python set inserts.
+                order = np.lexsort((hit_iid, hit_prefix))
+                hit_prefix = hit_prefix[order]
+                hit_iid = hit_iid[order]
+                keep = np.empty(hit_prefix.shape[0], dtype=bool)
+                keep[0] = True
+                np.not_equal(hit_prefix[1:], hit_prefix[:-1], out=keep[1:])
+                keep[1:] |= hit_iid[1:] != hit_iid[:-1]
+                hit_prefix = hit_prefix[keep]
+                hit_iid = hit_iid[keep]
+            hits.update(
+                (prefix << 64) | iid
+                for prefix, iid in zip(hit_prefix.tolist(), hit_iid.tolist())
+            )
+        neg = 0
+        if self.classify_negative:
+            eligible = exists & ~hit_mask
+            eligible &= ~tables.firewalled[slots]
+            if eligible.any():
+                noise = (
+                    (iid64 ^ np.uint64(port.index)) * np.uint64(_NOISE_MULT)
+                ) < np.uint64(0x4000000000000000)
+                neg = int((eligible & noise).sum())
+        timeouts = sent - int(hit_rows.shape[0]) - neg
+        self.rate_limiter.account(sent)
+        stats.probes_sent += sent
+        if hits:
+            hit_type = affirmative_response(port)
+            stats.responses[hit_type] = stats.responses.get(hit_type, 0) + len(hits)
+        if neg:
+            neg_type = negative_response(port)
+            stats.responses[neg_type] = stats.responses.get(neg_type, 0) + neg
+        if timeouts:
+            stats.responses[ResponseType.TIMEOUT] = (
+                stats.responses.get(ResponseType.TIMEOUT, 0) + timeouts
+            )
+        stats.virtual_duration = self.rate_limiter.virtual_time - start_time
+        self.lifetime_stats.merge(stats)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("scan.calls")
+            tel.count("scan.probes", sent)
+            # Rebuild the scalar path's per-/64 groups in first-seen
+            # order; only paid when telemetry is recording.
+            _, first_index, counts = np.unique(
+                prefix64, return_index=True, return_counts=True
+            )
+            order = np.argsort(first_index, kind="stable")
+            tel.count("scan.batches", int(first_index.shape[0]))
+            if blocked_count:
+                tel.count("scan.blocked", blocked_count)
+            if hits:
+                tel.count(f"scan.hits.{port.value}", len(hits))
+            for size in counts[order].tolist():
+                tel.observe("scan.batch_addresses", size)
         return result
 
     def scan_all_ports(self, addresses: Iterable[int], ports: Iterable[Port]) -> dict[Port, ScanResult]:

@@ -19,8 +19,14 @@ import math
 from collections import Counter
 
 from ..addr import ADDRESS_NYBBLES
-from ..addr.nybbles import get_nybble
+from ..addr.nybbles import (
+    first_seen_values,
+    get_nybble,
+    nybble_counts_matrix,
+    to_nybble_matrix,
+)
 from ..addr.rand import DeterministicStream
+from ..addr.vector import PackedAddresses, vector_enabled
 from .base import TargetGenerator, register_tga
 from .modelcache import get_model_cache, seed_fingerprint
 
@@ -39,6 +45,33 @@ def _nybble_entropy(seeds: list[int], dim: int) -> float:
         p = count / total
         entropy -= p * math.log2(p)
     return entropy
+
+
+def _entropy_profile(seeds: list[int]) -> list[float]:
+    """Per-nybble entropies of the seed set (all 32 dimensions).
+
+    The vectorized path explodes the seeds into one nybble matrix and
+    histograms every position with a single ``bincount``; the float
+    terms are then summed in first-seen value order — the insertion
+    order of the scalar path's ``Counter`` — so the (non-associative)
+    summation is bit-identical to :func:`_nybble_entropy`.
+    """
+    if vector_enabled() and len(seeds) >= 64:
+        packed = PackedAddresses.from_addresses(seeds)
+        matrix = to_nybble_matrix(packed.prefix64, packed.iid64)
+        counts_all = nybble_counts_matrix(matrix)
+        total = len(seeds)
+        log2 = math.log2
+        entropies = []
+        for dim in range(ADDRESS_NYBBLES):
+            counts = counts_all[dim].tolist()
+            entropy = 0.0
+            for value in first_seen_values(matrix[:, dim]).tolist():
+                p = counts[value] / total
+                entropy -= p * log2(p)
+            entropies.append(entropy)
+        return entropies
+    return [_nybble_entropy(seeds, dim) for dim in range(ADDRESS_NYBBLES)]
 
 
 def segment_boundaries(entropies: list[float], step: float = _ENTROPY_STEP) -> list[int]:
@@ -82,9 +115,7 @@ class EntropyIP(TargetGenerator):
         """
 
         def build() -> tuple:
-            entropies = [
-                _nybble_entropy(seeds, dim) for dim in range(ADDRESS_NYBBLES)
-            ]
+            entropies = _entropy_profile(seeds)
             starts = segment_boundaries(entropies)
             segments: list[tuple[int, int]] = []
             for i, start in enumerate(starts):

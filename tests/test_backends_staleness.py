@@ -58,6 +58,40 @@ class TestCachingBackend:
         cached.probe_batch([target], Port.UDP53)
         assert len(cached) == 2
 
+    def test_duplicates_within_batch_probed_once(self, internet):
+        # Regression: duplicate targets in one batch used to be handed
+        # to the inner backend once per occurrence.  Real backends may
+        # not tolerate duplicate targets in a single submission, and
+        # each (address, port) pair must cost at most one probe.
+        class RecordingBackend:
+            def __init__(self, inner):
+                self.inner = inner
+                self.batches: list[list[int]] = []
+
+            def probe_batch(self, addresses, port):
+                batch = list(addresses)
+                self.batches.append(batch)
+                return self.inner.probe_batch(batch, port)
+
+            def verify(self, address, port, retries=3):
+                return self.inner.verify(address, port, retries=retries)
+
+        live = list(itertools.islice(internet.iter_responsive(Port.ICMP), 3))
+        dead = 0x3FFF << 112
+        recorder = RecordingBackend(SimulatedBackend(Scanner(internet)))
+        cached = CachingBackend(recorder)
+        batch = [live[0], dead, live[0], live[1], dead, live[2], live[1]]
+        result = cached.probe_batch(batch, Port.ICMP)
+        assert result == set(live)
+        # One inner submission, each unique address exactly once, in
+        # first-seen order.
+        assert recorder.batches == [[live[0], dead, live[1], live[2]]]
+        assert cached.cache_hits == 0
+        # Every occurrence of a now-cached address counts a cache hit.
+        cached.probe_batch([live[0], live[0], dead], Port.ICMP)
+        assert cached.cache_hits == 3
+        assert recorder.batches == [[live[0], dead, live[1], live[2]]]
+
     def test_verify_cached(self, internet):
         inner = SimulatedBackend(Scanner(internet))
         cached = CachingBackend(inner)
