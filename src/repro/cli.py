@@ -13,14 +13,20 @@
 * ``trace``      — analyse recorded telemetry traces
   (``summary`` / ``attribution`` / ``diff`` / ``check``)
 
-Common options: ``--scale {tiny,bench,small}``, ``--seed``, ``--budget``,
-``--port``, ``--workers``, ``--export file.csv|file.json``.
+Common options: ``--scale {tiny,bench,small,internet}``, ``--seed``,
+``--budget``, ``--port``, ``--workers``, ``--export file.csv|file.json``.
+``--scale internet`` is the ~1M-AS streaming world: regions derive
+lazily from the seed under a resident-AS budget, so even ``describe``
+streams rather than materialising everything.
 
 ``--workers N`` spreads uncached experiment cells across N worker
 processes (``--workers auto`` picks ``min(cpu_count, cells)``); results
-are bit-identical to a serial run.  ``--no-model-cache`` disables the
-prepared-model cache (see ``repro.tga.modelcache``) — an escape hatch
-for debugging; results are bit-identical with it on or off.
+are bit-identical to a serial run.  ``--share-model`` controls how those
+workers obtain the prepared read-only model (fork inheritance of the
+parent's warmed world, a shared-memory probe-table segment, or per-
+worker rebuilds; ``auto`` picks the best available).  ``--no-model-cache``
+disables the prepared-model cache (see ``repro.tga.modelcache``) — an
+escape hatch for debugging; results are bit-identical with it on or off.
 
 Fault tolerance (``repro.experiments.ExecutionPolicy``):
 ``--checkpoint PATH`` appends every completed cell to a RunStore the
@@ -95,6 +101,7 @@ _SCALES = {
     "tiny": InternetConfig.tiny,
     "bench": InternetConfig.bench,
     "small": InternetConfig.small,
+    "internet": InternetConfig.internet,
 }
 
 
@@ -158,6 +165,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the vectorized numpy simulation core and run the "
         "scalar reference path (results are bit-identical either way, "
         "scans just get slower; same effect as REPRO_NO_VECTOR=1)",
+    )
+    parser.add_argument(
+        "--share-model",
+        choices=("auto", "fork", "shm", "off"),
+        default="auto",
+        help="how workers obtain the prepared read-only model: fork "
+        "inheritance, a shared-memory probe-table segment, neither, or "
+        "auto-select (results are bit-identical in every mode)",
     )
     parser.add_argument(
         "--export", default="", help="write result rows to a .csv or .json file"
@@ -364,6 +379,7 @@ def _make_policy(args: argparse.Namespace) -> ExecutionPolicy:
         max_retries=args.max_retries,
         fault_plan=args.inject_fault,
         vectorized=False if args.no_vector else None,
+        share_model=getattr(args, "share_model", "auto"),
     )
 
 

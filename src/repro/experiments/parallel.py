@@ -36,6 +36,7 @@ Key design points:
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
 from collections import deque
@@ -45,8 +46,16 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
 from ..addr import Prefix
-from ..addr.vector import set_vectorized
+from ..addr.vector import set_vectorized, vector_enabled
 from ..internet import InternetConfig, Port
+from ..internet.regions import SCAN_EPOCH
+from ..internet.sharing import (
+    AttachedModel,
+    SharedModelHandle,
+    SharedModelOwner,
+    attach_probe_tables,
+    export_probe_tables,
+)
 from ..scanner import Blocklist
 from ..telemetry import MemorySink, Telemetry, get_telemetry, use_telemetry
 from ..tga import canonical_tga_name, get_model_cache
@@ -128,6 +137,11 @@ class WorkerSpec:
     #: worker's own default).  Purely an execution knob: results are
     #: bit-identical either way, so it never keys the world memo.
     vectorized: bool | None = None
+    #: Shared-memory handle of the parent's exported probe tables
+    #: (``share_model="shm"``).  Execution-only like ``vectorized`` —
+    #: adopted tables are bit-identical to rebuilt ones — so it never
+    #: keys the world memo.
+    shared_model: SharedModelHandle | None = None
 
     @classmethod
     def from_study(
@@ -176,6 +190,30 @@ class WorkerSpec:
 #: Worker-global memo: one rebuilt Study per distinct spec per process.
 _WORKER_STUDIES: dict[WorkerSpec, Study] = {}
 
+#: Fork-inheritance donor: the parent parks its fully-warmed study here
+#: (keyed by the world memo key) just before creating a pool, and forked
+#: workers adopt it as copy-on-write pages instead of rebuilding the
+#: world.  Spawned workers re-import the module and see ``None`` — the
+#: mechanism degrades to a rebuild, never to wrong answers.
+_FORK_DONOR: tuple[WorkerSpec, Study] | None = None
+
+#: Worker-global shared-memory attachments, keyed by segment name; one
+#: mapping per segment per process, closed when a different segment
+#: supersedes it (and by the kernel at worker exit).
+_ATTACHED_MODELS: dict[str, AttachedModel] = {}
+
+
+def _memo_key(spec: WorkerSpec) -> WorkerSpec:
+    """The world identity of a spec: execution-only fields nulled out."""
+    return replace(
+        spec,
+        telemetry=False,
+        model_cache=True,
+        fault_plan=None,
+        vectorized=None,
+        shared_model=None,
+    )
+
 
 def resolve_workers(workers: int | str | None, cells: int) -> int:
     """Resolve a worker-count request against the machine and grid size.
@@ -204,16 +242,38 @@ def resolve_workers(workers: int | str | None, cells: int) -> int:
 
 def _worker_study(spec: WorkerSpec) -> Study:
     # One world per *world* spec: neither telemetry capture, the
-    # model-cache toggle, an attached fault plan nor the vectorized-core
-    # toggle changes what gets built.
-    key = replace(
-        spec, telemetry=False, model_cache=True, fault_plan=None, vectorized=None
-    )
+    # model-cache toggle, an attached fault plan, the vectorized-core
+    # toggle nor a shared-model handle changes what gets built.
+    key = _memo_key(spec)
     study = _WORKER_STUDIES.get(key)
     if study is None:
-        study = spec.build_study()
+        donor = _FORK_DONOR
+        if donor is not None and donor[0] == key:
+            # Forked worker: adopt the parent's warmed study wholesale.
+            # Its internet, datasets and probe tables are copy-on-write
+            # pages of the parent's — nothing is rebuilt or pickled.
+            study = donor[1]
+        else:
+            study = spec.build_study()
         _WORKER_STUDIES[key] = study
     return study
+
+
+def _adopt_shared_model(spec: WorkerSpec, study: Study) -> None:
+    """Attach the spec's shared-memory model into the worker's study."""
+    handle = spec.shared_model
+    if handle is None:
+        return
+    attached = _ATTACHED_MODELS.get(handle.segment)
+    if attached is None:
+        for segment, stale in list(_ATTACHED_MODELS.items()):
+            stale.close()
+            del _ATTACHED_MODELS[segment]
+        attached = attach_probe_tables(
+            handle, study.internet.topology.region_for_net64
+        )
+        _ATTACHED_MODELS[handle.segment] = attached
+    study.internet.adopt_probe_tables(attached.tables)
 
 
 def _run_cell_chunk(
@@ -236,6 +296,7 @@ def _run_cell_chunk(
     get_model_cache().enabled = spec.model_cache
     set_vectorized(spec.vectorized)
     study = _worker_study(spec)
+    _adopt_shared_model(spec, study)
     if attempt:
         # A surviving worker may have cached cells a failed attempt
         # completed before faulting mid-chunk; evict them so the retry
@@ -310,6 +371,37 @@ class ParallelExecutor:
             model_cache=self.policy.model_cache,
             fault_plan=self.policy.fault_plan,
             vectorized=self.policy.vectorized,
+        )
+
+    def _resolve_share_mode(self) -> str:
+        """Pick the model-sharing mechanism this run can actually use.
+
+        ``fork`` requires the fork start method (inherited globals are
+        the transport); ``shm`` requires the probe tables to be
+        buildable (vector core on, world under the table-size gate).
+        ``auto`` prefers fork — it shares everything, not just the
+        tables — and silently degrades, never errors: sharing is an
+        optimisation, correctness never depends on it.
+        """
+        mode = self.policy.share_model
+        if mode == "off":
+            return "off"
+        try:
+            fork_ok = multiprocessing.get_start_method() == "fork"
+        except Exception:  # pragma: no cover - platform quirk
+            fork_ok = False
+        shm_ok = vector_enabled() and self.study.internet.vector_tables_allowed
+        if mode == "auto":
+            return "fork" if fork_ok else ("shm" if shm_ok else "off")
+        if mode == "fork":
+            return "fork" if fork_ok else "off"
+        return "shm" if shm_ok else "off"
+
+    def _export_model(self, missing) -> SharedModelOwner | None:
+        """Export the study's probe tables for the ports in flight."""
+        ports = tuple(dict.fromkeys(cell[2] for cell in missing))
+        return export_probe_tables(
+            self.study.internet.probe_tables(), ports, (SCAN_EPOCH,)
         )
 
     def _chunks(self, cells: list[Cell]) -> list[list[Cell]]:
@@ -539,8 +631,20 @@ class ParallelExecutor:
         runs of the same grid merge identical (variant-event-stripped)
         traces.
         """
+        global _FORK_DONOR
         policy = self.policy
         spec = self.worker_spec()
+        share_mode = self._resolve_share_mode()
+        owner: SharedModelOwner | None = None
+        donor_set = False
+        if share_mode == "fork":
+            # Park the warmed study for forked workers to inherit; COW
+            # means pool rebuilds after crashes re-inherit it for free.
+            _FORK_DONOR = (_memo_key(spec), self.study)
+            donor_set = True
+        elif share_mode == "shm":
+            owner = self._export_model(missing)
+            spec = replace(spec, shared_model=owner.handle)
         chunks = self._chunks(missing)
         workers = min(self.max_workers, len(chunks))
         if tel.enabled:
@@ -686,6 +790,13 @@ class ParallelExecutor:
         finally:
             if pool is not None:
                 pool.shutdown()
+            if donor_set:
+                _FORK_DONOR = None
+            if owner is not None:
+                # The parent owns the segment: close + unlink exactly
+                # here, after the pool is gone, on every exit path —
+                # including crash recovery and timeout reaping above.
+                owner.close()
         # Deterministic merge: chunk order, not completion order, so
         # counters, span trees and forwarded events (hence JSONL sinks)
         # are byte-identical across runs.

@@ -63,6 +63,16 @@ class ExecutionPolicy:
     #: unset).  Results are bit-identical either way; this is purely a
     #: performance/debugging toggle, propagated to worker processes.
     vectorized: bool | None = None
+    #: How workers obtain the prepared read-only model instead of
+    #: rebuilding it per process: ``"fork"`` donates the parent's warmed
+    #: study to forked workers as copy-on-write pages, ``"shm"`` exports
+    #: the columnar probe tables into a ``multiprocessing.shared_memory``
+    #: segment workers attach to, ``"off"`` rebuilds per worker (the
+    #: pre-sharing behaviour), and ``"auto"`` picks fork where the start
+    #: method allows it, else shm where the tables exist, else off.
+    #: Purely an execution knob — results are bit-identical in every
+    #: mode.
+    share_model: str = "auto"
 
     def __post_init__(self) -> None:
         if self.workers is not None and not isinstance(self.workers, int):
@@ -78,6 +88,11 @@ class ExecutionPolicy:
             raise ValueError("cell_timeout must be positive")
         if self.max_retries < 0:
             raise ValueError("max_retries cannot be negative")
+        if self.share_model not in ("auto", "fork", "shm", "off"):
+            raise ValueError(
+                f"share_model must be one of 'auto', 'fork', 'shm', 'off'; "
+                f"got {self.share_model!r}"
+            )
 
     @property
     def resilient(self) -> bool:

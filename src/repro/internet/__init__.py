@@ -6,7 +6,7 @@ from .patterns import COMMON_OUIS, IID_VOCABULARY, PatternKind, generate_iids
 from .ports import ALL_PORTS, Port, PortProfile
 from .regions import COLLECTION_EPOCH, SCAN_EPOCH, Region, RegionRole
 from .stats import WorldStats, compute_world_stats, discoverable_upper_bound
-from .topology import Topology, build_topology
+from .topology import LazyASRegistry, LazyTopology, Topology, build_topology
 
 __all__ = [
     "InternetConfig",
@@ -23,6 +23,8 @@ __all__ = [
     "COLLECTION_EPOCH",
     "SCAN_EPOCH",
     "Topology",
+    "LazyTopology",
+    "LazyASRegistry",
     "build_topology",
     "WorldStats",
     "compute_world_stats",

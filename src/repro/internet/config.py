@@ -7,6 +7,8 @@ rules identical.  Three presets are provided:
 ``tiny``  — unit-test scale (dozens of ASes, sub-second construction)
 ``small`` — benchmark scale (hundreds of ASes)
 ``medium``— slower, higher-fidelity runs
+``internet`` — hitlist scale (~1M ASes); only usable through the lazy
+topology with a resident-AS budget, never via an eager walk
 """
 
 from __future__ import annotations
@@ -76,6 +78,18 @@ class InternetConfig:
     mega_isp_regions: int = 30000
     mega_isp_icmp_response: float = 0.35
 
+    # Memory discipline for the lazy topology.  ``max_resident_ases``
+    # bounds how many fully-materialised ASes the LRU keeps (None =
+    # unbounded, appropriate below internet scale); ``memory_budget_mb``
+    # is the declared peak-heap budget the memory regression test and
+    # the internet-scale benchmark enforce.  ``vector_table_max_ases``
+    # gates the packed probe-table build: above it, ``probe_batch``
+    # stays on the grouped per-region path so probing never forces the
+    # whole world resident.
+    max_resident_ases: int | None = None
+    memory_budget_mb: int = 4096
+    vector_table_max_ases: int = 20000
+
     def __post_init__(self) -> None:
         if self.num_ases < 2:
             raise ValueError("num_ases must be at least 2")
@@ -85,6 +99,12 @@ class InternetConfig:
             raise ValueError("published_alias_coverage must be in [0, 1]")
         if self.min_sites_per_as < 1 or self.max_sites_per_as < self.min_sites_per_as:
             raise ValueError("invalid sites-per-AS range")
+        if self.max_resident_ases is not None and self.max_resident_ases < 1:
+            raise ValueError("max_resident_ases must be positive (or None)")
+        if self.memory_budget_mb < 1:
+            raise ValueError("memory_budget_mb must be positive")
+        if self.vector_table_max_ases < 0:
+            raise ValueError("vector_table_max_ases must be non-negative")
 
     # -- presets --------------------------------------------------------
 
@@ -128,6 +148,23 @@ class InternetConfig:
     def medium(cls, master_seed: int = 42) -> "InternetConfig":
         """Higher-fidelity scale for longer runs."""
         return cls(master_seed=master_seed, num_ases=1200, mega_isp_regions=60000)
+
+    @classmethod
+    def internet(cls, master_seed: int = 42) -> "InternetConfig":
+        """Hitlist scale: ~1M ASes, tens of millions of /64 regions.
+
+        Usable only through :class:`~repro.internet.topology.LazyTopology`
+        (``SimulatedInternet`` picks it automatically): the resident-AS
+        budget keeps ~0.1% of the world materialised at a time, and the
+        packed probe tables stay off so no path forces a full walk.
+        """
+        return cls(
+            master_seed=master_seed,
+            num_ases=1_000_000,
+            mega_isp_regions=120_000,
+            max_resident_ases=1024,
+            memory_budget_mb=2048,
+        )
 
     def with_seed(self, master_seed: int) -> "InternetConfig":
         """A copy with a different master seed (a different world)."""

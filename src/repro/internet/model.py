@@ -19,7 +19,7 @@ from functools import cached_property
 from ..addr import Prefix
 from ..addr.rand import coin, coin_batch, hash64, hash64_batch
 from ..addr.vector import PackedAddresses, np, vector_enabled
-from ..asdb import ASRegistry, OrgType
+from ..asdb import OrgType
 from .config import InternetConfig
 from .ports import ALL_PORTS, Port
 from .regions import (
@@ -29,7 +29,7 @@ from .regions import (
     Region,
     RegionRole,
 )
-from .topology import Topology, build_topology
+from .topology import LazyASRegistry, LazyTopology
 
 __all__ = ["SimulatedInternet"]
 
@@ -67,9 +67,11 @@ class _ProbeTables:
         "salt",
         "_port_prob",
         "_member_keys",
+        "_region_resolver",
     )
 
     def __init__(self, regions: list[Region]) -> None:
+        self._region_resolver = None
         self.regions = sorted(regions, key=lambda region: region.net64)
         n = len(self.regions)
         self.net64 = np.fromiter(
@@ -92,15 +94,66 @@ class _ProbeTables:
         self._port_prob: dict[int, object] = {}
         self._member_keys: dict[tuple, object] = {}
 
+    @classmethod
+    def from_columns(
+        cls,
+        net64,
+        firewalled,
+        aliased,
+        alias_prob,
+        salt,
+        *,
+        region_resolver,
+        port_prob=None,
+        member_tables=None,
+    ) -> "_ProbeTables":
+        """Rebuild tables from prepared columns (shared-memory attach).
+
+        No region list is held: the base columns plus the preloaded
+        ``port_prob`` / ``member_tables`` caches answer the hot path, and
+        ``region_resolver`` (net64 → Region, the lazy topology lookup)
+        covers the cold remainder — uncached port columns and the
+        essentially-never-taken key-collision re-check.
+        """
+        self = cls.__new__(cls)
+        self.regions = None
+        self.net64 = net64
+        self.firewalled = firewalled
+        self.aliased = aliased
+        self.alias_prob = alias_prob
+        self.salt = salt
+        self._port_prob = dict(port_prob or {})
+        self._member_keys = dict(member_tables or {})
+        self._region_resolver = region_resolver
+        return self
+
+    def covers(self, port: Port, epoch: int) -> bool:
+        """Whether :meth:`hit_mask` can serve ``(port, epoch)``.
+
+        Tables built from regions cover everything; attached tables only
+        cover the member tables they were exported with.
+        """
+        return self.regions is not None or (port, max(epoch, 0)) in self._member_keys
+
+    def _region_at(self, slot: int) -> Region:
+        if self.regions is not None:
+            return self.regions[slot]
+        return self._region_resolver(int(self.net64[slot]))
+
     def port_prob(self, port: Port):
         """Per-region service probability on ``port`` (cached column)."""
         arr = self._port_prob.get(port.index)
         if arr is None:
-            arr = np.fromiter(
-                (region.profile.probability(port) for region in self.regions),
-                dtype=np.float64,
-                count=len(self.regions),
-            )
+            n = int(self.net64.shape[0])
+            if self.regions is not None:
+                source = (region.profile.probability(port) for region in self.regions)
+            else:
+                resolver = self._region_resolver
+                source = (
+                    resolver(net).profile.probability(port)
+                    for net in self.net64.tolist()
+                )
+            arr = np.fromiter(source, dtype=np.float64, count=n)
             self._port_prob[port.index] = arr
         return arr
 
@@ -125,6 +178,11 @@ class _ProbeTables:
         cache_key = (port, max(epoch, 0))
         cached = self._member_keys.get(cache_key)
         if cached is None:
+            if self.regions is None:
+                raise RuntimeError(
+                    f"attached probe tables were not exported with a "
+                    f"member table for {cache_key}; gate on covers() first"
+                )
             key_chunks, net_chunks, iid_chunks = [], [], []
             for region in self.regions:
                 if region.aliased:
@@ -203,16 +261,15 @@ class _ProbeTables:
                     # region's IID set.
                     unsure = np.nonzero(found & ~exact)[0]
                     if unsure.shape[0]:
-                        regions = self.regions
                         rows = member_rows[unsure]
                         for row, key, iid in zip(
                             rows.tolist(),
                             query[unsure].tolist(),
                             qiid[unsure].tolist(),
                         ):
-                            if key in tied and iid in regions[
-                                slots[row]
-                            ].responsive_iids(port, epoch):
+                            if key in tied and iid in self._region_at(
+                                int(slots[row])
+                            ).responsive_iids(port, epoch):
                                 hits[row] = True
         return hits, slots, exists
 
@@ -222,29 +279,75 @@ class SimulatedInternet:
 
     def __init__(self, config: InternetConfig | None = None) -> None:
         self.config = config or InternetConfig()
-        self.topology: Topology = build_topology(self.config)
-        self._regions_by_net64: dict[int, Region] = {
-            region.net64: region for region in self.topology.regions
-        }
+        self.topology = LazyTopology(self.config)
+        # The scanner hot path grabs this attribute directly; the lazy
+        # facade answers get/[]/in identically to the old eager dict.
+        self._regions_by_net64 = self.topology.regions_by_net64
         self._probe_tables: _ProbeTables | None = None
+        self._adopted_tables: _ProbeTables | None = None
+
+    # -- probe tables (vectorized path) ---------------------------------
+
+    @property
+    def vector_tables_allowed(self) -> bool:
+        """Whether packed probe tables may be built for this world.
+
+        Building them pins every region, so above
+        ``config.vector_table_max_ases`` probing stays on the grouped
+        per-region path (which still runs the per-region array kernels).
+        """
+        return self.config.num_ases <= self.config.vector_table_max_ases
 
     def probe_tables(self) -> _ProbeTables:
         """Columnar region views for the vectorized probe path (lazy)."""
+        if self._adopted_tables is not None:
+            return self._adopted_tables
         if self._probe_tables is None:
+            if not self.vector_tables_allowed:
+                raise RuntimeError(
+                    f"probe tables disabled: num_ases={self.config.num_ases} "
+                    f"exceeds vector_table_max_ases="
+                    f"{self.config.vector_table_max_ases}"
+                )
             self._probe_tables = _ProbeTables(self.topology.regions)
         return self._probe_tables
+
+    def adopt_probe_tables(self, tables: _ProbeTables) -> None:
+        """Adopt prepared tables (shared-memory attach in a worker).
+
+        Adopted tables take precedence over building our own; callers
+        must gate packed probing on :meth:`packed_probe_ready` because
+        attached tables only cover their exported ``(port, epoch)``
+        member tables.
+        """
+        self._adopted_tables = tables
+
+    def packed_probe_ready(self, port: Port, epoch: int) -> bool:
+        """Whether the packed probe path can serve ``(port, epoch)``."""
+        adopted = self._adopted_tables
+        if adopted is not None:
+            return adopted.covers(port, epoch)
+        return self.vector_tables_allowed
 
     # -- basic accessors ----------------------------------------------------
 
     @property
-    def registry(self) -> ASRegistry:
+    def registry(self) -> LazyASRegistry:
         """The AS registry (prefix → ASN, AS metadata)."""
         return self.topology.registry
 
     @property
     def regions(self) -> list[Region]:
-        """All ground-truth regions."""
+        """All ground-truth regions (pins the whole world resident)."""
         return self.topology.regions
+
+    def iter_regions(self) -> Iterator[Region]:
+        """Stream every region in canonical order without pinning."""
+        return self.topology.iter_regions()
+
+    def lazy_stats(self) -> dict[str, int]:
+        """Materialisation counters of the underlying lazy topology."""
+        return self.topology.lazy_stats()
 
     def region_of(self, address: int) -> Region | None:
         """The region containing ``address``, or None for unallocated space."""
@@ -259,16 +362,21 @@ class SimulatedInternet:
 
     def regions_with_role(self, role: RegionRole) -> list[Region]:
         """All regions of the given functional role."""
-        return [region for region in self.regions if region.role is role]
+        return [region for region in self.iter_regions() if region.role is role]
 
     def regions_of_org(self, *org_types: OrgType) -> list[Region]:
         """All regions owned by ASes of the given organisation types."""
         wanted = set(org_types)
-        return [
-            region
-            for region in self.regions
-            if self.registry.info(region.asn).org_type in wanted
-        ]
+        matching_asns: dict[int, bool] = {}
+        result = []
+        for region in self.iter_regions():
+            match = matching_asns.get(region.asn)
+            if match is None:
+                match = self.registry.info(region.asn).org_type in wanted
+                matching_asns[region.asn] = match
+            if match:
+                result.append(region)
+        return result
 
     # -- probing -------------------------------------------------------------
 
@@ -293,7 +401,7 @@ class SimulatedInternet:
         :class:`~repro.addr.vector.PackedAddresses` input) run through
         the columnar probe tables instead; outputs are bit-identical.
         """
-        if vector_enabled():
+        if vector_enabled() and self.packed_probe_ready(port, epoch):
             packed = addresses if isinstance(addresses, PackedAddresses) else None
             if packed is None:
                 if not isinstance(addresses, (list, tuple)):
@@ -337,7 +445,7 @@ class SimulatedInternet:
     def true_alias_prefixes(self) -> tuple[Prefix, ...]:
         """Every genuinely aliased /64 (complete ground truth)."""
         return tuple(
-            region.prefix for region in self.regions if region.aliased
+            region.prefix for region in self.iter_regions() if region.aliased
         )
 
     @cached_property
@@ -371,7 +479,7 @@ class SimulatedInternet:
         With ``include_aliased`` True, aliased regions contribute their
         observable sample rather than their (infinite) membership.
         """
-        for region in self.regions:
+        for region in self.iter_regions():
             if region.aliased:
                 if include_aliased and region.profile.probability(port) > 0:
                     yield from region.observable_addresses()
@@ -383,14 +491,14 @@ class SimulatedInternet:
         """Count of non-aliased responsive addresses on ``port`` at ``epoch``."""
         return sum(
             len(region.responsive_iids(port, epoch))
-            for region in self.regions
+            for region in self.iter_regions()
             if not region.aliased
         )
 
     def responsive_ases(self, port: Port, epoch: int = SCAN_EPOCH) -> set[int]:
         """ASNs with at least one responsive address on ``port`` at ``epoch``."""
         result: set[int] = set()
-        for region in self.regions:
+        for region in self.iter_regions():
             if region.asn in result:
                 continue
             if region.aliased:
@@ -403,7 +511,7 @@ class SimulatedInternet:
 
     def iter_ever_responsive(self, epoch: int = COLLECTION_EPOCH) -> Iterator[int]:
         """Addresses responsive on at least one target at ``epoch``."""
-        for region in self.regions:
+        for region in self.iter_regions():
             if region.aliased:
                 continue
             seen: set[int] = set()
@@ -419,15 +527,37 @@ class SimulatedInternet:
         """ASN of the AS12322 analogue (filtered from ICMP metrics)."""
         return self.config.mega_isp_asn
 
-    def describe(self) -> dict[str, int]:
-        """Summary statistics of the world (for docs and sanity checks)."""
+    def summary(self) -> dict[str, int]:
+        """Summary statistics of the world, in one streaming pass.
+
+        Never pins the world: regions stream through the lazy topology
+        once and every counter accumulates in the same pass, so this is
+        safe (if slow) even at ``scale="internet"``.
+        """
+        regions = 0
+        aliased = 0
+        firewalled = 0
+        retired = 0
+        active = 0
+        for region in self.iter_regions():
+            regions += 1
+            if region.aliased:
+                aliased += 1
+            else:
+                active += region.density
+            if region.firewalled:
+                firewalled += 1
+            if region.retired:
+                retired += 1
         return {
             "ases": len(self.registry),
-            "regions": len(self.regions),
-            "aliased_regions": sum(1 for region in self.regions if region.aliased),
-            "firewalled_regions": sum(1 for region in self.regions if region.firewalled),
-            "retired_regions": sum(1 for region in self.regions if region.retired),
-            "pattern_active_addresses": sum(
-                region.density for region in self.regions if not region.aliased
-            ),
+            "regions": regions,
+            "aliased_regions": aliased,
+            "firewalled_regions": firewalled,
+            "retired_regions": retired,
+            "pattern_active_addresses": active,
         }
+
+    def describe(self) -> dict[str, int]:
+        """Summary statistics of the world (for docs and sanity checks)."""
+        return self.summary()

@@ -1,0 +1,286 @@
+"""Zero-copy sharing of the prepared probe-table model across workers.
+
+Two mechanisms, selected by ``ExecutionPolicy.share_model``:
+
+* **fork inheritance** — on Linux the parent's fully-warmed ``Study``
+  (internet, probe tables, datasets) is adopted by forked workers as
+  copy-on-write pages; nothing is pickled or rebuilt.  This lives in
+  :mod:`repro.experiments.parallel` (the donor global), not here.
+
+* **``multiprocessing.shared_memory``** — the parent exports the
+  columnar :class:`~repro.internet.model._ProbeTables` arrays (base
+  columns, per-port service probabilities, and the responsive-member
+  tables for the ports in flight) into one named segment; workers map
+  the segment and reconstruct read-only numpy views at the recorded
+  offsets.  This is the spawn-safe path and the one whose lifecycle the
+  tests police.
+
+Ownership rules (enforced here, asserted by the lifecycle tests):
+
+* the **parent** owns the segment: it calls :func:`export_probe_tables`
+  before the pool starts and ``close()`` + ``unlink()`` on the returned
+  handle after the pool is done — exactly once, in a ``finally``;
+* **workers** only ever attach and ``close()``; they never unlink.  A
+  worker crash between attach and close leaks nothing: the parent's
+  unlink removes the name, and the kernel reclaims the mapping with the
+  process;
+* both operations are idempotent (double ``close()`` is a no-op), so
+  crash-path cleanup can be unconditional;
+* :func:`repro_segments` lists live segments with our name prefix so
+  tests can assert teardown left ``/dev/shm`` clean.
+
+On Python < 3.13 ``SharedMemory(name=..., create=False)`` registers the
+mapping with the resource tracker even though the attaching process does
+not own it (bpo-39959).  That is benign here: worker processes inherit
+the parent's tracker daemon (fork and spawn both pass the fd through),
+whose cache is a set, so the attach-side registration is a duplicate of
+the parent's and the single ``unlink()`` clears it.  Do **not**
+unregister in the worker — with a shared tracker that removes the
+parent's registration and the later unlink double-unregisters, spewing
+KeyError tracebacks from the tracker daemon.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+from ..addr.vector import np
+from .model import _ProbeTables
+from .ports import Port
+from .regions import SCAN_EPOCH
+
+__all__ = [
+    "SharedModelHandle",
+    "SharedModelOwner",
+    "export_probe_tables",
+    "attach_probe_tables",
+    "repro_segments",
+]
+
+#: Every segment we create starts with this, so leak detection can tell
+#: our segments from anything else on the host.
+SEGMENT_PREFIX = "repro_model_"
+
+_ALIGN = 16
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one column inside the shared segment."""
+
+    offset: int
+    length: int
+    dtype: str
+
+    def view(self, buf) -> "np.ndarray":
+        """A read-only numpy view of this column over ``buf``."""
+        arr = np.ndarray(
+            (self.length,), dtype=np.dtype(self.dtype), buffer=buf, offset=self.offset
+        )
+        arr.flags.writeable = False
+        return arr
+
+
+@dataclass(frozen=True)
+class SharedModelHandle:
+    """Picklable description of an exported model segment.
+
+    Carries the segment name plus the offset map: base columns, the
+    per-port service-probability columns, and per ``(port, epoch)`` the
+    three aligned member-table columns and the (almost always empty)
+    tied-key set.  Frozen and hashable so it can ride inside
+    ``WorkerSpec`` without disturbing the memo-key discipline.
+    """
+
+    segment: str
+    size: int
+    base: tuple[tuple[str, ArraySpec], ...]
+    port_prob: tuple[tuple[int, ArraySpec], ...]
+    members: tuple[tuple[tuple[int, int], tuple[ArraySpec, ArraySpec, ArraySpec]], ...]
+    tied: tuple[tuple[tuple[int, int], tuple[int, ...]], ...] = field(default=())
+
+
+class SharedModelOwner:
+    """The parent-side segment: closes and unlinks exactly once."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, handle: SharedModelHandle):
+        self._shm: shared_memory.SharedMemory | None = shm
+        self.handle = handle
+
+    @property
+    def name(self) -> str:
+        return self.handle.segment
+
+    def close(self) -> None:
+        """Release the parent mapping and unlink the name (idempotent)."""
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # already unlinked elsewhere
+            pass
+
+    # ``unlink`` as a separate verb reads better at call sites that only
+    # want to emphasise the name removal; both verbs do the full cleanup
+    # so crash-path handlers can call either unconditionally.
+    unlink = close
+
+    def __enter__(self) -> "SharedModelOwner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AttachedModel:
+    """A worker-side attachment: tables plus the mapping to close."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, tables: _ProbeTables):
+        self._shm: shared_memory.SharedMemory | None = shm
+        self.tables = tables
+
+    def close(self) -> None:
+        """Drop the worker's mapping (idempotent; never unlinks)."""
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        # The tables hold views into the mapping; break the reference
+        # before closing so the buffer isn't exported when munmap runs.
+        self.tables = None
+        shm.close()
+
+
+def _port_from_index(index: int) -> Port:
+    for port in Port:
+        if port.index == index:
+            return port
+    raise ValueError(f"unknown port index {index}")
+
+
+def export_probe_tables(
+    tables: _ProbeTables,
+    ports: tuple[Port, ...],
+    epochs: tuple[int, ...] = (SCAN_EPOCH,),
+) -> SharedModelOwner:
+    """Export prepared tables into one shared segment (parent side).
+
+    Forces the member tables for every requested ``(port, epoch)`` pair
+    (attached tables cannot build them — they have no region list), then
+    lays all columns back to back, 16-byte aligned, in a single
+    :class:`~multiprocessing.shared_memory.SharedMemory` segment.
+    """
+    columns: list[tuple[object, "np.ndarray"]] = []
+    specs: dict[object, ArraySpec] = {}
+    offset = 0
+
+    def plan(key: object, array: "np.ndarray") -> None:
+        nonlocal offset
+        offset = (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+        specs[key] = ArraySpec(offset=offset, length=int(array.shape[0]), dtype=str(array.dtype))
+        columns.append((key, array))
+        offset += array.nbytes
+
+    base_names = ("net64", "firewalled", "aliased", "alias_prob", "salt")
+    for name in base_names:
+        plan(("base", name), getattr(tables, name))
+    for port in ports:
+        plan(("prob", port.index), np.ascontiguousarray(tables.port_prob(port)))
+    tied_sets: list[tuple[tuple[int, int], tuple[int, ...]]] = []
+    for port in ports:
+        for epoch in epochs:
+            keys, nets, iids, tied = tables.member_table(port, epoch)
+            pair = (port.index, max(epoch, 0))
+            plan(("member", pair, 0), keys)
+            plan(("member", pair, 1), nets)
+            plan(("member", pair, 2), iids)
+            if tied:
+                tied_sets.append((pair, tuple(sorted(tied))))
+
+    size = max(offset, 1)
+    name = SEGMENT_PREFIX + secrets.token_hex(8)
+    shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+    for key, array in columns:
+        spec = specs[key]
+        dest = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf, offset=spec.offset)
+        dest[:] = array
+
+    handle = SharedModelHandle(
+        segment=shm.name,
+        size=size,
+        base=tuple((name_, specs[("base", name_)]) for name_ in base_names),
+        port_prob=tuple((port.index, specs[("prob", port.index)]) for port in ports),
+        members=tuple(
+            (
+                (port.index, max(epoch, 0)),
+                (
+                    specs[("member", (port.index, max(epoch, 0)), 0)],
+                    specs[("member", (port.index, max(epoch, 0)), 1)],
+                    specs[("member", (port.index, max(epoch, 0)), 2)],
+                ),
+            )
+            for port in ports
+            for epoch in epochs
+        ),
+        tied=tuple(tied_sets),
+    )
+    return SharedModelOwner(shm, handle)
+
+
+def attach_probe_tables(handle: SharedModelHandle, region_resolver) -> AttachedModel:
+    """Attach to an exported segment and rebuild the tables (worker side).
+
+    ``region_resolver`` is the worker's lazy ``net64 → Region`` lookup,
+    used only off the hot path (uncached port columns, key-collision
+    re-checks).  The returned :class:`AttachedModel` must be ``close()``d
+    when the worker is done; it never unlinks.
+    """
+    shm = shared_memory.SharedMemory(name=handle.segment, create=False)
+    try:
+        base = {name: spec.view(shm.buf) for name, spec in handle.base}
+        port_prob = {index: spec.view(shm.buf) for index, spec in handle.port_prob}
+        tied_map = {tuple(pair): frozenset(keys) for pair, keys in handle.tied}
+        members = {}
+        for pair, (keys_spec, nets_spec, iids_spec) in handle.members:
+            port = _port_from_index(pair[0])
+            members[(port, pair[1])] = (
+                keys_spec.view(shm.buf),
+                nets_spec.view(shm.buf),
+                iids_spec.view(shm.buf),
+                tied_map.get(tuple(pair), frozenset()),
+            )
+        tables = _ProbeTables.from_columns(
+            base["net64"],
+            base["firewalled"],
+            base["aliased"],
+            base["alias_prob"],
+            base["salt"],
+            region_resolver=region_resolver,
+            port_prob=port_prob,
+            member_tables=members,
+        )
+    except Exception:
+        shm.close()
+        raise
+    return AttachedModel(shm, tables)
+
+
+def repro_segments() -> list[str]:
+    """Names of live ``/dev/shm`` segments created by this module.
+
+    The leak detector behind the lifecycle tests: after a
+    ``ParallelExecutor`` teardown — including crash paths — this must
+    not list anything the run created.
+    """
+    import os
+
+    try:
+        entries = os.listdir("/dev/shm")
+    except FileNotFoundError:  # pragma: no cover - non-Linux hosts
+        return []
+    return sorted(entry for entry in entries if entry.startswith(SEGMENT_PREFIX))

@@ -71,7 +71,7 @@ def compute_world_stats(
     regions_by_role: Counter = Counter()
     aliased = firewalled = retired = renumbered = 0
     pattern_active = 0
-    for region in internet.regions:
+    for region in internet.iter_regions():
         regions_by_role[region.role] += 1
         if region.aliased:
             aliased += 1
@@ -110,7 +110,7 @@ def discoverable_upper_bound(
     """
     total = 0
     mega = internet.mega_isp_asn
-    for region in internet.regions:
+    for region in internet.iter_regions():
         if region.aliased:
             continue
         if exclude_mega and port is Port.ICMP and region.asn == mega:

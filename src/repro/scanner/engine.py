@@ -127,7 +127,7 @@ class Scanner:
         columnar probe path instead — hits, stats and telemetry are
         bit-identical to the scalar formulation.
         """
-        if vector_enabled():
+        if vector_enabled() and self.internet.packed_probe_ready(port, self.epoch):
             packed = addresses if isinstance(addresses, PackedAddresses) else None
             if packed is None:
                 if not isinstance(addresses, (list, tuple)):

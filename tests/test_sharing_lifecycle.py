@@ -1,0 +1,289 @@
+"""Lifecycle tests for the shared-memory model segment.
+
+Ownership contract under test (see ``repro.internet.sharing``): the
+parent that exports a segment owns close **and** unlink; workers only
+ever close their attachment.  Every test here ends with the same
+assertion — ``repro_segments() == []`` — because a leaked ``/dev/shm``
+entry survives the process and silently eats host memory.
+"""
+
+import multiprocessing
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.experiments import (
+    ExecutionPolicy,
+    FaultPlan,
+    FaultRule,
+    GridSpec,
+    ParallelExecutor,
+    Study,
+    run_grid,
+)
+from repro.internet import InternetConfig, Port, SimulatedInternet
+from repro.internet.regions import SCAN_EPOCH
+from repro.internet.sharing import (
+    attach_probe_tables,
+    export_probe_tables,
+    repro_segments,
+)
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(multiprocessing, "shared_memory")
+    and sys.platform.startswith("win"),
+    reason="POSIX shared memory required",
+)
+
+PORTS = (Port.ICMP, Port.TCP80)
+
+
+def make_study() -> Study:
+    return Study(config=InternetConfig.tiny(), budget=500, round_size=200)
+
+
+def make_spec(study: Study) -> GridSpec:
+    return GridSpec(
+        datasets=(study.constructions.all_active,),
+        tga_names=("6tree", "6gen"),
+        ports=PORTS,
+        budget=400,
+    )
+
+
+def assert_identical_runs(a, b) -> None:
+    assert a.clean_hits == b.clean_hits
+    assert a.aliased_hits == b.aliased_hits
+    assert a.active_ases == b.active_ases
+    assert a.metrics == b.metrics
+    assert a.generated == b.generated
+    assert a.probes_sent == b.probes_sent
+    assert a.rounds == b.rounds
+    assert a.round_history == b.round_history
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test starts clean and must end clean."""
+    assert repro_segments() == [], "leftover segment from a previous test"
+    yield
+    assert repro_segments() == [], "test leaked a /dev/shm segment"
+
+
+class TestExportAttach:
+    def test_attached_tables_answer_like_the_parent(self):
+        parent = SimulatedInternet(InternetConfig.tiny())
+        owner = export_probe_tables(parent.probe_tables(), PORTS)
+        try:
+            sibling = SimulatedInternet(InternetConfig.tiny())
+            attached = attach_probe_tables(
+                owner.handle, sibling.topology.region_for_net64
+            )
+            try:
+                sibling.adopt_probe_tables(attached.tables)
+                import random
+
+                rng = random.Random(0)
+                targets = [
+                    region.address_of(rng.getrandbits(12))
+                    for region in parent.iter_regions()
+                    for _ in range(3)
+                ]
+                for port in PORTS:
+                    assert sibling.packed_probe_ready(port, SCAN_EPOCH)
+                    assert sibling.probe_batch(
+                        targets, port, SCAN_EPOCH
+                    ) == parent.probe_batch(targets, port, SCAN_EPOCH)
+            finally:
+                attached.close()
+        finally:
+            owner.close()
+
+    def test_uncovered_pairs_fall_back_to_scalar(self):
+        """A (port, epoch) outside the export must not crash — the model
+        degrades to the grouped scalar path and stays bit-identical."""
+        parent = SimulatedInternet(InternetConfig.tiny())
+        owner = export_probe_tables(parent.probe_tables(), (Port.ICMP,))
+        try:
+            sibling = SimulatedInternet(InternetConfig.tiny())
+            attached = attach_probe_tables(
+                owner.handle, sibling.topology.region_for_net64
+            )
+            try:
+                sibling.adopt_probe_tables(attached.tables)
+                assert not sibling.packed_probe_ready(Port.TCP443, SCAN_EPOCH)
+                assert not sibling.packed_probe_ready(Port.ICMP, 0)
+                import random
+
+                rng = random.Random(1)
+                targets = [
+                    region.address_of(rng.getrandbits(12))
+                    for region in parent.iter_regions()
+                ]
+                assert sibling.probe_batch(
+                    targets, Port.TCP443, SCAN_EPOCH
+                ) == parent.probe_batch(targets, Port.TCP443, SCAN_EPOCH)
+            finally:
+                attached.close()
+        finally:
+            owner.close()
+
+    def test_handle_is_picklable(self):
+        import pickle
+
+        parent = SimulatedInternet(InternetConfig.tiny())
+        with export_probe_tables(parent.probe_tables(), (Port.ICMP,)) as owner:
+            clone = pickle.loads(pickle.dumps(owner.handle))
+            assert clone == owner.handle
+            assert hash(clone) == hash(owner.handle)
+
+
+class TestCloseSemantics:
+    def test_owner_double_close_is_idempotent(self):
+        parent = SimulatedInternet(InternetConfig.tiny())
+        owner = export_probe_tables(parent.probe_tables(), (Port.ICMP,))
+        assert repro_segments() == [owner.name]
+        owner.close()
+        assert repro_segments() == []
+        owner.close()  # second close must be a no-op, not an error
+        owner.unlink()  # alias, also idempotent
+
+    def test_attached_double_close_is_idempotent(self):
+        parent = SimulatedInternet(InternetConfig.tiny())
+        owner = export_probe_tables(parent.probe_tables(), (Port.ICMP,))
+        try:
+            attached = attach_probe_tables(
+                owner.handle, parent.topology.region_for_net64
+            )
+            attached.close()
+            attached.close()
+            assert attached.tables is None
+        finally:
+            owner.close()
+
+    def test_attach_after_unlink_fails_cleanly(self):
+        parent = SimulatedInternet(InternetConfig.tiny())
+        owner = export_probe_tables(parent.probe_tables(), (Port.ICMP,))
+        handle = owner.handle
+        owner.close()
+        with pytest.raises(FileNotFoundError):
+            attach_probe_tables(handle, parent.topology.region_for_net64)
+
+
+class TestCrashResilience:
+    def test_worker_crash_during_attach_leaves_no_leak(self):
+        """A worker dying mid-attach must not strand the segment: the
+        parent still owns it and unlinks on close."""
+        parent = SimulatedInternet(InternetConfig.tiny())
+        owner = export_probe_tables(parent.probe_tables(), (Port.ICMP,))
+        try:
+            script = textwrap.dedent(
+                f"""
+                import os
+                from multiprocessing import shared_memory
+                shm = shared_memory.SharedMemory(name={owner.name!r}, create=False)
+                # Simulate a hard crash mid-attach: no close, no cleanup.
+                os._exit(7)
+                """
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            assert proc.returncode == 7, proc.stderr
+            assert "Traceback" not in proc.stderr
+            # Parent-side teardown still reclaims the segment.
+        finally:
+            owner.close()
+        assert repro_segments() == []
+
+
+class TestExecutorTeardown:
+    def test_shm_run_matches_serial_and_leaves_no_segments(self):
+        """The 2-worker shared-model smoke: serial ≡ shm-parallel."""
+        serial_study = make_study()
+        serial = run_grid(serial_study, make_spec(serial_study))
+
+        shm_study = make_study()
+        shm = run_grid(
+            shm_study,
+            make_spec(shm_study),
+            policy=ExecutionPolicy(workers=2, share_model="shm"),
+        )
+        assert set(serial.runs) == set(shm.runs)
+        for key in serial.runs:
+            assert_identical_runs(serial.runs[key], shm.runs[key])
+        assert repro_segments() == []
+
+    def test_fork_and_off_modes_also_match_serial(self):
+        serial_study = make_study()
+        serial = run_grid(serial_study, make_spec(serial_study))
+        for mode in ("fork", "off"):
+            study = make_study()
+            grid = run_grid(
+                study,
+                make_spec(study),
+                policy=ExecutionPolicy(workers=2, share_model=mode),
+            )
+            assert set(grid.runs) == set(serial.runs)
+            for key in serial.runs:
+                assert_identical_runs(serial.runs[key], grid.runs[key])
+        assert repro_segments() == []
+
+    def test_shm_teardown_after_worker_crashes(self):
+        """Fault-injected worker crashes (the PR 5 paths) must not leak
+        the parent's segment — retries reuse it, teardown unlinks it."""
+        baseline_study = make_study()
+        baseline = run_grid(baseline_study, make_spec(baseline_study))
+
+        study = make_study()
+        plan = FaultPlan(rules=(FaultRule("crash", tga="6gen", port="icmp"),))
+        recovered = run_grid(
+            study,
+            make_spec(study),
+            policy=ExecutionPolicy(
+                workers=2, share_model="shm", fault_plan=plan, max_retries=2
+            ),
+        )
+        assert set(recovered.runs) == set(baseline.runs)
+        for key in baseline.runs:
+            assert_identical_runs(baseline.runs[key], recovered.runs[key])
+        assert repro_segments() == []
+
+    def test_shm_teardown_when_cells_fail_permanently(self):
+        study = make_study()
+        plan = FaultPlan(rules=(FaultRule("crash", tga="6gen", max_fires=99),))
+        results = run_grid(
+            study,
+            make_spec(study),
+            policy=ExecutionPolicy(
+                workers=2, share_model="shm", fault_plan=plan, max_retries=1
+            ),
+        )
+        assert not results.complete
+        assert all(f.reason == "crash" for f in results.failed_cells)
+        assert all(key[0] != "6gen" for key in results.runs)
+        assert repro_segments() == []
+
+    def test_share_mode_degrades_when_tables_gated(self):
+        """share_model='shm' on a world over the vector-table gate must
+        silently fall back to 'off' — and still match serial."""
+        from dataclasses import replace
+
+        gated = replace(InternetConfig.tiny(master_seed=11), vector_table_max_ases=0)
+        serial_study = Study(config=gated, budget=300, round_size=100)
+        serial = run_grid(serial_study, make_spec(serial_study))
+
+        study = Study(config=gated, budget=300, round_size=100)
+        policy = ExecutionPolicy(workers=2, share_model="shm")
+        executor = ParallelExecutor(study, max_workers=2, policy=policy)
+        assert executor._resolve_share_mode() == "off"
+        grid = run_grid(study, make_spec(study), policy=policy)
+        assert set(grid.runs) == set(serial.runs)
+        for key in serial.runs:
+            assert_identical_runs(serial.runs[key], grid.runs[key])
+        assert repro_segments() == []
