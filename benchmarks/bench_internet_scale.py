@@ -9,8 +9,12 @@ Sections:
 * ``world_open`` — time to construct the world and serve registry
   lookups.  Lazy derivation makes this O(resident), not O(num_ases).
 * ``streaming_probe`` — serial probe throughput over a pool spread
-  across sparse ranks of the full rank space, with tracemalloc peak and
-  the resident-AS high-water mark.
+  across sparse ranks of the full rank space, with the resident-AS
+  high-water mark.  Peak memory is measured by the resource flight
+  recorder (:class:`repro.telemetry.ResourceSampler` sampling RSS
+  alongside the probe loop, plus its wall-time overhead %), with a
+  tracemalloc heap peak kept as a cross-check on a separate smaller
+  pass.
 * ``parallel_probe`` — the same pool sharded across a fork-inherited
   worker pool (32 workers at full scale): workers adopt the parent's
   lazy world as copy-on-write pages and never rebuild it.  The union of
@@ -46,7 +50,7 @@ from repro.experiments import ExecutionPolicy, GridSpec, Study, run_grid
 from repro.internet import InternetConfig, Port, SimulatedInternet
 from repro.internet.sharing import repro_segments
 from repro.internet.topology import slash32_for_rank
-from repro.telemetry import RunManifest, write_manifest
+from repro.telemetry import ResourceSampler, RunManifest, write_manifest
 from repro.tga import ALL_TGA_NAMES
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_internet_scale.json"
@@ -245,15 +249,38 @@ def main(argv=None) -> int:
     )
 
     # -- streaming probe (serial) ----------------------------------------
+    # Timed twice on the same world: bare, then under the resource
+    # flight recorder.  The sampler run owns the peak-RSS figure (the
+    # same instrument the telemetry traces and `repro trace check`
+    # gate on) and the delta between the passes is the sampler's
+    # measured overhead.
     pool = build_pool(config, pool_total, args.seed)
     start = time.perf_counter()
     serial_hits = internet.probe_batch(pool, Port.ICMP)
     serial_seconds = time.perf_counter() - start
+
+    sampler = ResourceSampler(
+        interval=0.05,
+        rank="bench",
+        providers={
+            "resident_ases": lambda: float(internet.lazy_stats()["resident_ases"])
+        },
+        budget_mb=config.memory_budget_mb,
+    )
+    with sampler:
+        start = time.perf_counter()
+        sampled_hits = internet.probe_batch(pool, Port.ICMP)
+        sampled_seconds = time.perf_counter() - start
+    assert sampled_hits == serial_hits, "sampled pass diverged"
+    sampler_overhead = (
+        (sampled_seconds - serial_seconds) / serial_seconds if serial_seconds else 0.0
+    )
     stats = internet.lazy_stats()
 
-    # Heap peak is measured on a *separate*, smaller pass over a fresh
-    # world: tracemalloc tracing slows allocation ~10-30x, so it must
-    # never overlap the timed sections above.
+    # Heap peak is cross-checked on a *separate*, smaller pass over a
+    # fresh world: tracemalloc tracing slows allocation ~10-30x, so it
+    # must never overlap the timed sections above (and it measures the
+    # python heap, not RSS — the two figures bracket each other).
     tracemalloc.start()
     traced = SimulatedInternet(config)
     traced.probe_batch(pool[: max(1, len(pool) // 10)], Port.ICMP)
@@ -268,12 +295,18 @@ def main(argv=None) -> int:
         "resident_ases": stats["resident_ases"],
         "materialized_ases": stats["materialized_ases"],
         "evicted_ases": stats["evicted_ases"],
+        "sampled_peak_rss_mb": round(sampler.peak_rss_bytes / (1024 * 1024), 1),
+        "sampler_samples": sampler.samples,
+        "sampler_overhead": round(sampler_overhead, 4),
+        "sampler_overhead_pct": round(100.0 * sampler_overhead, 2),
         "tracemalloc_peak_mb": round(heap_peak / (1024 * 1024), 1),
     }
     print(
         f"streaming probe : {serial_seconds:8.2f}s  "
         f"{streaming['addresses_per_sec']:10,} addr/s  "
         f"resident={stats['resident_ases']} "
+        f"sampled-rss={streaming['sampled_peak_rss_mb']}MB "
+        f"(overhead {sampler_overhead:+.1%}) "
         f"heap-peak={streaming['tracemalloc_peak_mb']}MB"
     )
     if config.max_resident_ases is not None:
@@ -315,6 +348,7 @@ def main(argv=None) -> int:
     memory = {
         "peak_rss_mb": round(peak, 1),
         "peak_child_rss_mb": round(child_peak, 1),
+        "sampled_peak_rss_mb": streaming["sampled_peak_rss_mb"],
         "budget_mb": budget_mb,
         "within_budget": peak < budget_mb and child_peak < budget_mb,
     }

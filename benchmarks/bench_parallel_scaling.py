@@ -19,11 +19,18 @@ Run:  python benchmarks/bench_parallel_scaling.py [--quick] [--out FILE]
 ``--quick`` shrinks the workload (fewer ports, smaller budget, worker
 counts 1/2, smaller probe pools) for CI smoke runs.  ``--trace PATH``
 additionally writes the deterministic JSONL telemetry trace of the
-serial grid run — the payload ``repro trace check`` gates on.  The JSON
-artifact always gets a ``.manifest.json`` provenance sidecar.  Note
-that measured speedup is bounded by the CPUs actually available; the
-artifact records ``cpu_count`` so numbers from different hosts are
+serial sampled grid run — the payload ``repro trace check`` gates on
+(both its deterministic figures and, via ``--rss-tol``, its peak RSS).
+The JSON artifact always gets a ``.manifest.json`` provenance sidecar.
+Note that measured speedup is bounded by the CPUs actually available;
+the artifact records ``cpu_count`` so numbers from different hosts are
 comparable.
+
+A third serial run adds the resource flight recorder
+(``--resource-interval``, default 0.05 s): results must stay identical,
+and the artifact records the sampler's wall-time overhead over the
+telemetry-only run (the acceptance bar is < 2 %) plus the sampled peak
+RSS.
 """
 
 from __future__ import annotations
@@ -35,7 +42,7 @@ import time
 from pathlib import Path
 
 from repro.addr import HAVE_NUMPY, PackedAddresses, use_vectorized
-from repro.experiments import GridSpec, Study, run_grid
+from repro.experiments import ExecutionPolicy, GridSpec, Study, run_grid
 from repro.internet import ALL_PORTS, InternetConfig, Port, SimulatedInternet
 from repro.scanner import Scanner
 from repro.telemetry import (
@@ -73,19 +80,29 @@ def run_once(
     ports: tuple[Port, ...],
     workers: int | None,
     telemetry: Telemetry | None = None,
+    resource_interval: float | None = None,
 ):
     """One timed grid run on a fresh study; returns (seconds, results).
 
     Each run gets a fresh (cold) model cache so measured scaling is not
     skewed by artifacts warmed in an earlier run — this benchmark
     isolates process-level parallelism; cold-vs-warm cache economics
-    are ``bench_model_cache.py``'s job.
+    are ``bench_model_cache.py``'s job.  ``resource_interval`` turns on
+    the resource flight recorder for the run.
     """
     study = make_study(seed, budget)
     spec = make_spec(study, ports, budget)
     with use_model_cache(ModelCache()):
         start = time.perf_counter()
-        results = run_grid(study, spec, workers=workers, telemetry=telemetry)
+        if resource_interval is not None:
+            policy = ExecutionPolicy(
+                workers=workers or 1,
+                telemetry=telemetry,
+                resource_interval=resource_interval,
+            )
+            results = run_grid(study, spec, policy=policy)
+        else:
+            results = run_grid(study, spec, workers=workers, telemetry=telemetry)
         return time.perf_counter() - start, results
 
 
@@ -213,8 +230,15 @@ def main(argv=None) -> int:
         "--trace",
         type=Path,
         default=None,
-        help="write the serial grid run's deterministic JSONL telemetry "
-        "trace here (the payload for `repro trace check`)",
+        help="write the serial sampled grid run's deterministic JSONL "
+        "telemetry trace here (the payload for `repro trace check`)",
+    )
+    parser.add_argument(
+        "--resource-interval",
+        type=float,
+        default=0.05,
+        help="resource flight-recorder sample interval for the sampled "
+        "serial run (seconds; 0 disables the run)",
     )
     parser.add_argument(
         "--probe-addresses",
@@ -264,8 +288,9 @@ def main(argv=None) -> int:
     # streams its events to a JSONL file — wall-clock never enters the
     # trace, so the payload is byte-stable and `repro trace check` can
     # gate on it.
+    sampling = args.resource_interval > 0
     sinks: list = [MemorySink()]
-    if args.trace:
+    if args.trace and not sampling:
         sinks.append(JsonlSink(args.trace))
     telemetry = Telemetry(sinks=sinks)
     telemetry.emit_event(manifest.event())
@@ -273,8 +298,6 @@ def main(argv=None) -> int:
         args.seed, budget, ports, None, telemetry=telemetry
     )
     telemetry.close()
-    if args.trace:
-        print(f"wrote telemetry trace to {args.trace}")
     telemetry_same = identical(serial_results.runs, telemetry_results.runs)
     telemetry_overhead = (
         (telemetry_seconds - serial_seconds) / serial_seconds
@@ -285,6 +308,62 @@ def main(argv=None) -> int:
         f"serial+telemetry: {telemetry_seconds:8.2f}s  "
         f"overhead {telemetry_overhead:+6.1%}  identical={telemetry_same}"
     )
+
+    # Serial once more with the resource flight recorder on: grid
+    # results must not move, the sanctioned-namespace contract keeps
+    # the trace comparable, and the wall-time delta over the
+    # telemetry-only run is the sampler's measured overhead (the
+    # acceptance bar is < 2%).  With --trace, the sampled run is the
+    # one that writes the gate payload so the baseline carries
+    # resource.* figures for the peak-RSS gate.
+    sampler_record: dict | None = None
+    if sampling:
+        sampler_sinks: list = [MemorySink()]
+        if args.trace:
+            sampler_sinks.append(JsonlSink(args.trace))
+        sampler_tel = Telemetry(sinks=sampler_sinks)
+        sampler_tel.emit_event(manifest.event())
+        sampler_seconds, sampler_results = run_once(
+            args.seed,
+            budget,
+            ports,
+            None,
+            telemetry=sampler_tel,
+            resource_interval=args.resource_interval,
+        )
+        sampler_tel.close()
+        sampler_same = identical(serial_results.runs, sampler_results.runs)
+        sampler_overhead = (
+            (sampler_seconds - telemetry_seconds) / telemetry_seconds
+            if telemetry_seconds
+            else 0.0
+        )
+        snapshot = sampler_tel.snapshot()
+        sampler_record = {
+            "interval": args.resource_interval,
+            "seconds": round(sampler_seconds, 4),
+            "overhead_vs_telemetry": round(sampler_overhead, 4),
+            "overhead_vs_serial": round(
+                (sampler_seconds - serial_seconds) / serial_seconds
+                if serial_seconds
+                else 0.0,
+                4,
+            ),
+            "identical_to_serial": sampler_same,
+            "samples": snapshot.get("counters", {}).get("resource.samples", 0),
+            "peak_rss_mb": snapshot.get("gauges", {}).get(
+                "resource.peak_rss_mb", 0.0
+            ),
+        }
+        print(
+            f"serial+sampler  : {sampler_seconds:8.2f}s  "
+            f"overhead {sampler_overhead:+6.1%} (vs telemetry)  "
+            f"identical={sampler_same}  "
+            f"samples={sampler_record['samples']}  "
+            f"peak-rss={sampler_record['peak_rss_mb']:.0f}MB"
+        )
+    if args.trace:
+        print(f"wrote telemetry trace to {args.trace}")
 
     manifest = manifest.with_snapshot(telemetry.snapshot())
 
@@ -329,8 +408,10 @@ def main(argv=None) -> int:
             "identical_to_serial": telemetry_same,
             "snapshot": telemetry.snapshot(),
         },
+        "sampler": sampler_record,
         "parallel": [],
-        "identical": telemetry_same,
+        "identical": telemetry_same
+        and (sampler_record is None or sampler_record["identical_to_serial"]),
     }
 
     for workers in worker_counts:

@@ -11,22 +11,28 @@ provenance line, then consumes them with the analysis toolkit:
   two budgets: every counter, histogram and span figure that moved,
   which is exactly what ``repro trace check --baseline`` gates on;
 * the manifest — enough provenance (seed, budget, config hash) to
-  re-run the world that produced either trace.
+  re-run the world that produced either trace;
+* :class:`repro.telemetry.ResourceTimeline` — the resource flight
+  recorder's view of the same run: RSS/CPU samples attributed to the
+  span and TGA that was active when each one was taken.
 
 The same analyses are available from the shell:
 
     python -m repro trace attribution small_trace.jsonl
     python -m repro trace diff large_trace.jsonl small_trace.jsonl
+    python -m repro trace timeline large_trace.jsonl
+    python -m repro top large_trace.jsonl --once
 
 Run:  python examples/trace_analysis.py
 """
 
 from pathlib import Path
 
-from repro.experiments import GridSpec, Study, run_grid
+from repro.experiments import ExecutionPolicy, GridSpec, Study, run_grid
 from repro.internet import InternetConfig, Port
 from repro.telemetry import (
     JsonlSink,
+    ResourceTimeline,
     RunManifest,
     Telemetry,
     attribute,
@@ -37,7 +43,7 @@ from repro.telemetry import (
 SMALL, LARGE = 600, 1_200
 
 
-def record(path: Path, budget: int) -> None:
+def record(path: Path, budget: int, *, sample: bool = False) -> None:
     """One tiny grid at ``budget`` probes per cell, traced to ``path``."""
     study = Study(config=InternetConfig.tiny(master_seed=42), budget=budget)
     spec = GridSpec(
@@ -51,14 +57,22 @@ def record(path: Path, budget: int) -> None:
         study, scale="tiny", ports=("icmp",), command="trace_analysis"
     )
     telemetry.emit_event(manifest.event())
-    run_grid(study, spec, telemetry=telemetry)
+    # ``resource_interval`` turns on the flight recorder: a background
+    # sampler interleaves ``resource.*`` gauge events with the grid's
+    # own stream.  Results stay bit-identical either way — the sampler
+    # only observes.
+    policy = ExecutionPolicy(
+        telemetry=telemetry,
+        resource_interval=0.05 if sample else None,
+    )
+    run_grid(study, spec, policy=policy)
     telemetry.close()
 
 
 def main() -> None:
     small_path, large_path = Path("small_trace.jsonl"), Path("large_trace.jsonl")
     record(small_path, budget=SMALL)
-    record(large_path, budget=LARGE)
+    record(large_path, budget=LARGE, sample=True)
     small, large = load_trace(small_path), load_trace(large_path)
 
     # 1. Provenance: who made this trace, and from what world?
@@ -95,7 +109,25 @@ def main() -> None:
 
     # 4. The gate: a trace checked against itself is clean — this is
     #    what CI runs (with zero tolerance) against the golden baseline.
+    #    The large trace carries resource events, the small one does
+    #    not — the diff still passes because ``resource.*`` and
+    #    ``heartbeat.*`` figures are wall-clock-dependent by design and
+    #    are filtered from regressions unconditionally.
     assert diff_traces(load_trace(small_path), small).is_empty
+    assert not any(e.name.startswith("resource.") for e in drift)
+
+    # 5. The flight recorder: memory and CPU over the run, attributed
+    #    to the span/TGA that was active when each sample was taken.
+    timeline = ResourceTimeline.from_trace(large)
+    assert timeline, "sampled trace must carry resource events"
+    print(f"\nresource timeline of {large_path.name}: "
+          f"{len(timeline.samples)} samples, "
+          f"peak RSS {timeline.peak_rss_mb:.1f} MiB")
+    for phase, peak in list(timeline.peak_by_phase().items())[:4]:
+        print(f"  peak in {phase:<10} {peak:8.1f} MiB")
+    for tga, peak in timeline.peak_by_tga().items():
+        print(f"  peak under {tga:<8} {peak:8.1f} MiB")
+
     print(f"\nself-check clean; wrote {small_path} and {large_path}")
 
 

@@ -11,7 +11,8 @@
 * ``recommend``  — the RQ5 best-practice ensemble pipeline
 * ``report``     — full markdown study report
 * ``trace``      — analyse recorded telemetry traces
-  (``summary`` / ``attribution`` / ``diff`` / ``check``)
+  (``summary`` / ``attribution`` / ``diff`` / ``check`` / ``timeline``)
+* ``top``        — live per-rank resource table over a trace file
 
 Common options: ``--scale {tiny,bench,small,internet}``, ``--seed``,
 ``--budget``, ``--port``, ``--workers``, ``--export file.csv|file.json``.
@@ -48,6 +49,19 @@ finishes, and ``--progress`` renders live cell/round progress with an
 ETA to stderr (wall-clock stays out of the trace, which remains
 byte-identical with the flag on or off).
 
+``--sample-resources SECONDS`` starts the resource flight recorder
+(:mod:`repro.telemetry.resources`): a background sampler in the parent
+and in every worker emits ``resource.*`` gauge events (RSS, CPU, GC,
+model-cache and shared-memory footprints) into the trace, workers
+piggyback heartbeats so stalls are detected in O(interval) instead of
+waiting out ``--cell-timeout``, and budget watermarks fire against the
+scale's ``memory_budget_mb``.  ``resource.*`` / ``heartbeat.*`` are
+sanctioned variant namespaces, so the rest of the trace stays
+byte-identical with sampling on or off.  Analyse afterwards with
+``repro trace timeline`` (per-rank series + peak attribution), ``repro
+top`` (a ``top(1)``-style live view while a run writes its trace), and
+``repro trace check --rss-tol`` (peak-RSS regression gate).
+
 ``--export`` artifacts additionally get a ``<stem>.manifest.json``
 sidecar recording the run's provenance (seed, scale, budget, config
 hash, versions) so every row set is traceable to the run that made it.
@@ -82,13 +96,16 @@ from .telemetry import (
     ConsoleSink,
     JsonlSink,
     ProgressSink,
+    ResourceTimeline,
     RunManifest,
     Telemetry,
+    TopSink,
     attribute,
     diff_traces,
     get_telemetry,
     histogram_columns,
     load_trace,
+    trace_peak_rss_mb,
     use_telemetry,
     write_manifest,
 )
@@ -230,6 +247,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="render live cell/round progress with an ETA to stderr "
         "(never touches the telemetry trace)",
     )
+    parser.add_argument(
+        "--sample-resources",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sample RSS/CPU/cache gauges into the trace every SECONDS "
+        "(parent and workers; enables heartbeat stall detection when "
+        "--cell-timeout is also set; resource.* events are a sanctioned "
+        "variant namespace, so results stay bit-identical)",
+    )
+    parser.add_argument(
+        "--heartbeat-grace",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="declare a worker stalled after this long without heartbeat "
+        "progress (default: 2x the --sample-resources interval)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("describe", help="summarise the simulated world")
@@ -356,6 +391,42 @@ def build_parser() -> argparse.ArgumentParser:
         "between serial/parallel, cold/warm-cache and "
         "fault-free/fault-recovered executions)",
     )
+    trace_check.add_argument(
+        "--rss-tol",
+        type=float,
+        default=1.0,
+        metavar="FRACTION",
+        help="allowed peak-RSS growth over the baseline as a fraction "
+        "(default 1.0 = current may be up to 2x baseline; only active "
+        "when both traces carry resource samples)",
+    )
+
+    trace_timeline = trace_sub.add_parser(
+        "timeline",
+        help="per-rank resource timeline: RSS sparklines, peak "
+        "attribution by phase/TGA, watermarks and heartbeats",
+    )
+    trace_timeline.add_argument("trace", help="trace file with resource.* events")
+
+    top_parser = sub.add_parser(
+        "top",
+        help="top(1)-style per-rank resource table from a trace file "
+        "(follow a live run's --telemetry output, or --once for a "
+        "finished trace)",
+    )
+    top_parser.add_argument("trace", help="trace file (.jsonl or .jsonl.gz)")
+    top_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render the final state once and exit (no follow loop)",
+    )
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="redraw cadence while following (default: 1.0)",
+    )
     return parser
 
 
@@ -380,6 +451,8 @@ def _make_policy(args: argparse.Namespace) -> ExecutionPolicy:
         fault_plan=args.inject_fault,
         vectorized=False if args.no_vector else None,
         share_model=getattr(args, "share_model", "auto"),
+        resource_interval=args.sample_resources,
+        heartbeat_grace=args.heartbeat_grace,
     )
 
 
@@ -820,17 +893,123 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_check(args: argparse.Namespace) -> int:
-    diff = diff_traces(load_trace(args.trace), load_trace(args.baseline))
+    current = load_trace(args.trace)
+    baseline = load_trace(args.baseline)
+    diff = diff_traces(current, baseline)
     regressions = diff.regressions(
         rel_tol=args.rel_tol, abs_tol=args.abs_tol, ignore_meta=args.ignore_meta
     )
-    if not regressions:
+    failures = [f"  {entry.describe()}" for entry in regressions]
+    # Peak RSS gets its own ratio gate: the figures are wall-clock-
+    # dependent (excluded from the deterministic diff above), so they
+    # compare as a bounded growth ratio, not exactly.  Active only when
+    # both traces were recorded with --sample-resources.
+    current_rss = trace_peak_rss_mb(current)
+    baseline_rss = trace_peak_rss_mb(baseline)
+    if current_rss > 0.0 and baseline_rss > 0.0:
+        limit = baseline_rss * (1.0 + args.rss_tol)
+        if current_rss > limit:
+            failures.append(
+                f"  peak RSS {current_rss:.1f} MiB exceeds "
+                f"{limit:.1f} MiB (baseline {baseline_rss:.1f} MiB "
+                f"+ {args.rss_tol:.0%} tolerance)"
+            )
+        else:
+            print(
+                f"peak RSS {current_rss:.1f} MiB within "
+                f"{limit:.1f} MiB (baseline {baseline_rss:.1f} MiB)"
+            )
+    if not failures:
         print(f"OK: {args.trace} matches baseline {args.baseline}")
         return 0
     print(f"REGRESSION: {args.trace} drifted from baseline {args.baseline}:")
-    for entry in regressions:
-        print(f"  {entry.describe()}")
+    for line in failures:
+        print(line)
     return 1
+
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list[float], width: int = 40) -> str:
+    """A unicode block-glyph sketch of a series, max-pooled to ``width``."""
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        values = [
+            max(values[int(i * step) : max(int((i + 1) * step), int(i * step) + 1)])
+            for i in range(width)
+        ]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    return "".join(
+        _SPARK_GLYPHS[min(int((v - low) / span * 8), 7)] for v in values
+    )
+
+
+def _cmd_trace_timeline(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    _print_manifest(trace)
+    timeline = ResourceTimeline.from_trace(trace)
+    if not timeline:
+        print(
+            "no resource samples in trace "
+            "(record one with --sample-resources SECONDS)"
+        )
+        return 1
+    print(
+        f"samples: {len(timeline.samples)}  ranks: {len(timeline.ranks)}  "
+        f"heartbeats: {len(timeline.heartbeats)}  "
+        f"peak RSS: {timeline.peak_rss_mb:.1f} MiB"
+    )
+    rows = []
+    for rank in timeline.ranks:
+        series = timeline.series(rank)
+        rss = [float(s.get("rss_mb", 0.0)) for s in series]
+        cpu = max((float(s.get("cpu_s", 0.0)) for s in series), default=0.0)
+        rows.append(
+            [
+                rank,
+                f"{len(series):,}",
+                f"{max(rss, default=0.0):.1f}",
+                f"{cpu:.2f}",
+                _sparkline(rss),
+            ]
+        )
+    print(
+        render_table(
+            ["rank", "samples", "peak MiB", "CPU s", "RSS over time"],
+            rows,
+            title="Per-rank resource series",
+        )
+    )
+    phases = timeline.peak_by_phase()
+    if phases:
+        print(
+            render_table(
+                ["phase", "peak MiB"],
+                [[name, f"{peak:.1f}"] for name, peak in phases.items()],
+                title="Peak RSS by phase",
+            )
+        )
+    tgas = timeline.peak_by_tga()
+    if tgas:
+        print(
+            render_table(
+                ["TGA", "peak MiB"],
+                [[name, f"{peak:.1f}"] for name, peak in tgas.items()],
+                title="Peak RSS by TGA",
+            )
+        )
+    for mark in timeline.watermarks:
+        print(
+            f"WATERMARK {mark.get('level', '?')}: rank={mark.get('rank', '?')} "
+            f"rss={mark.get('rss_mb', 0)} MiB "
+            f"budget={mark.get('budget_mb', 0)} MiB "
+            f"ratio={mark.get('ratio', 0)}"
+        )
+    return 0
 
 
 _TRACE_COMMANDS = {
@@ -838,11 +1017,67 @@ _TRACE_COMMANDS = {
     "attribution": _cmd_trace_attribution,
     "diff": _cmd_trace_diff,
     "check": _cmd_trace_check,
+    "timeline": _cmd_trace_timeline,
 }
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     return _TRACE_COMMANDS[args.trace_command](args)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``top(1)`` over a trace file's resource events.
+
+    ``--once`` replays a finished trace and prints the final table.
+    Without it the command *follows* the file like ``tail -f``, feeding
+    each complete JSONL line to a :class:`TopSink` and redrawing every
+    ``--interval`` seconds until the trace's final ``snapshot`` /
+    ``aborted`` line arrives (note: :class:`JsonlSink` buffers, so a
+    live view lags the run by the sink's flush cadence).
+    """
+    import json
+    import time as _time
+
+    sink = TopSink()
+    if args.once:
+        trace = load_trace(args.trace)
+        for event in trace.events:
+            sink.handle(event)
+        table = sink.render()
+        print(table or "no resource samples in trace")
+        return 0 if table else 1
+    if args.trace.endswith(".gz"):
+        print("error: cannot follow a compressed trace; use --once", file=sys.stderr)
+        return 2
+    done = False
+    partial = ""
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            while not done:
+                deadline = _time.monotonic() + args.interval
+                while _time.monotonic() < deadline:
+                    line = partial + handle.readline()
+                    if not line.endswith("\n"):
+                        partial = line  # incomplete write: retry later
+                        _time.sleep(min(0.05, args.interval))
+                        continue
+                    partial = ""
+                    try:
+                        event = json.loads(line)
+                    except ValueError:
+                        continue
+                    sink.handle(event)
+                    if event.get("type") in ("snapshot", "aborted"):
+                        done = True
+                        break
+                table = sink.render()
+                if table:
+                    print(f"\x1b[2J\x1b[H{table}", flush=True)
+    except KeyboardInterrupt:
+        pass
+    table = sink.render()
+    print(table or "no resource samples in trace")
+    return 0 if table else 1
 
 
 _COMMANDS = {
@@ -860,6 +1095,7 @@ _COMMANDS = {
     "recommend": _cmd_recommend,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "top": _cmd_top,
 }
 
 
@@ -887,7 +1123,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         # Process-wide (the policy also ships it to workers): commands
         # that scan outside run_grid honour the flag too.
         set_vectorized(False)
-    telemetry = None if args.command == "trace" else _make_telemetry(args)
+    telemetry = None if args.command in ("trace", "top") else _make_telemetry(args)
     if telemetry is None:
         return _COMMANDS[args.command](args)
     aborted = False

@@ -18,9 +18,16 @@ kind         worker process (``allow_exit=True``)        inline / serial executi
 ``crash``    ``os._exit`` — kills the process, the       raises :class:`FaultInjected`
              parent sees ``BrokenProcessPool``
 ``stall``    sleeps ``stall_seconds`` — the parent's     raises :class:`FaultInjected`
-             per-cell timeout must reap it
+             per-cell timeout (or heartbeat monitor)
+             must reap it
 ``exception``  raises :class:`FaultInjected`             raises :class:`FaultInjected`
+``busy``     burns CPU for ``busy_seconds``, then        burns CPU, then returns
+             returns normally — slow but alive           normally
 ===========  ==========================================  =========================
+
+``busy`` is the heartbeat monitor's negative control: a cell that is
+merely *slow* keeps advancing its CPU counter, keeps beating, and must
+never be reaped before the real ``cell_timeout``.
 
 Every decision is a pure function of ``(seed, cell key, attempt)``:
 re-running a plan replays the same faults, which is what makes crash
@@ -36,8 +43,9 @@ from dataclasses import dataclass
 
 __all__ = ["FAULT_KINDS", "FaultInjected", "FaultRule", "FaultPlan"]
 
-#: The three ways a cell's execution can be made to fail.
-FAULT_KINDS: tuple[str, ...] = ("crash", "stall", "exception")
+#: The ways a cell's execution can be made to fail (or, for ``busy``,
+#: merely drag: it burns CPU and then completes normally).
+FAULT_KINDS: tuple[str, ...] = ("crash", "stall", "exception", "busy")
 
 #: Exit status used by injected worker crashes (distinctive in core
 #: dumps / CI logs; any non-zero status breaks the process pool).
@@ -124,7 +132,8 @@ class FaultPlan:
 
     ``stall_seconds`` is how long a ``stall`` fault sleeps in a worker —
     set it well past the executor's ``cell_timeout`` so the parent's
-    reaper, not the sleep, ends the cell.
+    reaper, not the sleep, ends the cell.  ``busy_seconds`` is how long
+    a ``busy`` fault spins the CPU before the cell proceeds normally.
     """
 
     rules: tuple[FaultRule, ...] = ()
@@ -132,6 +141,7 @@ class FaultPlan:
     rate: float = 0.0
     rate_kind: str = "exception"
     stall_seconds: float = 3600.0
+    busy_seconds: float = 1.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.rate <= 1.0:
@@ -159,10 +169,18 @@ class FaultPlan:
         ``allow_exit`` is true only in worker processes, where a
         ``crash`` may genuinely kill the process and a ``stall`` may
         genuinely sleep; inline callers get :class:`FaultInjected`
-        instead for every kind.
+        instead for every kind.  A ``busy`` fault spins the CPU for
+        ``busy_seconds`` and then lets the cell proceed on *both*
+        paths — it models slowness, not failure.
         """
         kind = self.decide(key, attempt)
         if kind is None:
+            return
+        if kind == "busy":
+            deadline = time.monotonic() + self.busy_seconds
+            spin = 0
+            while time.monotonic() < deadline:
+                spin = (spin + 1) % 1_000_003
             return
         if allow_exit:
             if kind == "crash":

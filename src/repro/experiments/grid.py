@@ -200,29 +200,47 @@ def run_grid(
                 not in study._run_cache
             )
             tel.emit("grid", cells=total, pending=pending)
-        with tel.span("grid", cells=total):
-            if workers_n > 1 or policy.resilient:
-                executor = ParallelExecutor(
-                    study, max_workers=workers_n, policy=policy
-                )
-                run_map = executor.run_cells(
-                    [
-                        (tga, dataset, port, spec.budget)
-                        for tga, dataset, port in spec.cells()
-                    ],
-                    progress=progress,
-                )
-                budget = spec.budget or study.budget
-                for tga, dataset, port in spec.cells():
-                    key = (canonical_tga_name(tga), dataset.name, port, budget)
-                    run = run_map.get(key)
-                    if run is not None:
-                        results.runs[key[:3]] = run
-                results.failed_cells = tuple(executor.failed_cells)
+        sampler = None
+        if tel.enabled and policy.resource_interval is not None:
+            from ..telemetry.resources import ResourceSampler, default_providers
+
+            sampler = ResourceSampler(
+                telemetry=tel,
+                interval=policy.resource_interval,
+                rank="parent",
+                providers=default_providers(study.internet),
+                budget_mb=study.internet.config.memory_budget_mb,
+            ).start()
+        try:
+            with tel.span("grid", cells=total):
+                if workers_n > 1 or policy.resilient:
+                    executor = ParallelExecutor(
+                        study, max_workers=workers_n, policy=policy
+                    )
+                    run_map = executor.run_cells(
+                        [
+                            (tga, dataset, port, spec.budget)
+                            for tga, dataset, port in spec.cells()
+                        ],
+                        progress=progress,
+                    )
+                    budget = spec.budget or study.budget
+                    for tga, dataset, port in spec.cells():
+                        key = (canonical_tga_name(tga), dataset.name, port, budget)
+                        run = run_map.get(key)
+                        if run is not None:
+                            results.runs[key[:3]] = run
+                    results.failed_cells = tuple(executor.failed_cells)
+                    return results
+                for index, (tga, dataset, port) in enumerate(spec.cells(), start=1):
+                    run = study.run(tga, dataset, port, budget=spec.budget)
+                    results.runs[(canonical_tga_name(tga), dataset.name, port)] = run
+                    if progress is not None:
+                        progress(index, total, run)
                 return results
-            for index, (tga, dataset, port) in enumerate(spec.cells(), start=1):
-                run = study.run(tga, dataset, port, budget=spec.budget)
-                results.runs[(canonical_tga_name(tga), dataset.name, port)] = run
-                if progress is not None:
-                    progress(index, total, run)
-            return results
+        finally:
+            if sampler is not None:
+                # Stopped before the registry is snapshotted/closed by
+                # the caller; the final synchronous sample still lands
+                # inside the active sink.
+                sampler.stop()

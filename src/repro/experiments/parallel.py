@@ -38,6 +38,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import tempfile
 import time
 from collections import deque
 from collections.abc import Callable, Sequence
@@ -58,6 +60,12 @@ from ..internet.sharing import (
 )
 from ..scanner import Blocklist
 from ..telemetry import MemorySink, Telemetry, get_telemetry, use_telemetry
+from ..telemetry.resources import (
+    HeartbeatMonitor,
+    ResourceSampler,
+    ResourceSpec,
+    default_providers,
+)
 from ..tga import canonical_tga_name, get_model_cache
 from .faults import FaultInjected, FaultPlan
 from .harness import Study
@@ -71,6 +79,7 @@ __all__ = [
     "CellFailure",
     "WorkerSpec",
     "ParallelExecutor",
+    "attached_model_bytes",
     "resolve_workers",
 ]
 
@@ -142,6 +151,10 @@ class WorkerSpec:
     #: adopted tables are bit-identical to rebuilt ones — so it never
     #: keys the world memo.
     shared_model: SharedModelHandle | None = None
+    #: Resource flight-recorder configuration (``None`` = no sampler in
+    #: the worker).  Execution-only — sampling observes a run, it never
+    #: changes one — so it never keys the world memo.
+    resources: ResourceSpec | None = None
 
     @classmethod
     def from_study(
@@ -151,6 +164,7 @@ class WorkerSpec:
         model_cache: bool | None = None,
         fault_plan: FaultPlan | None = None,
         vectorized: bool | None = None,
+        resources: ResourceSpec | None = None,
     ) -> "WorkerSpec":
         """Capture a study's world-defining parameters."""
         if model_cache is None:
@@ -169,6 +183,7 @@ class WorkerSpec:
             model_cache=model_cache,
             fault_plan=fault_plan,
             vectorized=vectorized,
+            resources=resources,
         )
 
     def build_study(self) -> Study:
@@ -212,7 +227,17 @@ def _memo_key(spec: WorkerSpec) -> WorkerSpec:
         fault_plan=None,
         vectorized=None,
         shared_model=None,
+        resources=None,
     )
+
+
+def attached_model_bytes() -> int:
+    """Bytes of shared-memory model segments attached by this process.
+
+    The resource sampler's ``shm_mb`` provider reads this so attached
+    (not owned) segment footprint shows up in worker samples.
+    """
+    return sum(attached.nbytes for attached in _ATTACHED_MODELS.values())
 
 
 def resolve_workers(workers: int | str | None, cells: int) -> int:
@@ -277,7 +302,10 @@ def _adopt_shared_model(spec: WorkerSpec, study: Study) -> None:
 
 
 def _run_cell_chunk(
-    spec: WorkerSpec, chunk: Sequence[Cell], attempt: int = 0
+    spec: WorkerSpec,
+    chunk: Sequence[Cell],
+    attempt: int = 0,
+    beat: str | None = None,
 ) -> tuple[list[tuple[RunKey, RunResult]], dict | None, list[dict] | None]:
     """Run a chunk of cells in a worker.
 
@@ -292,40 +320,70 @@ def _run_cell_chunk(
     keys on it, and a retried chunk evicts its cells from the worker's
     memoised run cache first so the re-execution emits the same
     telemetry a first run would.
+
+    ``beat`` names this dispatch's heartbeat file inside
+    ``spec.resources.heartbeat_dir``; the sampler starts *before* world
+    construction so the parent sees liveness (and honest CPU progress)
+    during a CPU-heavy build, and its events attach to the worker
+    telemetry registry only once that registry exists.
     """
     get_model_cache().enabled = spec.model_cache
     set_vectorized(spec.vectorized)
-    study = _worker_study(spec)
-    _adopt_shared_model(spec, study)
-    if attempt:
-        # A surviving worker may have cached cells a failed attempt
-        # completed before faulting mid-chunk; evict them so the retry
-        # re-runs (bit-identically) with full telemetry.
-        for tga_name, dataset, port, budget in chunk:
-            study._run_cache.pop((tga_name, dataset.name, port, budget), None)
-    plan = spec.fault_plan
+    sampler: ResourceSampler | None = None
+    res = spec.resources
+    if res is not None:
+        heartbeat_path = None
+        if res.heartbeat_dir is not None and beat is not None:
+            heartbeat_path = os.path.join(res.heartbeat_dir, beat)
+        sampler = ResourceSampler(
+            interval=res.interval,
+            rank=f"w{os.getpid()}",
+            budget_mb=res.budget_mb,
+            heartbeat_path=heartbeat_path,
+        ).start()
+    try:
+        study = _worker_study(spec)
+        _adopt_shared_model(spec, study)
+        if sampler is not None:
+            sampler.providers.update(default_providers(study.internet))
+        if attempt:
+            # A surviving worker may have cached cells a failed attempt
+            # completed before faulting mid-chunk; evict them so the retry
+            # re-runs (bit-identically) with full telemetry.
+            for tga_name, dataset, port, budget in chunk:
+                study._run_cache.pop((tga_name, dataset.name, port, budget), None)
+        plan = spec.fault_plan
 
-    def execute(chunk_out: list) -> None:
-        for tga_name, dataset, port, budget in chunk:
-            if plan is not None:
-                plan.fire(
-                    (tga_name, dataset.name, port, budget),
-                    attempt,
-                    allow_exit=True,
-                )
-            result = study.run(tga_name, dataset, port, budget=budget)
-            chunk_out.append(((tga_name, dataset.name, port, result.budget), result))
+        def execute(chunk_out: list) -> None:
+            for tga_name, dataset, port, budget in chunk:
+                if plan is not None:
+                    plan.fire(
+                        (tga_name, dataset.name, port, budget),
+                        attempt,
+                        allow_exit=True,
+                    )
+                result = study.run(tga_name, dataset, port, budget=budget)
+                chunk_out.append(((tga_name, dataset.name, port, result.budget), result))
 
-    out: list[tuple[RunKey, RunResult]] = []
-    if not spec.telemetry:
-        execute(out)
-        return out, None, None
-    study._known_addresses  # noqa: B018 — warm the world uninstrumented
-    sink = MemorySink()
-    telemetry = Telemetry(sinks=[sink])
-    with use_telemetry(telemetry):
-        execute(out)
-    return out, telemetry.snapshot(include_wall=True), sink.events
+        out: list[tuple[RunKey, RunResult]] = []
+        if not spec.telemetry:
+            execute(out)
+            return out, None, None
+        study._known_addresses  # noqa: B018 — warm the world uninstrumented
+        sink = MemorySink()
+        telemetry = Telemetry(sinks=[sink])
+        if sampler is not None:
+            sampler.telemetry = telemetry
+        with use_telemetry(telemetry):
+            execute(out)
+        if sampler is not None:
+            # Stop (final sample included) before snapshotting: the
+            # registry must be quiescent while its dicts are sorted.
+            sampler.stop()
+        return out, telemetry.snapshot(include_wall=True), sink.events
+    finally:
+        if sampler is not None:
+            sampler.stop()
 
 
 # -- parent side -----------------------------------------------------------
@@ -365,12 +423,19 @@ class ParallelExecutor:
 
     def worker_spec(self) -> WorkerSpec:
         """The spec shipped to (and memoised by) worker processes."""
+        resources = None
+        if self.policy.resource_interval is not None:
+            resources = ResourceSpec(
+                interval=self.policy.resource_interval,
+                budget_mb=self.study.internet.config.memory_budget_mb,
+            )
         return WorkerSpec.from_study(
             self.study,
             telemetry=get_telemetry().enabled,
             model_cache=self.policy.model_cache,
             fault_plan=self.policy.fault_plan,
             vectorized=self.policy.vectorized,
+            resources=resources,
         )
 
     def _resolve_share_mode(self) -> str:
@@ -622,7 +687,15 @@ class ParallelExecutor:
         * a chunk overrunning ``cell_timeout`` has the whole pool
           terminated (a stuck worker cannot be cancelled); the expired
           chunk is charged — deadlines identify it exactly — and
-          everything else requeues for free.
+          everything else requeues for free;
+        * with the resource sampler on (``policy.resource_interval``)
+          alongside ``cell_timeout``, workers heartbeat into a
+          parent-owned temp directory and a :class:`HeartbeatMonitor`
+          is consulted on every wait wake-up: a cell whose heartbeats
+          go stale *or* whose CPU counter stops advancing is charged a
+          ``stall`` in O(sample interval) instead of waiting out the
+          whole ``cell_timeout`` — while slow-but-alive cells, still
+          burning CPU, are left to the ordinary deadline.
 
         A chunk charged more than ``max_retries`` times fails all its
         cells into :attr:`failed_cells`.  Worker telemetry is merged in
@@ -645,6 +718,18 @@ class ParallelExecutor:
         elif share_mode == "shm":
             owner = self._export_model(missing)
             spec = replace(spec, shared_model=owner.handle)
+        # Heartbeat-based stall detection needs both the sampler (the
+        # beat source) and a cell timeout (per-cell dispatch, and the
+        # semantic licence to reap): with only one of the two, workers
+        # may still sample but the parent never reaps on beats.
+        hb_dir: str | None = None
+        monitor: HeartbeatMonitor | None = None
+        if spec.resources is not None and policy.cell_timeout is not None:
+            hb_dir = tempfile.mkdtemp(prefix="repro-heartbeat-")
+            spec = replace(
+                spec, resources=replace(spec.resources, heartbeat_dir=hb_dir)
+            )
+            monitor = HeartbeatMonitor(grace=policy.resolved_heartbeat_grace)
         chunks = self._chunks(missing)
         workers = min(self.max_workers, len(chunks))
         if tel.enabled:
@@ -670,7 +755,9 @@ class ParallelExecutor:
                 tel.count("fault.retries")
             # Proven-dangerous chunks stay in isolation; plain
             # exceptions can rejoin the parallel queue.
-            (suspects if reason in ("crash", "timeout") else pending).append(index)
+            (suspects if reason in ("crash", "timeout", "stall") else pending).append(
+                index
+            )
 
         def harvest(index: int, payload) -> None:
             nonlocal done
@@ -696,6 +783,26 @@ class ParallelExecutor:
             if tel.enabled:
                 tel.count("fault.pool_rebuilds")
 
+        beat_serial = 0
+
+        def submit(index: int):
+            """Dispatch a chunk, minting a fresh heartbeat identity.
+
+            Every dispatch gets its own beat file name (and monitor
+            anchor key), so a chunk requeued after a pool rebuild can
+            never be judged against a dead predecessor's stale file or
+            a previous process's CPU counter.
+            """
+            nonlocal beat_serial
+            name = None
+            if monitor is not None:
+                beat_serial += 1
+                name = f"c{index}a{attempts[index]}s{beat_serial}.hb"
+            future = pool.submit(
+                _run_cell_chunk, spec, chunks[index], attempts[index], name
+            )
+            return future, name
+
         try:
             while pending or suspects:
                 if pool is None:
@@ -707,10 +814,12 @@ class ParallelExecutor:
                     isolated = False
                     batch = list(pending)
                     pending.clear()
-                inflight = {
-                    pool.submit(_run_cell_chunk, spec, chunks[index], attempts[index]): index
-                    for index in batch
-                }
+                inflight: dict = {}
+                beats: dict = {}
+                for index in batch:
+                    future, name = submit(index)
+                    inflight[future] = index
+                    beats[future] = name
                 deadline = (
                     None
                     if policy.cell_timeout is None
@@ -724,19 +833,42 @@ class ParallelExecutor:
                             0.0,
                             min(deadline[future] for future in inflight) - time.monotonic(),
                         )
+                    if monitor is not None:
+                        # Wake at least once per sample interval so a
+                        # stall is noticed in O(interval), not O(timeout).
+                        interval = policy.resource_interval
+                        timeout = (
+                            interval if timeout is None else min(timeout, interval)
+                        )
                     finished, _ = wait(
                         set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
                     )
                     if not finished:
-                        # A cell blew its per-cell budget.  The stuck
-                        # worker cannot be cancelled, so the whole pool
-                        # is reaped; the expired chunk is charged and
-                        # innocent in-flight chunks requeue for free.
+                        # Nothing completed inside the wake-up window:
+                        # look for cells past their deadline and, with
+                        # the monitor on, cells whose heartbeats have
+                        # gone stale or whose CPU stopped advancing.
+                        # Stuck workers cannot be cancelled, so any
+                        # finding reaps the whole pool; the culpable
+                        # chunks are charged and innocent in-flight
+                        # chunks requeue for free.
                         now = time.monotonic()
                         expired = [
-                            future for future in inflight if deadline[future] <= now
+                            future
+                            for future in inflight
+                            if deadline is not None and deadline[future] <= now
                         ]
-                        if not expired:
+                        stalled: list[tuple[object, str]] = []
+                        if monitor is not None:
+                            for future, name in beats.items():
+                                if future in expired or future not in inflight:
+                                    continue
+                                why = monitor.check(
+                                    name, os.path.join(hb_dir, name)
+                                )
+                                if why is not None:
+                                    stalled.append((future, why))
+                        if not expired and not stalled:
                             continue
                         for future in expired:
                             charge(
@@ -744,12 +876,18 @@ class ParallelExecutor:
                                 "timeout",
                                 f"exceeded cell_timeout={policy.cell_timeout}s",
                             )
+                        for future, why in stalled:
+                            charge(inflight.pop(future), "stall", why)
                         pending.extend(inflight.values())
                         inflight.clear()
+                        if monitor is not None:
+                            monitor.reset()
                         rebuild(kill=True)
                         break
                     for future in finished:
                         index = inflight.pop(future)
+                        if monitor is not None:
+                            monitor.forget(beats.get(future))
                         try:
                             payload = future.result()
                         except BrokenProcessPool:
@@ -786,10 +924,14 @@ class ParallelExecutor:
                             )
                         suspects.extend(inflight.values())
                         inflight.clear()
+                        if monitor is not None:
+                            monitor.reset()
                         rebuild(kill=False)
         finally:
             if pool is not None:
                 pool.shutdown()
+            if hb_dir is not None:
+                shutil.rmtree(hb_dir, ignore_errors=True)
             if donor_set:
                 _FORK_DONOR = None
             if owner is not None:

@@ -73,6 +73,19 @@ class ExecutionPolicy:
     #: Purely an execution knob — results are bit-identical in every
     #: mode.
     share_model: str = "auto"
+    #: Seconds between resource flight-recorder samples (``None`` = the
+    #: sampler is off).  When set, a background
+    #: :class:`~repro.telemetry.ResourceSampler` runs in the parent and
+    #: in every worker, emitting sanctioned ``resource.*`` /
+    #: ``heartbeat.*`` telemetry; grid results and stripped traces are
+    #: bit-identical with sampling on or off.
+    resource_interval: float | None = None
+    #: Seconds of heartbeat silence / CPU idleness before a worker cell
+    #: is declared stalled and retried without waiting out the whole
+    #: ``cell_timeout`` (``None`` = 2x ``resource_interval``).  Only
+    #: meaningful when both ``resource_interval`` and ``cell_timeout``
+    #: are set.
+    heartbeat_grace: float | None = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and not isinstance(self.workers, int):
@@ -93,6 +106,22 @@ class ExecutionPolicy:
                 f"share_model must be one of 'auto', 'fork', 'shm', 'off'; "
                 f"got {self.share_model!r}"
             )
+        if self.resource_interval is not None and self.resource_interval <= 0:
+            raise ValueError("resource_interval must be positive")
+        if self.heartbeat_grace is not None:
+            if self.resource_interval is None:
+                raise ValueError("heartbeat_grace requires resource_interval")
+            if self.heartbeat_grace <= 0:
+                raise ValueError("heartbeat_grace must be positive")
+
+    @property
+    def resolved_heartbeat_grace(self) -> float | None:
+        """The effective stall-declaration window (``None`` = sampler off)."""
+        if self.resource_interval is None:
+            return None
+        if self.heartbeat_grace is not None:
+            return self.heartbeat_grace
+        return 2.0 * self.resource_interval
 
     @property
     def resilient(self) -> bool:

@@ -144,6 +144,12 @@ class AttachedModel:
         self._shm: shared_memory.SharedMemory | None = shm
         self.tables = tables
 
+    @property
+    def nbytes(self) -> int:
+        """Size of the attached segment in bytes (0 once closed)."""
+        shm = self._shm
+        return 0 if shm is None else shm.size
+
     def close(self) -> None:
         """Drop the worker's mapping (idempotent; never unlinks)."""
         shm = self._shm

@@ -15,32 +15,43 @@ only wall-clock durations (kept in the in-memory span tree for console
 summaries) vary between runs.  Counters under the sanctioned variant
 namespaces (:data:`SANCTIONED_VARIANT_PREFIXES`: ``meta.*`` run-cache
 bookkeeping, ``tga.model_cache.*`` prepared-model cache traffic,
-``fault.*`` retry/recovery weather, ``checkpoint.*`` RunStore traffic)
-are additionally allowed to depend on the execution strategy (serial vs
-parallel, cold vs warm cache, fault-free vs fault-recovered); all other
-names must not.  :func:`strip_variant_events` removes the matching
-event types from a trace for cross-strategy comparison.  See
-``docs/architecture.md`` for the event schema.
+``fault.*`` retry/recovery weather, ``checkpoint.*`` RunStore traffic,
+``resource.*`` / ``heartbeat.*`` flight-recorder samples) are
+additionally allowed to depend on the execution strategy (serial vs
+parallel, cold vs warm cache, fault-free vs fault-recovered, sampled
+vs unsampled); all other names must not.  :func:`strip_variant_events`
+removes the matching event types from a trace for cross-strategy
+comparison.  See ``docs/architecture.md`` for the event schema.
 
 The consumption layer lives alongside the producer:
 
 * :mod:`repro.telemetry.analysis` — load traces back, attribute
   virtual time and counters per pipeline namespace / TGA, diff two
-  traces, gate regressions, export Prometheus text;
+  traces, gate regressions (including the peak-RSS gate over
+  :class:`ResourceTimeline`), export Prometheus text;
 * :mod:`repro.telemetry.provenance` — :class:`RunManifest` run
   fingerprints emitted as the first trace event and written beside
   every exported artifact;
 * :mod:`repro.telemetry.progress` — :class:`ProgressSink`, a live
-  stderr progress display that leaves traces byte-identical.
+  stderr progress display that leaves traces byte-identical, and
+  :class:`TopSink`, the per-rank resource table behind ``repro top``;
+* :mod:`repro.telemetry.resources` — the resource flight recorder:
+  :class:`ResourceSampler` background RSS/CPU/cache sampling with
+  budget watermarks, plus the worker heartbeat protocol
+  (:class:`HeartbeatMonitor`) the executor uses for fast stall
+  detection.
 
 All of it is scriptable via ``repro trace {summary,attribution,diff,
-check}`` and ``--progress`` on the CLI.
+check,timeline}``, ``repro top`` and ``--progress`` /
+``--sample-resources`` on the CLI.
 """
 
 from .analysis import (
+    NONDETERMINISTIC_PREFIXES,
     VARIANT_EVENT_TYPES,
     Attribution,
     DiffEntry,
+    ResourceTimeline,
     Trace,
     TraceDiff,
     attribute,
@@ -48,6 +59,7 @@ from .analysis import (
     load_trace,
     strip_variant_events,
     to_prometheus_text,
+    trace_peak_rss_mb,
 )
 from .core import (
     DEFAULT_EDGES,
@@ -60,13 +72,23 @@ from .core import (
     quantile_from_buckets,
     use_telemetry,
 )
-from .progress import ProgressSink
+from .progress import ProgressSink, TopSink
 from .provenance import (
     RunManifest,
     config_digest,
     manifest_sidecar_path,
     snapshot_digest,
     write_manifest,
+)
+from .resources import (
+    Heartbeat,
+    HeartbeatMonitor,
+    ResourceSampler,
+    ResourceSpec,
+    default_providers,
+    gc_collections,
+    read_cpu_seconds,
+    read_rss_bytes,
 )
 from .sinks import (
     ConsoleSink,
@@ -92,6 +114,7 @@ __all__ = [
     "ConsoleSink",
     "MemorySink",
     "ProgressSink",
+    "TopSink",
     "histogram_columns",
     "render_summary",
     "Trace",
@@ -101,9 +124,20 @@ __all__ = [
     "DiffEntry",
     "TraceDiff",
     "diff_traces",
+    "ResourceTimeline",
+    "trace_peak_rss_mb",
     "to_prometheus_text",
     "VARIANT_EVENT_TYPES",
+    "NONDETERMINISTIC_PREFIXES",
     "strip_variant_events",
+    "Heartbeat",
+    "HeartbeatMonitor",
+    "ResourceSampler",
+    "ResourceSpec",
+    "default_providers",
+    "gc_collections",
+    "read_cpu_seconds",
+    "read_rss_bytes",
     "RunManifest",
     "config_digest",
     "snapshot_digest",

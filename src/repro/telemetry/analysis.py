@@ -41,25 +41,39 @@ __all__ = [
     "attribute",
     "PHASE_NAMESPACES",
     "VARIANT_EVENT_TYPES",
+    "NONDETERMINISTIC_PREFIXES",
     "strip_variant_events",
     "DiffEntry",
     "TraceDiff",
     "diff_traces",
+    "ResourceTimeline",
+    "trace_peak_rss_mb",
     "to_prometheus_text",
 ]
 
 #: Event types that record execution weather (injected faults, retries,
-#: checkpoint traffic) rather than workload results — the event-stream
-#: counterpart of :data:`~repro.telemetry.SANCTIONED_VARIANT_PREFIXES`.
-VARIANT_EVENT_TYPES: tuple[str, ...] = ("fault", "checkpoint")
+#: checkpoint traffic, resource samples, worker heartbeats) rather than
+#: workload results — the event-stream counterpart of
+#: :data:`~repro.telemetry.SANCTIONED_VARIANT_PREFIXES`.
+VARIANT_EVENT_TYPES: tuple[str, ...] = ("fault", "checkpoint", "resource", "heartbeat")
+
+#: Metric-name prefixes that are wall-clock-dependent *by design*
+#: (RSS, CPU, sample counts, heartbeat counts) and therefore never
+#: comparable between any two runs — not even two runs of the same
+#: strategy on the same machine.  :meth:`TraceDiff.regressions` drops
+#: them unconditionally; peak RSS gets its own ratio-based gate
+#: (``repro trace check --rss-tol``) instead of the zero-tolerance
+#: drift gate.
+NONDETERMINISTIC_PREFIXES: tuple[str, ...] = ("resource.", "heartbeat.")
 
 
 def strip_variant_events(events: list[dict]) -> list[dict]:
     """Drop execution-variant events and renumber ``seq`` contiguously.
 
-    Fault and checkpoint events consume sequence numbers, so a
-    fault-recovered trace differs from a fault-free one even where the
-    workload events are identical.  Stripping the
+    Fault, checkpoint, resource-sample and heartbeat events consume
+    sequence numbers, so a fault-recovered (or resource-sampled) trace
+    differs from a fault-free (unsampled) one even where the workload
+    events are identical.  Stripping the
     :data:`VARIANT_EVENT_TYPES`, dropping the sanctioned ``cached``
     span attribute (prepared-model cache hits depend on worker-pool
     scheduling and survive pool rebuilds differently), and reassigning
@@ -341,9 +355,17 @@ class TraceDiff:
         ``meta.*`` run-cache bookkeeping and ``tga.model_cache.*``
         traffic), which legitimately differ between serial/parallel or
         cold/warm-cache executions.
+
+        :data:`NONDETERMINISTIC_PREFIXES` (``resource.*`` /
+        ``heartbeat.*``) are dropped *unconditionally*: RSS and CPU
+        samples are wall-clock-dependent by design and would otherwise
+        make every sampled run "regress" against every baseline.  Peak
+        RSS is gated separately (``repro trace check --rss-tol``).
         """
         out = []
         for entry in self.entries:
+            if entry.name.startswith(NONDETERMINISTIC_PREFIXES):
+                continue
             if ignore_meta and entry.name.startswith(SANCTIONED_VARIANT_PREFIXES):
                 continue
             if abs(entry.delta) <= abs_tol:
@@ -430,37 +452,190 @@ def diff_traces(current: Trace, baseline: Trace) -> TraceDiff:
     return TraceDiff(entries=entries)
 
 
+# -- resource timelines ----------------------------------------------------
+
+
+@dataclass
+class ResourceTimeline:
+    """Per-worker resource series decoded from a trace's flight recorder.
+
+    Built from the ``resource`` / ``heartbeat`` events emitted by
+    :class:`~repro.telemetry.ResourceSampler`.  Mirrors the virtual-time
+    attribution of :func:`attribute`: peak RSS rolls up per phase (the
+    innermost span segment each sample was taken under) and per TGA, so
+    memory cost attributes to pipeline stages the same way time does.
+    """
+
+    #: ``kind == "sample"`` resource events, trace order.
+    samples: list[dict] = field(default_factory=list)
+    #: ``kind == "watermark"`` budget-crossing events, trace order.
+    watermarks: list[dict] = field(default_factory=list)
+    #: Heartbeat events, trace order.
+    heartbeats: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "ResourceTimeline":
+        resources = trace.events_of("resource")
+        return cls(
+            samples=[e for e in resources if e.get("kind") == "sample"],
+            watermarks=[e for e in resources if e.get("kind") == "watermark"],
+            heartbeats=trace.events_of("heartbeat"),
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.samples)
+
+    @property
+    def ranks(self) -> list[str]:
+        """Sampler ranks in first-seen order (``parent`` first when present)."""
+        seen: list[str] = []
+        for event in self.samples:
+            rank = str(event.get("rank", "?"))
+            if rank not in seen:
+                seen.append(rank)
+        if "parent" in seen:
+            seen.remove("parent")
+            seen.insert(0, "parent")
+        return seen
+
+    def series(self, rank: str) -> list[dict]:
+        """One rank's samples in trace order."""
+        return [e for e in self.samples if str(e.get("rank", "?")) == rank]
+
+    @property
+    def peak_rss_mb(self) -> float:
+        """Largest RSS seen by any sampler, in MiB."""
+        return max((float(e.get("rss_mb", 0.0)) for e in self.samples), default=0.0)
+
+    def peak_by_phase(self) -> dict[str, float]:
+        """Peak RSS per phase (innermost span segment), sorted by peak desc."""
+        peaks: dict[str, float] = {}
+        for event in self.samples:
+            span = event.get("span")
+            phase = span.rsplit("/", 1)[-1] if span else "(idle)"
+            rss = float(event.get("rss_mb", 0.0))
+            if rss > peaks.get(phase, 0.0):
+                peaks[phase] = rss
+        return dict(sorted(peaks.items(), key=lambda item: (-item[1], item[0])))
+
+    def peak_by_tga(self) -> dict[str, float]:
+        """Peak RSS per TGA (samples taken inside a tagged cell span)."""
+        peaks: dict[str, float] = {}
+        for event in self.samples:
+            tga = event.get("tga")
+            if tga is None:
+                continue
+            rss = float(event.get("rss_mb", 0.0))
+            if rss > peaks.get(tga, 0.0):
+                peaks[tga] = rss
+        return dict(sorted(peaks.items(), key=lambda item: (-item[1], item[0])))
+
+    def summary(self) -> dict:
+        """Roll-up figures for rendering and artifacts."""
+        return {
+            "samples": len(self.samples),
+            "ranks": self.ranks,
+            "peak_rss_mb": self.peak_rss_mb,
+            "watermarks": [
+                {k: e.get(k) for k in ("level", "rank", "rss_mb", "budget_mb", "ratio")}
+                for e in self.watermarks
+            ],
+            "heartbeats": len(self.heartbeats),
+            "peak_by_phase": self.peak_by_phase(),
+            "peak_by_tga": self.peak_by_tga(),
+        }
+
+
+def trace_peak_rss_mb(trace: Trace) -> float:
+    """Peak RSS of a trace in MiB, preferring the merged gauge.
+
+    The ``resource.peak_rss_mb`` gauge survives snapshot merging with
+    max semantics, so it covers workers whose individual samples were
+    all below the parent's; falls back to scanning sample events for
+    aborted traces, and to 0.0 when the run was not sampled.
+    """
+    gauge = trace.gauges.get("resource.peak_rss_mb")
+    if gauge is not None:
+        return float(gauge)
+    return ResourceTimeline.from_trace(trace).peak_rss_mb
+
+
 # -- prometheus export -----------------------------------------------------
 
 _INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+#: ``# HELP`` text per metric family.  Exact names first, then dotted
+#: prefixes; families without an entry get a generic line so every
+#: family is still HELP-documented (scrape-readiness for `repro serve`).
+_HELP_TEXTS: dict[str, str] = {
+    "resource.rss_mb": "Most recent sampled resident set size in MiB.",
+    "resource.peak_rss_mb": "Peak sampled resident set size in MiB (max-merged across workers).",
+    "resource.samples": "Resource flight-recorder samples taken.",
+    "resource.watermark.warn": "Budget watermark warnings raised (RSS >= 80% of memory_budget_mb).",
+    "resource.watermark.degrade": "Budget degrade signals raised (RSS >= 100% of memory_budget_mb).",
+    "heartbeat.beats": "Worker liveness heartbeats written.",
+}
+_HELP_PREFIXES: tuple[tuple[str, str], ...] = (
+    ("scan.", "Scanner probe pipeline figure."),
+    ("tga.model_cache.", "Prepared-model cache traffic."),
+    ("tga.", "Target generation algorithm figure."),
+    ("dealias.", "Dealiasing verification figure."),
+    ("meta.", "Harness bookkeeping figure."),
+    ("fault.", "Injected-fault / recovery bookkeeping."),
+    ("checkpoint.", "Checkpoint store traffic."),
+    ("internet.", "Simulated-internet topology figure."),
+    ("resource.", "Resource flight-recorder figure."),
+    ("heartbeat.", "Worker heartbeat figure."),
+)
 
 
 def _metric_name(prefix: str, name: str) -> str:
     return _INVALID_METRIC_CHARS.sub("_", f"{prefix}_{name}")
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _help_text(name: str) -> str:
+    text = _HELP_TEXTS.get(name)
+    if text is not None:
+        return text
+    for dotted_prefix, prefix_text in _HELP_PREFIXES:
+        if name.startswith(dotted_prefix):
+            return prefix_text
+    return f"Telemetry figure {name}."
+
+
 def to_prometheus_text(snapshot: dict, prefix: str = "repro") -> str:
     """Render a telemetry snapshot in Prometheus text exposition format.
 
-    Counters become ``counter`` metrics, gauges ``gauge``, histograms
-    classic Prometheus histograms (cumulative ``_bucket{le=...}`` series
-    plus ``_sum``/``_count``), and the span tree two families labelled
-    by span path (``<prefix>_span_count`` and
-    ``<prefix>_span_virtual_seconds``).  Output order is sorted, so the
-    text is deterministic for a deterministic snapshot.
+    Counters become ``counter`` metrics, gauges ``gauge`` (including the
+    ``resource.*`` flight-recorder gauges), histograms classic
+    Prometheus histograms (cumulative ``_bucket{le=...}`` series plus
+    ``_sum``/``_count``), and the span tree two families labelled by
+    span path (``<prefix>_span_count`` and
+    ``<prefix>_span_virtual_seconds``).  Every family carries ``# HELP``
+    and ``# TYPE`` lines and label values are escaped, so the output is
+    directly scrapeable.  Order is sorted — deterministic text for a
+    deterministic snapshot.
     """
     lines: list[str] = []
     for name in sorted(snapshot.get("counters", {})):
         metric = _metric_name(prefix, name) + "_total"
+        lines.append(f"# HELP {metric} {_help_text(name)}")
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {snapshot['counters'][name]}")
     for name in sorted(snapshot.get("gauges", {})):
         metric = _metric_name(prefix, name)
+        lines.append(f"# HELP {metric} {_help_text(name)}")
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {snapshot['gauges'][name]:g}")
     for name in sorted(snapshot.get("histograms", {})):
         data = snapshot["histograms"][name]
         metric = _metric_name(prefix, name)
+        lines.append(f"# HELP {metric} {_help_text(name)}")
         lines.append(f"# TYPE {metric} histogram")
         cumulative = 0
         for edge, bucket in zip(data["edges"], data["buckets"]):
@@ -477,10 +652,16 @@ def to_prometheus_text(snapshot: dict, prefix: str = "repro") -> str:
         flat = _flatten_spans(root)
         count_metric = f"{prefix}_span_count"
         virtual_metric = f"{prefix}_span_virtual_seconds"
+        lines.append(f"# HELP {count_metric} Completed span executions per phase path.")
         lines.append(f"# TYPE {count_metric} gauge")
         for path in sorted(flat):
-            lines.append(f'{count_metric}{{path="{path}"}} {flat[path][0]}')
+            label = _escape_label_value(path)
+            lines.append(f'{count_metric}{{path="{label}"}} {flat[path][0]}')
+        lines.append(
+            f"# HELP {virtual_metric} Virtual (rate-limiter) seconds per phase path."
+        )
         lines.append(f"# TYPE {virtual_metric} gauge")
         for path in sorted(flat):
-            lines.append(f'{virtual_metric}{{path="{path}"}} {flat[path][1]:g}')
+            label = _escape_label_value(path)
+            lines.append(f'{virtual_metric}{{path="{label}"}} {flat[path][1]:g}')
     return "\n".join(lines) + "\n"

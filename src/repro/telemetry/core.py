@@ -16,16 +16,20 @@ Design constraints (see ``docs/architecture.md`` § Telemetry):
   :data:`SANCTIONED_VARIANT_PREFIXES` — ``meta.*`` (run-cache hits,
   scheduling bookkeeping), ``tga.model_cache.*`` (prepared-model
   cache traffic, plus the ``cached`` attribute on ``prepare`` span
-  events), ``fault.*`` (injected faults, retries, pool rebuilds) and
-  ``checkpoint.*`` (cells written to / restored from a RunStore) —
-  which may legitimately differ between serial and parallel execution,
-  between cold- and warm-cache runs, or between fault-free and
-  fault-recovered runs of the same workload; all other names must be
-  execution-strategy independent.
+  events), ``fault.*`` (injected faults, retries, pool rebuilds),
+  ``checkpoint.*`` (cells written to / restored from a RunStore), and
+  ``resource.*`` / ``heartbeat.*`` (the resource flight recorder of
+  :mod:`repro.telemetry.resources` — RSS/CPU samples and worker
+  liveness beats, wall-clock-dependent by nature) — which may
+  legitimately differ between serial and parallel execution, between
+  cold- and warm-cache runs, between fault-free and fault-recovered
+  runs, or between sampled and unsampled runs of the same workload;
+  all other names must be execution-strategy independent.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from bisect import bisect_left
 from collections.abc import Iterator, Sequence
@@ -49,12 +53,16 @@ __all__ = [
 #: comparison that asserts execution-strategy independence filters
 #: these out.  ``fault.*`` and ``checkpoint.*`` record retries, pool
 #: rebuilds and checkpoint traffic — infrastructure weather, not
-#: workload results.
+#: workload results.  ``resource.*`` and ``heartbeat.*`` are the
+#: flight-recorder samples of :mod:`repro.telemetry.resources` —
+#: wall-clock-dependent by design, never reproducible.
 SANCTIONED_VARIANT_PREFIXES: tuple[str, ...] = (
     "meta.",
     "tga.model_cache.",
     "fault.",
     "checkpoint.",
+    "resource.",
+    "heartbeat.",
 )
 
 #: Default histogram bucket edges (counts of addresses / batch sizes).
@@ -271,7 +279,9 @@ class Telemetry:
         self.histograms: dict[str, Histogram] = {}
         self.root = SpanNode("", "")
         self._stack: list[SpanNode] = [self.root]
+        self._span_attrs: list[dict] = [{}]
         self._seq = 0
+        self._emit_lock = threading.Lock()
 
     # -- metrics -----------------------------------------------------------
 
@@ -302,11 +312,13 @@ class Telemetry:
         node = self._stack[-1].child(name)
         handle = SpanHandle(node)
         self._stack.append(node)
+        self._span_attrs.append(attrs)
         start = time.perf_counter()
         try:
             yield handle
         finally:
             node.wall += time.perf_counter() - start
+            self._span_attrs.pop()
             self._stack.pop()
             node.count += 1
             node.virtual += handle.virtual
@@ -320,6 +332,25 @@ class Telemetry:
                     event.update(handle.attrs)
                 self.emit_event(event)
 
+    def current_span(self) -> tuple[str, dict]:
+        """The innermost open span's path and merged entry attributes.
+
+        Inner spans override outer ones key-by-key, so a sampler asking
+        for the active ``tga`` sees the cell currently executing.  Safe
+        to call from another thread (the resource sampler does): a race
+        against a concurrent push/pop degrades to the harmless
+        neighbouring answer or, at worst, the empty one.
+        """
+        try:
+            stack = self._stack
+            path = stack[-1].path
+            merged: dict = {}
+            for attrs in self._span_attrs[: len(stack)]:
+                merged.update(attrs)
+            return path, merged
+        except (IndexError, RuntimeError):  # pragma: no cover - thread race
+            return "", {}
+
     # -- events ------------------------------------------------------------
 
     def emit(self, event_type: str, **fields) -> None:
@@ -327,13 +358,20 @@ class Telemetry:
         self.emit_event({"type": event_type, **fields})
 
     def emit_event(self, event: dict) -> None:
-        """Send a pre-built event dict (``seq`` is (re)assigned here)."""
+        """Send a pre-built event dict (``seq`` is (re)assigned here).
+
+        Serialised under a lock: the resource sampler thread emits
+        concurrently with the main thread, and both the sequence
+        numbering and the sinks' line-oriented output need events to
+        land whole and in one order.
+        """
         if not self.sinks:
             return
-        self._seq += 1
-        event["seq"] = self._seq
-        for sink in self.sinks:
-            sink.handle(event)
+        with self._emit_lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            for sink in self.sinks:
+                sink.handle(event)
 
     # -- snapshots ---------------------------------------------------------
 
@@ -357,15 +395,19 @@ class Telemetry:
         """Fold another registry's snapshot into this one.
 
         Counters and histograms add; gauges overwrite (callers merge in
-        a deterministic order); the incoming span tree grafts onto the
-        *currently open* span, so telemetry merged back from a worker
-        process nests exactly where the work was dispatched — a
-        parallel grid's cells land under the same ``grid`` span as a
-        serial run's.
+        a deterministic order), except peak gauges — names containing
+        ``.peak_`` merge by maximum, so a worker's ``resource.peak_rss_mb``
+        never clobbers a larger parent or sibling figure; the incoming
+        span tree grafts onto the *currently open* span, so telemetry
+        merged back from a worker process nests exactly where the work
+        was dispatched — a parallel grid's cells land under the same
+        ``grid`` span as a serial run's.
         """
         for name, value in snap.get("counters", {}).items():
             self.count(name, value)
         for name, value in snap.get("gauges", {}).items():
+            if ".peak_" in name and name in self.gauges:
+                value = max(value, self.gauges[name])
             self.gauge(name, value)
         for name, data in snap.get("histograms", {}).items():
             histogram = self.histograms.get(name)

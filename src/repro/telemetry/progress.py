@@ -22,7 +22,7 @@ import time
 
 from .sinks import Sink
 
-__all__ = ["ProgressSink", "format_eta"]
+__all__ = ["ProgressSink", "TopSink", "format_eta"]
 
 
 def format_eta(seconds: float) -> str:
@@ -146,3 +146,88 @@ class ProgressSink(Sink):
         line = " ".join(parts)
         print("\r" + line[:118].ljust(118), end="", file=self._out(), flush=True)
         self._wrote = True
+
+
+class TopSink(ProgressSink):
+    """A ``top(1)``-style roll-up of resource samples per worker rank.
+
+    Extends :class:`ProgressSink` with consumption of the flight
+    recorder's ``resource`` events, but renders nothing incrementally —
+    callers pull :meth:`render` whenever they want the current table
+    (``repro top`` does so on a fixed cadence while following a trace
+    file).  Inherits the determinism invariants: it only observes the
+    stream, never writes into it.
+    """
+
+    def __init__(self, clock=time.monotonic) -> None:
+        super().__init__(stream=None, min_interval=float("inf"), clock=clock)
+        #: rank -> latest sample fields (plus running peak).
+        self.rows: dict[str, dict] = {}
+        self.watermarks: list[dict] = []
+
+    def _render(self, event: dict, force: bool) -> None:  # pragma: no cover - silent
+        self._wrote = False  # never draws incrementally, never prints a footer
+
+    def handle(self, event: dict) -> None:
+        super().handle(event)
+        if event.get("type") != "resource":
+            return
+        if event.get("kind") == "watermark":
+            self.watermarks.append(dict(event))
+            return
+        if event.get("kind") != "sample":
+            return
+        rank = str(event.get("rank", "?"))
+        row = self.rows.setdefault(rank, {"peak_rss_mb": 0.0})
+        row.update(
+            {
+                key: event[key]
+                for key in (
+                    "t",
+                    "rss_mb",
+                    "cpu_s",
+                    "gc",
+                    "cache_entries",
+                    "resident_ases",
+                    "shm_mb",
+                    "span",
+                    "tga",
+                )
+                if key in event
+            }
+        )
+        rss = float(event.get("rss_mb", 0.0))
+        if rss > row["peak_rss_mb"]:
+            row["peak_rss_mb"] = rss
+
+    def render(self) -> str:
+        """The current multi-line table (empty string before any sample)."""
+        if not self.rows:
+            return ""
+        lines = [
+            f"cells {self._cells_done}/{self._cells_pending or self._cells_total}"
+            f"  rounds {self._rounds}  samplers {len(self.rows)}",
+            f"{'RANK':<10} {'RSS_MB':>8} {'PEAK':>8} {'CPU_S':>8} "
+            f"{'GC':>5} {'CACHE':>6} {'ASES':>7}  WHERE",
+        ]
+        ranks = sorted(self.rows, key=lambda r: (r != "parent", r))
+        for rank in ranks:
+            row = self.rows[rank]
+            where = str(row.get("span", ""))
+            tga = row.get("tga")
+            if tga:
+                where = f"{where} [{tga}]"
+            lines.append(
+                f"{rank:<10} {row.get('rss_mb', 0):>8.1f} "
+                f"{row.get('peak_rss_mb', 0):>8.1f} "
+                f"{row.get('cpu_s', 0):>8.2f} "
+                f"{int(row.get('gc', 0)):>5d} "
+                f"{int(row.get('cache_entries', 0)):>6d} "
+                f"{int(row.get('resident_ases', 0)):>7d}  {where}"
+            )
+        for mark in self.watermarks[-3:]:
+            lines.append(
+                f"!! {mark.get('level', '?')} watermark on {mark.get('rank', '?')}: "
+                f"{mark.get('rss_mb', 0)} MiB of {mark.get('budget_mb', 0)} MiB budget"
+            )
+        return "\n".join(lines)
