@@ -1,0 +1,376 @@
+"""Persistent model store & cost-aware scheduler benchmark.
+
+Measures the two halves of the warm-start/scheduling layer on the
+paper's core workload shape (TGA × port grids on the All Active
+dataset):
+
+* **Store leg** — three serial grid runs, each on a fresh Study *and a
+  fresh in-memory ModelCache* (so process-level memoisation cannot mask
+  anything): persistent store off, store cold (fresh root: every model
+  is built then persisted) and store warm (same root, simulating a new
+  process on a machine that has run the grid before: every model is
+  loaded, digest-verified, from disk).  The workload is the store's
+  target case — a cold process doing a prepare-dominated grid (small
+  budget, large seed set) — and the acceptance target is a >= 2x grid
+  speedup cold -> warm.
+* **Scheduler leg** — one serial single-port cold-cache grid measures
+  real per-cell wall times (this is the skewed shape the cost model
+  exists for: every cell pays its TGA's model build, so an Entropy/IP
+  cell costs ~7x a 6Scan cell, and grid order puts the heaviest TGA
+  *last*), then :func:`repro.experiments.simulate_makespan`
+  list-schedules the legacy static contiguous chunking and the
+  cost-aware LPT + steal-tail plan onto 4 workers *using those
+  measured costs* (the simulation is exact for the pool's dispatch
+  discipline and, unlike a timed run, is honest on single-CPU CI hosts
+  where worker processes would time-slice one core).  The acceptance
+  target is a >= 1.3x makespan improvement.  Both schedulers are
+  additionally run for real through the executor and checked
+  cell-by-cell against the serial results: faster must never mean
+  different.
+
+Run:  python benchmarks/bench_scheduler.py [--quick] [--out FILE]
+
+``--quick`` shrinks the workload for CI smoke runs.  The JSON artifact
+gets a ``.manifest.json`` provenance sidecar.  Exit status reflects
+bit-identity only; timing targets are recorded in the artifact (CI
+machines are too noisy to gate on wall clock).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    CostModel,
+    ExecutionPolicy,
+    GridSpec,
+    Study,
+    plan_chunks,
+    run_grid,
+    simulate_makespan,
+)
+from repro.internet import InternetConfig, Port
+from repro.telemetry import RunManifest, write_manifest
+from repro.tga import (
+    ALL_TGA_NAMES,
+    ModelCache,
+    ModelStore,
+    use_model_cache,
+    use_model_store,
+)
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
+
+#: Acceptance targets: a warm disk store must at least halve the cold
+#: grid time, and cost-aware planning must cut the simulated makespan
+#: of the skewed grid by >= 30% against static contiguous chunking.
+TARGET_STORE_SPEEDUP = 2.0
+TARGET_MAKESPAN_RATIO = 1.3
+SIM_WORKERS = 4
+
+
+def make_study(seed: int, budget: int) -> Study:
+    return Study(
+        config=InternetConfig.tiny(master_seed=seed),
+        budget=budget,
+        round_size=max(100, budget // 5),
+    )
+
+
+def make_spec(
+    study: Study, ports: tuple[Port, ...], budget: int, dataset: str
+) -> GridSpec:
+    return GridSpec(
+        datasets=(getattr(study.constructions, dataset),),
+        tga_names=ALL_TGA_NAMES,
+        ports=ports,
+        budget=budget,
+    )
+
+
+def grid_once(
+    seed: int,
+    budget: int,
+    ports: tuple[Port, ...],
+    dataset: str,
+    store: ModelStore | None,
+    policy: ExecutionPolicy | None = None,
+):
+    """One timed grid on a fresh Study and a fresh ModelCache."""
+    study = make_study(seed, budget)
+    spec = make_spec(study, ports, budget, dataset)
+    with use_model_cache(ModelCache()), use_model_store(store):
+        start = time.perf_counter()
+        results = run_grid(study, spec, policy=policy)
+        seconds = time.perf_counter() - start
+    return seconds, results
+
+
+def identical(reference: dict, candidate: dict) -> bool:
+    """Cell-by-cell bit-identity between two grid result sets."""
+    if set(reference) != set(candidate):
+        return False
+    for key, a in reference.items():
+        b = candidate[key]
+        if (
+            a.clean_hits != b.clean_hits
+            or a.aliased_hits != b.aliased_hits
+            or a.active_ases != b.active_ases
+            or a.metrics != b.metrics
+            or a.round_history != b.round_history
+        ):
+            return False
+    return True
+
+
+def bench_store(
+    seed: int, budget: int, ports: tuple[Port, ...], dataset: str, repeats: int
+) -> dict:
+    """Store off -> cold -> warm grid timings on fresh caches.
+
+    Each leg is the best of ``repeats`` measurements (single-box CI
+    hosts are noisy; the minimum is the honest cost of the work).  A
+    cold measurement needs a fresh root every repeat; warm repeats
+    reuse the root the last cold repeat populated.
+    """
+    off_seconds = float("inf")
+    for _ in range(repeats):
+        seconds, off_results = grid_once(seed, budget, ports, dataset, None)
+        off_seconds = min(off_seconds, seconds)
+    cells = len(off_results.runs)
+    print(f"grid store-off : {off_seconds:8.2f}s  {cells / off_seconds:6.2f} cells/s")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as base:
+        cold_seconds = float("inf")
+        for repeat in range(repeats):
+            root = Path(base) / f"root-{repeat}"
+            cold_store = ModelStore(root)
+            seconds, cold_results = grid_once(
+                seed, budget, ports, dataset, cold_store
+            )
+            cold_seconds = min(cold_seconds, seconds)
+        cold_stats = cold_store.stats.as_dict()
+        print(
+            f"grid store-cold: {cold_seconds:8.2f}s  "
+            f"{cells / cold_seconds:6.2f} cells/s  "
+            f"(misses {cold_stats['misses']}, stored {cold_stats['stores']})"
+        )
+
+        # Warm: a *new* ModelStore on the last cold root — exactly what
+        # a new process on the same machine sees.
+        warm_seconds = float("inf")
+        for _ in range(repeats):
+            warm_store = ModelStore(root)
+            seconds, warm_results = grid_once(
+                seed, budget, ports, dataset, warm_store
+            )
+            warm_seconds = min(warm_seconds, seconds)
+        warm_stats = warm_store.stats.as_dict()
+        entries = len(warm_store.entries())
+        disk_bytes = warm_store.total_bytes()
+
+    cold_vs_warm = cold_seconds / warm_seconds if warm_seconds else 0.0
+    off_vs_warm = off_seconds / warm_seconds if warm_seconds else 0.0
+    print(
+        f"grid store-warm: {warm_seconds:8.2f}s  "
+        f"{cells / warm_seconds:6.2f} cells/s  "
+        f"speedup {cold_vs_warm:4.2f}x vs cold, {off_vs_warm:4.2f}x vs off  "
+        f"(hits {warm_stats['hits']}, {entries} entries, "
+        f"{disk_bytes / 1e6:.1f} MB on disk)"
+    )
+
+    same = identical(off_results.runs, cold_results.runs) and identical(
+        off_results.runs, warm_results.runs
+    )
+    print(f"cell-by-cell identical across off/cold/warm: {same}")
+    return {
+        "off_seconds": round(off_seconds, 4),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "cold_vs_warm_speedup": round(cold_vs_warm, 4),
+        "off_vs_warm_speedup": round(off_vs_warm, 4),
+        "cold_stats": cold_stats,
+        "warm_stats": warm_stats,
+        "entries": entries,
+        "disk_bytes": disk_bytes,
+        "target_speedup": TARGET_STORE_SPEEDUP,
+        "target_speedup_met": cold_vs_warm >= TARGET_STORE_SPEEDUP,
+        "identical": same,
+    }
+
+
+def bench_scheduler(
+    seed: int, budget: int, ports: tuple[Port, ...], dataset: str, repeats: int
+) -> dict:
+    """Measured-cost makespan: static contiguous vs cost-aware plan."""
+    # Serial runs measure every cell's real wall time (per-cell best of
+    # ``repeats``: scheduler-quality comparisons deserve noise-free
+    # costs).
+    serial_seconds = float("inf")
+    measured: dict = {}
+    for _ in range(repeats):
+        seconds, serial_results = grid_once(seed, budget, ports, dataset, None)
+        serial_seconds = min(serial_seconds, seconds)
+        for key, wall in serial_results.wall_seconds.items():
+            measured[key] = min(measured.get(key, float("inf")), wall)
+    study = make_study(seed, budget)
+    spec = make_spec(study, ports, budget, dataset)
+    cells = [
+        (tga, dataset.name, port, budget) for tga, dataset, port in spec.cells()
+    ]
+
+    def chunk_cost(chunk: list) -> float:
+        return sum(measured[(tga, dataset, port)] for tga, dataset, port, _ in chunk)
+
+    # Legacy static split: contiguous slices, ~4 chunks per worker.
+    static_size = max(1, -(-len(cells) // (SIM_WORKERS * 4)))
+    static_chunks = [
+        cells[i : i + static_size] for i in range(0, len(cells), static_size)
+    ]
+    static_makespan = simulate_makespan(
+        [chunk_cost(chunk) for chunk in static_chunks], SIM_WORKERS
+    )
+
+    # Cost-aware plan from a model trained on the measured walls (the
+    # executor's steady state); the simulation charges each chunk its
+    # *measured* cost, so misprediction inside the EWMA is paid for.
+    model = CostModel.from_records(
+        [(tga, budget, wall) for (tga, _d, _p), wall in measured.items()]
+    )
+    plan = plan_chunks(cells, model, SIM_WORKERS)
+    cost_makespan = simulate_makespan(
+        [chunk_cost(chunk) for chunk in plan.chunks], SIM_WORKERS
+    )
+
+    total_wall = sum(measured.values())
+    ideal = total_wall / SIM_WORKERS
+    ratio = static_makespan / cost_makespan if cost_makespan else 0.0
+    print(
+        f"makespan @ {SIM_WORKERS} workers (simulated on measured costs): "
+        f"static {static_makespan:.2f}s  cost {cost_makespan:.2f}s  "
+        f"ideal {ideal:.2f}s  improvement {ratio:.2f}x"
+    )
+
+    # Both schedulers for real through the executor: results must be
+    # bit-identical to serial whatever the chunk shapes were.
+    sched_seconds: dict[str, float] = {}
+    same = True
+    for scheduler in ("static", "cost"):
+        policy = ExecutionPolicy(workers=2, scheduler=scheduler)
+        seconds, results = grid_once(
+            seed, budget, ports, dataset, None, policy=policy
+        )
+        sched_seconds[scheduler] = round(seconds, 4)
+        this_same = identical(serial_results.runs, results.runs)
+        same = same and this_same
+        print(
+            f"executor scheduler={scheduler:<6}: {seconds:8.2f}s  "
+            f"identical={this_same}"
+        )
+
+    return {
+        "cells": len(cells),
+        "serial_seconds": round(serial_seconds, 4),
+        "total_cell_wall_s": round(total_wall, 4),
+        "sim_workers": SIM_WORKERS,
+        "static_chunksize": static_size,
+        "static_makespan_s": round(static_makespan, 4),
+        "cost_makespan_s": round(cost_makespan, 4),
+        "ideal_makespan_s": round(ideal, 4),
+        "head_chunks": plan.head_chunks,
+        "tail_chunks": plan.tail_chunks,
+        "makespan_improvement": round(ratio, 4),
+        "target_ratio": TARGET_MAKESPAN_RATIO,
+        "target_ratio_met": ratio >= TARGET_MAKESPAN_RATIO,
+        "executor_seconds": sched_seconds,
+        "identical": same,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--budget", type=int, default=0, help="per-cell budget")
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=0,
+        help="measurements per timed leg, best-of (default 3, 1 with --quick)",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    # Both legs run the single-port, cold-cache, prepare-dominated grid
+    # shape (the in-run ModelCache already dedupes across ports, so
+    # extra ports only add uniform scan time that dilutes both the
+    # prepare share the store removes and the per-TGA skew the
+    # scheduler exploits).  The full dataset makes model builds heavy;
+    # --quick drops to the All Active dataset for CI smoke runs.
+    store_budget = args.budget or 100
+    sched_budget = args.budget or 200
+    dataset = "all_active" if args.quick else "full"
+    ports = (Port.ICMP,)
+    repeats = args.repeats or (1 if args.quick else 3)
+
+    degraded = (os.cpu_count() or 1) < 2
+    if degraded:
+        print(
+            "WARNING: single-CPU host; executor timings are degraded "
+            "measurements (the makespan comparison is simulated on "
+            "measured costs and remains honest)",
+            file=sys.stderr,
+        )
+
+    print(
+        f"store leg: {len(ALL_TGA_NAMES)} TGAs x 1 port, budget "
+        f"{store_budget}; scheduler leg: {len(ALL_TGA_NAMES)} TGAs x 1 "
+        f"port, budget {sched_budget}; dataset {dataset}; "
+        f"cpu_count={os.cpu_count()}"
+    )
+
+    store = bench_store(args.seed, store_budget, ports, dataset, repeats)
+    sched = bench_scheduler(args.seed, sched_budget, ports, dataset, repeats)
+
+    manifest = RunManifest.from_config(
+        InternetConfig.tiny(master_seed=args.seed),
+        scale="tiny",
+        budget=sched_budget,
+        ports=tuple(port.value for port in ports),
+        command="bench_scheduler",
+    )
+    record = {
+        "benchmark": "scheduler",
+        "manifest": manifest.to_dict(),
+        "workload": {
+            "tgas": len(ALL_TGA_NAMES),
+            "store_budget": store_budget,
+            "sched_budget": sched_budget,
+            "ports": [port.value for port in ports],
+            "dataset": dataset,
+            "seed": args.seed,
+            "repeats": repeats,
+            "scale": "tiny",
+        },
+        "cpu_count": os.cpu_count(),
+        "degraded": degraded,
+        "store": store,
+        "scheduler": sched,
+        "identical": store["identical"] and sched["identical"],
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    sidecar = write_manifest(args.out, manifest)
+    print(f"wrote {args.out} (manifest: {sidecar})")
+    # Identity is a hard failure; timing targets are recorded, not
+    # enforced — CI machines are too noisy to gate on wall clock.
+    return 0 if record["identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -105,6 +105,7 @@ from .telemetry import (
     get_telemetry,
     histogram_columns,
     load_trace,
+    straggler_report,
     trace_peak_rss_mb,
     use_telemetry,
     write_manifest,
@@ -175,6 +176,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the prepared-model cache (debugging escape hatch; "
         "results are bit-identical either way, prepares just get slower)",
+    )
+    parser.add_argument(
+        "--model-store",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="persist prepared TGA models on disk so later processes warm-"
+        "start instead of rebuilding (no PATH = $REPRO_MODEL_STORE or "
+        "~/.cache/repro/models; entries are digest-verified, so results "
+        "are bit-identical with the store hot, cold or off)",
+    )
+    parser.add_argument(
+        "--no-model-store",
+        action="store_true",
+        help="force the persistent model store off, even if one is active "
+        "in the process",
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=("cost", "static"),
+        default="cost",
+        help="cell-to-chunk scheduling for --workers: 'cost' (default) "
+        "packs longest-predicted-first head chunks plus a stealable "
+        "single-cell tail; 'static' keeps contiguous ~4-chunks-per-worker "
+        "slices (results are bit-identical under either)",
     )
     parser.add_argument(
         "--no-vector",
@@ -337,7 +364,9 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--out", default="", help="write to a file instead of stdout")
 
     trace_parser = sub.add_parser(
-        "trace", help="analyse telemetry traces (summary/attribution/diff/check)"
+        "trace",
+        help="analyse telemetry traces "
+        "(summary/attribution/diff/check/timeline/stragglers)",
     )
     trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
 
@@ -387,9 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore-meta",
         action="store_true",
         help="ignore the sanctioned variant namespaces (meta.*, "
-        "tga.model_cache.*, fault.*, checkpoint.*: differ legitimately "
-        "between serial/parallel, cold/warm-cache and "
-        "fault-free/fault-recovered executions)",
+        "tga.model_cache.*, tga.model_store.*, fault.*, checkpoint.*, "
+        "sched.*: differ legitimately between serial/parallel, "
+        "cold/warm-cache and fault-free/fault-recovered executions)",
     )
     trace_check.add_argument(
         "--rss-tol",
@@ -399,6 +428,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed peak-RSS growth over the baseline as a fraction "
         "(default 1.0 = current may be up to 2x baseline; only active "
         "when both traces carry resource samples)",
+    )
+
+    trace_stragglers = trace_sub.add_parser(
+        "stragglers",
+        help="rank cells by measured wall time and score the schedule "
+        "against the total/workers makespan lower bound",
+    )
+    trace_stragglers.add_argument("trace", help="trace file with sched.* events")
+    trace_stragglers.add_argument(
+        "--top", type=int, default=10, help="slowest cells to list (default: 10)"
     )
 
     trace_timeline = trace_sub.add_parser(
@@ -453,6 +492,8 @@ def _make_policy(args: argparse.Namespace) -> ExecutionPolicy:
         share_model=getattr(args, "share_model", "auto"),
         resource_interval=args.sample_resources,
         heartbeat_grace=args.heartbeat_grace,
+        model_store=False if args.no_model_store else args.model_store,
+        scheduler=args.scheduler,
     )
 
 
@@ -1012,12 +1053,54 @@ def _cmd_trace_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_stragglers(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    _print_manifest(trace)
+    report = straggler_report(trace)
+    if not report.cells:
+        print(
+            "no scheduling data in trace (sched.* events are recorded by "
+            "grid runs routed through the executor: --workers > 1, "
+            "--checkpoint, --cell-timeout or --inject-fault)"
+        )
+        return 1
+    print(
+        f"cells: {len(report.cells)}  workers: {report.workers}  "
+        f"scheduler: {report.scheduler or '?'}"
+    )
+    print(
+        f"total work: {report.total_wall_s:.3f}s  "
+        f"ideal makespan (total/workers): {report.ideal_makespan_s:.3f}s  "
+        f"achieved: {report.elapsed_s:.3f}s"
+        + (
+            f"  efficiency: {report.efficiency:.1%}"
+            if report.efficiency
+            else ""
+        )
+    )
+    if report.predicted_makespan_s is not None:
+        print(f"planner predicted makespan: {report.predicted_makespan_s:.3f}s")
+    total = report.total_wall_s or 1.0
+    print(
+        render_table(
+            ["TGA", "dataset", "port", "budget", "wall s", "share"],
+            [
+                [tga, dataset, port, f"{budget:,}", f"{wall:.4f}", f"{wall / total:.1%}"]
+                for tga, dataset, port, budget, wall in report.top(args.top)
+            ],
+            title=f"Stragglers (top {min(args.top, len(report.cells))})",
+        )
+    )
+    return 0
+
+
 _TRACE_COMMANDS = {
     "summary": _cmd_trace_summary,
     "attribution": _cmd_trace_attribution,
     "diff": _cmd_trace_diff,
     "check": _cmd_trace_check,
     "timeline": _cmd_trace_timeline,
+    "stragglers": _cmd_trace_stragglers,
 }
 
 

@@ -12,6 +12,8 @@ governed by an :class:`~repro.experiments.ExecutionPolicy`.
 
 from __future__ import annotations
 
+import contextlib
+import time
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
@@ -20,7 +22,12 @@ from ..datasets import SeedDataset
 from ..internet import ALL_PORTS, Port
 from ..metrics import MetricSet
 from ..telemetry import Telemetry, get_telemetry, use_telemetry
-from ..tga import ALL_TGA_NAMES, canonical_tga_name
+from ..tga import (
+    ALL_TGA_NAMES,
+    canonical_tga_name,
+    resolve_model_store,
+    use_model_store,
+)
 from .harness import Study
 from .policy import ExecutionPolicy, coalesce_policy
 from .results import RunResult
@@ -77,6 +84,12 @@ class GridResults:
     #: Cells that exhausted their retries (``CellFailure`` records) —
     #: empty for a fully successful run.
     failed_cells: tuple = ()
+    #: Measured wall-clock seconds per executed cell, keyed like
+    #: :attr:`runs`.  Observation, not result: cells served from the
+    #: run cache (or a resumed checkpoint) are absent, and the values
+    #: never participate in result identity — they feed the cost-aware
+    #: scheduler and post-hoc straggler analysis.
+    wall_seconds: dict[tuple[str, str, Port], float] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -169,7 +182,7 @@ def run_grid(
     cell that keeps failing past ``policy.max_retries`` lands in
     ``GridResults.failed_cells`` instead of sinking the grid.
     """
-    from .parallel import ParallelExecutor, resolve_workers
+    from .parallel import ParallelExecutor, default_cost_model, resolve_workers
 
     policy = coalesce_policy(
         policy,
@@ -211,8 +224,16 @@ def run_grid(
                 providers=default_providers(study.internet),
                 budget_mb=study.internet.config.memory_budget_mb,
             ).start()
+        # ``policy.model_store`` of None inherits whatever persistent
+        # store is already active; any other value (False/True/path)
+        # installs that setting for the duration of the grid so the
+        # serial fast path warms the same disk tier as the executor.
+        if policy.model_store is None:
+            store_scope = contextlib.nullcontext()
+        else:
+            store_scope = use_model_store(resolve_model_store(policy.model_store))
         try:
-            with tel.span("grid", cells=total):
+            with store_scope, tel.span("grid", cells=total):
                 if workers_n > 1 or policy.resilient:
                     executor = ParallelExecutor(
                         study, max_workers=workers_n, policy=policy
@@ -230,11 +251,26 @@ def run_grid(
                         run = run_map.get(key)
                         if run is not None:
                             results.runs[key[:3]] = run
+                        wall = executor.wall_seconds.get(key)
+                        if wall is not None:
+                            results.wall_seconds[key[:3]] = wall
                     results.failed_cells = tuple(executor.failed_cells)
                     return results
+                budget = spec.budget or study.budget
+                cost_model = default_cost_model()
                 for index, (tga, dataset, port) in enumerate(spec.cells(), start=1):
+                    key = (canonical_tga_name(tga), dataset.name, port, budget)
+                    fresh = key not in study._run_cache
+                    start = time.perf_counter()
                     run = study.run(tga, dataset, port, budget=spec.budget)
-                    results.runs[(canonical_tga_name(tga), dataset.name, port)] = run
+                    wall = time.perf_counter() - start
+                    results.runs[key[:3]] = run
+                    if fresh:
+                        # Only genuinely-executed cells are observations
+                        # (a run-cache hit would teach the cost model
+                        # that cells are free).
+                        results.wall_seconds[key[:3]] = wall
+                        cost_model.observe(key[0], budget, wall)
                     if progress is not None:
                         progress(index, total, run)
                 return results

@@ -36,6 +36,7 @@ Key design points:
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import shutil
@@ -67,10 +68,18 @@ from ..telemetry.resources import (
     default_providers,
 )
 from ..tga import canonical_tga_name, get_model_cache
+from ..tga.modelstore import (
+    ModelStore,
+    get_model_store,
+    resolve_model_store,
+    set_model_store,
+    use_model_store,
+)
 from .faults import FaultInjected, FaultPlan
 from .harness import Study
 from .policy import ExecutionPolicy
 from .results import RunResult
+from .scheduler import CostModel, plan_chunks
 from .store import RunStore, study_digest
 
 __all__ = [
@@ -80,6 +89,7 @@ __all__ = [
     "WorkerSpec",
     "ParallelExecutor",
     "attached_model_bytes",
+    "default_cost_model",
     "resolve_workers",
 ]
 
@@ -155,6 +165,11 @@ class WorkerSpec:
     #: the worker).  Execution-only — sampling observes a run, it never
     #: changes one — so it never keys the world memo.
     resources: ResourceSpec | None = None
+    #: Root of the persistent prepared-model store the worker should
+    #: read/write (``None`` = persistence off).  Execution-only — every
+    #: stored artifact is digest-verified and bit-identical to a fresh
+    #: build — so it never keys the world memo.
+    model_store: str | None = None
 
     @classmethod
     def from_study(
@@ -165,6 +180,7 @@ class WorkerSpec:
         fault_plan: FaultPlan | None = None,
         vectorized: bool | None = None,
         resources: ResourceSpec | None = None,
+        model_store: str | None = None,
     ) -> "WorkerSpec":
         """Capture a study's world-defining parameters."""
         if model_cache is None:
@@ -184,6 +200,7 @@ class WorkerSpec:
             fault_plan=fault_plan,
             vectorized=vectorized,
             resources=resources,
+            model_store=model_store,
         )
 
     def build_study(self) -> Study:
@@ -228,6 +245,7 @@ def _memo_key(spec: WorkerSpec) -> WorkerSpec:
         vectorized=None,
         shared_model=None,
         resources=None,
+        model_store=None,
     )
 
 
@@ -306,15 +324,21 @@ def _run_cell_chunk(
     chunk: Sequence[Cell],
     attempt: int = 0,
     beat: str | None = None,
-) -> tuple[list[tuple[RunKey, RunResult]], dict | None, list[dict] | None]:
+) -> list[tuple[RunKey, RunResult, float, tuple[dict, list[dict]] | None]]:
     """Run a chunk of cells in a worker.
 
-    Returns ``(pairs, telemetry_snapshot, telemetry_events)``; the last
-    two are ``None`` unless the spec requests telemetry.  World
-    construction (simulated Internet, seed collection, the known-address
-    pool) is warmed *before* the worker registry activates, so worker
-    telemetry measures exactly the cell work — matching the parent,
-    where those structures are built before (or outside) the runs.
+    Returns one record per cell: ``(key, result, wall_s, capture)``.
+    ``wall_s`` is the measured wall-clock seconds of the cell (cost-
+    model training data and straggler analysis).  ``capture`` is
+    ``(telemetry_snapshot, telemetry_events)`` when the spec requests
+    telemetry, else ``None`` — one registry per *cell*, not per chunk,
+    so the parent can merge captures in canonical cell order and the
+    trace stays byte-identical to serial no matter how the cost-aware
+    scheduler shaped the chunks.  World construction (simulated
+    Internet, seed collection, the known-address pool) is warmed
+    *before* the first cell registry activates, so worker telemetry
+    measures exactly the cell work — matching the parent, where those
+    structures are built before (or outside) the runs.
 
     ``attempt`` is the retry generation (0 = first try): the fault plan
     keys on it, and a retried chunk evicts its cells from the worker's
@@ -328,6 +352,7 @@ def _run_cell_chunk(
     telemetry registry only once that registry exists.
     """
     get_model_cache().enabled = spec.model_cache
+    set_model_store(ModelStore(spec.model_store) if spec.model_store else None)
     set_vectorized(spec.vectorized)
     sampler: ResourceSampler | None = None
     res = spec.resources
@@ -353,34 +378,48 @@ def _run_cell_chunk(
             for tga_name, dataset, port, budget in chunk:
                 study._run_cache.pop((tga_name, dataset.name, port, budget), None)
         plan = spec.fault_plan
-
-        def execute(chunk_out: list) -> None:
-            for tga_name, dataset, port, budget in chunk:
-                if plan is not None:
-                    plan.fire(
-                        (tga_name, dataset.name, port, budget),
-                        attempt,
-                        allow_exit=True,
-                    )
+        if spec.telemetry:
+            study._known_addresses  # noqa: B018 — warm the world uninstrumented
+        out: list[tuple[RunKey, RunResult, float, tuple[dict, list[dict]] | None]] = []
+        for tga_name, dataset, port, budget in chunk:
+            if plan is not None:
+                plan.fire(
+                    (tga_name, dataset.name, port, budget),
+                    attempt,
+                    allow_exit=True,
+                )
+            if not spec.telemetry:
+                start = time.perf_counter()
                 result = study.run(tga_name, dataset, port, budget=budget)
-                chunk_out.append(((tga_name, dataset.name, port, result.budget), result))
-
-        out: list[tuple[RunKey, RunResult]] = []
-        if not spec.telemetry:
-            execute(out)
-            return out, None, None
-        study._known_addresses  # noqa: B018 — warm the world uninstrumented
-        sink = MemorySink()
-        telemetry = Telemetry(sinks=[sink])
+                wall = time.perf_counter() - start
+                out.append(
+                    ((tga_name, dataset.name, port, result.budget), result, wall, None)
+                )
+                continue
+            sink = MemorySink()
+            telemetry = Telemetry(sinks=[sink])
+            if sampler is not None:
+                sampler.telemetry = telemetry
+            with use_telemetry(telemetry):
+                start = time.perf_counter()
+                result = study.run(tga_name, dataset, port, budget=budget)
+                wall = time.perf_counter() - start
+            if sampler is not None:
+                # Detach before snapshotting: the registry must be
+                # quiescent while its dicts are sorted (late resource
+                # samples between cells are variant noise and dropped).
+                sampler.telemetry = None
+            out.append(
+                (
+                    (tga_name, dataset.name, port, result.budget),
+                    result,
+                    wall,
+                    (telemetry.snapshot(include_wall=True), list(sink.events)),
+                )
+            )
         if sampler is not None:
-            sampler.telemetry = telemetry
-        with use_telemetry(telemetry):
-            execute(out)
-        if sampler is not None:
-            # Stop (final sample included) before snapshotting: the
-            # registry must be quiescent while its dicts are sorted.
             sampler.stop()
-        return out, telemetry.snapshot(include_wall=True), sink.events
+        return out
     finally:
         if sampler is not None:
             sampler.stop()
@@ -389,16 +428,32 @@ def _run_cell_chunk(
 # -- parent side -----------------------------------------------------------
 
 
+#: Process-wide learned cost model: every executor feeds completed-cell
+#: wall times back in, so later grids in the same session schedule on
+#: observed per-TGA rates instead of the static prior.
+_PROCESS_COST_MODEL = CostModel.static_prior()
+
+
+def default_cost_model() -> CostModel:
+    """The process-wide cost model executors share by default."""
+    return _PROCESS_COST_MODEL
+
+
 class ParallelExecutor:
     """Runs grid cells across processes, merging into a study's run cache.
 
     ``max_workers`` defaults to the machine's CPU count.  ``chunksize``
     controls how many cells ride in one inter-process task (larger
     chunks amortise dataset pickling; smaller chunks balance load) — by
-    default cells are split into ~4 chunks per worker, or one cell per
-    task when ``policy.cell_timeout`` is set (per-cell timeouts need
-    per-cell dispatch).  ``policy`` supplies the fault-tolerance knobs:
-    checkpoint/resume, retry budget, timeout and fault injection.
+    default the cost-aware scheduler (:mod:`repro.experiments.scheduler`)
+    plans chunks from predicted cell costs: expensive cells first in
+    packed head chunks, the cheap tail as single-cell chunks claimed
+    dynamically from the pool's shared queue.  ``policy.scheduler=
+    "static"`` restores the legacy contiguous ~4-chunks-per-worker
+    split, and ``policy.cell_timeout`` forces one cell per task
+    (per-cell timeouts need per-cell dispatch).  ``policy`` also
+    supplies the fault-tolerance knobs: checkpoint/resume, retry
+    budget, timeout and fault injection.
     """
 
     def __init__(
@@ -407,6 +462,7 @@ class ParallelExecutor:
         max_workers: int | None = None,
         chunksize: int | None = None,
         policy: ExecutionPolicy | None = None,
+        cost_model: CostModel | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -418,8 +474,16 @@ class ParallelExecutor:
         self.chunksize = (
             chunksize if chunksize is not None else self.policy.chunksize
         )
+        #: The model predicting per-cell cost for chunk planning; the
+        #: process-wide shared model unless the caller brings its own.
+        self.cost_model = cost_model if cost_model is not None else default_cost_model()
         #: Cells that exhausted their retries in the last ``run_cells``.
         self.failed_cells: list[CellFailure] = []
+        #: Measured wall seconds per run key from the last ``run_cells``
+        #: (executed cells only — cached/restored cells cost nothing).
+        self.wall_seconds: dict[RunKey, float] = {}
+        self._last_plan = None
+        self._last_workers = 1
 
     def worker_spec(self) -> WorkerSpec:
         """The spec shipped to (and memoised by) worker processes."""
@@ -429,6 +493,7 @@ class ParallelExecutor:
                 interval=self.policy.resource_interval,
                 budget_mb=self.study.internet.config.memory_budget_mb,
             )
+        active_store = get_model_store()
         return WorkerSpec.from_study(
             self.study,
             telemetry=get_telemetry().enabled,
@@ -436,6 +501,7 @@ class ParallelExecutor:
             fault_plan=self.policy.fault_plan,
             vectorized=self.policy.vectorized,
             resources=resources,
+            model_store=str(active_store.root) if active_store is not None else None,
         )
 
     def _resolve_share_mode(self) -> str:
@@ -470,15 +536,20 @@ class ParallelExecutor:
         )
 
     def _chunks(self, cells: list[Cell]) -> list[list[Cell]]:
+        self._last_plan = None
         if self.policy.cell_timeout is not None:
             # Per-cell timeout semantics require per-cell dispatch: the
             # parent can only observe task completion, so a task must be
             # exactly one cell.
             return [[cell] for cell in cells]
-        size = self.chunksize
-        if size is None:
-            size = max(1, -(-len(cells) // (self.max_workers * 4)))
-        return [cells[i : i + size] for i in range(0, len(cells), size)]
+        if self.chunksize is not None or self.policy.scheduler == "static":
+            size = self.chunksize
+            if size is None:
+                size = max(1, -(-len(cells) // (self.max_workers * 4)))
+            return [cells[i : i + size] for i in range(0, len(cells), size)]
+        plan = plan_chunks(cells, self.cost_model, self.max_workers)
+        self._last_plan = plan
+        return plan.chunks
 
     # -- checkpointing -----------------------------------------------------
 
@@ -498,6 +569,11 @@ class ParallelExecutor:
         if self.policy.resume and store.path.exists():
             store.load()
             store.verify(digest)
+            # Recorded wall times (v3 checkpoints) are free cost-model
+            # training data: the resumed grid schedules its remaining
+            # cells on the interrupted run's real rates.
+            for key, wall_s in store.wall_seconds.items():
+                self.cost_model.observe(key[0], key[3], wall_s)
             restored = 0
             for key in resolved:
                 result = store.get(key)
@@ -517,10 +593,17 @@ class ParallelExecutor:
         store.begin(config=digest)
         return store
 
-    def _checkpoint(self, store: RunStore | None, key: RunKey, run: RunResult, tel) -> None:
+    def _checkpoint(
+        self,
+        store: RunStore | None,
+        key: RunKey,
+        run: RunResult,
+        tel,
+        wall_s: float | None = None,
+    ) -> None:
         if store is None or key in store:
             return
-        store.append(key, run)
+        store.append(key, run, wall_s)
         if tel.enabled:
             tel.count("checkpoint.cells_written")
 
@@ -548,6 +631,26 @@ class ParallelExecutor:
         if tel.enabled:
             tel.count(f"fault.{reason}")
             tel.emit("fault", reason=reason, cells=cells, attempt=attempt, **extra)
+
+    # -- cost observation ---------------------------------------------------
+
+    def _observe_cell(self, key: RunKey, wall_s: float, tel) -> None:
+        """Record one executed cell's wall time: feeds the cost model,
+        :attr:`wall_seconds`, and the sanctioned ``sched`` event stream
+        (training data for later runs and ``repro trace stragglers``)."""
+        tga_name, dataset_name, port, budget = key
+        self.wall_seconds[key] = wall_s
+        self.cost_model.observe(tga_name, budget, wall_s)
+        if tel.enabled:
+            tel.emit(
+                "sched",
+                kind="cell",
+                tga=tga_name,
+                dataset=dataset_name,
+                port=port.value,
+                budget=budget,
+                wall_s=round(wall_s, 6),
+            )
 
     # -- execution ---------------------------------------------------------
 
@@ -577,6 +680,8 @@ class ParallelExecutor:
             progress = policy.progress
         tel = get_telemetry()
         self.failed_cells = []
+        self.wall_seconds = {}
+        self._last_workers = 1
         resolved: dict[RunKey, Cell] = {}
         for tga_name, dataset, port, budget in cells:
             tga_name = canonical_tga_name(tga_name)
@@ -586,32 +691,58 @@ class ParallelExecutor:
                 (tga_name, dataset, port, budget),
             )
         total = len(resolved)
-        store = self._open_store(resolved, tel)
-        try:
-            done = 0
-            results: dict[RunKey, RunResult] = {}
-            missing: list[Cell] = []
-            for key, cell in resolved.items():
-                cached = study._run_cache.get(key)
-                if cached is not None:
-                    results[key] = cached
-                    self._checkpoint(store, key, cached, tel)
-                    done += 1
-                    if progress is not None:
-                        progress(done, total, cached)
-                else:
-                    missing.append(cell)
-            if tel.enabled:
-                tel.count("meta.parallel.cells_cached", total - len(missing))
-                tel.count("meta.parallel.cells_executed", len(missing))
-            if missing:
-                if self.max_workers <= 1 or len(missing) == 1:
-                    self._run_serial(missing, results, store, progress, done, total, tel)
-                else:
-                    self._run_pool(missing, results, store, progress, done, total, tel)
-        finally:
-            if store is not None:
-                store.close()
+        # ``policy.model_store`` of None inherits whatever persistent
+        # store is already active; any other value (False/True/path)
+        # installs that setting for the duration of the run — parent
+        # and workers alike (the worker spec carries the store root).
+        if policy.model_store is None:
+            store_scope = contextlib.nullcontext()
+        else:
+            store_scope = use_model_store(resolve_model_store(policy.model_store))
+        with store_scope:
+            store = self._open_store(resolved, tel)
+            try:
+                done = 0
+                results: dict[RunKey, RunResult] = {}
+                missing: list[Cell] = []
+                for key, cell in resolved.items():
+                    cached = study._run_cache.get(key)
+                    if cached is not None:
+                        results[key] = cached
+                        self._checkpoint(store, key, cached, tel)
+                        done += 1
+                        if progress is not None:
+                            progress(done, total, cached)
+                    else:
+                        missing.append(cell)
+                if tel.enabled:
+                    tel.count("meta.parallel.cells_cached", total - len(missing))
+                    tel.count("meta.parallel.cells_executed", len(missing))
+                if missing:
+                    started = time.perf_counter()
+                    if self.max_workers <= 1 or len(missing) == 1:
+                        self._run_serial(
+                            missing, results, store, progress, done, total, tel
+                        )
+                    else:
+                        self._run_pool(
+                            missing, results, store, progress, done, total, tel
+                        )
+                    if tel.enabled and self.wall_seconds:
+                        # Achieved makespan vs the serial lower bound —
+                        # the figure ``repro trace stragglers`` reports.
+                        tel.emit(
+                            "sched",
+                            kind="summary",
+                            scheduler=policy.scheduler,
+                            cells=len(self.wall_seconds),
+                            workers=self._last_workers,
+                            elapsed_s=round(time.perf_counter() - started, 6),
+                            total_wall_s=round(sum(self.wall_seconds.values()), 6),
+                        )
+            finally:
+                if store is not None:
+                    store.close()
         return results
 
     # -- serial (in-process) path ------------------------------------------
@@ -630,16 +761,20 @@ class ParallelExecutor:
         study = self.study
         policy = self.policy
         plan = policy.fault_plan
+        self._last_workers = 1
         for cell in missing:
             tga_name, dataset, port, budget = cell
             key = (tga_name, dataset.name, port, budget)
             attempt = 0
             run = None
+            wall = 0.0
             while True:
                 try:
                     if plan is not None:
                         plan.fire(key, attempt, allow_exit=False)
+                    start = time.perf_counter()
                     run = study.run(tga_name, dataset, port, budget=budget)
+                    wall = time.perf_counter() - start
                     break
                 except FaultInjected as fault:
                     self._note_fault(fault.kind, 1, attempt, tel)
@@ -654,7 +789,8 @@ class ParallelExecutor:
             if run is None:
                 continue
             results[key] = run
-            self._checkpoint(store, key, run, tel)
+            self._observe_cell(key, wall, tel)
+            self._checkpoint(store, key, run, tel, wall)
             done += 1
             if progress is not None:
                 progress(done, total, run)
@@ -698,11 +834,12 @@ class ParallelExecutor:
           burning CPU, are left to the ordinary deadline.
 
         A chunk charged more than ``max_retries`` times fails all its
-        cells into :attr:`failed_cells`.  Worker telemetry is merged in
-        chunk order — not completion order — and a retried chunk
-        overwrites its capture slot, so fault-free and fault-recovered
-        runs of the same grid merge identical (variant-event-stripped)
-        traces.
+        cells into :attr:`failed_cells`.  Worker telemetry is captured
+        per *cell* and merged in canonical cell order — not completion,
+        chunk or retry order — and a retried cell overwrites its
+        capture slot, so serial, statically-chunked, cost-scheduled and
+        fault-recovered runs of the same grid all merge identical
+        (variant-event-stripped) traces.
         """
         global _FORK_DONOR
         policy = self.policy
@@ -732,12 +869,30 @@ class ParallelExecutor:
             monitor = HeartbeatMonitor(grace=policy.resolved_heartbeat_grace)
         chunks = self._chunks(missing)
         workers = min(self.max_workers, len(chunks))
+        self._last_workers = workers
         if tel.enabled:
             tel.count("meta.parallel.chunks", len(chunks))
             tel.gauge("meta.parallel.workers", workers)
-        #: Worker telemetry, indexed by chunk so the merge below is
-        #: independent of completion and retry order.
-        captured: list[tuple[dict, list[dict]] | None] = [None] * len(chunks)
+            if self._last_plan is not None:
+                chunk_plan = self._last_plan
+                tel.emit(
+                    "sched",
+                    kind="plan",
+                    scheduler=policy.scheduler,
+                    cells=len(missing),
+                    chunks=len(chunks),
+                    head_chunks=chunk_plan.head_chunks,
+                    tail_chunks=chunk_plan.tail_chunks,
+                    workers=workers,
+                    trained=self.cost_model.observations,
+                    predicted_total_s=round(chunk_plan.predicted_total, 6),
+                    predicted_makespan_s=round(
+                        chunk_plan.predicted_makespan(workers), 6
+                    ),
+                )
+        #: Worker telemetry, keyed by run key so the merge below is
+        #: independent of completion, retry and chunk-plan order.
+        captured: dict[RunKey, tuple[dict, list[dict]]] = {}
         attempts = [0] * len(chunks)
         pending: deque[int] = deque(range(len(chunks)))
         suspects: deque[int] = deque()
@@ -761,14 +916,14 @@ class ParallelExecutor:
 
         def harvest(index: int, payload) -> None:
             nonlocal done
-            pairs, snapshot, events = payload
-            if snapshot is not None:
-                captured[index] = (snapshot, events or [])
-            for key, run in pairs:
+            for key, run, wall, capture in payload:
+                if capture is not None:
+                    captured[key] = capture
+                self._observe_cell(key, wall, tel)
                 # First writer wins, matching serial memoisation.
                 cached = self.study._run_cache.setdefault(key, run)
                 results[key] = cached
-                self._checkpoint(store, key, cached, tel)
+                self._checkpoint(store, key, cached, tel, wall)
                 done += 1
                 if progress is not None:
                     progress(done, total, cached)
@@ -939,10 +1094,15 @@ class ParallelExecutor:
                 # here, after the pool is gone, on every exit path —
                 # including crash recovery and timeout reaping above.
                 owner.close()
-        # Deterministic merge: chunk order, not completion order, so
-        # counters, span trees and forwarded events (hence JSONL sinks)
-        # are byte-identical across runs.
-        for capture in captured:
+        # Deterministic merge: canonical cell order — the order the
+        # caller resolved the grid in, which is the order a serial run
+        # executes — never completion, chunk-plan or retry order.
+        # Counters, span trees and forwarded events (hence JSONL sinks)
+        # are therefore byte-identical across runs *and* across chunk
+        # plans, even though the cost-aware scheduler's plans vary with
+        # learned rates.
+        for tga_name, dataset, port, budget in missing:
+            capture = captured.get((tga_name, dataset.name, port, budget))
             if capture is None:
                 continue
             snapshot, events = capture

@@ -44,8 +44,9 @@ class ExecutionPolicy:
     telemetry: Telemetry | None = None
     #: ``progress(done, total, result)`` callback, fired per cell.
     progress: Callable | None = None
-    #: Checkpoint path (:class:`~repro.experiments.RunStore`, format v2):
-    #: every completed cell is appended as it finishes.
+    #: Checkpoint path (:class:`~repro.experiments.RunStore`, format v3):
+    #: every completed cell is appended as it finishes, with its
+    #: measured wall seconds (cost-model training data on resume).
     checkpoint: str | Path | None = None
     #: Load the checkpoint first and skip every cell it already holds
     #: (the store's config digest must match the study).
@@ -86,6 +87,20 @@ class ExecutionPolicy:
     #: meaningful when both ``resource_interval`` and ``cell_timeout``
     #: are set.
     heartbeat_grace: float | None = None
+    #: Persistent prepared-model store (disk tier under the in-memory
+    #: model cache): ``None`` = inherit whatever store is already active
+    #: in the process, ``False`` = force persistence off, ``True`` = the
+    #: default root (``$REPRO_MODEL_STORE`` or ``~/.cache/repro/models``),
+    #: a path = a store rooted there.  Purely an execution knob — every
+    #: stored artifact is digest-verified and rebuilt on mismatch, so
+    #: results are bit-identical with the store hot, cold or off.
+    model_store: str | Path | bool | None = None
+    #: Cell-to-chunk scheduling strategy: ``"cost"`` (default) orders
+    #: cells longest-predicted-first and splits the tail into
+    #: single-cell chunks workers claim dynamically; ``"static"`` keeps
+    #: the legacy contiguous ~4-chunks-per-worker split.  Results and
+    #: stripped traces are bit-identical under either scheduler.
+    scheduler: str = "cost"
 
     def __post_init__(self) -> None:
         if self.workers is not None and not isinstance(self.workers, int):
@@ -113,6 +128,10 @@ class ExecutionPolicy:
                 raise ValueError("heartbeat_grace requires resource_interval")
             if self.heartbeat_grace <= 0:
                 raise ValueError("heartbeat_grace must be positive")
+        if self.scheduler not in ("cost", "static"):
+            raise ValueError(
+                f"scheduler must be 'cost' or 'static'; got {self.scheduler!r}"
+            )
 
     @property
     def resolved_heartbeat_grace(self) -> float | None:

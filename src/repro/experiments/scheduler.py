@@ -1,0 +1,266 @@
+"""Cost-aware chunk planning for the parallel grid executor.
+
+The paper's grids are skewed: an Entropy/IP or 6Graph cell costs ~10x
+a 6Scan cell at the same budget (model builds dominate).  The legacy
+splitter cut the cell list into contiguous ~4-chunks-per-worker slices
+— blind to cost, so one slice could carry several expensive cells and
+become the straggler that bounds the whole grid's makespan.
+
+This module plans chunks from *predicted* cell costs instead:
+
+* :class:`CostModel` predicts seconds per cell.  It learns per-TGA
+  rates from observed wall times (the executor feeds every completed
+  cell back in, and RunStore v3 checkpoints / ``sched`` trace events
+  replay history across processes) and falls back to
+  :data:`TGA_COST_PRIOR` — a static relative-cost table measured on
+  the reference workload — when a TGA has never been observed.
+* :func:`plan_chunks` orders cells longest-predicted-first (LPT),
+  packs the expensive head into multi-cell chunks (amortising
+  per-task pickling), and leaves a tail of single-cell chunks that
+  idle workers claim one at a time from the pool's shared task queue —
+  work stealing without any new IPC mechanism — so the slowest worker
+  finishes within about one cell of the others.
+* :func:`simulate_makespan` list-schedules a chunk plan onto *k*
+  workers, giving the predicted makespan (used by benchmarks and the
+  ``repro trace stragglers`` report to compare against the
+  ``sum/workers`` lower bound).
+
+Planning never affects results: chunks are merged order-normalised by
+run key, so any chunk shape — including a mispredicted one — yields
+results and stripped traces bit-identical to serial execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TGA_COST_PRIOR",
+    "CostModel",
+    "ChunkPlan",
+    "plan_chunks",
+    "simulate_makespan",
+]
+
+#: Relative per-budget-unit cost of one cell per TGA, measured on the
+#: reference workload (budget 2000, all-sources dataset, ICMP).  Only
+#: the *ratios* matter — LPT ordering and chunk packing are invariant
+#: under scaling — so the table needs recalibration only when a TGA's
+#: implementation changes shape, not when machines change speed.
+TGA_COST_PRIOR: dict[str, float] = {
+    "eip": 9.0,
+    "6graph": 6.5,
+    "det": 6.0,
+    "6sense": 5.5,
+    "6tree": 4.5,
+    "6gen": 1.7,
+    "6hit": 1.3,
+    "6scan": 1.0,
+}
+
+#: Prior for a TGA absent from the table (plugins registered via
+#: :func:`repro.tga.register_tga`): assume mid-pack.
+_DEFAULT_PRIOR = 4.0
+
+#: EWMA weight for new observations: recent cells dominate (machine
+#: load shifts), but one outlier cannot wipe the learned rate.
+_EWMA_ALPHA = 0.5
+
+
+@dataclass
+class CostModel:
+    """Predicts per-cell wall seconds from per-TGA learned rates.
+
+    A rate is seconds per budget unit; a cell's predicted cost is
+    ``rate × budget``.  Rates start from :data:`TGA_COST_PRIOR` scaled
+    to an arbitrary unit (ordering is all LPT needs) and are replaced
+    by an exponentially-weighted average of real observations as cells
+    complete.
+    """
+
+    #: Learned seconds-per-budget-unit, keyed by canonical TGA name.
+    rates: dict[str, float] = field(default_factory=dict)
+    #: Observations folded in (diagnostics; 0 = pure prior).
+    observations: int = 0
+
+    def estimate(self, tga: str, budget: int) -> float:
+        """Predicted wall seconds for one ``(tga, budget)`` cell."""
+        rate = self.rates.get(tga)
+        if rate is None:
+            rate = TGA_COST_PRIOR.get(tga, _DEFAULT_PRIOR) * 1e-3
+        return rate * max(1, budget)
+
+    def observe(self, tga: str, budget: int, wall_s: float) -> None:
+        """Fold one measured cell into the model (EWMA per TGA)."""
+        if wall_s <= 0.0:
+            return
+        rate = wall_s / max(1, budget)
+        previous = self.rates.get(tga)
+        if previous is None:
+            self.rates[tga] = rate
+        else:
+            self.rates[tga] = (
+                _EWMA_ALPHA * rate + (1.0 - _EWMA_ALPHA) * previous
+            )
+        self.observations += 1
+
+    def observe_all(
+        self, records: Iterable[tuple[str, int, float]]
+    ) -> "CostModel":
+        """Fold ``(tga, budget, wall_s)`` records; returns self."""
+        for tga, budget, wall_s in records:
+            self.observe(tga, budget, wall_s)
+        return self
+
+    @classmethod
+    def static_prior(cls) -> "CostModel":
+        """A model backed purely by :data:`TGA_COST_PRIOR`."""
+        return cls()
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[tuple[str, int, float]]
+    ) -> "CostModel":
+        """A model trained from ``(tga, budget, wall_s)`` records."""
+        return cls().observe_all(records)
+
+    @classmethod
+    def from_store(cls, store) -> "CostModel":
+        """Train from a loaded :class:`~repro.experiments.RunStore`
+        (v3 checkpoints record per-cell wall seconds; v2/v1 stores
+        simply contribute nothing)."""
+        model = cls()
+        for key, wall_s in getattr(store, "wall_seconds", {}).items():
+            tga, _dataset, _port, budget = key
+            model.observe(tga, budget, wall_s)
+        return model
+
+    @classmethod
+    def from_events(cls, events: Iterable[dict]) -> "CostModel":
+        """Train from a telemetry event stream's ``sched``/``cell``
+        wall-time observations (see ``repro trace stragglers``)."""
+        model = cls()
+        for event in events:
+            if event.get("type") != "sched" or event.get("kind") != "cell":
+                continue
+            model.observe(
+                event["tga"], int(event["budget"]), float(event["wall_s"])
+            )
+        return model
+
+
+@dataclass
+class ChunkPlan:
+    """One planned split of a cell list into pool tasks."""
+
+    #: Chunks in dispatch order: expensive multi-cell head first,
+    #: single-cell steal-tail last.
+    chunks: list[list]
+    #: Predicted cost of each chunk (same order).
+    costs: list[float]
+    #: How many leading chunks are packed head chunks.
+    head_chunks: int
+    #: How many trailing chunks are single-cell steal-tail chunks.
+    tail_chunks: int
+    #: Summed predicted cost of every cell (serial lower bound).
+    predicted_total: float
+
+    def predicted_makespan(self, workers: int) -> float:
+        """List-scheduled makespan of this plan on ``workers``."""
+        return simulate_makespan(self.costs, workers)
+
+
+def simulate_makespan(costs: Sequence[float], workers: int) -> float:
+    """Makespan of list-scheduling ``costs`` (in order) onto ``workers``.
+
+    Models the pool's actual dispatch discipline: each task goes to the
+    worker that frees up first.  With LPT-ordered costs this is the
+    classic (4/3)-approximation of the optimal makespan.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if not costs:
+        return 0.0
+    loads = [0.0] * min(workers, len(costs))
+    heapq.heapify(loads)
+    for cost in costs:
+        heapq.heappush(loads, heapq.heappop(loads) + cost)
+    return max(loads)
+
+
+def plan_chunks(
+    cells: Sequence,
+    model: CostModel,
+    workers: int,
+    chunksize: int | None = None,
+) -> ChunkPlan:
+    """Split ``cells`` into pool tasks using predicted costs.
+
+    With an explicit ``chunksize`` the split is the legacy contiguous
+    one (the caller asked for a specific shape).  Otherwise cells are
+    sorted longest-predicted-first (ties keep grid order, so the plan
+    is deterministic for a fixed model) and split into:
+
+    * **head chunks** — the expensive cells, greedily packed up to a
+      target of ~1/(4·workers) of the total predicted cost per chunk,
+      so per-task pickling is amortised but no chunk dwarfs the rest;
+    * a **steal tail** — the ~2·workers cheapest cells as single-cell
+      chunks, dispatched last.  Workers drain the shared queue, so
+      whichever worker finishes its head work early absorbs the tail
+      one cell at a time, bounding finish-time spread by one cheap
+      cell.
+
+    Each ``cells[i]`` is ``(tga, dataset, port, budget)`` (budget may
+    be ``None`` = caller default; treated as 1 for relative costing).
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    cells = list(cells)
+    if not cells:
+        return ChunkPlan([], [], 0, 0, 0.0)
+    costs = [
+        model.estimate(cell[0], cell[3] or 1) for cell in cells
+    ]
+    total = sum(costs)
+    if chunksize is not None:
+        chunks = [cells[i : i + chunksize] for i in range(0, len(cells), chunksize)]
+        chunk_costs = [
+            sum(costs[i : i + chunksize]) for i in range(0, len(cells), chunksize)
+        ]
+        return ChunkPlan(chunks, chunk_costs, len(chunks), 0, total)
+    # LPT order, stable on grid position so equal-cost cells keep a
+    # deterministic relative order.
+    order = sorted(range(len(cells)), key=lambda i: (-costs[i], i))
+    tail_count = min(len(cells), 2 * workers) if workers > 1 else 0
+    if tail_count >= len(cells):
+        # Tiny grid: everything is a steal-tail singleton.
+        chunks = [[cells[i]] for i in order]
+        return ChunkPlan(chunks, [costs[i] for i in order], 0, len(chunks), total)
+    head = order[: len(cells) - tail_count]
+    tail = order[len(cells) - tail_count :]
+    target = max(
+        total / (4.0 * workers),
+        max(costs[i] for i in head),
+    )
+    chunks: list[list] = []
+    chunk_costs: list[float] = []
+    current: list = []
+    current_cost = 0.0
+    for i in head:
+        if current and current_cost + costs[i] > target:
+            chunks.append(current)
+            chunk_costs.append(current_cost)
+            current = []
+            current_cost = 0.0
+        current.append(cells[i])
+        current_cost += costs[i]
+    if current:
+        chunks.append(current)
+        chunk_costs.append(current_cost)
+    head_chunks = len(chunks)
+    for i in tail:
+        chunks.append([cells[i]])
+        chunk_costs.append(costs[i])
+    return ChunkPlan(chunks, chunk_costs, head_chunks, tail_count, total)

@@ -5,15 +5,23 @@ Long experiment grids are expensive; this module persists
 checkpointed, resumed after a crash, shared and re-analysed without
 recomputation.
 
-Two on-disk formats exist:
+Three on-disk formats exist:
 
-* **Format v2** (current, written by :class:`RunStore`): JSON Lines.
+* **Format v3** (current, written by :class:`RunStore`): JSON Lines.
   The first line is a header carrying the format number and a sha256
   digest of the world configuration the results were computed against;
-  every subsequent line is one ``(RunKey, RunResult)`` record.  Records
-  are appended (and flushed) as cells complete, so a checkpoint is
-  crash-safe by construction: whatever survives an interruption is a
-  valid prefix, and a torn final line is detected and dropped on load.
+  every subsequent line is one ``(RunKey, RunResult)`` record, plus an
+  optional ``wall_s`` field — the measured wall-clock seconds of the
+  cell, recorded so the cost-aware scheduler can train on history and
+  post-hoc straggler analysis is possible.  ``wall_s`` is observation,
+  not result: it never participates in digests or identity checks.
+  Records are appended (and flushed) as cells complete, so a
+  checkpoint is crash-safe by construction: whatever survives an
+  interruption is a valid prefix, and a torn final line is detected
+  and dropped on load.
+* **Format v2** (read/append-compatible): identical line format
+  without ``wall_s``.  v2 stores load transparently, and resuming one
+  appends v3-shaped records under the existing v2 header.
 * **Format v1** (legacy, read-only): a single JSON document
   ``{"format": 1, "results": [...]}``.  :meth:`RunStore.load` and
   :func:`load_results` auto-detect it, so old checkpoints round-trip.
@@ -45,6 +53,7 @@ __all__ = [
 
 _FORMAT_V1 = 1
 _FORMAT_V2 = 2
+_FORMAT_V3 = 3
 
 
 def _encode_addresses(addresses: Iterable[int]) -> list[str]:
@@ -141,13 +150,16 @@ class RunStore:
     counts it in :attr:`dropped`; any earlier corruption is an error.
     """
 
-    FORMAT = _FORMAT_V2
+    FORMAT = _FORMAT_V3
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.header: dict | None = None
         self._records: list[tuple[tuple, RunResult]] = []
         self._by_key: dict[tuple, RunResult] = {}
+        #: Measured wall seconds per key, for records that carried one
+        #: (v3 stores; the cost model trains on these).
+        self.wall_seconds: dict[tuple, float] = {}
         self._handle = None
         #: Records read from disk by :meth:`load`.
         self.loaded = 0
@@ -203,7 +215,10 @@ class RunStore:
                 first = json.loads(lines[0])
             except json.JSONDecodeError:
                 first = None
-            if isinstance(first, dict) and first.get("format") == _FORMAT_V2:
+            if isinstance(first, dict) and first.get("format") in (
+                _FORMAT_V2,
+                _FORMAT_V3,
+            ):
                 header = first
         if header is None:
             return self._load_v1(text)
@@ -223,6 +238,9 @@ class RunStore:
             tga, dataset, port_value, budget = record["key"]
             key = (tga, dataset, Port(port_value), budget)
             self._add(key, result_from_dict(record["result"]))
+            wall_s = record.get("wall_s")
+            if wall_s is not None:
+                self.wall_seconds[key] = float(wall_s)
             self.loaded += 1
         return self.loaded
 
@@ -286,20 +304,29 @@ class RunStore:
         fresh = self.header is None
         self._handle = open(self.path, "a", encoding="utf-8")
         if fresh and self._handle.tell() == 0:
-            self.header = {"format": _FORMAT_V2, "config": config, **meta}
+            self.header = {"format": _FORMAT_V3, "config": config, **meta}
             self._write_line(self.header)
 
-    def append(self, key: tuple, result: RunResult) -> None:
-        """Persist one completed cell (appends and flushes immediately)."""
+    def append(
+        self, key: tuple, result: RunResult, wall_s: float | None = None
+    ) -> None:
+        """Persist one completed cell (appends and flushes immediately).
+
+        ``wall_s`` is the measured wall-clock seconds of the cell, when
+        the caller has one — recorded alongside the result so resumed
+        runs can train the cost-aware scheduler on real history.
+        """
         if self._handle is None:
             self.begin()
         tga, dataset, port, budget = key
-        self._write_line(
-            {
-                "key": [tga, dataset, port.value, budget],
-                "result": result_to_dict(result),
-            }
-        )
+        record: dict = {
+            "key": [tga, dataset, port.value, budget],
+            "result": result_to_dict(result),
+        }
+        if wall_s is not None:
+            record["wall_s"] = round(float(wall_s), 6)
+            self.wall_seconds[key] = float(wall_s)
+        self._write_line(record)
         self._add(key, result)
         self.appended += 1
 
@@ -314,6 +341,7 @@ class RunStore:
         self.header = None
         self._records.clear()
         self._by_key.clear()
+        self.wall_seconds.clear()
         self.loaded = self.appended = self.dropped = 0
 
     def close(self) -> None:

@@ -15,8 +15,10 @@ only wall-clock durations (kept in the in-memory span tree for console
 summaries) vary between runs.  Counters under the sanctioned variant
 namespaces (:data:`SANCTIONED_VARIANT_PREFIXES`: ``meta.*`` run-cache
 bookkeeping, ``tga.model_cache.*`` prepared-model cache traffic,
-``fault.*`` retry/recovery weather, ``checkpoint.*`` RunStore traffic,
-``resource.*`` / ``heartbeat.*`` flight-recorder samples) are
+``tga.model_store.*`` persistent-store traffic, ``fault.*``
+retry/recovery weather, ``checkpoint.*`` RunStore traffic,
+``resource.*`` / ``heartbeat.*`` flight-recorder samples, ``sched.*``
+scheduler bookkeeping) are
 additionally allowed to depend on the execution strategy (serial vs
 parallel, cold vs warm cache, fault-free vs fault-recovered, sampled
 vs unsampled); all other names must not.  :func:`strip_variant_events`
@@ -42,7 +44,7 @@ The consumption layer lives alongside the producer:
   detection.
 
 All of it is scriptable via ``repro trace {summary,attribution,diff,
-check,timeline}``, ``repro top`` and ``--progress`` /
+check,timeline,stragglers}``, ``repro top`` and ``--progress`` /
 ``--sample-resources`` on the CLI.
 """
 
@@ -52,11 +54,13 @@ from .analysis import (
     Attribution,
     DiffEntry,
     ResourceTimeline,
+    StragglerReport,
     Trace,
     TraceDiff,
     attribute,
     diff_traces,
     load_trace,
+    straggler_report,
     strip_variant_events,
     to_prometheus_text,
     trace_peak_rss_mb,
@@ -126,6 +130,8 @@ __all__ = [
     "diff_traces",
     "ResourceTimeline",
     "trace_peak_rss_mb",
+    "StragglerReport",
+    "straggler_report",
     "to_prometheus_text",
     "VARIANT_EVENT_TYPES",
     "NONDETERMINISTIC_PREFIXES",

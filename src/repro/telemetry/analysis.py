@@ -48,14 +48,23 @@ __all__ = [
     "diff_traces",
     "ResourceTimeline",
     "trace_peak_rss_mb",
+    "StragglerReport",
+    "straggler_report",
     "to_prometheus_text",
 ]
 
 #: Event types that record execution weather (injected faults, retries,
-#: checkpoint traffic, resource samples, worker heartbeats) rather than
-#: workload results — the event-stream counterpart of
+#: checkpoint traffic, resource samples, worker heartbeats, scheduler
+#: plans and wall-time observations) rather than workload results — the
+#: event-stream counterpart of
 #: :data:`~repro.telemetry.SANCTIONED_VARIANT_PREFIXES`.
-VARIANT_EVENT_TYPES: tuple[str, ...] = ("fault", "checkpoint", "resource", "heartbeat")
+VARIANT_EVENT_TYPES: tuple[str, ...] = (
+    "fault",
+    "checkpoint",
+    "resource",
+    "heartbeat",
+    "sched",
+)
 
 #: Metric-name prefixes that are wall-clock-dependent *by design*
 #: (RSS, CPU, sample counts, heartbeat counts) and therefore never
@@ -558,6 +567,106 @@ def trace_peak_rss_mb(trace: Trace) -> float:
     if gauge is not None:
         return float(gauge)
     return ResourceTimeline.from_trace(trace).peak_rss_mb
+
+
+# -- straggler analysis ----------------------------------------------------
+
+
+@dataclass
+class StragglerReport:
+    """Per-cell wall-time ranking reconstructed from ``sched`` events.
+
+    The scheduler emits one ``sched``/``kind="cell"`` event per executed
+    cell (measured wall seconds), a ``kind="plan"`` event per pool launch
+    (predicted figures) and a ``kind="summary"`` event per grid (workers,
+    elapsed).  This report ranks the cells longest-first and compares the
+    achieved makespan against the ``total_wall / workers`` lower bound —
+    the gap is what better chunking (or fewer stragglers) could recover.
+    """
+
+    #: ``(tga, dataset, port, budget, wall_s)`` rows, longest first.
+    cells: list[tuple[str, str, str, int, float]] = field(default_factory=list)
+    #: Worker processes the grid ran with (1 when unrecorded).
+    workers: int = 1
+    #: Wall seconds the missing-cell execution actually took (the
+    #: achieved makespan); 0.0 when no summary event was recorded.
+    elapsed_s: float = 0.0
+    #: Sum of per-cell wall seconds (serial-equivalent work).
+    total_wall_s: float = 0.0
+    #: Scheduler strategy named by the summary event (``""`` = unknown).
+    scheduler: str = ""
+    #: Predicted makespan from the ``kind="plan"`` event, if any.
+    predicted_makespan_s: float | None = None
+
+    @property
+    def ideal_makespan_s(self) -> float:
+        """The ``total_wall / workers`` lower bound on the makespan."""
+        if self.workers < 1:
+            return self.total_wall_s
+        return self.total_wall_s / self.workers
+
+    @property
+    def efficiency(self) -> float:
+        """``ideal / achieved`` makespan ratio in (0, 1]; 0.0 unknown.
+
+        1.0 means the run was perfectly packed (no worker idled while a
+        straggler finished); lower values quantify schedule slack.
+        """
+        if self.elapsed_s <= 0.0 or self.total_wall_s <= 0.0:
+            return 0.0
+        return min(1.0, self.ideal_makespan_s / self.elapsed_s)
+
+    def top(self, k: int = 10) -> list[tuple[str, str, str, int, float]]:
+        """The ``k`` longest-running cells."""
+        return self.cells[: max(0, k)]
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "scheduler": self.scheduler,
+            "cells": len(self.cells),
+            "elapsed_s": round(self.elapsed_s, 6),
+            "total_wall_s": round(self.total_wall_s, 6),
+            "ideal_makespan_s": round(self.ideal_makespan_s, 6),
+            "efficiency": round(self.efficiency, 4),
+            "predicted_makespan_s": self.predicted_makespan_s,
+        }
+
+
+def straggler_report(trace: Trace) -> StragglerReport:
+    """Rank a trace's cells by wall time and score the schedule.
+
+    Consumes the ``sched`` execution-weather events (absent from stripped
+    traces and from serial unsampled runs that never routed through the
+    executor); a trace without them yields an empty report rather than
+    an error, so the CLI can say "no scheduling data" cleanly.
+    """
+    report = StragglerReport()
+    cells: list[tuple[str, str, str, int, float]] = []
+    for event in trace.events_of("sched"):
+        kind = event.get("kind")
+        if kind == "cell":
+            cells.append(
+                (
+                    str(event.get("tga", "?")),
+                    str(event.get("dataset", "?")),
+                    str(event.get("port", "?")),
+                    int(event.get("budget", 0) or 0),
+                    float(event.get("wall_s", 0.0) or 0.0),
+                )
+            )
+        elif kind == "summary":
+            report.workers = max(1, int(event.get("workers", 1) or 1))
+            report.elapsed_s = float(event.get("elapsed_s", 0.0) or 0.0)
+            report.scheduler = str(event.get("scheduler", "") or "")
+        elif kind == "plan":
+            predicted = event.get("predicted_makespan_s")
+            if predicted is not None:
+                report.predicted_makespan_s = float(predicted)
+    cells.sort(key=lambda row: (-row[4], row[0], row[1], row[2], row[3]))
+    report.cells = cells
+    report.total_wall_s = sum(row[4] for row in cells)
+    return report
 
 
 # -- prometheus export -----------------------------------------------------

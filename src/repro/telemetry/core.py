@@ -16,11 +16,14 @@ Design constraints (see ``docs/architecture.md`` § Telemetry):
   :data:`SANCTIONED_VARIANT_PREFIXES` — ``meta.*`` (run-cache hits,
   scheduling bookkeeping), ``tga.model_cache.*`` (prepared-model
   cache traffic, plus the ``cached`` attribute on ``prepare`` span
-  events), ``fault.*`` (injected faults, retries, pool rebuilds),
-  ``checkpoint.*`` (cells written to / restored from a RunStore), and
-  ``resource.*`` / ``heartbeat.*`` (the resource flight recorder of
-  :mod:`repro.telemetry.resources` — RSS/CPU samples and worker
-  liveness beats, wall-clock-dependent by nature) — which may
+  events), ``tga.model_store.*`` (persistent disk-store traffic,
+  machine-state-dependent by nature), ``fault.*`` (injected faults,
+  retries, pool rebuilds), ``checkpoint.*`` (cells written to /
+  restored from a RunStore), ``resource.*`` / ``heartbeat.*`` (the
+  resource flight recorder of :mod:`repro.telemetry.resources` —
+  RSS/CPU samples and worker liveness beats, wall-clock-dependent by
+  nature), and ``sched.*`` (the cost-aware scheduler's wall-time
+  observations and chunk plans) — which may
   legitimately differ between serial and parallel execution, between
   cold- and warm-cache runs, between fault-free and fault-recovered
   runs, or between sampled and unsampled runs of the same workload;
@@ -56,13 +59,18 @@ __all__ = [
 #: workload results.  ``resource.*`` and ``heartbeat.*`` are the
 #: flight-recorder samples of :mod:`repro.telemetry.resources` —
 #: wall-clock-dependent by design, never reproducible.
+#: ``tga.model_store.*`` counts persistent disk-store traffic (a
+#: function of machine state, like any cache) and ``sched.*`` carries
+#: the cost-aware scheduler's measured wall times and chunk plans.
 SANCTIONED_VARIANT_PREFIXES: tuple[str, ...] = (
     "meta.",
     "tga.model_cache.",
+    "tga.model_store.",
     "fault.",
     "checkpoint.",
     "resource.",
     "heartbeat.",
+    "sched.",
 )
 
 #: Default histogram bucket edges (counts of addresses / batch sizes).

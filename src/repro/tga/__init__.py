@@ -23,6 +23,14 @@ from .modelcache import (
     seed_fingerprint,
     use_model_cache,
 )
+from .modelstore import (
+    ModelStore,
+    StoreStats,
+    get_model_store,
+    resolve_model_store,
+    set_model_store,
+    use_model_store,
+)
 from .sixgen import SixGen
 from .sixgraph import SixGraph
 from .sixhit import SixHit
@@ -52,6 +60,12 @@ __all__ = [
     "get_model_cache",
     "seed_fingerprint",
     "use_model_cache",
+    "ModelStore",
+    "StoreStats",
+    "get_model_store",
+    "resolve_model_store",
+    "set_model_store",
+    "use_model_store",
     "SixTree",
     "SixScan",
     "SixHit",

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from ..addr import ADDRESS_NYBBLES
 from ..addr.rand import hash64
 from ..telemetry import get_telemetry
+from .modelstore import get_model_store
 
 __all__ = [
     "CacheStats",
@@ -139,6 +140,10 @@ class ModelCache:
         mutated.  ``cost`` feeds the eviction budget; pass the seed
         count of the build.  With the cache disabled this is a plain
         ``builder()`` call — no storage, no counters.
+
+        When a persistent :class:`~repro.tga.modelstore.ModelStore` is
+        active, a memory miss consults the disk tier before building,
+        and fresh builds are persisted for future processes.
         """
         if not self.enabled:
             return builder()
@@ -154,7 +159,11 @@ class ModelCache:
         self.stats.misses += 1
         if tel.enabled:
             tel.count("tga.model_cache.misses")
-        artifact = builder()
+        store = get_model_store()
+        if store is not None:
+            artifact = store.get_or_build(kind, fingerprint, params, builder)
+        else:
+            artifact = builder()
         cost = max(1, cost)
         self._entries[key] = (artifact, cost)
         self._total_cost += cost

@@ -87,7 +87,7 @@ class TestRunStore:
         with again:
             again.begin(config=digest)
         lines = path.read_text().splitlines()
-        assert json.loads(lines[0])["format"] == 2
+        assert json.loads(lines[0])["format"] == 3
         assert sum(1 for line in lines if '"format"' in line) == 1
         again2 = RunStore(path)
         again2.load()
@@ -167,7 +167,7 @@ class TestRunStore:
         path = tmp_path / "results.jsonl"
         assert dump_results(path, [result, result]) == 2
         assert load_results(path) == [result, result]  # order and duplicates
-        assert json.loads(path.read_text().splitlines()[0])["format"] == 2
+        assert json.loads(path.read_text().splitlines()[0])["format"] == 3
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,410 @@
+"""Tests for repro.experiments.scheduler and the warm-start layers.
+
+Covers the cost model and chunk planner as units, the straggler report
+over ``sched`` trace events, RunStore v3 wall-time persistence (with v2
+backward reads), and the system-level property that neither the
+cost-aware scheduler nor a warm persistent model store can change grid
+results or stripped traces.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    CostModel,
+    ExecutionPolicy,
+    GridSpec,
+    RunStore,
+    Study,
+    TGA_COST_PRIOR,
+    plan_chunks,
+    run_grid,
+    simulate_makespan,
+    study_digest,
+)
+from repro.internet import InternetConfig, Port
+from repro.telemetry import (
+    MemorySink,
+    StragglerReport,
+    Telemetry,
+    Trace,
+    straggler_report,
+    strip_variant_events,
+)
+from repro.tga import ModelStore, use_model_cache, use_model_store, ModelCache
+
+TGAS = ("6tree", "6gen", "eip")
+PORTS = (Port.ICMP, Port.TCP80)
+BUDGET = 400
+
+
+def make_study() -> Study:
+    return Study(config=InternetConfig.tiny(), budget=500, round_size=200)
+
+
+def make_spec(study: Study) -> GridSpec:
+    return GridSpec(
+        datasets=(study.constructions.all_active,),
+        tga_names=TGAS,
+        ports=PORTS,
+        budget=BUDGET,
+    )
+
+
+def make_cells(n_tgas=None, budget=1000):
+    names = list(TGA_COST_PRIOR)[: n_tgas or len(TGA_COST_PRIOR)]
+    return [(tga, "ds", Port.ICMP, budget) for tga in names]
+
+
+class TestCostModel:
+    def test_prior_preserves_relative_cost_order(self):
+        model = CostModel.static_prior()
+        assert model.estimate("eip", 1000) > model.estimate("6graph", 1000)
+        assert model.estimate("6graph", 1000) > model.estimate("6scan", 1000)
+
+    def test_unknown_tga_gets_midpack_prior(self):
+        model = CostModel.static_prior()
+        estimate = model.estimate("custom_plugin", 1000)
+        assert model.estimate("6scan", 1000) < estimate < model.estimate("eip", 1000)
+
+    def test_estimate_scales_with_budget(self):
+        model = CostModel.static_prior()
+        assert model.estimate("det", 2000) == pytest.approx(
+            2 * model.estimate("det", 1000)
+        )
+
+    def test_observation_replaces_prior(self):
+        model = CostModel()
+        model.observe("6scan", 1000, 5.0)
+        assert model.estimate("6scan", 1000) == pytest.approx(5.0)
+        assert model.observations == 1
+
+    def test_ewma_blends_observations(self):
+        model = CostModel()
+        model.observe("6scan", 1000, 4.0)
+        model.observe("6scan", 1000, 8.0)
+        # alpha=0.5: halfway between the two rates.
+        assert model.estimate("6scan", 1000) == pytest.approx(6.0)
+
+    def test_nonpositive_walls_ignored(self):
+        model = CostModel()
+        model.observe("6scan", 1000, 0.0)
+        model.observe("6scan", 1000, -1.0)
+        assert model.observations == 0
+
+    def test_from_records(self):
+        model = CostModel.from_records([("eip", 500, 2.0), ("6gen", 500, 0.5)])
+        assert model.estimate("eip", 500) == pytest.approx(2.0)
+        assert model.estimate("6gen", 500) == pytest.approx(0.5)
+
+    def test_from_events_reads_sched_cell_events(self):
+        events = [
+            {"type": "sched", "kind": "cell", "tga": "det", "budget": 800, "wall_s": 1.6},
+            {"type": "sched", "kind": "plan", "scheduler": "cost"},
+            {"type": "fault", "kind": "crash"},
+        ]
+        model = CostModel.from_events(events)
+        assert model.observations == 1
+        assert model.estimate("det", 800) == pytest.approx(1.6)
+
+
+class TestSimulateMakespan:
+    def test_empty(self):
+        assert simulate_makespan([], 4) == 0.0
+
+    def test_single_worker_sums(self):
+        assert simulate_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_greedy_dispatch(self):
+        # Two workers, tasks in order: w1=3, w2=1, then 2 goes to w2.
+        assert simulate_makespan([3.0, 1.0, 2.0], 2) == pytest.approx(3.0)
+
+    def test_heavy_task_last_is_the_static_pathology(self):
+        costs = [1.0] * 8 + [8.0]
+        in_order = simulate_makespan(costs, 4)
+        lpt = simulate_makespan(sorted(costs, reverse=True), 4)
+        assert in_order > lpt
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            simulate_makespan([1.0], 0)
+
+
+class TestPlanChunks:
+    def test_empty_cells(self):
+        plan = plan_chunks([], CostModel.static_prior(), 4)
+        assert plan.chunks == []
+        assert plan.predicted_total == 0.0
+
+    def test_every_cell_exactly_once(self):
+        cells = make_cells()
+        plan = plan_chunks(cells, CostModel.static_prior(), 4)
+        flat = [cell for chunk in plan.chunks for cell in chunk]
+        assert sorted(map(repr, flat)) == sorted(map(repr, cells))
+
+    def test_deterministic_for_fixed_model(self):
+        cells = make_cells()
+        a = plan_chunks(cells, CostModel.static_prior(), 4)
+        b = plan_chunks(cells, CostModel.static_prior(), 4)
+        assert a.chunks == b.chunks
+        assert a.costs == b.costs
+
+    def test_most_expensive_cell_dispatched_first(self):
+        plan = plan_chunks(make_cells(), CostModel.static_prior(), 2)
+        assert plan.chunks[0][0][0] == "eip"
+
+    def test_tail_is_single_cell_chunks(self):
+        cells = make_cells() * 4  # 32 cells
+        plan = plan_chunks(cells, CostModel.static_prior(), 2)
+        assert plan.tail_chunks == 4  # min(len, 2*workers)
+        for chunk in plan.chunks[-plan.tail_chunks :]:
+            assert len(chunk) == 1
+        assert plan.head_chunks == len(plan.chunks) - plan.tail_chunks
+
+    def test_serial_plan_has_no_steal_tail(self):
+        plan = plan_chunks(make_cells(), CostModel.static_prior(), 1)
+        assert plan.tail_chunks == 0
+
+    def test_tiny_grid_is_all_tail(self):
+        plan = plan_chunks(make_cells(n_tgas=3), CostModel.static_prior(), 4)
+        assert plan.head_chunks == 0
+        assert plan.tail_chunks == 3
+
+    def test_explicit_chunksize_keeps_legacy_contiguous_slices(self):
+        cells = make_cells()
+        plan = plan_chunks(cells, CostModel.static_prior(), 4, chunksize=3)
+        assert plan.chunks == [cells[0:3], cells[3:6], cells[6:8]]
+        assert plan.tail_chunks == 0
+
+    def test_predicted_makespan_uses_plan_costs(self):
+        plan = plan_chunks(make_cells(), CostModel.static_prior(), 4)
+        assert plan.predicted_makespan(4) == pytest.approx(
+            simulate_makespan(plan.costs, 4)
+        )
+        assert plan.predicted_makespan(4) <= plan.predicted_total
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            plan_chunks(make_cells(), CostModel.static_prior(), 0)
+
+
+class TestPolicyValidation:
+    def test_scheduler_choices(self):
+        ExecutionPolicy(scheduler="cost")
+        ExecutionPolicy(scheduler="static")
+        with pytest.raises(ValueError, match="scheduler"):
+            ExecutionPolicy(scheduler="random")
+
+
+class TestStragglerReport:
+    def events(self):
+        return [
+            {"type": "sched", "kind": "plan", "scheduler": "cost",
+             "predicted_makespan_s": 2.5},
+            {"type": "sched", "kind": "cell", "tga": "eip", "dataset": "ds",
+             "port": "icmp", "budget": 500, "wall_s": 2.0},
+            {"type": "sched", "kind": "cell", "tga": "6scan", "dataset": "ds",
+             "port": "icmp", "budget": 500, "wall_s": 0.25},
+            {"type": "sched", "kind": "cell", "tga": "6tree", "dataset": "ds",
+             "port": "tcp80", "budget": 500, "wall_s": 0.75},
+            {"type": "sched", "kind": "summary", "scheduler": "cost",
+             "workers": 2, "elapsed_s": 2.0, "total_wall_s": 3.0},
+        ]
+
+    def test_ranks_cells_longest_first(self):
+        report = straggler_report(Trace(path=None, events=self.events()))
+        assert [row[0] for row in report.cells] == ["eip", "6tree", "6scan"]
+        assert report.top(2) == report.cells[:2]
+
+    def test_aggregates_and_bounds(self):
+        report = straggler_report(Trace(path=None, events=self.events()))
+        assert report.workers == 2
+        assert report.scheduler == "cost"
+        assert report.total_wall_s == pytest.approx(3.0)
+        assert report.ideal_makespan_s == pytest.approx(1.5)
+        assert report.elapsed_s == pytest.approx(2.0)
+        assert report.efficiency == pytest.approx(0.75)
+        assert report.predicted_makespan_s == pytest.approx(2.5)
+        assert report.as_dict()["cells"] == 3
+
+    def test_trace_without_sched_events_is_empty(self):
+        report = straggler_report(
+            Trace(path=None, events=[{"type": "grid", "cells": 4}])
+        )
+        assert report.cells == []
+        assert report.efficiency == 0.0
+        assert isinstance(report, StragglerReport)
+
+    def test_executor_trace_feeds_report(self, tmp_path):
+        sink = MemorySink()
+        telemetry = Telemetry(sinks=[sink])
+        study = make_study()
+        policy = ExecutionPolicy(workers=2, telemetry=telemetry)
+        run_grid(study, make_spec(study), policy=policy)
+        report = straggler_report(Trace(path=None, events=list(sink.events)))
+        assert len(report.cells) == len(TGAS) * len(PORTS)
+        assert report.workers == 2
+        assert report.total_wall_s > 0.0
+        assert 0.0 < report.efficiency <= 1.0
+
+
+class TestRunStoreWallSeconds:
+    def run(self, study):
+        return study.run("6gen", study.constructions.all_active, Port.ICMP, budget=200)
+
+    def test_v3_roundtrips_wall_seconds(self, tmp_path):
+        study = make_study()
+        result = self.run(study)
+        key = ("6gen", "all-active", Port.ICMP, 200)
+        path = tmp_path / "ckpt.jsonl"
+        with RunStore(path) as store:
+            store.begin(config=study_digest(study))
+            store.append(key, result, wall_s=1.25)
+        reread = RunStore(path)
+        reread.load()
+        assert reread.header["format"] == 3
+        assert reread.wall_seconds == {key: 1.25}
+        assert reread.get(key) == result
+        model = CostModel.from_store(reread)
+        assert model.estimate("6gen", 200) == pytest.approx(1.25)
+
+    def test_wall_seconds_optional(self, tmp_path):
+        study = make_study()
+        result = self.run(study)
+        key = ("6gen", "all-active", Port.ICMP, 200)
+        with RunStore(tmp_path / "ckpt.jsonl") as store:
+            store.begin()
+            store.append(key, result)
+        reread = RunStore(tmp_path / "ckpt.jsonl")
+        reread.load()
+        assert reread.wall_seconds == {}
+        # A v2-era store trains nothing, but loads fine.
+        assert CostModel.from_store(reread).observations == 0
+
+    def test_v2_store_still_loads(self, tmp_path):
+        """A pre-wall_s (format 2) checkpoint reads transparently."""
+        study = make_study()
+        result = self.run(study)
+        key = ("6gen", "all-active", Port.ICMP, 200)
+        path = tmp_path / "v2.jsonl"
+        with RunStore(path) as store:
+            store.begin(config=study_digest(study))
+            store.append(key, result, wall_s=9.9)
+        # Rewrite as a genuine v2 file: format 2 header, no wall_s.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        header = json.loads(lines[0])
+        header["format"] = 2
+        record = json.loads(lines[1])
+        record.pop("wall_s")
+        path.write_text(
+            json.dumps(header) + "\n" + json.dumps(record) + "\n",
+            encoding="utf-8",
+        )
+        reread = RunStore(path)
+        assert reread.load() == 1
+        assert reread.header["format"] == 2
+        assert reread.get(key) == result
+        assert reread.wall_seconds == {}
+
+
+def assert_identical_runs(a, b) -> None:
+    assert a.clean_hits == b.clean_hits
+    assert a.aliased_hits == b.aliased_hits
+    assert a.active_ases == b.active_ases
+    assert a.metrics == b.metrics
+    assert a.round_history == b.round_history
+
+
+class TestBitIdentity:
+    """The tentpole property: scheduling strategy and store temperature
+    are invisible in results and stripped traces."""
+
+    def serial_reference(self):
+        study = make_study()
+        sink = MemorySink()
+        telemetry = Telemetry(sinks=[sink])
+        results = run_grid(
+            study,
+            make_spec(study),
+            policy=ExecutionPolicy(telemetry=telemetry),
+        )
+        return results, strip_variant_events(list(sink.events))
+
+    def test_cost_and_static_schedulers_bit_identical(self):
+        reference, _reference_events = self.serial_reference()
+        for scheduler in ("cost", "static"):
+            study = make_study()
+            sink = MemorySink()
+            telemetry = Telemetry(sinks=[sink])
+            results = run_grid(
+                study,
+                make_spec(study),
+                policy=ExecutionPolicy(
+                    workers=2, scheduler=scheduler, telemetry=telemetry
+                ),
+            )
+            assert set(results.runs) == set(reference.runs)
+            for key, run in reference.runs.items():
+                assert_identical_runs(run, results.runs[key])
+            # The cost scheduler's plan is visible in the raw trace
+            # (static chunking has no plan to publish)...
+            raw = list(sink.events)
+            plans = [
+                event
+                for event in raw
+                if event.get("type") == "sched" and event.get("kind") == "plan"
+            ]
+            if scheduler == "cost":
+                assert plans and plans[0]["scheduler"] == "cost"
+            else:
+                assert not plans
+            # ...and fully stripped from the sanctioned-variant view.
+            assert not [
+                event
+                for event in strip_variant_events(raw)
+                if event.get("type") == "sched"
+            ]
+
+    def test_warm_model_store_bit_identical(self, tmp_path):
+        reference, reference_events = self.serial_reference()
+        store = ModelStore(tmp_path / "store")
+        for temperature in ("cold", "warm"):
+            study = make_study()
+            sink = MemorySink()
+            telemetry = Telemetry(sinks=[sink])
+            with use_model_cache(ModelCache()), use_model_store(store):
+                results = run_grid(
+                    study,
+                    make_spec(study),
+                    policy=ExecutionPolicy(telemetry=telemetry),
+                )
+            assert set(results.runs) == set(reference.runs)
+            for key, run in reference.runs.items():
+                assert_identical_runs(run, results.runs[key])
+            assert strip_variant_events(list(sink.events)) == reference_events
+        assert store.stats.hits > 0  # the warm pass really hit the disk
+
+    def test_policy_model_store_setting_routes_to_disk(self, tmp_path):
+        study = make_study()
+        root = tmp_path / "policy-store"
+        with use_model_cache(ModelCache()):
+            results = run_grid(
+                study,
+                make_spec(study),
+                policy=ExecutionPolicy(model_store=root),
+            )
+        assert results.complete
+        assert list(root.glob("*.model"))
+        # Setting is scoped to the run: nothing stays active after.
+        from repro.tga import get_model_store
+
+        assert get_model_store() is None
+
+    def test_executor_wall_seconds_surface_in_grid_results(self):
+        study = make_study()
+        results = run_grid(
+            study, make_spec(study), policy=ExecutionPolicy(workers=2)
+        )
+        assert set(results.wall_seconds) == set(results.runs)
+        assert all(wall > 0.0 for wall in results.wall_seconds.values())
