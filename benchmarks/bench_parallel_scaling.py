@@ -94,15 +94,12 @@ def run_once(
     spec = make_spec(study, ports, budget)
     with use_model_cache(ModelCache()):
         start = time.perf_counter()
-        if resource_interval is not None:
-            policy = ExecutionPolicy(
-                workers=workers or 1,
-                telemetry=telemetry,
-                resource_interval=resource_interval,
-            )
-            results = run_grid(study, spec, policy=policy)
-        else:
-            results = run_grid(study, spec, workers=workers, telemetry=telemetry)
+        policy = ExecutionPolicy(
+            workers=workers or 1,
+            telemetry=telemetry,
+            resource_interval=resource_interval,
+        )
+        results = run_grid(study, spec, policy=policy)
         return time.perf_counter() - start, results
 
 

@@ -1,0 +1,217 @@
+"""Observatory service benchmark: submit throughput and dedup latency.
+
+Measures the ``repro serve`` daemon end to end over real HTTP on
+loopback, the way a client fleet would hit it:
+
+* one cold study execution (the only run that actually scans);
+* a burst of identical submissions answered by the in-memory dedup
+  tier — requests/sec plus p50/p99 submit latency (this is the path
+  a multi-tenant observatory serves almost all the time);
+* a fresh service process against the same state directory, whose
+  first submission is answered by the on-disk checkpoint tier
+  (restore latency, no re-execution);
+* the dedup hit rate across everything submitted.
+
+Run:  python benchmarks/bench_service.py [--quick] [--out FILE]
+
+The JSON artifact gets a ``.manifest.json`` provenance sidecar.  The
+exit status enforces the acceptance floor (>= 100 dedup submits/sec
+and a correct dedup hit rate); wall-clock figures are recorded, not
+gated beyond that floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.api import ServiceClient, StudySpec
+from repro.internet import InternetConfig
+from repro.service import ObservatoryService, ServiceConfig, TenantPolicy
+from repro.telemetry import RunManifest, write_manifest
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: Acceptance floor: dedup-tier submissions the service must clear.
+MIN_SUBMITS_PER_SECOND = 100.0
+
+
+class ServiceThread:
+    """An ObservatoryService on a daemon thread with its own loop."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.service: ObservatoryService | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+
+    def _run(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        self.service = ObservatoryService(self.config)
+        self.loop.run_until_complete(self.service.start())
+        self._started.set()
+        self.loop.run_forever()
+        self.loop.close()
+
+    def __enter__(self) -> "ServiceThread":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._started.wait(10), "service failed to start"
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.shutdown(), self.loop
+        )
+        future.result(timeout=120)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=10)
+
+    @property
+    def base_url(self) -> str:
+        return f"http://127.0.0.1:{self.service.port}"
+
+
+def open_tenant_policy() -> TenantPolicy:
+    """Limits high enough that admission never skews the measurement."""
+    return TenantPolicy(rate=1_000_000.0, burst=2_000_000.0, max_active=10_000)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--budget", type=int, default=0, help="probe budget")
+    parser.add_argument(
+        "--submits", type=int, default=0,
+        help="dedup submissions to time (default: 200 quick, 1000 full)",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    budget = args.budget or (250 if args.quick else 600)
+    submits = args.submits or (200 if args.quick else 1_000)
+    spec = StudySpec(
+        scale="tiny", seed=args.seed, budget=budget,
+        tgas=("6gen", "6tree"), ports=("icmp",),
+    )
+    print(
+        f"workload: {spec.size}-cell study (budget {budget}), "
+        f"{submits} dedup submissions"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="bench_service_") as tmp:
+        state_dir = Path(tmp) / "state"
+        config = ServiceConfig(
+            port=0, state_dir=state_dir, tenant_policy=open_tenant_policy()
+        )
+
+        with ServiceThread(config) as server:
+            with ServiceClient(server.base_url, tenant="bench") as client:
+                start = time.perf_counter()
+                record = client.submit(spec)
+                client.wait(record["id"], timeout=300)
+                execute_seconds = time.perf_counter() - start
+                print(
+                    f"cold execution     : {execute_seconds:8.3f}s "
+                    f"({spec.size} cells, state under {state_dir.name}/)"
+                )
+
+                latencies = []
+                start = time.perf_counter()
+                for _ in range(submits):
+                    t0 = time.perf_counter()
+                    hit = client.submit(spec)
+                    latencies.append(time.perf_counter() - t0)
+                    assert hit["dedup"] == "memory", hit["dedup"]
+                elapsed = time.perf_counter() - start
+                submits_per_second = submits / elapsed if elapsed else 0.0
+                latencies.sort()
+                p50_ms = statistics.median(latencies) * 1e3
+                p99_ms = latencies[int(len(latencies) * 0.99) - 1] * 1e3
+                print(
+                    f"memory-dedup burst : {submits_per_second:8.1f} submits/s  "
+                    f"p50 {p50_ms:.2f}ms  p99 {p99_ms:.2f}ms"
+                )
+
+                metrics = client.metrics()
+
+        # A fresh process: in-memory dedup is gone, the checkpoint tier
+        # answers the first resubmission from disk without executing.
+        with ServiceThread(config) as server:
+            with ServiceClient(server.base_url, tenant="bench") as client:
+                t0 = time.perf_counter()
+                restored = client.submit(spec)
+                restore_seconds = time.perf_counter() - t0
+                checkpoint_hit = restored["dedup"] == "checkpoint"
+                print(
+                    f"checkpoint restore : {restore_seconds:8.3f}s  "
+                    f"(dedup tier: {restored['dedup']}, "
+                    f"{execute_seconds / restore_seconds:6.1f}x faster than "
+                    "executing)"
+                )
+
+    def metric(name: str) -> int:
+        for line in metrics.splitlines():
+            if line.startswith(name + " "):
+                return int(float(line.split()[-1]))
+        return 0
+
+    dedup_hits = metric("repro_service_dedup_memory_total")
+    total = submits + 1
+    hit_rate = dedup_hits / total
+    print(f"dedup hit rate     : {dedup_hits}/{total} = {hit_rate:.1%}")
+
+    manifest = RunManifest.from_config(
+        InternetConfig.tiny(master_seed=args.seed),
+        scale="tiny",
+        budget=budget,
+        ports=spec.ports,
+        command="bench_service",
+    )
+    record = {
+        "benchmark": "service",
+        "manifest": manifest.to_dict(),
+        "workload": {
+            "cells": spec.size,
+            "budget": budget,
+            "seed": args.seed,
+            "submits": submits,
+            "spec_digest": spec.digest,
+        },
+        "execute_seconds": round(execute_seconds, 4),
+        "submits_per_second": round(submits_per_second, 2),
+        "submit_p50_ms": round(p50_ms, 3),
+        "submit_p99_ms": round(p99_ms, 3),
+        "dedup_hits": dedup_hits,
+        "dedup_hit_rate": round(hit_rate, 4),
+        "checkpoint_restore_seconds": round(restore_seconds, 4),
+        "checkpoint_hit": checkpoint_hit,
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    sidecar = write_manifest(args.out, manifest)
+    print(f"wrote {args.out} (manifest: {sidecar})")
+
+    ok = (
+        submits_per_second >= MIN_SUBMITS_PER_SECOND
+        and dedup_hits == submits
+        and checkpoint_hit
+    )
+    if not ok:
+        print(
+            f"FAIL: expected >= {MIN_SUBMITS_PER_SECOND:.0f} submits/s with "
+            "a perfect dedup hit rate and a checkpoint-tier restore"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,7 @@ Run:  python examples/parallel_grid.py
 
 import time
 
-from repro.experiments import GridSpec, Study, run_grid, run_rq4
+from repro.experiments import ExecutionPolicy, GridSpec, Study, run_grid, run_rq4
 from repro.internet import InternetConfig, Port
 from repro.tga import ALL_TGA_NAMES
 
@@ -58,7 +58,9 @@ def main() -> None:
         budget=1_000,
     )
     start = time.perf_counter()
-    parallel = run_grid(parallel_study, parallel_spec, workers=WORKERS)
+    parallel = run_grid(
+        parallel_study, parallel_spec, policy=ExecutionPolicy(workers=WORKERS)
+    )
     parallel_s = time.perf_counter() - start
     print(f"workers: {spec.size} cells in {parallel_s:.2f}s (x{WORKERS} processes)")
 

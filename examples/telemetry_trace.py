@@ -22,7 +22,7 @@ import json
 from pathlib import Path
 
 from repro.dealias import DealiasMode
-from repro.experiments import Study, run_rq1a
+from repro.experiments import ExecutionPolicy, Study, run_rq1a
 from repro.internet import InternetConfig, Port
 from repro.telemetry import JsonlSink, Telemetry, render_summary
 
@@ -40,7 +40,7 @@ def main() -> None:
         study,
         ports=(Port.ICMP,),
         modes=(DealiasMode.NONE, DealiasMode.JOINT),
-        telemetry=telemetry,
+        policy=ExecutionPolicy(telemetry=telemetry),
     )
     telemetry.close()
     print(f"RQ1.a slice: {len(result.runs)} cells")

@@ -1,0 +1,163 @@
+"""Synchronous client for the scan-observatory service.
+
+Stdlib-only (``http.client``), so examples and tests run anywhere the
+package does.  The client speaks the service's versioned JSON protocol:
+typed errors come back as :class:`~repro.errors.ReproError` subclasses
+rebuilt from the structured error body, and the NDJSON event stream is
+exposed as a plain iterator of dicts (``http.client`` decodes chunked
+transfer transparently, so streaming needs nothing beyond ``readline``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from collections.abc import Iterator
+
+from ..errors import error_from_dict
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` daemon.
+
+    One client holds one keep-alive connection; it reconnects
+    transparently when the server (or an intermediary) drops it.
+    ``tenant`` becomes the ``X-Repro-Tenant`` header on every request —
+    the service's admission-control identity.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        tenant: str | None = None,
+        timeout: float = 60.0,
+    ) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {parsed.scheme!r} (http only)")
+        netloc = parsed.netloc or parsed.path
+        self.host, _, port_text = netloc.partition(":")
+        self.port = int(port_text or 80)
+        self.tenant = tenant
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _headers(self) -> dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.tenant:
+            headers["X-Repro-Tenant"] = self.tenant
+        return headers
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> http.client.HTTPResponse:
+        headers = self._headers()
+        payload = None
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                return conn.getresponse()
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                self.close()
+                if attempt:
+                    raise
+
+    def _json(self, method: str, path: str, body: dict | None = None) -> dict:
+        response = self._request(method, path, body)
+        data = response.read()
+        parsed = json.loads(data) if data else {}
+        if response.status >= 400:
+            raise error_from_dict(parsed, http_status=response.status)
+        return parsed
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- endpoints ----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The Prometheus exposition text from ``/metrics``."""
+        response = self._request("GET", "/metrics")
+        data = response.read().decode("utf-8")
+        if response.status >= 400:
+            raise error_from_dict(json.loads(data), http_status=response.status)
+        return data
+
+    def submit(self, spec) -> dict:
+        """POST a study; returns the study record (dedup-aware)."""
+        body = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+        return self._json("POST", "/v1/studies", body)
+
+    def get(self, study_id: str) -> dict:
+        return self._json("GET", f"/v1/studies/{study_id}")
+
+    def list(self) -> list[dict]:
+        return self._json("GET", "/v1/studies")["studies"]
+
+    def results(self, study_id: str) -> dict:
+        """The completed study's result records (404 until it is done)."""
+        return self._json("GET", f"/v1/studies/{study_id}/results")
+
+    def events(self, study_id: str) -> Iterator[dict]:
+        """Stream the study's NDJSON event log; ends when the run does."""
+        response = self._request("GET", f"/v1/studies/{study_id}/events")
+        if response.status >= 400:
+            raise error_from_dict(
+                json.loads(response.read() or b"{}"), http_status=response.status
+            )
+        try:
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            response.close()
+            # A streamed response may end mid-keep-alive; start clean.
+            self.close()
+
+    def wait(
+        self, study_id: str, timeout: float = 60.0, poll_interval: float = 0.05
+    ) -> dict:
+        """Poll until the study reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.get(study_id)
+            if record["state"] in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"study {study_id} still {record['state']!r} "
+                    f"after {timeout:.1f}s"
+                )
+            time.sleep(poll_interval)

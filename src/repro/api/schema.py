@@ -1,0 +1,222 @@
+"""Wire-level study descriptions for the versioned public API.
+
+A :class:`StudySpec` is the serialisable counterpart of the triple the
+library works with internally (``InternetConfig`` + :class:`Study` +
+``GridSpec``): everything that determines a study's results, and nothing
+that merely describes *how* it executes (workers, checkpoints and
+telemetry live in :class:`~repro.experiments.ExecutionPolicy`).  Because
+the spec is pure data, it has a canonical dict form and therefore a
+content digest — the service layer dedupes identical submissions by
+that digest, and a checkpoint recorded under one digest can be served
+to every later submission that hashes the same.
+
+Validation happens at construction: a spec that exists is a spec the
+library can run.  Errors are :class:`~repro.errors.InvalidSpecError`
+(HTTP 400) carrying a structured ``detail`` naming the offending field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any
+
+from ..errors import InvalidSpecError
+from ..internet import ALL_PORTS, InternetConfig, Port
+from ..telemetry.provenance import config_digest
+from ..tga import ALL_TGA_NAMES, canonical_tga_name
+
+__all__ = ["SCALES", "DATASETS", "StudySpec"]
+
+#: World scales a spec may name, resolved to config constructors.
+SCALES = {
+    "tiny": InternetConfig.tiny,
+    "bench": InternetConfig.bench,
+    "small": InternetConfig.small,
+    "internet": InternetConfig.internet,
+}
+
+#: Seed dataset constructions a spec may name (the CLI's choices).
+DATASETS = ("active", "full", "offline", "online", "joint")
+
+_PORT_VALUES = tuple(port.value for port in ALL_PORTS)
+
+
+def _invalid(message: str, **detail) -> InvalidSpecError:
+    return InvalidSpecError(message, detail=detail)
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """Everything that determines a study's results, as pure data.
+
+    The fields mirror the CLI's result-determining knobs: the world
+    (``scale`` + ``seed``), the probe ``budget`` and ``round_size``,
+    which ``dataset`` construction seeds the generators, and the
+    ``tgas`` × ``ports`` grid to run.  ``round_size=None`` applies the
+    CLI's default of ``max(200, budget // 5)`` — the resolved value is
+    what gets digested, so the two spellings dedupe to the same study.
+    """
+
+    scale: str = "tiny"
+    seed: int = 42
+    budget: int = 2_500
+    round_size: int | None = None
+    dataset: str = "active"
+    tgas: tuple[str, ...] = ALL_TGA_NAMES
+    ports: tuple[str, ...] = ("icmp",)
+
+    def __post_init__(self) -> None:
+        if self.scale not in SCALES:
+            raise _invalid(
+                f"unknown scale {self.scale!r}; valid scales: "
+                f"{', '.join(sorted(SCALES))}",
+                field="scale", value=self.scale, valid=sorted(SCALES),
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise _invalid("seed must be an integer", field="seed", value=self.seed)
+        if not isinstance(self.budget, int) or self.budget < 1:
+            raise _invalid(
+                "budget must be a positive integer", field="budget", value=self.budget
+            )
+        if self.round_size is not None and (
+            not isinstance(self.round_size, int) or self.round_size < 1
+        ):
+            raise _invalid(
+                "round_size must be a positive integer or null",
+                field="round_size", value=self.round_size,
+            )
+        if self.dataset not in DATASETS:
+            raise _invalid(
+                f"unknown dataset {self.dataset!r}; valid datasets: "
+                f"{', '.join(DATASETS)}",
+                field="dataset", value=self.dataset, valid=list(DATASETS),
+            )
+        if not self.tgas:
+            raise _invalid("a study needs at least one generator", field="tgas")
+        canonical = []
+        for name in self.tgas:
+            try:
+                canonical.append(canonical_tga_name(name))
+            except KeyError:
+                raise _invalid(
+                    f"unknown generator {name!r}; valid generators: "
+                    f"{', '.join(ALL_TGA_NAMES)}",
+                    field="tgas", value=name, valid=list(ALL_TGA_NAMES),
+                ) from None
+        object.__setattr__(self, "tgas", tuple(canonical))
+        if not self.ports:
+            raise _invalid("a study needs at least one port", field="ports")
+        for port in self.ports:
+            if port not in _PORT_VALUES:
+                raise _invalid(
+                    f"unknown port {port!r}; valid ports: "
+                    f"{', '.join(_PORT_VALUES)}",
+                    field="ports", value=port, valid=list(_PORT_VALUES),
+                )
+        object.__setattr__(self, "ports", tuple(self.ports))
+        # Resolve the round-size default eagerly: equality and the
+        # digest must agree for the two spellings of the same study.
+        if self.round_size is None:
+            object.__setattr__(self, "round_size", max(200, self.budget // 5))
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def resolved_round_size(self) -> int:
+        """The effective round size (``None`` resolves at construction)."""
+        assert self.round_size is not None
+        return self.round_size
+
+    @property
+    def port_objects(self) -> tuple[Port, ...]:
+        return tuple(Port(value) for value in self.ports)
+
+    @property
+    def size(self) -> int:
+        """Number of grid cells this spec describes."""
+        return len(self.tgas) * len(self.ports)
+
+    # -- canonical wire form ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form; digests and the wire format use it.
+
+        ``round_size`` is emitted resolved so the default-and-explicit
+        spellings of the same study share a digest.
+        """
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "budget": self.budget,
+            "round_size": self.resolved_round_size,
+            "dataset": self.dataset,
+            "tgas": list(self.tgas),
+            "ports": list(self.ports),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "StudySpec":
+        """Build a validated spec from untrusted wire data."""
+        if not isinstance(data, dict):
+            raise _invalid(
+                f"study spec must be a JSON object, got {type(data).__name__}",
+                got=type(data).__name__,
+            )
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise _invalid(
+                f"unknown spec field(s): {', '.join(unknown)}",
+                unknown=unknown, valid=sorted(known),
+            )
+        kwargs = dict(data)
+        for name in ("tgas", "ports"):
+            if name in kwargs:
+                value = kwargs[name]
+                if not isinstance(value, (list, tuple)) or not all(
+                    isinstance(item, str) for item in value
+                ):
+                    raise _invalid(
+                        f"{name} must be a list of strings", field=name, value=value
+                    )
+                kwargs[name] = tuple(value)
+        return cls(**kwargs)
+
+    @property
+    def digest(self) -> str:
+        """``sha256:`` content hash of the canonical spec dict."""
+        return config_digest(self.to_dict())
+
+    # -- materialisation ----------------------------------------------------
+
+    def build_study(self):
+        """A fresh :class:`~repro.experiments.Study` for this spec."""
+        from ..experiments import Study
+
+        config = SCALES[self.scale](master_seed=self.seed)
+        return Study(
+            config=config,
+            budget=self.budget,
+            round_size=self.resolved_round_size,
+        )
+
+    def dataset_for(self, study):
+        """The seed dataset construction this spec names, on ``study``."""
+        from ..dealias import DealiasMode
+
+        if self.dataset == "active":
+            return study.constructions.all_active
+        if self.dataset == "full":
+            return study.constructions.full
+        return study.constructions.dealias_variant(DealiasMode(self.dataset))
+
+    def grid_spec(self, study):
+        """The :class:`~repro.experiments.GridSpec` this spec describes."""
+        from ..experiments import GridSpec
+
+        return GridSpec(
+            datasets=(self.dataset_for(study),),
+            tga_names=self.tgas,
+            ports=self.port_objects,
+            budget=self.budget,
+        )

@@ -1,18 +1,27 @@
 """Command-line interface for the reproduction.
 
-``python -m repro <command>`` drives the study from a shell:
+``python -m repro <noun> <verb>`` drives the study from a shell:
 
-* ``describe``   — summarise the simulated world
-* ``sources``    — Table 3: seed source composition
-* ``run``        — one TGA × dataset × port cell
-* ``grid``       — a TGA × port grid with checkpoint/resume support
-* ``rq1a`` / ``rq1b`` / ``rq2`` / ``rq3`` / ``rq4`` — experiment pipelines
-* ``overlap``    — Figure 1 heatmap; ``convergence`` — discovery curves
-* ``recommend``  — the RQ5 best-practice ensemble pipeline
-* ``report``     — full markdown study report
-* ``trace``      — analyse recorded telemetry traces
+* ``world describe``  — summarise the simulated world
+* ``world sources``   — Table 3: seed source composition
+* ``world overlap``   — Figure 1 source-overlap heatmap
+* ``study run``       — one TGA × dataset × port cell
+* ``study grid``      — a TGA × port grid with checkpoint support
+* ``study resume``    — continue a grid from a RunStore checkpoint
+* ``study rq1a`` / ``rq1b`` / ``rq2`` / ``rq3`` / ``rq4`` — pipelines
+* ``study convergence`` — discovery-curve summary for one TGA
+* ``study recommend`` — the RQ5 best-practice ensemble pipeline
+* ``study report``    — full markdown study report
+* ``serve``           — the scan-observatory HTTP service (multi-tenant
+  study submissions with dedup and streaming telemetry; the protocol
+  is :mod:`repro.api`'s versioned surface)
+* ``trace``           — analyse recorded telemetry traces
   (``summary`` / ``attribution`` / ``diff`` / ``check`` / ``timeline``)
-* ``top``        — live per-rank resource table over a trace file
+* ``top``             — live per-rank resource table over a trace file
+
+The pre-1.x flat spellings (``repro run``, ``repro grid``, ``repro
+rq1a`` ...) remain as hidden aliases that print a deprecation line on
+stderr and will be removed in the next major release.
 
 Common options: ``--scale {tiny,bench,small,internet}``, ``--seed``,
 ``--budget``, ``--port``, ``--workers``, ``--export file.csv|file.json``.
@@ -154,6 +163,74 @@ def _fault_arg(value: str) -> FaultPlan:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+# -- shared per-command argument groups (used by both the noun-verb
+# spelling and its hidden legacy alias, so the two stay identical) ------------
+
+
+def _add_port_arg(parser: argparse.ArgumentParser, default: str = "icmp") -> None:
+    parser.add_argument(
+        "--port", choices=[port.value for port in ALL_PORTS], default=default
+    )
+
+
+def _add_dataset_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        choices=["full", "offline", "online", "joint", "active"],
+        default="active",
+    )
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("tga", type=_tga_arg, choices=ALL_TGA_NAMES)
+    _add_port_arg(parser)
+    _add_dataset_arg(parser)
+
+
+def _add_grid_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tgas",
+        default=",".join(ALL_TGA_NAMES),
+        help="comma-separated generator names (aliases accepted)",
+    )
+    parser.add_argument(
+        "--ports",
+        default="icmp",
+        help="comma-separated ports to scan "
+        f"({', '.join(port.value for port in ALL_PORTS)})",
+    )
+    _add_dataset_arg(parser)
+
+
+def _add_rq_args(parser: argparse.ArgumentParser) -> None:
+    _add_port_arg(parser)
+
+
+def _add_rq3_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sources",
+        default="censys,scamper,hitlist",
+        help="comma-separated source names",
+    )
+
+
+def _add_overlap_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--by", choices=["ip", "as"], default="ip")
+
+
+def _add_convergence_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("tga", type=_tga_arg, choices=ALL_TGA_NAMES)
+    _add_port_arg(parser)
+
+
+def _add_recommend_args(parser: argparse.ArgumentParser) -> None:
+    _add_port_arg(parser, default="tcp443")
+
+
+def _add_report_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--out", default="", help="write to a file instead of stdout")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -292,82 +369,137 @@ def build_parser() -> argparse.ArgumentParser:
         help="declare a worker stalled after this long without heartbeat "
         "progress (default: 2x the --sample-resources interval)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
 
-    sub.add_parser("describe", help="summarise the simulated world")
-    sub.add_parser("sources", help="seed source composition (Table 3)")
-
-    run_parser = sub.add_parser("run", help="run one TGA cell")
-    run_parser.add_argument("tga", type=_tga_arg, choices=ALL_TGA_NAMES)
-    run_parser.add_argument(
-        "--port", choices=[p.value for p in ALL_PORTS], default="icmp"
+    world = sub.add_parser(
+        "world", help="inspect the simulated world (describe / sources / overlap)"
     )
-    run_parser.add_argument(
-        "--dataset",
-        choices=["full", "offline", "online", "joint", "active"],
-        default="active",
-    )
+    world_sub = world.add_subparsers(dest="verb", required=True, metavar="VERB")
+    p = world_sub.add_parser("describe", help="summarise the simulated world")
+    p.set_defaults(func=_cmd_describe, command_name="world describe")
+    p = world_sub.add_parser("sources", help="seed source composition (Table 3)")
+    p.set_defaults(func=_cmd_sources, command_name="world sources")
+    p = world_sub.add_parser("overlap", help="source overlap heatmap (Figure 1)")
+    _add_overlap_args(p)
+    p.set_defaults(func=_cmd_overlap, command_name="world overlap")
 
-    grid_parser = sub.add_parser(
+    study = sub.add_parser(
+        "study",
+        help="run studies (run / grid / resume / rq1a..rq4 / convergence / "
+        "recommend / report)",
+    )
+    study_sub = study.add_subparsers(dest="verb", required=True, metavar="VERB")
+    p = study_sub.add_parser("run", help="run one TGA cell")
+    _add_run_args(p)
+    p.set_defaults(func=_cmd_run, command_name="study run")
+    p = study_sub.add_parser(
         "grid", help="run a TGA × port grid (checkpointable and resumable)"
     )
-    grid_parser.add_argument(
-        "--tgas",
-        default=",".join(ALL_TGA_NAMES),
-        help="comma-separated generator names (aliases accepted)",
+    _add_grid_args(p)
+    p.set_defaults(func=_cmd_grid, command_name="study grid")
+    p = study_sub.add_parser(
+        "resume",
+        help="continue a grid from a RunStore checkpoint (shorthand for "
+        "'study grid' with --checkpoint PATH --resume)",
     )
-    grid_parser.add_argument(
-        "--ports",
-        default="icmp",
-        help="comma-separated ports to scan "
-        f"({', '.join(p.value for p in ALL_PORTS)})",
+    p.add_argument(
+        "checkpoint",
+        help="the RunStore checkpoint to restore completed cells from "
+        "(and keep appending to)",
     )
-    grid_parser.add_argument(
-        "--dataset",
-        choices=["full", "offline", "online", "joint", "active"],
-        default="active",
-    )
-
-    rq3_parser = sub.add_parser("rq3", help="source-specific seeds (Table 5)")
-    rq3_parser.add_argument(
-        "--sources",
-        default="censys,scamper,hitlist",
-        help="comma-separated source names",
-    )
-
-    overlap_parser = sub.add_parser("overlap", help="source overlap heatmap (Figure 1)")
-    overlap_parser.add_argument("--by", choices=["ip", "as"], default="ip")
-
-    conv_parser = sub.add_parser("convergence", help="discovery-curve summary for one TGA")
-    conv_parser.add_argument("tga", type=_tga_arg, choices=ALL_TGA_NAMES)
-    conv_parser.add_argument(
-        "--port", choices=[p.value for p in ALL_PORTS], default="icmp"
-    )
-
+    _add_grid_args(p)
+    p.set_defaults(func=_cmd_study_resume, command_name="study resume")
     for name, help_text in (
         ("rq1a", "dealiasing treatments (Table 4 / Figure 3)"),
         ("rq1b", "active-only seeds (Figure 4)"),
         ("rq2", "port-specific seeds (Figure 5)"),
         ("rq4", "generator ensemble overlap (Figure 6)"),
     ):
-        rq_parser = sub.add_parser(name, help=help_text)
-        rq_parser.add_argument(
-            "--port", choices=[p.value for p in ALL_PORTS], default="icmp"
-        )
-
-    rec_parser = sub.add_parser("recommend", help="RQ5 best-practice pipeline")
-    rec_parser.add_argument(
-        "--port", choices=[p.value for p in ALL_PORTS], default="tcp443"
+        p = study_sub.add_parser(name, help=help_text)
+        _add_rq_args(p)
+        p.set_defaults(func=_RQ_COMMANDS[name], command_name=f"study {name}")
+    p = study_sub.add_parser("rq3", help="source-specific seeds (Table 5)")
+    _add_rq3_args(p)
+    p.set_defaults(func=_cmd_rq3, command_name="study rq3")
+    p = study_sub.add_parser(
+        "convergence", help="discovery-curve summary for one TGA"
     )
+    _add_convergence_args(p)
+    p.set_defaults(func=_cmd_convergence, command_name="study convergence")
+    p = study_sub.add_parser("recommend", help="RQ5 best-practice pipeline")
+    _add_recommend_args(p)
+    p.set_defaults(func=_cmd_recommend, command_name="study recommend")
+    p = study_sub.add_parser("report", help="full markdown study report")
+    _add_report_args(p)
+    p.set_defaults(func=_cmd_report, command_name="study report")
 
-    report_parser = sub.add_parser("report", help="full markdown study report")
-    report_parser.add_argument("--out", default="", help="write to a file instead of stdout")
+    serve_parser = sub.add_parser(
+        "serve",
+        help="start the scan-observatory HTTP service (multi-tenant study "
+        "submissions with digest dedup and streaming NDJSON telemetry)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: loopback)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8674,
+        dest="http_port",
+        help="TCP port to listen on (default: 8674; 0 = ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--pool",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker threads executing studies concurrently (default: 2; "
+        "the global --workers still controls per-study worker processes)",
+    )
+    serve_parser.add_argument(
+        "--state-dir",
+        default="",
+        metavar="DIR",
+        help="directory for per-digest RunStore checkpoints — the dedup "
+        "tier that survives restarts (empty: in-memory dedup only)",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="global cap on queued-or-running studies (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        metavar="PER_S",
+        help="per-tenant sustained submissions per second (default: 50)",
+    )
+    serve_parser.add_argument(
+        "--burst",
+        type=float,
+        default=100.0,
+        metavar="N",
+        help="per-tenant submission burst size (default: 100)",
+    )
+    serve_parser.add_argument(
+        "--max-active",
+        type=int,
+        default=16,
+        metavar="N",
+        help="per-tenant cap on concurrently queued/running studies "
+        "(default: 16)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve, command_name="serve")
 
     trace_parser = sub.add_parser(
         "trace",
         help="analyse telemetry traces "
         "(summary/attribution/diff/check/timeline/stragglers)",
     )
+    trace_parser.set_defaults(func=_cmd_trace, command_name="trace")
     trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
 
     trace_summary = trace_sub.add_parser(
@@ -466,6 +598,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="redraw cadence while following (default: 1.0)",
     )
+    top_parser.set_defaults(func=_cmd_top, command_name="top")
+
+    # Hidden aliases for the pre-1.x flat spellings.  No ``help=`` keeps
+    # them out of ``--help`` (the subparser metavar hides the choice
+    # list); :func:`main` prints a deprecation line when one is used.
+    for old, new, func, add_args in (
+        ("describe", "world describe", _cmd_describe, None),
+        ("sources", "world sources", _cmd_sources, None),
+        ("overlap", "world overlap", _cmd_overlap, _add_overlap_args),
+        ("run", "study run", _cmd_run, _add_run_args),
+        ("grid", "study grid", _cmd_grid, _add_grid_args),
+        ("rq1a", "study rq1a", _cmd_rq1a, _add_rq_args),
+        ("rq1b", "study rq1b", _cmd_rq1b, _add_rq_args),
+        ("rq2", "study rq2", _cmd_rq2, _add_rq_args),
+        ("rq3", "study rq3", _cmd_rq3, _add_rq3_args),
+        ("rq4", "study rq4", _cmd_rq4, _add_rq_args),
+        ("convergence", "study convergence", _cmd_convergence, _add_convergence_args),
+        ("recommend", "study recommend", _cmd_recommend, _add_recommend_args),
+        ("report", "study report", _cmd_report, _add_report_args),
+    ):
+        alias = sub.add_parser(old)
+        if add_args is not None:
+            add_args(alias)
+        alias.set_defaults(func=func, command_name=old, deprecated_alias=new)
     return parser
 
 
@@ -517,7 +673,7 @@ def _make_manifest(args: argparse.Namespace) -> RunManifest:
         config_hash=config_digest(config),
         ports=(getattr(args, "port", ""),) if getattr(args, "port", "") else (),
         workers=args.workers,
-        command=args.command,
+        command=getattr(args, "command_name", args.command),
         version=__version__,
     )
 
@@ -1163,22 +1319,37 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0 if table else 1
 
 
-_COMMANDS = {
-    "describe": _cmd_describe,
-    "sources": _cmd_sources,
-    "run": _cmd_run,
-    "grid": _cmd_grid,
+def _cmd_study_resume(args: argparse.Namespace) -> int:
+    """``study resume CHECKPOINT``: a grid with restore-then-append."""
+    args.resume = True
+    return _cmd_grid(args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the scan-observatory HTTP service."""
+    from .service import ServiceConfig, TenantPolicy
+    from .service import serve as _serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.http_port,
+        workers=args.pool,
+        max_queue=args.max_queue,
+        state_dir=args.state_dir or None,
+        policy=_make_policy(args),
+        tenant_policy=TenantPolicy(
+            rate=args.rate, burst=args.burst, max_active=args.max_active
+        ),
+    )
+    return _serve(config)
+
+
+#: Shared by the ``study rqN`` builders and their legacy aliases.
+_RQ_COMMANDS = {
     "rq1a": _cmd_rq1a,
     "rq1b": _cmd_rq1b,
     "rq2": _cmd_rq2,
-    "rq3": _cmd_rq3,
     "rq4": _cmd_rq4,
-    "overlap": _cmd_overlap,
-    "convergence": _cmd_convergence,
-    "recommend": _cmd_recommend,
-    "report": _cmd_report,
-    "trace": _cmd_trace,
-    "top": _cmd_top,
 }
 
 
@@ -1199,6 +1370,14 @@ def _make_telemetry(args: argparse.Namespace) -> Telemetry | None:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    alias_of = getattr(args, "deprecated_alias", None)
+    if alias_of:
+        print(
+            f"warning: 'repro {args.command}' is deprecated; use "
+            f"'repro {alias_of}' (the flat spelling will be removed in "
+            "the next major release)",
+            file=sys.stderr,
+        )
     if args.no_model_cache:
         # Reaches worker processes too: WorkerSpec captures the setting.
         get_model_cache().enabled = False
@@ -1206,15 +1385,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         # Process-wide (the policy also ships it to workers): commands
         # that scan outside run_grid honour the flag too.
         set_vectorized(False)
-    telemetry = None if args.command in ("trace", "top") else _make_telemetry(args)
+    command = args.func
+    # Trace analysis reads telemetry rather than producing it, and the
+    # service owns a registry per submitted study.
+    telemetry = (
+        None
+        if command in (_cmd_trace, _cmd_top, _cmd_serve)
+        else _make_telemetry(args)
+    )
     if telemetry is None:
-        return _COMMANDS[args.command](args)
+        return command(args)
     aborted = False
     try:
         with use_telemetry(telemetry):
             # Provenance first: every trace opens with its manifest.
             telemetry.emit_event(_make_manifest(args).event())
-            status = _COMMANDS[args.command](args)
+            status = command(args)
     except BaseException:
         aborted = True
         raise

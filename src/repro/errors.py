@@ -1,0 +1,162 @@
+"""Structured errors shared by the library and the observatory service.
+
+Library raises historically used bare ``KeyError``/``ValueError`` with
+prose messages.  Prose is fine for a traceback but useless to an HTTP
+client that needs to branch on *what went wrong*, so every error the
+public API can surface now derives from :class:`ReproError`: a stable
+machine-readable ``code``, a human ``message``, a ``detail`` dict of
+structured context, and the ``http_status`` the service maps it to.
+
+Each subclass also inherits the builtin exception type the old code
+raised (``UnknownCellError`` is still a ``KeyError``, ``InvalidSpecError``
+still a ``ValueError``, ...) so existing ``except`` clauses and tests
+keep working — the hierarchy adds structure without breaking anyone.
+
+``ReproError.to_dict()`` is the wire shape of an HTTP error body::
+
+    {"error": {"code": "unknown_cell", "message": "...", "detail": {...}}}
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidSpecError",
+    "UnknownMetricError",
+    "UnknownCellError",
+    "EmptyResultsError",
+    "NotFoundError",
+    "RateLimitedError",
+    "QueueFullError",
+    "ShuttingDownError",
+    "error_from_dict",
+]
+
+
+class ReproError(Exception):
+    """Base of every structured error: code + message + detail dict."""
+
+    #: Stable machine-readable identifier (subclasses override).
+    code: str = "internal_error"
+    #: HTTP status the service maps this error to.
+    http_status: int = 500
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str | None = None,
+        detail: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        if code is not None:
+            self.code = code
+        self.detail: dict = dict(detail or {})
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-izes its argument; structured errors
+        # always read as their message, whatever builtin they mix in.
+        return self.message
+
+    def to_dict(self) -> dict:
+        """The JSON error body the HTTP layer serves."""
+        return {
+            "error": {
+                "code": self.code,
+                "message": self.message,
+                "detail": self.detail,
+            }
+        }
+
+
+class InvalidSpecError(ReproError, ValueError):
+    """A submitted StudySpec (or request body) failed validation."""
+
+    code = "invalid_spec"
+    http_status = 400
+
+
+class UnknownMetricError(ReproError, ValueError):
+    """A metric name outside :data:`MetricSet.METRIC_NAMES`."""
+
+    code = "unknown_metric"
+    http_status = 400
+
+
+class UnknownCellError(ReproError, KeyError):
+    """A (tga, dataset, port) cell absent from a result set."""
+
+    code = "unknown_cell"
+    http_status = 404
+
+
+class EmptyResultsError(ReproError, ValueError):
+    """An aggregate query over a result set with no runs."""
+
+    code = "empty_results"
+    http_status = 409
+
+
+class NotFoundError(ReproError, KeyError):
+    """A study id (or other resource) the service does not know."""
+
+    code = "not_found"
+    http_status = 404
+
+
+class RateLimitedError(ReproError):
+    """A tenant exceeded its submission token bucket."""
+
+    code = "rate_limited"
+    http_status = 429
+
+
+class QueueFullError(ReproError):
+    """Admission control refused the submission (tenant or global cap)."""
+
+    code = "queue_full"
+    http_status = 429
+
+
+class ShuttingDownError(ReproError):
+    """The daemon is draining and no longer accepts submissions."""
+
+    code = "shutting_down"
+    http_status = 503
+
+
+#: code → class, for rebuilding typed errors client-side.
+_BY_CODE: dict[str, type[ReproError]] = {
+    cls.code: cls
+    for cls in (
+        ReproError,
+        InvalidSpecError,
+        UnknownMetricError,
+        UnknownCellError,
+        EmptyResultsError,
+        NotFoundError,
+        RateLimitedError,
+        QueueFullError,
+        ShuttingDownError,
+    )
+}
+
+
+def error_from_dict(body: dict, *, http_status: int | None = None) -> ReproError:
+    """Rebuild a typed :class:`ReproError` from a wire error body.
+
+    Unknown codes come back as plain :class:`ReproError` (the code is
+    preserved), so clients degrade gracefully across server versions.
+    """
+    payload = body.get("error", body) if isinstance(body, dict) else {}
+    code = str(payload.get("code", "internal_error"))
+    cls = _BY_CODE.get(code, ReproError)
+    error = cls(
+        str(payload.get("message", "unknown error")),
+        code=code,
+        detail=payload.get("detail") or {},
+    )
+    if http_status is not None:
+        error.http_status = http_status
+    return error

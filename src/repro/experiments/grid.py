@@ -19,9 +19,10 @@ from dataclasses import dataclass, field
 
 from ..addr.vector import use_vectorized
 from ..datasets import SeedDataset
+from ..errors import EmptyResultsError, UnknownCellError, UnknownMetricError
 from ..internet import ALL_PORTS, Port
 from ..metrics import MetricSet
-from ..telemetry import Telemetry, get_telemetry, use_telemetry
+from ..telemetry import get_telemetry, use_telemetry
 from ..tga import (
     ALL_TGA_NAMES,
     canonical_tga_name,
@@ -97,28 +98,41 @@ class GridResults:
         return not self.failed_cells and len(self.runs) >= self.spec.size
 
     def get(self, tga: str, dataset_name: str, port: Port) -> RunResult:
-        """The run for one cell; raises a ``KeyError`` naming the cell.
+        """The run for one cell; raises :class:`UnknownCellError` (a
+        ``KeyError`` subclass) naming the cell with structured detail.
 
         ``tga`` may be an alias; it is resolved to the canonical
         registry name before lookup.
         """
+        requested = tga
         try:
             tga = canonical_tga_name(tga)
         except KeyError as error:
-            raise KeyError(
+            raise UnknownCellError(
                 f"no run for cell ({tga!r}, {dataset_name!r}, "
-                f"{port.value!r}): {error.args[0]}"
+                f"{port.value!r}): {error.args[0]}",
+                detail={
+                    "tga": requested,
+                    "dataset": dataset_name,
+                    "port": port.value,
+                    "reason": "unknown_tga",
+                },
             ) from None
         key = (tga, dataset_name, port)
         try:
             return self.runs[key]
         except KeyError:
-            known = ", ".join(
-                sorted({f"{t}×{d}×{p.value}" for t, d, p in self.runs})
-            )
-            raise KeyError(
+            known = sorted(f"{t}×{d}×{p.value}" for t, d, p in self.runs)
+            raise UnknownCellError(
                 f"no run for cell ({tga!r}, {dataset_name!r}, {port.value!r});"
-                f" grid holds: {known or '(nothing)'}"
+                f" grid holds: {', '.join(known) or '(nothing)'}",
+                detail={
+                    "tga": tga,
+                    "dataset": dataset_name,
+                    "port": port.value,
+                    "reason": "missing_cell",
+                    "known_cells": known,
+                },
             ) from None
 
     def by_tga(self, tga: str) -> list[RunResult]:
@@ -136,13 +150,17 @@ class GridResults:
     def best(self, metric: str = "hits", port: Port | None = None) -> RunResult:
         """The single best cell by a metric (optionally on one port)."""
         if metric not in MetricSet.METRIC_NAMES:
-            raise ValueError(
+            raise UnknownMetricError(
                 f"unknown metric {metric!r}; valid metrics: "
-                f"{', '.join(MetricSet.METRIC_NAMES)}"
+                f"{', '.join(MetricSet.METRIC_NAMES)}",
+                detail={"metric": metric, "valid": list(MetricSet.METRIC_NAMES)},
             )
         candidates = self.by_port(port) if port else list(self.runs.values())
         if not candidates:
-            raise ValueError("empty grid results")
+            raise EmptyResultsError(
+                "empty grid results",
+                detail={"port": port.value if port else None, "metric": metric},
+            )
         return max(candidates, key=lambda run: run.metrics.metric(metric))
 
     def to_rows(self) -> list[dict]:
@@ -154,19 +172,17 @@ def run_grid(
     study: Study,
     spec: GridSpec,
     progress: Callable[[int, int, RunResult], None] | None = None,
-    workers: int | str | None = None,
-    chunksize: int | None = None,
-    telemetry: Telemetry | None = None,
     *,
     policy: ExecutionPolicy | None = None,
+    **_removed,
 ) -> GridResults:
     """Execute every cell of a grid through the study's memoised runner.
 
     ``policy`` governs execution mechanics — worker processes,
     checkpoint/resume, per-cell timeout, retry budget and fault
     injection; see :class:`~repro.experiments.ExecutionPolicy`.  The
-    ``workers``/``chunksize``/``telemetry`` keyword arguments are the
-    deprecated spelling of the corresponding policy fields.
+    legacy ``workers``/``chunksize``/``telemetry`` keyword arguments
+    were removed and raise ``TypeError``.
 
     ``progress(done, total, last_result)`` is invoked after each cell —
     in cell order when running serially, in completion order when
@@ -184,14 +200,7 @@ def run_grid(
     """
     from .parallel import ParallelExecutor, default_cost_model, resolve_workers
 
-    policy = coalesce_policy(
-        policy,
-        "run_grid",
-        progress=progress,
-        workers=workers,
-        chunksize=chunksize,
-        telemetry=telemetry,
-    )
+    policy = coalesce_policy(policy, "run_grid", progress=progress, **_removed)
     with use_telemetry(policy.telemetry), use_vectorized(policy.vectorized):
         results = GridResults(spec=spec)
         total = spec.size

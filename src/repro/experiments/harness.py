@@ -15,7 +15,7 @@ from ..datasets import DatasetCollection, SeedDataset, collect_all
 from ..internet import ALL_PORTS, InternetConfig, Port, SimulatedInternet
 from ..preprocess import DatasetConstructions
 from ..scanner import Blocklist, Scanner
-from ..telemetry import Telemetry, get_telemetry, use_telemetry
+from ..telemetry import get_telemetry, use_telemetry
 from ..tga import ALL_TGA_NAMES, canonical_tga_name
 from .results import RunResult
 from .runner import run_generation
@@ -123,30 +123,27 @@ class Study:
     def precompute(
         self,
         cells: list[tuple[str, SeedDataset, Port, int | None]],
-        workers: int | str | None = None,
-        chunksize: int | None = None,
         *,
         policy: "ExecutionPolicy | None" = None,
+        **_removed,
     ) -> int:
         """Fill the run cache for ``cells`` under an execution policy.
 
-        With workers unset (or 1) and no resilience features requested,
-        this is a no-op — callers compute cells lazily through
-        :meth:`run`, which is the same work in the same process.
+        With ``policy.workers`` unset (or 1) and no resilience features
+        requested, this is a no-op — callers compute cells lazily
+        through :meth:`run`, which is the same work in the same process.
         ``workers="auto"`` picks ``min(cpu_count, cells)`` (serial on
         single-CPU hosts).  Returns the number of cells that were
         missing from the cache when called.  Parallel results are
         bit-identical to serial ones (every stochastic draw is keyed on
         the master seed), so downstream consumers cannot tell the
-        difference.  ``workers``/``chunksize`` are the deprecated
-        spelling of the corresponding :class:`ExecutionPolicy` fields.
+        difference.  The legacy ``workers``/``chunksize`` kwargs were
+        removed and raise ``TypeError``.
         """
         from .parallel import ParallelExecutor, resolve_workers
         from .policy import coalesce_policy
 
-        policy = coalesce_policy(
-            policy, "Study.precompute", workers=workers, chunksize=chunksize
-        )
+        policy = coalesce_policy(policy, "Study.precompute", **_removed)
         workers_n = resolve_workers(policy.workers, len(cells))
         missing = sum(
             1
@@ -173,30 +170,22 @@ class Study:
         ports: tuple[Port, ...] = ALL_PORTS,
         tga_names: tuple[str, ...] | None = None,
         budget: int | None = None,
-        parallel: int | str | None = None,
-        chunksize: int | None = None,
-        telemetry: Telemetry | None = None,
         *,
         policy: "ExecutionPolicy | None" = None,
+        **_removed,
     ) -> dict[tuple[str, str, Port], RunResult]:
         """Run the full TGA × dataset × port grid.
 
         ``policy`` governs execution mechanics (workers, checkpointing,
         retries, fault injection); results and the populated run cache
-        are identical to a serial run.  ``parallel``/``chunksize``/
-        ``telemetry`` are the deprecated spelling of the corresponding
-        policy fields (worker-process telemetry is merged back
-        deterministically).
+        are identical to a serial run (worker-process telemetry is
+        merged back deterministically).  The legacy ``parallel``/
+        ``chunksize``/``telemetry`` kwargs were removed and raise
+        ``TypeError``.
         """
         from .policy import coalesce_policy
 
-        policy = coalesce_policy(
-            policy,
-            "Study.run_matrix",
-            parallel=parallel,
-            chunksize=chunksize,
-            telemetry=telemetry,
-        )
+        policy = coalesce_policy(policy, "Study.run_matrix", **_removed)
         tga_names = tga_names or self.tga_names
         cells = [
             (tga_name, dataset, port, budget)

@@ -4,15 +4,15 @@ Grid execution grew knobs one at a time — ``workers=``, ``parallel=``,
 ``chunksize=``, ``telemetry=`` — scattered across ``run_grid``,
 :meth:`Study.run_matrix`, :meth:`Study.precompute` and the RQ1–RQ4
 pipelines.  Fault tolerance (checkpointing, retries, timeouts, fault
-injection) would have doubled that sprawl, so every entry point now
-takes one frozen :class:`ExecutionPolicy` instead.  The old kwargs keep
-working through :func:`coalesce_policy`, which folds them into a policy
-and emits a :class:`DeprecationWarning`.
+injection) would have doubled that sprawl, so every entry point takes
+one frozen :class:`ExecutionPolicy` instead.  The legacy kwargs went
+through a deprecation cycle and now **hard-error**:
+:func:`coalesce_policy` raises ``TypeError`` naming the offending
+argument and the ``policy=`` replacement.
 """
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Callable
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -157,7 +157,9 @@ class ExecutionPolicy:
         )
 
 
-#: Legacy kwarg → policy field; ``parallel`` was run_matrix's spelling.
+#: Legacy kwarg → the policy field that replaced it (``parallel`` was
+#: run_matrix's spelling).  Kept so the hard error can name the exact
+#: migration instead of a generic "unexpected keyword argument".
 _LEGACY_FIELDS = {
     "workers": "workers",
     "parallel": "workers",
@@ -172,30 +174,32 @@ def coalesce_policy(
     progress: Callable | None = None,
     **legacy,
 ) -> ExecutionPolicy:
-    """Fold deprecated scattered kwargs into an :class:`ExecutionPolicy`.
+    """Resolve the effective :class:`ExecutionPolicy` for an entry point.
 
-    ``None`` legacy values mean "not passed" and are ignored.  Passing
-    any of the deprecated names (``workers``/``parallel``/``chunksize``/
-    ``telemetry``) warns once per call site; ``progress`` folds silently
-    (it is a per-call callback, not configuration).  Explicit legacy
-    kwargs override the corresponding policy fields, so half-migrated
-    call sites behave predictably.
+    The deprecation cycle for the scattered execution kwargs is over:
+    passing any of the removed names (``workers``/``parallel``/
+    ``chunksize``/``telemetry``) — or anything else unexpected — raises
+    ``TypeError`` with the ``policy=`` migration spelled out.
+    ``progress`` still folds silently (it is a per-call callback, not
+    configuration).
     """
-    supplied = {name: value for name, value in legacy.items() if value is not None}
-    unknown = set(supplied) - set(_LEGACY_FIELDS)
-    if unknown:
-        raise TypeError(f"{api}: unexpected arguments {sorted(unknown)}")
-    if supplied:
-        warnings.warn(
-            f"{api}: the {', '.join(sorted(supplied))} argument(s) are "
-            f"deprecated; pass policy=ExecutionPolicy(...) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
+    if legacy:
+        removed = sorted(name for name in legacy if name in _LEGACY_FIELDS)
+        unknown = sorted(name for name in legacy if name not in _LEGACY_FIELDS)
+        parts = []
+        if removed:
+            hint = ", ".join(
+                f"{name}= → ExecutionPolicy({_LEGACY_FIELDS[name]}=...)"
+                for name in removed
+            )
+            parts.append(
+                f"the {', '.join(removed)} argument(s) were removed; "
+                f"pass policy=ExecutionPolicy(...) instead ({hint})"
+            )
+        if unknown:
+            parts.append(f"unexpected arguments {unknown}")
+        raise TypeError(f"{api}: " + "; ".join(parts))
     merged = policy if policy is not None else ExecutionPolicy()
-    overrides = {_LEGACY_FIELDS[name]: value for name, value in supplied.items()}
     if progress is not None:
-        overrides["progress"] = progress
-    if overrides:
-        merged = replace(merged, **overrides)
+        merged = replace(merged, progress=progress)
     return merged

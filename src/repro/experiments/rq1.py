@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from ..dealias import DealiasMode
 from ..internet import ALL_PORTS, Port
 from ..metrics import metric_ratios
-from ..telemetry import Telemetry, use_telemetry
+from ..telemetry import use_telemetry
 from .harness import Study
 from .policy import ExecutionPolicy, coalesce_policy
 from .results import RunResult
@@ -91,18 +91,17 @@ def run_rq1a(
     ports: tuple[Port, ...] = ALL_PORTS,
     modes: tuple[DealiasMode, ...] = DEALIAS_MODES,
     budget: int | None = None,
-    workers: int | None = None,
-    telemetry: Telemetry | None = None,
     *,
     policy: ExecutionPolicy | None = None,
+    **_removed,
 ) -> RQ1aResult:
     """Run the RQ1.a grid: every TGA on every dealias treatment and port.
 
     ``policy`` governs execution mechanics (workers, checkpointing,
-    retries); results are bit-identical to a serial run.  ``workers``/
-    ``telemetry`` are the deprecated spelling of the policy fields.
+    retries); results are bit-identical to a serial run.  The legacy
+    ``workers``/``telemetry`` kwargs were removed and raise ``TypeError``.
     """
-    policy = coalesce_policy(policy, "run_rq1a", workers=workers, telemetry=telemetry)
+    policy = coalesce_policy(policy, "run_rq1a", **_removed)
     with use_telemetry(policy.telemetry) as tel, tel.span("rq1a"):
         datasets = {mode: study.constructions.dealias_variant(mode) for mode in modes}
         study.precompute(
@@ -127,13 +126,12 @@ def run_rq1b(
     study: Study,
     ports: tuple[Port, ...] = ALL_PORTS,
     budget: int | None = None,
-    workers: int | None = None,
-    telemetry: Telemetry | None = None,
     *,
     policy: ExecutionPolicy | None = None,
+    **_removed,
 ) -> RQ1bResult:
     """Run the RQ1.b comparison: joint-dealiased vs active-only seeds."""
-    policy = coalesce_policy(policy, "run_rq1b", workers=workers, telemetry=telemetry)
+    policy = coalesce_policy(policy, "run_rq1b", **_removed)
     with use_telemetry(policy.telemetry) as tel, tel.span("rq1b"):
         dealiased = study.constructions.joint_dealiased
         active = study.constructions.all_active

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from ..internet import ALL_PORTS, Port
 from ..metrics import metric_ratios
-from ..telemetry import Telemetry, use_telemetry
+from ..telemetry import use_telemetry
 from .harness import Study
 from .policy import ExecutionPolicy, coalesce_policy
 from .results import RunResult
@@ -62,13 +62,12 @@ def run_rq2(
     study: Study,
     ports: tuple[Port, ...] = ALL_PORTS,
     budget: int | None = None,
-    workers: int | None = None,
-    telemetry: Telemetry | None = None,
     *,
     policy: ExecutionPolicy | None = None,
+    **_removed,
 ) -> RQ2Result:
     """Run the RQ2 grid: each port scanned from its port-specific seeds."""
-    policy = coalesce_policy(policy, "run_rq2", workers=workers, telemetry=telemetry)
+    policy = coalesce_policy(policy, "run_rq2", **_removed)
     with use_telemetry(policy.telemetry) as tel, tel.span("rq2"):
         all_active = study.constructions.all_active
         study.precompute(
@@ -101,19 +100,16 @@ def run_cross_port(
     study: Study,
     ports: tuple[Port, ...] = ALL_PORTS,
     budget: int | None = None,
-    workers: int | None = None,
-    telemetry: Telemetry | None = None,
     *,
     policy: ExecutionPolicy | None = None,
+    **_removed,
 ) -> CrossPortResult:
     """Run the Figure 7 grid: every input dataset scanned on every target.
 
     Inputs are the four port-specific datasets plus All Active; each is
     used to generate and scan on all four targets.
     """
-    policy = coalesce_policy(
-        policy, "run_cross_port", workers=workers, telemetry=telemetry
-    )
+    policy = coalesce_policy(policy, "run_cross_port", **_removed)
     with use_telemetry(policy.telemetry) as tel, tel.span("cross_port"):
         inputs = [study.constructions.port_specific(port) for port in ports]
         inputs.append(study.constructions.all_active)

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from ..datasets import SOURCE_ORDER
 from ..internet import ALL_PORTS, Port
 from ..metrics import ASCharacterization, characterize_ases
-from ..telemetry import Telemetry, use_telemetry
+from ..telemetry import use_telemetry
 from .harness import Study
 from .policy import ExecutionPolicy, coalesce_policy
 from .results import RunResult
@@ -74,10 +74,9 @@ def run_rq3(
     sources: tuple[str, ...] = SOURCE_ORDER,
     budget: int | None = None,
     pooled_ports: tuple[Port, ...] = (Port.ICMP,),
-    workers: int | None = None,
-    telemetry: Telemetry | None = None,
     *,
     policy: ExecutionPolicy | None = None,
+    **_removed,
 ) -> RQ3Result:
     """Run the RQ3 grid plus the pooled-budget comparison.
 
@@ -85,7 +84,7 @@ def run_rq3(
     dataset with ``len(sources) ×`` the per-source budget; the paper
     reports it for ICMP, so that is the default.
     """
-    policy = coalesce_policy(policy, "run_rq3", workers=workers, telemetry=telemetry)
+    policy = coalesce_policy(policy, "run_rq3", **_removed)
     with use_telemetry(policy.telemetry) as tel, tel.span("rq3"):
         per_source_budget = budget or study.budget
         source_datasets = {

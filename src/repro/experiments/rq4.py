@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from ..internet import ALL_PORTS, Port
 from ..metrics import ContributionStep, cumulative_contributions, pairwise_jaccard
-from ..telemetry import Telemetry, use_telemetry
+from ..telemetry import use_telemetry
 from .harness import Study
 from .policy import ExecutionPolicy, coalesce_policy
 from .results import RunResult
@@ -65,13 +65,12 @@ def run_rq4(
     study: Study,
     ports: tuple[Port, ...] = ALL_PORTS,
     budget: int | None = None,
-    workers: int | None = None,
-    telemetry: Telemetry | None = None,
     *,
     policy: ExecutionPolicy | None = None,
+    **_removed,
 ) -> RQ4Result:
     """Run every generator on the All Active dataset for each port."""
-    policy = coalesce_policy(policy, "run_rq4", workers=workers, telemetry=telemetry)
+    policy = coalesce_policy(policy, "run_rq4", **_removed)
     with use_telemetry(policy.telemetry) as tel, tel.span("rq4"):
         all_active = study.constructions.all_active
         study.precompute(

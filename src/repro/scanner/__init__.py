@@ -3,7 +3,7 @@
 from .backends import CachingBackend, ProbeBackend, SimulatedBackend
 from .blocklist import Blocklist
 from .engine import Scanner, ScanResult
-from .ratelimit import RateLimiter
+from .ratelimit import RateLimiter, TokenBucket
 from .responses import ResponseType, affirmative_response, negative_response
 from .stats import ScanStats
 
@@ -12,6 +12,7 @@ __all__ = [
     "ScanResult",
     "Blocklist",
     "RateLimiter",
+    "TokenBucket",
     "ResponseType",
     "affirmative_response",
     "negative_response",

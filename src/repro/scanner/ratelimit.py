@@ -1,15 +1,76 @@
-"""Rate limiting against a simulated clock.
+"""Rate limiting against simulated and wall clocks.
 
 The paper's scans were rate limited to ten thousand packets per second.
 Probing a simulated Internet costs no real wall-clock time, so the
-limiter tracks *virtual* time instead: it answers "when would this probe
-go out?" and the scan statistics report the virtual duration a real scan
-at the configured rate would have taken.
+:class:`RateLimiter` tracks *virtual* time instead: it answers "when
+would this probe go out?" and the scan statistics report the virtual
+duration a real scan at the configured rate would have taken.
+
+:class:`TokenBucket` is the wall-clock sibling used by the observatory
+service for per-tenant admission control: capacity ``burst`` tokens,
+refilled continuously at ``rate`` per second.  The clock is injectable
+so tests (and the virtual-time service tests) never sleep.
 """
 
 from __future__ import annotations
 
-__all__ = ["RateLimiter"]
+import time
+from typing import Callable
+
+__all__ = ["RateLimiter", "TokenBucket"]
+
+
+class TokenBucket:
+    """Classic wall-clock token bucket: allow bursts, sustain ``rate``/s.
+
+    ``try_acquire`` is non-blocking — the service layer answers 429
+    rather than queueing callers — and returns the seconds until a token
+    would next be available (0.0 on success), which becomes the HTTP
+    ``Retry-After`` hint.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available; return seconds until retry else.
+
+        Returns ``0.0`` when the acquisition succeeded.  The caller is
+        not queued: a failed acquire consumes nothing.
+        """
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket (refilled to now)."""
+        self._refill()
+        return self._tokens
 
 
 class RateLimiter:

@@ -1,0 +1,35 @@
+"""The scan-observatory service: ``repro serve``.
+
+A multi-tenant daemon that accepts :class:`~repro.api.StudySpec`
+submissions over HTTP/JSON, dedupes identical studies by content digest
+(in memory and against on-disk RunStore checkpoints), executes them on
+a bounded worker pool through the existing
+:class:`~repro.experiments.ExecutionPolicy` machinery, and streams
+per-run progress/telemetry as NDJSON.  The public protocol is versioned
+through :mod:`repro.api`; this package is the server side only —
+clients should use :class:`repro.api.ServiceClient` /
+:func:`repro.api.submit_study`.
+
+Layers::
+
+    app.py       HTTP/1.1 wire protocol (asyncio, stdlib-only)
+    handlers.py  routes -> queue/tenant semantics
+    queue.py     dedup tiers + bounded execution + event logs
+    tenants.py   token-bucket rate limits and admission caps
+"""
+
+from .app import ObservatoryService, ServiceConfig, serve
+from .queue import EventLog, StudyJob, StudyQueue
+from .tenants import DEFAULT_TENANT, TenantPolicy, TenantRegistry
+
+__all__ = [
+    "ObservatoryService",
+    "ServiceConfig",
+    "serve",
+    "StudyQueue",
+    "StudyJob",
+    "EventLog",
+    "TenantPolicy",
+    "TenantRegistry",
+    "DEFAULT_TENANT",
+]

@@ -1,0 +1,368 @@
+"""The observatory daemon: a stdlib-only asyncio HTTP/1.1 server.
+
+No web framework ships with the package's dependency set, so the app
+layer implements the slice of HTTP/1.1 the API needs: request-line +
+header parsing, ``Content-Length`` bodies, keep-alive for the JSON
+endpoints, and ``Transfer-Encoding: chunked`` for the NDJSON event
+stream (which has no length until the run finishes).  Everything
+protocol-shaped lives here; routing and semantics live in
+:mod:`repro.service.handlers`, execution in :mod:`repro.service.queue`.
+
+Run it via ``repro serve`` or embed it in tests::
+
+    service = ObservatoryService(ServiceConfig(port=0, state_dir=tmp))
+    await service.start()          # .port is the bound port
+    ...
+    await service.shutdown()       # drains workers, closes connections
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ReproError, ShuttingDownError
+from ..experiments import ExecutionPolicy
+from ..telemetry import Telemetry
+from ..telemetry.sinks import _encode
+from .handlers import JsonResponse, Router, StreamingEvents, TextResponse
+from .queue import StudyQueue
+from .tenants import DEFAULT_TENANT, TenantPolicy, TenantRegistry
+
+__all__ = ["ServiceConfig", "ObservatoryService", "serve"]
+
+_MAX_HEADER_BYTES = 32 * 1024
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+#: Cadence at which an event stream checks for fresh events; streams are
+#: low-rate (cells and rounds, not packets), so a short poll is cheap
+#: and avoids cross-thread wakeup plumbing.
+_STREAM_POLL_S = 0.02
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    409: "Conflict", 413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (tests); the bound port is
+    #: ``ObservatoryService.port`` after :meth:`~ObservatoryService.start`.
+    port: int = 8674
+    #: Worker threads executing studies.
+    workers: int = 2
+    #: Global cap on queued-or-running studies.
+    max_queue: int = 64
+    #: Directory for per-digest RunStore checkpoints (the dedup tier
+    #: that survives restarts); ``None`` disables the disk tier.
+    state_dir: str | Path | None = None
+    #: Execution mechanics for every study run.
+    policy: ExecutionPolicy = field(default_factory=ExecutionPolicy)
+    #: Per-tenant admission limits.
+    tenant_policy: TenantPolicy = field(default_factory=TenantPolicy)
+
+
+class ObservatoryService:
+    """Own the listening socket, the router, and the study queue."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.telemetry = Telemetry()
+        self.tenants = TenantRegistry(self.config.tenant_policy)
+        self.queue = StudyQueue(
+            state_dir=self.config.state_dir,
+            max_queue=self.config.max_queue,
+            workers=self.config.workers,
+            policy=self.config.policy,
+            telemetry=self.telemetry,
+            tenants=self.tenants,
+        )
+        self.router = Router(self.queue, self.tenants)
+        self._server: asyncio.AbstractServer | None = None
+        self._shutting_down = False
+        self.port: int | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> "ObservatoryService":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: refuse new work, drain workers, close sockets.
+
+        Running studies finish (their checkpoints make interrupting
+        wasteless anyway); event streams observe their logs closing and
+        end cleanly.  Idempotent.
+        """
+        if self._shutting_down:
+            return
+        self._shutting_down = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Blocking drain off the event loop so in-flight streams keep
+        # flushing while workers finish.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.queue.shutdown
+        )
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _ProtocolError as error:
+                    await self._write_json(
+                        writer, error.status,
+                        {"error": {"code": "bad_request",
+                                   "message": error.message, "detail": {}}},
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, body, tenant, keep_alive = request
+                if not await self._respond(writer, method, path, body, tenant):
+                    break
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one request; None on clean EOF.
+
+        Malformed requests raise :class:`_ProtocolError`, answered with
+        a 400 by :meth:`_respond`'s caller — except here, where the
+        connection state is unknown, so the error response is written
+        directly and the connection dropped.
+        """
+        try:
+            header_blob = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None
+            raise
+        except asyncio.LimitOverrunError:
+            raise _ProtocolError(413, "headers too large") from None
+        if len(header_blob) > _MAX_HEADER_BYTES:
+            raise _ProtocolError(413, "headers too large")
+        lines = header_blob.decode("latin-1").split("\r\n")
+        request_line = lines[0].split(" ")
+        if len(request_line) != 3:
+            raise _ProtocolError(400, f"malformed request line {lines[0]!r}")
+        method, target, version = request_line
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _ProtocolError(400, f"malformed header {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        body: dict | None = None
+        length_text = headers.get("content-length")
+        if length_text is not None:
+            try:
+                length = int(length_text)
+            except ValueError:
+                raise _ProtocolError(400, "malformed Content-Length") from None
+            if length < 0 or length > _MAX_BODY_BYTES:
+                raise _ProtocolError(413, "request body too large")
+            raw = await reader.readexactly(length) if length else b""
+            if raw:
+                try:
+                    body = json.loads(raw)
+                except ValueError:
+                    raise _ProtocolError(400, "request body is not valid JSON") from None
+        tenant = headers.get("x-repro-tenant", "").strip() or DEFAULT_TENANT
+        keep_alive = headers.get("connection", "").lower() != "close" and (
+            version == "HTTP/1.1"
+        )
+        path = target.split("?", 1)[0]
+        return method.upper(), path, body, tenant, keep_alive
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: dict | None,
+        tenant: str,
+    ) -> bool:
+        """Dispatch and write one response; returns keep-alive viability."""
+        try:
+            if self._shutting_down:
+                raise ShuttingDownError(
+                    "service is shutting down; try again later"
+                )
+            result = self.router.dispatch(method, path, body, tenant)
+        except ReproError as error:
+            await self._write_json(
+                writer, error.http_status, error.to_dict(),
+                extra_headers=_retry_after(error),
+            )
+            return True
+        except Exception as error:  # noqa: BLE001 - last-resort boundary
+            await self._write_json(
+                writer, 500,
+                {"error": {"code": "internal",
+                           "message": f"{type(error).__name__}: {error}",
+                           "detail": {}}},
+            )
+            return True
+        if isinstance(result, StreamingEvents):
+            await self._stream_events(writer, result)
+            return False  # streamed responses end the connection
+        if isinstance(result, TextResponse):
+            await self._write_raw(
+                writer, result.status, result.text.encode("utf-8"),
+                result.content_type,
+            )
+            return True
+        assert isinstance(result, JsonResponse)
+        await self._write_json(writer, result.status, result.payload)
+        return True
+
+    # -- wire helpers -------------------------------------------------------
+
+    async def _write_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict | list,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        await self._write_raw(
+            writer, status,
+            (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"),
+            "application/json",
+            extra_headers,
+        )
+
+    async def _write_raw(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        data: bytes,
+        content_type: str,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(data)}",
+            "Connection: keep-alive",
+        ]
+        for name, value in (extra_headers or {}).items():
+            headers.append(f"{name}: {value}")
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1"))
+        writer.write(data)
+        await writer.drain()
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, stream: StreamingEvents
+    ) -> None:
+        """Chunked NDJSON: one event per line, live until the log closes.
+
+        Events are encoded exactly like :class:`JsonlSink` trace lines
+        (sorted keys, compact separators), so a saved stream diffs
+        cleanly against a local ``--telemetry`` trace.
+        """
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        log = stream.log
+        index = 0
+        while True:
+            fresh = log.since(index)
+            if fresh:
+                index += len(fresh)
+                blob = "".join(_encode(event) + "\n" for event in fresh).encode(
+                    "utf-8"
+                )
+                writer.write(f"{len(blob):x}\r\n".encode("latin-1"))
+                writer.write(blob)
+                writer.write(b"\r\n")
+                await writer.drain()
+            elif log.closed:
+                break
+            else:
+                await asyncio.sleep(_STREAM_POLL_S)
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+
+class _ProtocolError(Exception):
+    """A request the HTTP layer itself rejects (before routing)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _retry_after(error: ReproError) -> dict[str, str] | None:
+    """429 responses advertise the token bucket's refill hint."""
+    if error.http_status != 429:
+        return None
+    retry = (error.detail or {}).get("retry_after")
+    if retry is None:
+        return None
+    return {"Retry-After": f"{max(retry, 0.001):.3f}"}
+
+
+def serve(config: ServiceConfig | None = None) -> int:
+    """Blocking entry point behind ``repro serve``; returns exit status."""
+
+    async def _run() -> None:
+        service = ObservatoryService(config)
+        await service.start()
+        print(
+            f"repro observatory listening on "
+            f"http://{service.config.host}:{service.port} "
+            f"(workers={service.config.workers}, "
+            f"state_dir={service.config.state_dir or '-'})"
+        )
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.shutdown()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0

@@ -1,0 +1,126 @@
+"""HTTP route handlers for the observatory service.
+
+Handlers are transport-agnostic: each takes the parsed request (method,
+path parts, JSON body, tenant) and returns either ``(status, payload)``
+for a JSON response or a :class:`StreamingEvents` marker the app layer
+turns into a chunked NDJSON response.  Errors are raised as
+:class:`~repro.errors.ReproError` subclasses; the app maps them to their
+``http_status`` with the structured ``to_dict`` body, so the library and
+the wire share one error vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..api import API_VERSION
+from ..api.schema import StudySpec
+from ..errors import InvalidSpecError, NotFoundError
+from ..telemetry import to_prometheus_text
+from .queue import EventLog, StudyQueue
+from .tenants import TenantRegistry
+
+__all__ = ["Router", "StreamingEvents", "JsonResponse", "TextResponse"]
+
+
+@dataclass
+class JsonResponse:
+    status: int
+    payload: dict | list
+
+
+@dataclass
+class TextResponse:
+    status: int
+    text: str
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass
+class StreamingEvents:
+    """Marker: stream this log as chunked NDJSON until it closes."""
+
+    log: EventLog
+
+
+class Router:
+    """Dispatch parsed requests onto the queue and tenant registry."""
+
+    def __init__(self, queue: StudyQueue, tenants: TenantRegistry) -> None:
+        self.queue = queue
+        self.tenants = tenants
+
+    def dispatch(
+        self, method: str, path: str, body: dict | None, tenant: str
+    ) -> JsonResponse | TextResponse | StreamingEvents:
+        parts = [part for part in path.split("/") if part]
+        self.queue.telemetry.count("service.requests")
+        if parts == ["healthz"] and method == "GET":
+            return self._health()
+        if parts == ["metrics"] and method == "GET":
+            return self._metrics()
+        if len(parts) >= 2 and parts[0] == "v1" and parts[1] == "studies":
+            rest = parts[2:]
+            if not rest:
+                if method == "POST":
+                    return self._submit(body, tenant)
+                if method == "GET":
+                    return self._list()
+            elif len(rest) == 1 and method == "GET":
+                return self._get(rest[0])
+            elif len(rest) == 2 and method == "GET":
+                study_id, leaf = rest
+                if leaf == "events":
+                    return self._events(study_id)
+                if leaf == "results":
+                    return self._results(study_id)
+        raise NotFoundError(
+            f"no route for {method} /{'/'.join(parts)}",
+            detail={"method": method, "path": path},
+        )
+
+    # -- endpoints ----------------------------------------------------------
+
+    def _health(self) -> JsonResponse:
+        jobs = self.queue.jobs()
+        return JsonResponse(
+            200,
+            {
+                "status": "ok",
+                "api_version": API_VERSION,
+                "studies": len(jobs),
+                "pending": self.queue.pending,
+                "tenants": self.tenants.snapshot(),
+            },
+        )
+
+    def _metrics(self) -> TextResponse:
+        snapshot = self.queue.telemetry.snapshot()
+        return TextResponse(200, to_prometheus_text(snapshot))
+
+    def _submit(self, body: dict | None, tenant: str) -> JsonResponse:
+        if body is None:
+            raise InvalidSpecError(
+                "request body must be a JSON study spec", detail={"got": None}
+            )
+        spec = StudySpec.from_dict(body)
+        job, created = self.queue.submit(spec, tenant)
+        return JsonResponse(201 if created else 200, job.record())
+
+    def _list(self) -> JsonResponse:
+        return JsonResponse(
+            200, {"studies": [job.record() for job in self.queue.jobs()]}
+        )
+
+    def _get(self, study_id: str) -> JsonResponse:
+        return JsonResponse(200, self.queue.get(study_id).record())
+
+    def _events(self, study_id: str) -> StreamingEvents:
+        return StreamingEvents(self.queue.get(study_id).events)
+
+    def _results(self, study_id: str) -> JsonResponse:
+        job = self.queue.get(study_id)
+        rows = self.queue.results(study_id)
+        return JsonResponse(
+            200, {"study": job.record(), "results": rows}
+        )

@@ -1,0 +1,133 @@
+"""Per-tenant admission control for the observatory service.
+
+Tenants are named by the ``X-Repro-Tenant`` request header (anonymous
+callers share the ``"anonymous"`` identity).  Each tenant gets a
+wall-clock :class:`~repro.scanner.ratelimit.TokenBucket` — the same
+primitive the scanner uses for probe pacing — plus a cap on studies
+simultaneously queued or running.  Both violations are answered with
+HTTP 429: :class:`~repro.errors.RateLimitedError` carries a
+``retry_after`` hint, :class:`~repro.errors.QueueFullError` names the
+cap.  The clock is injectable so tests drive admission deterministically
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import QueueFullError, RateLimitedError
+from ..scanner.ratelimit import TokenBucket
+
+__all__ = ["TenantPolicy", "TenantRegistry", "DEFAULT_TENANT"]
+
+#: The shared identity of requests without an ``X-Repro-Tenant`` header.
+DEFAULT_TENANT = "anonymous"
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission limits applied to every tenant (uniformly, for now)."""
+
+    #: Sustained submissions per second.
+    rate: float = 50.0
+    #: Burst allowance (bucket capacity).
+    burst: float = 100.0
+    #: Studies one tenant may have queued or running at once.
+    max_active: int = 16
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.burst <= 0:
+            raise ValueError("burst must be positive")
+        if self.max_active < 1:
+            raise ValueError("max_active must be at least 1")
+
+
+class _TenantState:
+    __slots__ = ("bucket", "active", "submitted", "rejected")
+
+    def __init__(self, policy: TenantPolicy, clock: Callable[[], float]) -> None:
+        self.bucket = TokenBucket(policy.rate, policy.burst, clock=clock)
+        self.active = 0
+        self.submitted = 0
+        self.rejected = 0
+
+
+class TenantRegistry:
+    """Thread-safe admission bookkeeping across all tenants."""
+
+    def __init__(
+        self,
+        policy: TenantPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or TenantPolicy()
+        self._clock = clock
+        self._tenants: dict[str, _TenantState] = {}
+        self._lock = threading.Lock()
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = _TenantState(self.policy, self._clock)
+        return state
+
+    def admit(self, tenant: str) -> None:
+        """Charge one submission to ``tenant`` or raise a 429 error.
+
+        Rate limiting is checked first (it protects the service even
+        from dedup hits); the active-studies cap second.  A rejected
+        submission consumes no tokens and no active slot.
+        """
+        with self._lock:
+            state = self._state(tenant)
+            if state.active >= self.policy.max_active:
+                state.rejected += 1
+                raise QueueFullError(
+                    f"tenant {tenant!r} already has {state.active} studies "
+                    f"queued or running (cap: {self.policy.max_active})",
+                    detail={
+                        "tenant": tenant,
+                        "active": state.active,
+                        "max_active": self.policy.max_active,
+                    },
+                )
+            retry_after = state.bucket.try_acquire()
+            if retry_after > 0:
+                state.rejected += 1
+                raise RateLimitedError(
+                    f"tenant {tenant!r} exceeded {self.policy.rate:g} "
+                    f"submissions/s (burst {self.policy.burst:g}); "
+                    f"retry in {retry_after:.3f}s",
+                    detail={
+                        "tenant": tenant,
+                        "rate": self.policy.rate,
+                        "burst": self.policy.burst,
+                        "retry_after": round(retry_after, 6),
+                    },
+                )
+            state.active += 1
+            state.submitted += 1
+
+    def release(self, tenant: str) -> None:
+        """Return ``tenant``'s active slot when its study settles."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is not None and state.active > 0:
+                state.active -= 1
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-tenant admission counters (for ``/healthz`` and tests)."""
+        with self._lock:
+            return {
+                name: {
+                    "active": state.active,
+                    "submitted": state.submitted,
+                    "rejected": state.rejected,
+                }
+                for name, state in sorted(self._tenants.items())
+            }

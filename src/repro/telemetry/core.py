@@ -469,9 +469,26 @@ NULL_TELEMETRY = _NullTelemetry()
 
 _ACTIVE: Telemetry | None = None
 
+#: Per-thread activation override.  ``use_telemetry`` records the
+#: registry on the calling thread, so concurrent threads (the
+#: observatory service runs one study per worker thread) each see their
+#: own registry; ``_ACTIVE`` remains the process-wide fallback for
+#: threads that never activated one — which preserves the historical
+#: single-threaded behaviour exactly (the activating thread both sets
+#: and reads the same slot).
+_THREAD_ACTIVE = threading.local()
+
 
 def get_telemetry() -> Telemetry:
-    """The active registry, or the shared no-op one."""
+    """The active registry, or the shared no-op one.
+
+    Thread-scoped: a registry activated with :func:`use_telemetry` on
+    this thread wins; otherwise the most recent activation from any
+    thread (the process-wide fallback) applies.
+    """
+    local = getattr(_THREAD_ACTIVE, "value", None)
+    if local is not None:
+        return local
     return _ACTIVE if _ACTIVE is not None else NULL_TELEMETRY
 
 
@@ -482,14 +499,28 @@ def use_telemetry(telemetry: Telemetry | None):
     ``use_telemetry(None)`` is a no-op pass-through (the previously
     active registry, if any, stays active) so call sites can wire an
     optional ``telemetry=`` parameter without branching.
+
+    Activation is scoped to the calling thread *and* recorded as the
+    process-wide fallback for threads that never activate their own —
+    single-threaded callers see the historical behaviour, while
+    concurrent activations on different threads stay isolated from one
+    another.
     """
     global _ACTIVE
     if telemetry is None:
         yield get_telemetry()
         return
-    previous = _ACTIVE
-    _ACTIVE = telemetry
+    previous_local = getattr(_THREAD_ACTIVE, "value", None)
+    previous_global = _ACTIVE
+    _THREAD_ACTIVE.value = telemetry
+    if previous_local is None:
+        # Only the outermost thread activation publishes the fallback:
+        # nested scopes on one thread restore cleanly either way, and a
+        # service worker thread never clobbers another thread's view.
+        _ACTIVE = telemetry
     try:
         yield telemetry
     finally:
-        _ACTIVE = previous
+        _THREAD_ACTIVE.value = previous_local
+        if previous_local is None and _ACTIVE is telemetry:
+            _ACTIVE = previous_global

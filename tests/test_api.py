@@ -1,0 +1,178 @@
+"""Tests for the versioned public facade (:mod:`repro.api`)."""
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro.api import (
+    DATASETS,
+    SCALES,
+    ExecutionPolicy,
+    InvalidSpecError,
+    ReproError,
+    RunResult,
+    StudySpec,
+    load_results,
+    run_study,
+)
+from repro.errors import NotFoundError, RateLimitedError, error_from_dict
+from repro.tga import ALL_TGA_NAMES, canonical_tga_name
+
+SMALL = dict(scale="tiny", budget=300, tgas=("6gen", "6tree"), ports=("icmp",))
+
+
+class TestStudySpec:
+    def test_defaults_resolve_round_size(self):
+        spec = StudySpec()
+        assert spec.round_size == max(200, spec.budget // 5)
+        assert spec.tgas == ALL_TGA_NAMES
+        assert spec.size == len(ALL_TGA_NAMES)
+
+    def test_default_and_explicit_round_size_share_a_digest(self):
+        implicit = StudySpec(budget=1_000)
+        explicit = StudySpec(budget=1_000, round_size=200)
+        assert implicit == explicit
+        assert implicit.digest == explicit.digest
+
+    def test_round_trip_through_dict(self):
+        spec = StudySpec(**SMALL)
+        clone = StudySpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.digest == spec.digest
+        # The canonical dict itself is JSON-stable.
+        assert json.loads(json.dumps(spec.to_dict())) == spec.to_dict()
+
+    def test_digest_is_content_addressed(self):
+        spec = StudySpec(**SMALL)
+        assert spec.digest.startswith("sha256:")
+        assert spec.digest != StudySpec(**{**SMALL, "budget": 301}).digest
+        assert spec.digest != StudySpec(**{**SMALL, "seed": 43}).digest
+
+    def test_tga_aliases_canonicalise(self):
+        canonical = canonical_tga_name("6gen")
+        spec = StudySpec(tgas=("6gen",))
+        assert spec.tgas == (canonical,)
+
+    @pytest.mark.parametrize(
+        "kwargs, field",
+        [
+            ({"scale": "planetary"}, "scale"),
+            ({"seed": "forty-two"}, "seed"),
+            ({"budget": 0}, "budget"),
+            ({"round_size": -1}, "round_size"),
+            ({"dataset": "imaginary"}, "dataset"),
+            ({"tgas": ()}, "tgas"),
+            ({"tgas": ("7tree",)}, "tgas"),
+            ({"ports": ()}, "ports"),
+            ({"ports": ("tcp1234",)}, "ports"),
+        ],
+    )
+    def test_validation_names_the_field(self, kwargs, field):
+        with pytest.raises(InvalidSpecError) as excinfo:
+            StudySpec(**kwargs)
+        assert excinfo.value.detail["field"] == field
+        assert excinfo.value.code == "invalid_spec"
+
+    def test_from_dict_rejects_non_objects(self):
+        with pytest.raises(InvalidSpecError):
+            StudySpec.from_dict("not a dict")
+        with pytest.raises(InvalidSpecError):
+            StudySpec.from_dict(None)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(InvalidSpecError) as excinfo:
+            StudySpec.from_dict({"budget": 500, "bogus": 1})
+        assert excinfo.value.detail["unknown"] == ["bogus"]
+
+    def test_from_dict_rejects_non_string_lists(self):
+        with pytest.raises(InvalidSpecError):
+            StudySpec.from_dict({"tgas": [1, 2]})
+        with pytest.raises(InvalidSpecError):
+            StudySpec.from_dict({"ports": "icmp"})
+
+    def test_scales_and_datasets_are_exported(self):
+        assert set(SCALES) == {"tiny", "bench", "small", "internet"}
+        assert DATASETS == ("active", "full", "offline", "online", "joint")
+
+
+class TestErrors:
+    def test_structured_errors_keep_builtin_ancestry(self):
+        assert issubclass(InvalidSpecError, ValueError)
+        assert issubclass(NotFoundError, KeyError)
+        error = InvalidSpecError("nope", detail={"field": "budget"})
+        assert str(error) == "nope"  # no KeyError repr-ization
+
+    def test_to_dict_wire_shape(self):
+        error = RateLimitedError("slow down", detail={"retry_after": 0.5})
+        body = error.to_dict()
+        assert body == {
+            "error": {
+                "code": "rate_limited",
+                "message": "slow down",
+                "detail": {"retry_after": 0.5},
+            }
+        }
+
+    def test_error_round_trips_through_the_wire_shape(self):
+        original = RateLimitedError("slow down", detail={"retry_after": 0.5})
+        rebuilt = error_from_dict(original.to_dict(), http_status=429)
+        assert isinstance(rebuilt, RateLimitedError)
+        assert rebuilt.detail == original.detail
+        assert rebuilt.http_status == 429
+
+    def test_unknown_codes_degrade_to_base_error(self):
+        rebuilt = error_from_dict(
+            {"error": {"code": "brand_new", "message": "hi", "detail": {}}}
+        )
+        assert type(rebuilt) is ReproError
+        assert rebuilt.code == "brand_new"
+
+
+class TestRunStudy:
+    def test_returns_a_study_result(self):
+        spec = StudySpec(**SMALL)
+        result = run_study(spec)
+        assert result.spec == spec
+        assert result.digest == spec.digest
+        assert set(result.runs) == {
+            (tga, "all-active", port)
+            for tga in spec.tgas
+            for port in spec.port_objects
+        }
+        run = result.get("6gen", "icmp")
+        assert isinstance(run, RunResult)
+        assert run.metrics.hits >= 0
+        assert result.best() in result.runs.values()
+
+    def test_is_deterministic(self):
+        spec = StudySpec(**SMALL)
+        assert run_study(spec).to_rows() == run_study(spec).to_rows()
+
+    def test_policy_never_changes_results(self):
+        spec = StudySpec(**SMALL)
+        plain = run_study(spec)
+        tuned = run_study(spec, policy=ExecutionPolicy(workers=1, max_retries=0))
+        assert plain.to_rows() == tuned.to_rows()
+
+    def test_checkpoint_round_trips_through_load_results(self, tmp_path):
+        spec = StudySpec(**SMALL)
+        checkpoint = tmp_path / "study.jsonl"
+        direct = run_study(
+            spec, policy=ExecutionPolicy(checkpoint=str(checkpoint))
+        )
+        restored = load_results(checkpoint)
+        assert len(restored) == spec.size
+        assert {run.tga_name for run in restored} == set(spec.tgas)
+        by_name = {run.tga_name: run for run in restored}
+        for tga in spec.tgas:
+            assert by_name[tga].metrics.hits == direct.get(tga, "icmp").metrics.hits
+
+
+class TestFacadeSurface:
+    def test_everything_in_all_is_importable(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_api_version(self):
+        assert api.API_VERSION == "1"

@@ -102,6 +102,84 @@ class TestNewCommands:
         assert "RQ1.a" in text and "RQ5" in text
 
 
+class TestNounVerbCLI:
+    def test_study_run_parses(self):
+        args = build_parser().parse_args(
+            ["study", "run", "6tree", "--port", "tcp80", "--dataset", "joint"]
+        )
+        assert args.command == "study"
+        assert args.command_name == "study run"
+        assert args.tga == "6tree"
+        assert args.port == "tcp80"
+
+    def test_new_spelling_runs_without_deprecation(self, capsys):
+        assert main(["world", "describe"]) == 0
+        captured = capsys.readouterr()
+        assert "regions" in captured.out
+        assert "deprecated" not in captured.err
+
+    def test_legacy_alias_still_works_but_warns(self, capsys):
+        assert main(["describe"]) == 0
+        captured = capsys.readouterr()
+        assert "regions" in captured.out
+        assert "deprecated" in captured.err
+        assert "repro world describe" in captured.err
+
+    def test_legacy_run_warns_with_new_spelling(self, capsys):
+        assert main(["--budget", "400", "run", "6gen"]) == 0
+        assert "repro study run" in capsys.readouterr().err
+
+    def test_legacy_aliases_are_hidden_from_help(self):
+        help_text = build_parser().format_help()
+        leading = [
+            line.split()[0] for line in help_text.splitlines() if line.split()
+        ]
+        for old in ("describe", "sources", "run", "grid", "rq1a", "recommend"):
+            assert old not in leading
+        for noun in ("world", "study", "serve", "trace", "top"):
+            assert noun in leading
+
+    def test_study_resume_reruns_from_checkpoint(self, tmp_path, capsys):
+        checkpoint = tmp_path / "grid.jsonl"
+        assert (
+            main(
+                ["--budget", "400", "--checkpoint", str(checkpoint),
+                 "study", "grid", "--tgas", "6gen"]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert checkpoint.exists()
+        assert (
+            main(
+                ["--budget", "400", "study", "resume", str(checkpoint),
+                 "--tgas", "6gen"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == first
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command_name == "serve"
+        assert args.http_port == 8674
+        assert args.pool == 2
+        assert args.max_queue == 64
+        assert args.rate == 50.0
+
+    def test_manifest_records_the_noun_verb_command(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                ["--budget", "400", "--telemetry", str(trace),
+                 "study", "run", "6gen"]
+            )
+            == 0
+        )
+        manifest = json.loads(trace.read_text().splitlines()[0])
+        assert manifest["command"] == "study run"
+
+
 def run_traced(tmp_path, name, extra=(), budget="400"):
     """Run a tiny cell with --telemetry and return the trace path."""
     trace = tmp_path / name

@@ -98,7 +98,9 @@ class TestParallelDeterminism:
         serial_study = make_study()
         parallel_study = make_study()
         serial = run_grid(serial_study, make_spec(serial_study))
-        parallel = run_grid(parallel_study, make_spec(parallel_study), workers=4)
+        parallel = run_grid(
+            parallel_study, make_spec(parallel_study), policy=ExecutionPolicy(workers=4)
+        )
         assert set(serial.runs) == set(parallel.runs)
         for key in serial.runs:
             assert_identical_runs(serial.runs[key], parallel.runs[key])
@@ -106,8 +108,8 @@ class TestParallelDeterminism:
     def test_workers_one_matches_workers_four(self):
         one = make_study()
         four = make_study()
-        grid_one = run_grid(one, make_spec(one), workers=1)
-        grid_four = run_grid(four, make_spec(four), workers=4)
+        grid_one = run_grid(one, make_spec(one), policy=ExecutionPolicy(workers=1))
+        grid_four = run_grid(four, make_spec(four), policy=ExecutionPolicy(workers=4))
         for key in grid_one.runs:
             assert_identical_runs(grid_one.runs[key], grid_four.runs[key])
 
@@ -125,7 +127,7 @@ class TestParallelDeterminism:
             ports=PORTS,
             tga_names=TGAS,
             budget=BUDGET,
-            parallel=3,
+            policy=ExecutionPolicy(workers=3),
         )
         assert set(serial) == set(parallel)
         for key in serial:
@@ -180,16 +182,16 @@ class TestRunCellsMechanics:
         study = make_study()
         dataset = study.constructions.all_active
         cells = [(tga, dataset, Port.ICMP, BUDGET) for tga in TGAS]
-        assert study.precompute(cells, workers=2) == len(TGAS)
+        assert study.precompute(cells, policy=ExecutionPolicy(workers=2)) == len(TGAS)
         assert study.cached_runs == len(TGAS)
         # Everything cached now: nothing missing, nothing recomputed.
-        assert study.precompute(cells, workers=2) == 0
+        assert study.precompute(cells, policy=ExecutionPolicy(workers=2)) == 0
 
     def test_precompute_serial_is_noop(self):
         study = make_study()
         dataset = study.constructions.all_active
         missing = study.precompute(
-            [("6tree", dataset, Port.ICMP, BUDGET)], workers=1
+            [("6tree", dataset, Port.ICMP, BUDGET)], policy=ExecutionPolicy(workers=1)
         )
         assert missing == 1
         assert study.cached_runs == 0

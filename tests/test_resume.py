@@ -171,7 +171,7 @@ class TestRunStore:
 
 
 # ---------------------------------------------------------------------------
-# ExecutionPolicy: validation and the legacy-kwarg shims
+# ExecutionPolicy: validation and the removed legacy kwargs
 # ---------------------------------------------------------------------------
 
 
@@ -196,16 +196,15 @@ class TestExecutionPolicy:
         assert ExecutionPolicy(fault_plan=FaultPlan()).resilient
         assert ExecutionPolicy(cell_timeout=5.0).resilient
 
-    def test_run_grid_workers_kwarg_warns_and_works(self):
+    def test_run_grid_workers_kwarg_raises(self):
         study = make_study()
         spec = make_spec(study)
-        with pytest.warns(DeprecationWarning, match="workers"):
-            results = run_grid(study, spec, workers=2)
-        assert len(results.runs) == spec.size
+        with pytest.raises(TypeError, match="workers.*removed.*ExecutionPolicy"):
+            run_grid(study, spec, workers=2)
 
-    def test_run_matrix_parallel_kwarg_warns(self):
+    def test_run_matrix_parallel_kwarg_raises(self):
         study = make_study()
-        with pytest.warns(DeprecationWarning, match="parallel"):
+        with pytest.raises(TypeError, match="parallel.*removed"):
             study.run_matrix(
                 [study.constructions.all_active],
                 ports=(Port.ICMP,),
@@ -214,12 +213,17 @@ class TestExecutionPolicy:
                 parallel=2,
             )
 
-    def test_telemetry_kwarg_warns_and_is_honoured(self):
+    def test_telemetry_kwarg_raises(self):
+        study = make_study()
+        spec = make_spec(study)
+        with pytest.raises(TypeError, match="telemetry.*removed"):
+            run_grid(study, spec, telemetry=Telemetry())
+
+    def test_telemetry_via_policy_is_honoured(self):
         study = make_study()
         spec = make_spec(study)
         telemetry = Telemetry()
-        with pytest.warns(DeprecationWarning, match="telemetry"):
-            run_grid(study, spec, telemetry=telemetry)
+        run_grid(study, spec, policy=ExecutionPolicy(telemetry=telemetry))
         assert telemetry.counters.get("meta.cache_misses", 0) > 0
 
     def test_policy_path_emits_no_deprecation_warning(self):
@@ -229,11 +233,13 @@ class TestExecutionPolicy:
             warnings.simplefilter("error", DeprecationWarning)
             run_grid(study, spec, policy=ExecutionPolicy())
 
-    def test_unknown_legacy_kwarg_raises(self):
+    def test_error_names_both_removed_and_unknown_kwargs(self):
         from repro.experiments.policy import coalesce_policy
 
         with pytest.raises(TypeError, match="unexpected"):
             coalesce_policy(None, "api", bogus=3)
+        with pytest.raises(TypeError, match="workers.*bogus"):
+            coalesce_policy(None, "api", workers=2, bogus=3)
 
 
 # ---------------------------------------------------------------------------
